@@ -1,0 +1,179 @@
+//! Eccentricity (radii) estimation via 64-way bit-parallel BFS — another
+//! Ligra-suite extension. Up to 64 sources run simultaneous BFS, each
+//! owning one bit of a 64-bit visited mask; a vertex's radius estimate is
+//! the last round in which its mask grew (its maximum distance to any
+//! source). With `k >= n` sources on a connected symmetric graph this is
+//! the exact eccentricity.
+//!
+//! Exercises yet another update pattern: idempotent bitwise OR with a
+//! grew-or-not activation.
+
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+
+use gg_core::edge_map::EdgeOp;
+use gg_core::engine::{EdgeMapSpec, Engine};
+use gg_graph::types::VertexId;
+
+/// Radii-estimation output.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RadiiResult {
+    /// Estimated eccentricity per vertex (`0` for vertices no source
+    /// reaches, including the sources' own round-0 visit).
+    pub radii: Vec<u32>,
+    /// The largest estimate — a lower bound on the graph diameter.
+    pub diameter_estimate: u32,
+    /// Rounds executed.
+    pub rounds: usize,
+}
+
+struct RadiiOp<'a> {
+    visited: &'a [AtomicU64],
+    next_visited: &'a [AtomicU64],
+    radii: &'a [AtomicU32],
+    round: u32,
+}
+
+impl RadiiOp<'_> {
+    #[inline]
+    fn new_bits(&self, src: VertexId, dst: VertexId) -> u64 {
+        let s = self.visited[src as usize].load(Ordering::Relaxed);
+        let d = self.visited[dst as usize].load(Ordering::Relaxed);
+        s & !d
+    }
+}
+
+impl EdgeOp for RadiiOp<'_> {
+    #[inline]
+    fn update(&self, src: VertexId, dst: VertexId, _w: f32) -> bool {
+        let bits = self.new_bits(src, dst);
+        if bits == 0 {
+            return false;
+        }
+        let prev = self.next_visited[dst as usize].load(Ordering::Relaxed);
+        self.next_visited[dst as usize].store(prev | bits, Ordering::Relaxed);
+        self.radii[dst as usize].store(self.round, Ordering::Relaxed);
+        true
+    }
+
+    #[inline]
+    fn update_atomic(&self, src: VertexId, dst: VertexId, _w: f32) -> bool {
+        let bits = self.new_bits(src, dst);
+        if bits == 0 {
+            return false;
+        }
+        self.next_visited[dst as usize].fetch_or(bits, Ordering::Relaxed);
+        self.radii[dst as usize].store(self.round, Ordering::Relaxed);
+        true
+    }
+}
+
+/// Runs bit-parallel BFS from up to 64 `sources`.
+///
+/// # Panics
+/// Panics if more than 64 sources are given.
+pub fn radii<E: Engine>(engine: &E, sources: &[VertexId]) -> RadiiResult {
+    assert!(sources.len() <= 64, "at most 64 simultaneous sources");
+    let n = engine.num_vertices();
+    let visited: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+    let next_visited: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+    let radii_arr: Vec<AtomicU32> = gg_runtime::atomics::atomic_u32_vec(n, 0);
+    for (i, &s) in sources.iter().enumerate() {
+        visited[s as usize].fetch_or(1 << i, Ordering::Relaxed);
+        next_visited[s as usize].fetch_or(1 << i, Ordering::Relaxed);
+    }
+
+    let mut frontier = engine.frontier_sparse(sources.to_vec());
+    let mut round = 0u32;
+    let spec = EdgeMapSpec::vertex_oriented();
+    while !frontier.is_empty() {
+        round += 1;
+        let op = RadiiOp {
+            visited: &visited,
+            next_visited: &next_visited,
+            radii: &radii_arr,
+            round,
+        };
+        frontier = engine.edge_map(&frontier, &op, spec);
+        // Fold the round's discoveries into the visited masks.
+        gg_core::vertex_map::vertex_map(&frontier, engine.pool(), |v| {
+            let nv = next_visited[v as usize].load(Ordering::Relaxed);
+            visited[v as usize].fetch_or(nv, Ordering::Relaxed);
+        });
+    }
+    let radii_out = gg_runtime::atomics::snapshot_u32(&radii_arr);
+    RadiiResult {
+        diameter_estimate: radii_out.iter().copied().max().unwrap_or(0),
+        radii: radii_out,
+        rounds: round as usize,
+    }
+}
+
+/// Sequential reference: per-source BFS, eccentricity = max distance from
+/// any listed source to the vertex.
+pub fn radii_reference(el: &gg_graph::edge_list::EdgeList, sources: &[VertexId]) -> Vec<u32> {
+    let n = el.num_vertices();
+    let mut out = vec![0u32; n];
+    for &s in sources {
+        let levels = crate::reference::bfs_levels(el, s);
+        for v in 0..n {
+            if levels[v] != u32::MAX && levels[v] > out[v] {
+                out[v] = levels[v];
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gg_core::config::Config;
+    use gg_core::engine::GraphGrind2;
+    use gg_graph::generators;
+    use gg_graph::ops::symmetrize;
+
+    #[test]
+    fn exact_on_small_symmetric_graph() {
+        // All vertices as sources (n <= 64): radii = exact eccentricities.
+        let el = symmetrize(&generators::cycle(12));
+        let sources: Vec<u32> = (0..12).collect();
+        let engine = GraphGrind2::new(&el, Config::for_tests());
+        let got = radii(&engine, &sources);
+        assert_eq!(got.radii, radii_reference(&el, &sources));
+        // A 12-cycle has eccentricity 6 everywhere.
+        assert_eq!(got.radii, vec![6; 12]);
+        assert_eq!(got.diameter_estimate, 6);
+    }
+
+    #[test]
+    fn matches_reference_on_random_graph() {
+        let el = symmetrize(&generators::erdos_renyi(60, 150, 3));
+        let sources: Vec<u32> = (0..60).collect();
+        let engine = GraphGrind2::new(&el, Config::for_tests());
+        let got = radii(&engine, &sources);
+        assert_eq!(got.radii, radii_reference(&el, &sources));
+    }
+
+    #[test]
+    fn subset_of_sources_lower_bounds() {
+        let el = symmetrize(&generators::grid_road(6, 6, 0.0, 0));
+        let engine = GraphGrind2::new(&el, Config::for_tests());
+        let all: Vec<u32> = (0..36).collect();
+        let some = vec![0u32, 35];
+        let full = radii(&engine, &all);
+        let partial = radii(&engine, &some);
+        assert_eq!(partial.radii, radii_reference(&el, &some));
+        for v in 0..36 {
+            assert!(partial.radii[v] <= full.radii[v]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 64")]
+    fn rejects_too_many_sources() {
+        let el = generators::cycle(100);
+        let engine = GraphGrind2::new(&el, Config::for_tests());
+        let sources: Vec<u32> = (0..65).collect();
+        let _ = radii(&engine, &sources);
+    }
+}

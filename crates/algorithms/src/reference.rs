@@ -1,0 +1,254 @@
+//! Deliberately simple sequential oracles used to validate every engine.
+//!
+//! These prioritise obviousness over speed: textbook queue BFS, binary-heap
+//! Dijkstra, union-find components, dense-array PageRank and Brandes BC.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use gg_graph::csr::Csr;
+use gg_graph::edge_list::EdgeList;
+
+/// BFS levels from `src` (`u32::MAX` = unreachable).
+pub fn bfs_levels(el: &EdgeList, src: u32) -> Vec<u32> {
+    let csr = Csr::from_edge_list(el);
+    let n = el.num_vertices();
+    let mut level = vec![u32::MAX; n];
+    level[src as usize] = 0;
+    let mut queue = std::collections::VecDeque::from([src]);
+    while let Some(u) = queue.pop_front() {
+        for &v in csr.neighbors(u) {
+            if level[v as usize] == u32::MAX {
+                level[v as usize] = level[u as usize] + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    level
+}
+
+/// Dijkstra distances from `src` for non-negative weights
+/// (`f32::INFINITY` = unreachable). Distances are accumulated in `f32` to
+/// match the parallel implementation exactly.
+pub fn dijkstra(el: &EdgeList, src: u32) -> Vec<f32> {
+    let csr = Csr::from_edge_list(el);
+    let n = el.num_vertices();
+    let mut dist = vec![f32::INFINITY; n];
+    dist[src as usize] = 0.0;
+    // (distance bits, vertex) — f32 bit patterns of non-negative floats
+    // order correctly as u32.
+    let mut heap: BinaryHeap<Reverse<(u32, u32)>> = BinaryHeap::new();
+    heap.push(Reverse((0f32.to_bits(), src)));
+    while let Some(Reverse((dbits, u))) = heap.pop() {
+        let d = f32::from_bits(dbits);
+        if d > dist[u as usize] {
+            continue;
+        }
+        for e in csr.edge_range(u) {
+            let v = csr.targets()[e];
+            let cand = d + csr.weight_at(e);
+            if cand < dist[v as usize] {
+                dist[v as usize] = cand;
+                heap.push(Reverse((cand.to_bits(), v)));
+            }
+        }
+    }
+    dist
+}
+
+/// Connected-component labels as the minimum vertex id per component.
+/// Treats edges as undirected (matching label propagation on symmetrized
+/// graphs).
+pub fn cc_labels(el: &EdgeList) -> Vec<u32> {
+    let n = el.num_vertices();
+    let mut parent: Vec<u32> = (0..n as u32).collect();
+    fn find(parent: &mut [u32], v: u32) -> u32 {
+        let mut root = v;
+        while parent[root as usize] != root {
+            root = parent[root as usize];
+        }
+        let mut cur = v;
+        while parent[cur as usize] != root {
+            let next = parent[cur as usize];
+            parent[cur as usize] = root;
+            cur = next;
+        }
+        root
+    }
+    for (u, v) in el.iter() {
+        let (ru, rv) = (find(&mut parent, u), find(&mut parent, v));
+        if ru != rv {
+            // Union by smaller id so the root is the component minimum.
+            if ru < rv {
+                parent[rv as usize] = ru;
+            } else {
+                parent[ru as usize] = rv;
+            }
+        }
+    }
+    (0..n as u32).map(|v| find(&mut parent, v)).collect()
+}
+
+/// PageRank by the power method (`iters` iterations, damping 0.85),
+/// pull-ordered `f64` accumulation. Vertices with zero out-degree leak
+/// rank (no sink redistribution), matching the parallel implementation
+/// and Ligra's simple PageRank.
+pub fn pagerank(el: &EdgeList, iters: usize) -> Vec<f64> {
+    let n = el.num_vertices();
+    let deg = el.out_degrees();
+    let mut rank = vec![1.0 / n as f64; n];
+    let mut next = vec![0.0f64; n];
+    for _ in 0..iters {
+        next.fill(0.0);
+        for (u, v) in el.iter() {
+            next[v as usize] += rank[u as usize] / deg[u as usize].max(1) as f64;
+        }
+        for x in next.iter_mut() {
+            *x = 0.15 / n as f64 + 0.85 * *x;
+        }
+        std::mem::swap(&mut rank, &mut next);
+    }
+    rank
+}
+
+/// One sparse matrix-vector product `y[v] = Σ_{(u,v) ∈ E} w(u,v) · x[u]`.
+pub fn spmv(el: &EdgeList, x: &[f64]) -> Vec<f64> {
+    let n = el.num_vertices();
+    assert_eq!(x.len(), n);
+    let mut y = vec![0.0f64; n];
+    for i in 0..el.num_edges() {
+        let (u, v) = el.edge(i);
+        y[v as usize] += el.weight(i) as f64 * x[u as usize];
+    }
+    y
+}
+
+/// Single-source betweenness dependency scores (Brandes' inner loop for
+/// one source): `delta[u] = Σ_{v : u precedes v} σ_su/σ_sv · (1 + delta[v])`.
+pub fn bc_single_source(el: &EdgeList, src: u32) -> Vec<f64> {
+    let csr = Csr::from_edge_list(el);
+    let n = el.num_vertices();
+    let mut sigma = vec![0.0f64; n];
+    let mut level = vec![u32::MAX; n];
+    sigma[src as usize] = 1.0;
+    level[src as usize] = 0;
+    let mut order: Vec<u32> = vec![src];
+    let mut queue = std::collections::VecDeque::from([src]);
+    while let Some(u) = queue.pop_front() {
+        for &v in csr.neighbors(u) {
+            if level[v as usize] == u32::MAX {
+                level[v as usize] = level[u as usize] + 1;
+                queue.push_back(v);
+                order.push(v);
+            }
+            if level[v as usize] == level[u as usize] + 1 {
+                sigma[v as usize] += sigma[u as usize];
+            }
+        }
+    }
+    let mut delta = vec![0.0f64; n];
+    for &u in order.iter().rev() {
+        for &v in csr.neighbors(u) {
+            if level[v as usize] == level[u as usize] + 1 {
+                delta[u as usize] +=
+                    sigma[u as usize] / sigma[v as usize] * (1.0 + delta[v as usize]);
+            }
+        }
+    }
+    delta
+}
+
+/// Simplified loopy belief propagation (see `crate::bp` for the model):
+/// `iters` rounds of `b'[v] = phi[v] + λ Σ_{(u,v) ∈ E} tanh(b[u])`.
+pub fn bp(el: &EdgeList, priors: &[f64], lambda: f64, iters: usize) -> Vec<f64> {
+    let n = el.num_vertices();
+    assert_eq!(priors.len(), n);
+    let mut belief = priors.to_vec();
+    let mut next = vec![0.0f64; n];
+    for _ in 0..iters {
+        let msg: Vec<f64> = belief.iter().map(|&b| lambda * b.tanh()).collect();
+        next.copy_from_slice(priors);
+        for (u, v) in el.iter() {
+            next[v as usize] += msg[u as usize];
+        }
+        std::mem::swap(&mut belief, &mut next);
+    }
+    belief
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gg_graph::generators;
+
+    #[test]
+    fn bfs_on_path() {
+        let el = generators::path(5);
+        assert_eq!(bfs_levels(&el, 0), vec![0, 1, 2, 3, 4]);
+        assert_eq!(bfs_levels(&el, 2), vec![u32::MAX, u32::MAX, 0, 1, 2]);
+    }
+
+    #[test]
+    fn dijkstra_simple() {
+        // 0 -> 1 (1.0), 1 -> 2 (1.0), 0 -> 2 (3.0): shortest 0->2 is 2.0.
+        let el = EdgeList::from_weighted_edges(3, &[(0, 1, 1.0), (1, 2, 1.0), (0, 2, 3.0)]);
+        let d = dijkstra(&el, 0);
+        assert_eq!(d, vec![0.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn dijkstra_unweighted_equals_bfs() {
+        let el = generators::rmat(7, 600, generators::RmatParams::skewed(), 5);
+        let d = dijkstra(&el, 0);
+        let l = bfs_levels(&el, 0);
+        for v in 0..el.num_vertices() {
+            if l[v] == u32::MAX {
+                assert!(d[v].is_infinite());
+            } else {
+                assert_eq!(d[v], l[v] as f32);
+            }
+        }
+    }
+
+    #[test]
+    fn cc_two_components() {
+        let el = EdgeList::from_edges(6, &[(0, 1), (1, 2), (4, 5)]);
+        assert_eq!(cc_labels(&el), vec![0, 0, 0, 3, 4, 4]);
+    }
+
+    #[test]
+    fn pagerank_sums_below_one_with_leak() {
+        let el = generators::cycle(8);
+        let pr = pagerank(&el, 10);
+        // A cycle has no sinks: ranks sum to 1 and are uniform.
+        let sum: f64 = pr.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        for &r in &pr {
+            assert!((r - 0.125).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn spmv_identity_like() {
+        let el = EdgeList::from_weighted_edges(3, &[(0, 1, 2.0), (2, 1, 3.0)]);
+        let y = spmv(&el, &[1.0, 10.0, 100.0]);
+        assert_eq!(y, vec![0.0, 2.0 + 300.0, 0.0]);
+    }
+
+    #[test]
+    fn bc_star_center() {
+        // Symmetric star: all shortest paths between leaves go through 0.
+        let el = generators::star(5);
+        let delta = bc_single_source(&el, 1);
+        // From leaf 1: 0 lies on paths to leaves 2,3,4.
+        assert!(delta[0] > delta[2]);
+        assert_eq!(delta[2], 0.0);
+    }
+
+    #[test]
+    fn bp_no_edges_keeps_priors() {
+        let el = EdgeList::new(3);
+        let b = bp(&el, &[0.5, -0.5, 0.0], 0.3, 10);
+        assert_eq!(b, vec![0.5, -0.5, 0.0]);
+    }
+}

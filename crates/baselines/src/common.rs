@@ -1,0 +1,69 @@
+//! Shared plumbing for the baseline engines.
+
+use gg_graph::bitmap::AtomicBitmap;
+use gg_graph::types::VertexId;
+use gg_runtime::counters::WorkCounters;
+use gg_runtime::pool::Pool;
+
+/// State common to every baseline engine: pool, counters, degree arrays
+/// and the sparse-dedup scratch bitmap.
+#[derive(Debug)]
+pub struct EngineBase {
+    pub(crate) pool: Pool,
+    pub(crate) counters: WorkCounters,
+    pub(crate) scratch: AtomicBitmap,
+    pub(crate) out_degrees: Vec<u32>,
+    pub(crate) n: usize,
+    pub(crate) m: usize,
+}
+
+impl EngineBase {
+    /// Builds the shared state for a graph with the given degrees.
+    pub fn new(out_degrees: Vec<u32>, m: usize, threads: usize) -> Self {
+        let n = out_degrees.len();
+        EngineBase {
+            pool: Pool::new(threads),
+            counters: WorkCounters::new(),
+            scratch: AtomicBitmap::new(n),
+            out_degrees,
+            n,
+            m,
+        }
+    }
+}
+
+/// Splits `0..n` into `chunks` equal vertex ranges (Ligra's dense-traversal
+/// work division — balanced by vertex count, not edges).
+pub fn even_vertex_ranges(n: usize, chunks: usize) -> Vec<std::ops::Range<VertexId>> {
+    let chunks = chunks.max(1).min(n.max(1));
+    (0..chunks)
+        .map(|c| {
+            let lo = (n * c / chunks) as VertexId;
+            let hi = (n * (c + 1) / chunks) as VertexId;
+            lo..hi
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_cover_without_overlap() {
+        let ranges = even_vertex_ranges(103, 8);
+        assert_eq!(ranges.len(), 8);
+        let total: usize = ranges.iter().map(|r| r.len()).sum();
+        assert_eq!(total, 103);
+        for w in ranges.windows(2) {
+            assert_eq!(w[0].end, w[1].start);
+        }
+    }
+
+    #[test]
+    fn degenerate_ranges() {
+        assert_eq!(even_vertex_ranges(2, 10).len(), 2);
+        let r = even_vertex_ranges(0, 4);
+        assert_eq!(r.iter().map(|r| r.len()).sum::<usize>(), 0);
+    }
+}

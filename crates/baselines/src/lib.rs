@@ -1,0 +1,36 @@
+//! # gg-baselines — comparator engines for the Figure 9/10 evaluation
+//!
+//! Reimplementations of the *traversal policies* of the three systems the
+//! paper compares against, behind the same [`Engine`](gg_core::Engine)
+//! trait as GraphGrind-v2, so every algorithm in `gg-algorithms` runs
+//! unmodified on all four:
+//!
+//! * [`ligra::Ligra`] — Shun & Blelloch's two-way sparse/dense switch over
+//!   an unpartitioned CSR + CSC pair. Dense direction is the
+//!   *programmer-declared* preference (Table II); dense backward chunks
+//!   vertices evenly, which is exactly the load imbalance §IV.A attributes
+//!   Ligra's losses to.
+//! * [`polymer::Polymer`] — Zhang et al.'s NUMA-aware Ligra derivative:
+//!   4 partitions (one per NUMA domain), *unpruned* per-partition CSR
+//!   (§II.E: "Polymer does not prune zero-degree vertices"), edge-balanced
+//!   backward ranges.
+//! * [`graphgrind1::GraphGrind1`] — the authors' previous system: 4
+//!   partitions, pruned partitioned CSR, vertex-/edge-oriented load
+//!   balancing, still a two-way density classification and a
+//!   programmer-declared direction.
+//!
+//! What is *not* reproduced: physical NUMA page placement (the test
+//! machine is treated as UMA), so Polymer's NUMA-locality advantage over
+//! Ligra does not materialise here — see EXPERIMENTS.md. The policy
+//! differences (partitioning, pruning, load balancing, direction choice)
+//! are faithfully implemented, and those are what GraphGrind-v2's speedups
+//! come from.
+
+pub mod common;
+pub mod graphgrind1;
+pub mod ligra;
+pub mod polymer;
+
+pub use graphgrind1::GraphGrind1;
+pub use ligra::Ligra;
+pub use polymer::Polymer;

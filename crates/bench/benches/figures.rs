@@ -1,0 +1,186 @@
+//! Criterion micro-benchmarks mirroring each figure of the paper at a
+//! reduced, CI-friendly scale. The `repro` binary runs the full-scale
+//! versions; these track regressions in the underlying kernels.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+use gg_algorithms::{Algorithm, PrDeltaParams};
+use gg_bench::runner::{run_algorithm, Workload};
+use gg_core::config::{Config, ForcedKernel};
+use gg_core::engine::GraphGrind2;
+use gg_core::trace::{fig2_reuse_profile, run_traced, TracedAlgorithm};
+use gg_graph::edge_list::EdgeList;
+use gg_graph::generators::{self, RmatParams};
+use gg_graph::reorder::EdgeOrder;
+use gg_memsim::cache::{Cache, CacheConfig};
+
+/// Small Twitter-like RMAT used by all kernel benches.
+fn bench_graph() -> EdgeList {
+    generators::rmat(14, 200_000, RmatParams::skewed(), 42)
+}
+
+fn quick<'c>(
+    c: &'c mut Criterion,
+    name: &str,
+) -> criterion::BenchmarkGroup<'c, criterion::measurement::WallTime> {
+    let mut g = c.benchmark_group(name);
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(2));
+    g.warm_up_time(Duration::from_millis(500));
+    g
+}
+
+/// Figure 2: reuse-distance profiling cost / behaviour per partition count.
+fn fig2_reuse(c: &mut Criterion) {
+    let el = generators::rmat(12, 50_000, RmatParams::skewed(), 1);
+    let mut g = quick(c, "fig2_reuse");
+    for p in [1usize, 16, 64] {
+        g.bench_with_input(BenchmarkId::from_parameter(p), &p, |b, &p| {
+            b.iter(|| fig2_reuse_profile(&el, p));
+        });
+    }
+    g.finish();
+}
+
+/// Figure 3: replication-factor computation.
+fn fig3_replication(c: &mut Criterion) {
+    let el = bench_graph();
+    let mut g = quick(c, "fig3_replication");
+    g.bench_function("sweep", |b| {
+        b.iter(|| gg_graph::replication::replication_sweep(&el, &[4, 64, 384]));
+    });
+    g.finish();
+}
+
+/// Figure 4: storage model sweep.
+fn fig4_storage(c: &mut Criterion) {
+    let el = bench_graph();
+    let mut g = quick(c, "fig4_storage");
+    g.bench_function("sweep", |b| {
+        b.iter(|| gg_graph::storage::storage_sweep(&el, &[4, 64, 384]));
+    });
+    g.finish();
+}
+
+/// Figure 5: PR under the four forced layouts.
+fn fig5_layouts(c: &mut Criterion) {
+    let el = bench_graph();
+    let w = Workload::prepare(&el, Algorithm::Pr);
+    let mut g = quick(c, "fig5_layouts_pr");
+    for (label, force) in [
+        ("csr_a", ForcedKernel::CsrAtomic),
+        ("csc_na", ForcedKernel::CscNoAtomic),
+        ("coo_na", ForcedKernel::CooNoAtomic),
+        ("coo_a", ForcedKernel::CooAtomic),
+    ] {
+        let cfg = Config {
+            threads: 4,
+            num_partitions: 64,
+            ..Config::default()
+        }
+        .with_forced(force);
+        let engine = GraphGrind2::new(&w.el, cfg);
+        g.bench_function(label, |b| {
+            b.iter(|| run_algorithm(&engine, None, &w));
+        });
+    }
+    g.finish();
+}
+
+/// Figure 7: COO edge sort order, PR.
+fn fig7_sort_order(c: &mut Criterion) {
+    let el = bench_graph();
+    let w = Workload::prepare(&el, Algorithm::Pr);
+    let mut g = quick(c, "fig7_sort_order_pr");
+    for order in EdgeOrder::all() {
+        let cfg = Config {
+            threads: 4,
+            num_partitions: 64,
+            edge_order: order,
+            ..Config::default()
+        }
+        .with_forced(ForcedKernel::CooNoAtomic);
+        let engine = GraphGrind2::new(&w.el, cfg);
+        g.bench_function(order.label(), |b| {
+            b.iter(|| run_algorithm(&engine, None, &w));
+        });
+    }
+    g.finish();
+}
+
+/// Figure 8: traced PR into the LLC model.
+fn fig8_mpki(c: &mut Criterion) {
+    let el = generators::rmat(12, 50_000, RmatParams::skewed(), 2);
+    let mut g = quick(c, "fig8_mpki_pr");
+    for p in [4usize, 64] {
+        g.bench_with_input(BenchmarkId::from_parameter(p), &p, |b, &p| {
+            b.iter(|| {
+                let mut cache = Cache::new(CacheConfig::l2_256k());
+                run_traced(&el, p, EdgeOrder::Hilbert, TracedAlgorithm::PageRank, &mut cache);
+                cache.stats().misses
+            });
+        });
+    }
+    g.finish();
+}
+
+/// Figure 9: the four engines on PR (engines prebuilt; only the algorithm
+/// run is timed, matching the paper's methodology).
+fn fig9_engines(c: &mut Criterion) {
+    use gg_baselines::{GraphGrind1, Ligra, Polymer};
+    use gg_runtime::numa::NumaTopology;
+
+    let el = bench_graph();
+    let w = Workload::prepare(&el, Algorithm::Pr);
+    let threads = 4;
+    let mut g = quick(c, "fig9_engines_pr");
+    let ligra = Ligra::new(&w.el, threads);
+    g.bench_function("L", |b| b.iter(|| run_algorithm(&ligra, None, &w)));
+    let polymer = Polymer::new(&w.el, threads, NumaTopology::paper_machine());
+    g.bench_function("P", |b| b.iter(|| run_algorithm(&polymer, None, &w)));
+    let gg1 = GraphGrind1::new(&w.el, threads, NumaTopology::paper_machine());
+    g.bench_function("GG-v1", |b| b.iter(|| run_algorithm(&gg1, None, &w)));
+    let gg2 = GraphGrind2::new(
+        &w.el,
+        Config {
+            threads,
+            num_partitions: 64,
+            ..Config::default()
+        },
+    );
+    g.bench_function("GG-v2", |b| b.iter(|| run_algorithm(&gg2, None, &w)));
+    g.finish();
+}
+
+/// Figure 10: PRDelta thread scaling on GG-v2.
+fn fig10_scaling(c: &mut Criterion) {
+    let el = bench_graph();
+    let w = Workload::prepare(&el, Algorithm::PrDelta);
+    let mut g = quick(c, "fig10_scaling_prdelta");
+    for threads in [1usize, 2, 4] {
+        let cfg = Config {
+            threads,
+            num_partitions: 64,
+            ..Config::default()
+        };
+        let engine = GraphGrind2::new(&w.el, cfg);
+        g.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, _| {
+            b.iter(|| gg_algorithms::pagerank_delta(&engine, PrDeltaParams::default()));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    fig2_reuse,
+    fig3_replication,
+    fig4_storage,
+    fig5_layouts,
+    fig7_sort_order,
+    fig8_mpki,
+    fig9_engines,
+    fig10_scaling
+);
+criterion_main!(benches);

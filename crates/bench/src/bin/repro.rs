@@ -1,0 +1,619 @@
+//! Regenerates every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! repro <experiment> [--scale F] [--threads N] [--reps N]
+//!
+//! experiments: tab1 tab2 fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10
+//!              atomics all
+//! ```
+//!
+//! `--scale` multiplies the default graph sizes (DESIGN.md §2); the
+//! default 1.0 targets a multi-core workstation. Timings are medians over
+//! `--reps` runs (default 3).
+
+use gg_algorithms::Algorithm;
+use gg_bench::datasets::Dataset;
+use gg_bench::runner::{measure, EngineKind, RunConfig, Workload};
+use gg_bench::{fmt_secs, Table};
+use gg_core::config::ForcedKernel;
+use gg_core::heuristic::{suggest_partitions, HeuristicInputs};
+use gg_core::trace::{fig2_reuse_profile, run_traced_parallel, TracedAlgorithm};
+use gg_runtime::numa::NumaTopology;
+use gg_graph::reorder::EdgeOrder;
+use gg_graph::storage;
+use gg_memsim::cache::{Cache, CacheConfig};
+use gg_memsim::mpki::{InstructionModel, MpkiReport};
+
+struct Args {
+    experiment: String,
+    scale: f64,
+    threads: usize,
+    reps: usize,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        experiment: String::new(),
+        scale: 1.0,
+        threads: std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4),
+        reps: 3,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--scale" => {
+                i += 1;
+                args.scale = argv[i].parse().expect("--scale needs a float");
+            }
+            "--threads" => {
+                i += 1;
+                args.threads = argv[i].parse().expect("--threads needs an integer");
+            }
+            "--reps" => {
+                i += 1;
+                args.reps = argv[i].parse().expect("--reps needs an integer");
+            }
+            other if args.experiment.is_empty() && !other.starts_with("--") => {
+                args.experiment = other.to_string();
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    if args.experiment.is_empty() {
+        eprintln!(
+            "usage: repro <tab1|tab2|fig2|fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|atomics|\
+             heuristic|reorder|all> [--scale F] [--threads N] [--reps N]"
+        );
+        std::process::exit(2);
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let run = |name: &str| args.experiment == name || args.experiment == "all";
+    println!(
+        "# GraphGrind-rs reproduction — scale {}, {} threads, {} reps\n",
+        args.scale, args.threads, args.reps
+    );
+    if run("tab1") {
+        tab1(&args);
+    }
+    if run("tab2") {
+        tab2(&args);
+    }
+    if run("fig2") {
+        fig2(&args);
+    }
+    if run("fig3") {
+        fig3(&args);
+    }
+    if run("fig4") {
+        fig4(&args);
+    }
+    if run("fig5") {
+        fig5(&args);
+    }
+    if run("fig6") {
+        fig6(&args);
+    }
+    if run("fig7") {
+        fig7(&args);
+    }
+    if run("fig8") {
+        fig8(&args);
+    }
+    if run("fig9") {
+        fig9(&args);
+    }
+    if run("fig10") {
+        fig10(&args);
+    }
+    if run("atomics") {
+        atomics(&args);
+    }
+    if run("heuristic") {
+        heuristic(&args);
+    }
+    if run("reorder") {
+        reorder(&args);
+    }
+}
+
+/// Table I: data-set characterisation.
+fn tab1(args: &Args) {
+    println!("## Table I — graph data sets (synthetic stand-ins)\n");
+    let mut t = Table::new(&["Graph", "Vertices", "Edges", "Type", "MaxOutDeg", "AvgDeg"]);
+    for d in Dataset::all() {
+        let (name, s) = d.stats_row(args.scale);
+        t.row(vec![
+            name,
+            s.num_vertices.to_string(),
+            s.num_edges.to_string(),
+            if d.undirected() { "undirected" } else { "directed" }.into(),
+            s.max_out_degree.to_string(),
+            format!("{:.1}", s.avg_degree),
+        ]);
+    }
+    t.print();
+    println!();
+}
+
+/// Table II: algorithm characterisation + observed kernel mix on GG-v2.
+fn tab2(args: &Args) {
+    println!("## Table II — algorithms and the traversal mix GG-v2 chose\n");
+    let base = Dataset::Twitter.build(args.scale * 0.25);
+    let mut t = Table::new(&[
+        "Code",
+        "V/E",
+        "Declared dir",
+        "Sparse rounds",
+        "Medium rounds",
+        "Dense rounds",
+    ]);
+    for algo in Algorithm::all() {
+        let w = Workload::prepare(&base, algo);
+        let cfg = gg_core::config::Config {
+            threads: args.threads,
+            num_partitions: 64,
+            ..gg_core::config::Config::default()
+        };
+        let fwd = gg_core::engine::GraphGrind2::new(&w.el, cfg.clone());
+        let bwd = w
+            .el_t
+            .as_ref()
+            .map(|tr| gg_core::engine::GraphGrind2::new(tr, cfg.clone()));
+        gg_bench::runner::run_algorithm(&fwd, bwd.as_ref(), &w);
+        let (s, m, d) = fwd.kernel_counts().snapshot();
+        t.row(vec![
+            algo.code().into(),
+            if algo.vertex_oriented() { "V" } else { "E" }.into(),
+            format!("{:?}", algo.preferred_direction()),
+            s.to_string(),
+            m.to_string(),
+            d.to_string(),
+        ]);
+    }
+    t.print();
+    println!();
+}
+
+/// Figure 2: reuse-distance distribution vs partition count.
+fn fig2(args: &Args) {
+    println!("## Figure 2 — reuse distances of next-array updates (PRDelta push, partitioned CSR)\n");
+    let el = Dataset::Twitter.build(args.scale * 0.25);
+    let parts = [1usize, 4, 8, 24, 192, 384];
+    let profiles: Vec<_> = parts
+        .iter()
+        .map(|&p| fig2_reuse_profile(&el, p))
+        .collect();
+    let max_buckets = profiles
+        .iter()
+        .map(|p| p.histogram.buckets().len())
+        .max()
+        .unwrap_or(0);
+    let mut headers: Vec<String> = vec!["dist<=".into()];
+    headers.extend(parts.iter().map(|p| format!("P={p}")));
+    let hdr_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    let mut t = Table::new(&hdr_refs);
+    for b in 0..max_buckets {
+        let upper = gg_memsim::histogram::LogHistogram::bucket_range(b).1;
+        let mut row = vec![upper.to_string()];
+        for p in &profiles {
+            row.push(p.histogram.buckets().get(b).copied().unwrap_or(0).to_string());
+        }
+        t.row(row);
+    }
+    t.print();
+    let mut s = Table::new(&["partitions", "p50", "p95", "max"]);
+    for (i, p) in profiles.iter().enumerate() {
+        s.row(vec![
+            parts[i].to_string(),
+            p.histogram.quantile_upper(0.5).to_string(),
+            p.histogram.quantile_upper(0.95).to_string(),
+            p.histogram.max_bucket_upper().to_string(),
+        ]);
+    }
+    println!("\nSummary (distance quantile upper bounds):");
+    s.print();
+    println!();
+}
+
+/// Figure 3: replication factor vs partition count.
+fn fig3(args: &Args) {
+    println!("## Figure 3 — replication factor (partitioning by destination)\n");
+    let parts = [4usize, 8, 16, 32, 64, 128, 192, 256, 320, 384];
+    let graphs = [
+        Dataset::Twitter,
+        Dataset::Friendster,
+        Dataset::Orkut,
+        Dataset::UsaRoad,
+        Dataset::LiveJournal,
+        Dataset::Powerlaw,
+    ];
+    let mut headers: Vec<String> = vec!["partitions".into()];
+    headers.extend(graphs.iter().map(|g| g.name().to_string()));
+    let hdr_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    let mut t = Table::new(&hdr_refs);
+    let sweeps: Vec<Vec<(usize, f64)>> = graphs
+        .iter()
+        .map(|g| {
+            let el = g.build(args.scale);
+            gg_graph::replication::replication_sweep(&el, &parts)
+        })
+        .collect();
+    for (i, &p) in parts.iter().enumerate() {
+        let mut row = vec![p.to_string()];
+        for sweep in &sweeps {
+            row.push(format!("{:.2}", sweep[i].1));
+        }
+        t.row(row);
+    }
+    t.print();
+    println!();
+}
+
+/// Figure 4: storage size vs partition count.
+fn fig4(args: &Args) {
+    println!("## Figure 4 — graph storage size [GiB] vs partitions\n");
+    let parts = [4usize, 16, 48, 96, 192, 384];
+    for d in [Dataset::Twitter, Dataset::Friendster] {
+        println!("### {}", d.name());
+        let el = d.build(args.scale);
+        let rows = storage::storage_sweep(&el, &parts);
+        let mut t = Table::new(&["partitions", "r(p)", "CSR", "CSR pruned", "COO", "CSC"]);
+        for r in rows {
+            t.row(vec![
+                r.partitions.to_string(),
+                format!("{:.2}", r.replication),
+                format!("{:.4}", storage::to_gib(r.csr_unpruned)),
+                format!("{:.4}", storage::to_gib(r.csr_pruned)),
+                format!("{:.4}", storage::to_gib(r.coo)),
+                format!("{:.4}", storage::to_gib(r.csc)),
+            ]);
+        }
+        t.print();
+        println!();
+    }
+}
+
+fn forced_configs() -> [(&'static str, ForcedKernel, bool); 4] {
+    [
+        ("CSR+a", ForcedKernel::CsrAtomic, true),
+        ("CSC+na", ForcedKernel::CscNoAtomic, false),
+        ("COO+na", ForcedKernel::CooNoAtomic, false),
+        ("COO+a", ForcedKernel::CooAtomic, true),
+    ]
+}
+
+fn layout_sweep(args: &Args, dataset: Dataset, algos: &[Algorithm], parts: &[usize], csr_cap: usize) {
+    let base = dataset.build(args.scale * 0.5);
+    for &algo in algos {
+        println!("### {} on {}", algo.code(), dataset.name());
+        let w = Workload::prepare(&base, algo);
+        let mut headers: Vec<String> = vec!["partitions".into()];
+        headers.extend(forced_configs().iter().map(|(n, _, _)| n.to_string()));
+        let hdr_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+        let mut t = Table::new(&hdr_refs);
+        for &p in parts {
+            let mut row = vec![p.to_string()];
+            for (_, force, _) in forced_configs() {
+                // The paper runs out of memory for partitioned CSR beyond
+                // 48 partitions on Twitter (§IV.A); mirror the cap.
+                if force == ForcedKernel::CsrAtomic && p > csr_cap {
+                    row.push("-".into());
+                    continue;
+                }
+                let rc = RunConfig {
+                    partitions: p,
+                    force: Some(force),
+                    ..RunConfig::new(args.threads)
+                };
+                row.push(fmt_secs(measure(EngineKind::Gg2, &w, &rc, args.reps)));
+            }
+            t.row(row);
+        }
+        t.print();
+        println!();
+    }
+}
+
+/// Figure 5: execution time vs partitions per layout, 8 algorithms.
+fn fig5(args: &Args) {
+    println!("## Figure 5 — execution time vs partitions and layout (Twitter stand-in)\n");
+    let parts = [4usize, 16, 48, 192, 384, 480];
+    layout_sweep(args, Dataset::Twitter, &Algorithm::all(), &parts, 48);
+}
+
+/// Figure 6: unrestricted-memory emulation on small graphs.
+fn fig6(args: &Args) {
+    println!("## Figure 6 — small graphs, partitioned CSR unrestricted (BFS, BP)\n");
+    let parts = [4usize, 16, 48, 192, 384];
+    for d in [Dataset::LiveJournal, Dataset::YahooMem] {
+        layout_sweep(args, d, &[Algorithm::Bfs, Algorithm::Bp], &parts, usize::MAX);
+    }
+}
+
+/// Figure 7: COO edge sort order.
+fn fig7(args: &Args) {
+    println!("## Figure 7 — COO edge sort order, normalised to Source order (384 partitions)\n");
+    let algos = [
+        Algorithm::Cc,
+        Algorithm::Pr,
+        Algorithm::PrDelta,
+        Algorithm::Spmv,
+        Algorithm::Bp,
+    ];
+    for d in [Dataset::Twitter, Dataset::Friendster] {
+        println!("### {}", d.name());
+        let base = d.build(args.scale * 0.5);
+        let mut t = Table::new(&["Algorithm", "Source", "Hilbert", "Destination"]);
+        for algo in algos {
+            let w = Workload::prepare(&base, algo);
+            let mut times = Vec::new();
+            for order in [EdgeOrder::Source, EdgeOrder::Hilbert, EdgeOrder::Destination] {
+                let rc = RunConfig {
+                    edge_order: order,
+                    force: Some(ForcedKernel::CooNoAtomic),
+                    ..RunConfig::new(args.threads)
+                };
+                times.push(measure(EngineKind::Gg2, &w, &rc, args.reps));
+            }
+            let base_t = times[0];
+            t.row(vec![
+                algo.code().into(),
+                "1.000".into(),
+                format!("{:.3}", times[1] / base_t),
+                format!("{:.3}", times[2] / base_t),
+            ]);
+        }
+        t.print();
+        println!();
+    }
+}
+
+/// Figure 8: simulated LLC MPKI vs partitions, with the cache scaled to
+/// preserve the paper's data-footprint:LLC ratio (their Twitter working
+/// set is ~10x the 30 MiB LLC; reproduction graphs are far smaller).
+/// The trace interleaves `threads` concurrent workers' streams — it is
+/// the *aggregate* working set of the running partitions that must fit.
+fn fig8(args: &Args) {
+    println!("## Figure 8 — simulated LLC MPKI vs partitions (parallel interleaved trace)\n");
+    println!(
+        "Source-ordered COO isolates the partitioning effect; a Hilbert\n\
+         companion table shows that at reproduction scale Hilbert order\n\
+         already captures most locality by itself (the Figure 7 overlap).\n"
+    );
+    let parts = [4usize, 16, 48, 96, 192, 384];
+    let algos = [
+        ("PR", TracedAlgorithm::PageRank),
+        ("BF", TracedAlgorithm::BellmanFord),
+        ("BFS", TracedAlgorithm::Bfs),
+    ];
+    let threads = args.threads.min(48);
+    for d in [Dataset::Twitter, Dataset::Friendster] {
+        let mut el = d.build(args.scale * 0.25);
+        gg_graph::weights::attach_integer(&mut el, 16, 0xF16);
+        let footprint = (el.num_vertices() * 16) as u64;
+        let llc = CacheConfig::scaled_llc(footprint, 4);
+        println!(
+            "### {} ({} workers, LLC model {} KiB)",
+            d.name(),
+            threads,
+            llc.size_bytes / 1024
+        );
+        for order in [EdgeOrder::Source, EdgeOrder::Hilbert] {
+            println!("edge order: {}", order.label());
+            let mut headers: Vec<String> = vec!["partitions".into()];
+            headers.extend(algos.iter().map(|(n, _)| n.to_string()));
+            let hdr_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+            let mut t = Table::new(&hdr_refs);
+            for &p in &parts {
+                let mut row = vec![p.to_string()];
+                for &(_, algo) in &algos {
+                    let mut cache = Cache::new(llc);
+                    let work = run_traced_parallel(&el, p, order, algo, threads, &mut cache);
+                    let report = MpkiReport::new(
+                        cache.stats(),
+                        InstructionModel::default(),
+                        work.edges,
+                        work.vertices,
+                    );
+                    row.push(format!("{:.2}", report.mpki()));
+                }
+                t.row(row);
+            }
+            t.print();
+            println!();
+        }
+    }
+}
+
+/// Figure 9: four engines, eight algorithms, eight graphs.
+fn fig9(args: &Args) {
+    println!("## Figure 9 — execution time (s): Ligra / Polymer / GG-v1 / GG-v2\n");
+    for d in Dataset::all() {
+        println!("### {}", d.name());
+        let base = d.build(args.scale * 0.5);
+        // GG-v2's partition count comes from the §IV.G heuristic (the
+        // paper hand-tunes 384 for billion-edge graphs).
+        let p = suggest_partitions(&HeuristicInputs::new(
+            base.num_vertices(),
+            base.num_edges(),
+            args.threads,
+            NumaTopology::paper_machine(),
+        ));
+        let mut t = Table::new(&["Algorithm", "L", "P", "GG-v1", "GG-v2", "GG-v2 speedup vs L"]);
+        for algo in Algorithm::all() {
+            let w = Workload::prepare(&base, algo);
+            let rc = RunConfig {
+                partitions: p,
+                ..RunConfig::new(args.threads)
+            };
+            let times: Vec<f64> = EngineKind::all()
+                .iter()
+                .map(|&k| measure(k, &w, &rc, args.reps))
+                .collect();
+            t.row(vec![
+                algo.code().into(),
+                fmt_secs(times[0]),
+                fmt_secs(times[1]),
+                fmt_secs(times[2]),
+                fmt_secs(times[3]),
+                format!("{:.2}x", times[0] / times[3].max(1e-9)),
+            ]);
+        }
+        t.print();
+        println!();
+    }
+}
+
+/// Figure 10: thread scalability of PRDelta.
+fn fig10(args: &Args) {
+    println!("## Figure 10 — PRDelta scalability vs threads\n");
+    let max_threads = args.threads;
+    let mut threads = vec![4usize, 8, 16, 24, 48];
+    threads.retain(|&t| t <= max_threads);
+    if threads.is_empty() {
+        threads.push(max_threads);
+    }
+    for d in [Dataset::Twitter, Dataset::Friendster] {
+        println!("### {}", d.name());
+        let base = d.build(args.scale * 0.5);
+        let w = Workload::prepare(&base, Algorithm::PrDelta);
+        let mut t = Table::new(&["threads", "L", "P", "GG-v1", "GG-v2"]);
+        for &th in &threads {
+            let p = suggest_partitions(&HeuristicInputs::new(
+                base.num_vertices(),
+                base.num_edges(),
+                th,
+                NumaTopology::paper_machine(),
+            ));
+            let rc = RunConfig {
+                partitions: p,
+                ..RunConfig::new(th)
+            };
+            let mut row = vec![th.to_string()];
+            for k in EngineKind::all() {
+                row.push(fmt_secs(measure(k, &w, &rc, args.reps)));
+            }
+            t.row(row);
+        }
+        t.print();
+        println!();
+    }
+}
+
+/// Extension ablation (§IV.G): does the automatic partition-count
+/// heuristic land near the empirical optimum of a full sweep?
+fn heuristic(args: &Args) {
+    println!("## Heuristic ablation — suggested partition count vs sweep (PR, GG-v2)\n");
+    for d in [Dataset::Twitter, Dataset::UsaRoad] {
+        let base = d.build(args.scale * 0.5);
+        let w = Workload::prepare(&base, Algorithm::Pr);
+        let suggested = suggest_partitions(&HeuristicInputs::new(
+            base.num_vertices(),
+            base.num_edges(),
+            args.threads,
+            NumaTopology::paper_machine(),
+        ));
+        println!(
+            "### {} (n = {}, m = {}; heuristic suggests P = {})",
+            d.name(),
+            base.num_vertices(),
+            base.num_edges(),
+            suggested
+        );
+        let mut t = Table::new(&["partitions", "time (s)", ""]);
+        let mut best = (0usize, f64::INFINITY);
+        let mut sweep: Vec<(usize, f64)> = Vec::new();
+        for p in [4usize, 16, 48, 96, 192, 384, suggested] {
+            if sweep.iter().any(|&(q, _)| q == p) {
+                continue;
+            }
+            let rc = RunConfig {
+                partitions: p,
+                ..RunConfig::new(args.threads)
+            };
+            let time = measure(EngineKind::Gg2, &w, &rc, args.reps);
+            if time < best.1 {
+                best = (p, time);
+            }
+            sweep.push((p, time));
+        }
+        sweep.sort_unstable_by_key(|&(p, _)| p);
+        for (p, time) in sweep {
+            let mark = if p == suggested && p == best.0 {
+                "<- suggested & best"
+            } else if p == suggested {
+                "<- suggested"
+            } else if p == best.0 {
+                "<- best"
+            } else {
+                ""
+            };
+            t.row(vec![p.to_string(), fmt_secs(time), mark.into()]);
+        }
+        t.print();
+        println!();
+    }
+}
+
+/// Extension ablation (related work): degree-ordered relabeling vs
+/// partitioning as locality mechanisms, and their combination.
+fn reorder(args: &Args) {
+    println!("## Reordering ablation — degree relabeling vs partitioning (PR, GG-v2)\n");
+    let base = Dataset::Twitter.build(args.scale * 0.5);
+    let perm = gg_graph::ops::degree_order_permutation(&base);
+    let relabeled = gg_graph::ops::relabel(&base, &perm);
+    let mut t = Table::new(&["configuration", "time (s)"]);
+    for (label, el, p) in [
+        ("original labels, P=4", &base, 4usize),
+        ("original labels, P=192", &base, 192),
+        ("degree-relabeled, P=4", &relabeled, 4),
+        ("degree-relabeled, P=192", &relabeled, 192),
+    ] {
+        let w = Workload::prepare(el, Algorithm::Pr);
+        let rc = RunConfig {
+            partitions: p,
+            ..RunConfig::new(args.threads)
+        };
+        t.row(vec![label.into(), fmt_secs(measure(EngineKind::Gg2, &w, &rc, args.reps))]);
+    }
+    t.print();
+    println!();
+}
+
+/// §III.C / §IV.A: speedup from removing atomics (COO+a vs COO+na).
+fn atomics(args: &Args) {
+    println!("## Atomics ablation — COO+a vs COO+na at 48+ partitions (paper: 6.1-23.7%)\n");
+    let base = Dataset::Twitter.build(args.scale * 0.5);
+    let mut t = Table::new(&["Algorithm", "COO+a", "COO+na", "speedup"]);
+    for algo in Algorithm::all() {
+        let w = Workload::prepare(&base, algo);
+        let mut times = Vec::new();
+        for force in [ForcedKernel::CooAtomic, ForcedKernel::CooNoAtomic] {
+            let rc = RunConfig {
+                partitions: 96,
+                force: Some(force),
+                ..RunConfig::new(args.threads)
+            };
+            times.push(measure(EngineKind::Gg2, &w, &rc, args.reps));
+        }
+        t.row(vec![
+            algo.code().into(),
+            fmt_secs(times[0]),
+            fmt_secs(times[1]),
+            format!("{:+.1}%", (times[0] / times[1] - 1.0) * 100.0),
+        ]);
+    }
+    t.print();
+    println!();
+}

@@ -1,0 +1,157 @@
+//! Synthetic stand-ins for the paper's Table I data sets.
+//!
+//! The real graphs (Twitter, Friendster, …) are multi-billion-edge
+//! downloads that cannot ship with a reproduction; each stand-in matches
+//! the *shape* that drives the paper's phenomena — degree skew, diameter,
+//! density and directedness — at a size a laptop sweeps in minutes. All
+//! generation is deterministic.
+
+use gg_graph::edge_list::EdgeList;
+use gg_graph::generators::{self, RmatParams};
+use gg_graph::ops::symmetrize;
+use gg_graph::properties::GraphStats;
+
+/// The eight data sets of Table I.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Dataset {
+    /// Twitter stand-in: heavily skewed RMAT, directed.
+    Twitter,
+    /// Friendster stand-in: milder RMAT, more vertices, directed.
+    Friendster,
+    /// Orkut stand-in: power-law, symmetrized (undirected).
+    Orkut,
+    /// LiveJournal stand-in: skewed RMAT, directed.
+    LiveJournal,
+    /// Yahoo_mem stand-in: Erdős–Rényi, symmetrized (undirected).
+    YahooMem,
+    /// USAroad stand-in: 2-D grid with diagonals, undirected.
+    UsaRoad,
+    /// The paper's own synthetic power-law (α = 2.0), directed.
+    Powerlaw,
+    /// The paper's RMAT27 synthetic, directed.
+    Rmat27,
+}
+
+impl Dataset {
+    /// All data sets in Table I order.
+    pub fn all() -> [Dataset; 8] {
+        [
+            Dataset::Twitter,
+            Dataset::Friendster,
+            Dataset::Orkut,
+            Dataset::LiveJournal,
+            Dataset::YahooMem,
+            Dataset::UsaRoad,
+            Dataset::Powerlaw,
+            Dataset::Rmat27,
+        ]
+    }
+
+    /// Display name matching the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            Dataset::Twitter => "Twitter",
+            Dataset::Friendster => "Friendster",
+            Dataset::Orkut => "Orkut",
+            Dataset::LiveJournal => "LiveJournal",
+            Dataset::YahooMem => "Yahoo_mem",
+            Dataset::UsaRoad => "USAroad",
+            Dataset::Powerlaw => "Powerlaw",
+            Dataset::Rmat27 => "RMAT27",
+        }
+    }
+
+    /// Whether Table I lists the graph as undirected.
+    pub fn undirected(self) -> bool {
+        matches!(self, Dataset::Orkut | Dataset::YahooMem | Dataset::UsaRoad)
+    }
+
+    /// Builds the stand-in at `scale` (1.0 = default bench size; tests use
+    /// much smaller values). Deterministic.
+    pub fn build(self, scale: f64) -> EdgeList {
+        assert!(scale > 0.0, "scale must be positive");
+        // log2 adjustment for vertex-count scales.
+        let s = |base: u32| -> u32 {
+            let adj = scale.log2().round() as i32;
+            (base as i32 + adj).clamp(6, 28) as u32
+        };
+        let m = |base: usize| -> usize { ((base as f64 * scale) as usize).max(1000) };
+        match self {
+            Dataset::Twitter => generators::rmat(s(18), m(4_000_000), RmatParams::skewed(), 42),
+            Dataset::Friendster => generators::rmat(s(19), m(4_000_000), RmatParams::mild(), 43),
+            Dataset::Orkut => {
+                symmetrize(&generators::chung_lu(m(120_000), m(2_000_000), 2.3, 44))
+            }
+            Dataset::LiveJournal => {
+                generators::rmat(s(17), m(1_500_000), RmatParams::skewed(), 45)
+            }
+            Dataset::YahooMem => symmetrize(&generators::erdos_renyi(m(80_000), m(800_000), 46)),
+            Dataset::UsaRoad => {
+                let side = ((500_000.0 * scale).sqrt() as usize).max(32);
+                generators::grid_road(side, side, 0.05, 47)
+            }
+            Dataset::Powerlaw => generators::chung_lu(m(400_000), m(3_000_000), 2.0, 48),
+            Dataset::Rmat27 => generators::rmat(s(18), m(3_000_000), RmatParams::skewed(), 49),
+        }
+    }
+
+    /// Builds and prints a Table I-style characterisation row.
+    pub fn stats_row(self, scale: f64) -> (String, GraphStats) {
+        let el = self.build(scale);
+        (self.name().to_string(), GraphStats::compute(&el))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TEST_SCALE: f64 = 0.01;
+
+    #[test]
+    fn all_datasets_build_at_test_scale() {
+        for d in Dataset::all() {
+            let el = d.build(TEST_SCALE);
+            assert!(el.num_vertices() > 0, "{d:?}");
+            assert!(el.num_edges() >= 1000, "{d:?}");
+            el.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn undirected_datasets_are_symmetric() {
+        for d in [Dataset::Orkut, Dataset::YahooMem, Dataset::UsaRoad] {
+            let el = d.build(TEST_SCALE);
+            assert!(
+                GraphStats::compute(&el).symmetric,
+                "{d:?} should be symmetric"
+            );
+        }
+    }
+
+    #[test]
+    fn twitter_like_is_skewed() {
+        let el = Dataset::Twitter.build(TEST_SCALE);
+        let stats = GraphStats::compute(&el);
+        assert!(
+            stats.max_out_degree as f64 > 20.0 * stats.avg_degree,
+            "skew too weak: max {} avg {}",
+            stats.max_out_degree,
+            stats.avg_degree
+        );
+    }
+
+    #[test]
+    fn road_like_has_low_degree() {
+        let el = Dataset::UsaRoad.build(TEST_SCALE);
+        let stats = GraphStats::compute(&el);
+        assert!(stats.max_out_degree <= 6);
+    }
+
+    #[test]
+    fn deterministic_across_builds() {
+        let a = Dataset::LiveJournal.build(TEST_SCALE);
+        let b = Dataset::LiveJournal.build(TEST_SCALE);
+        assert_eq!(a, b);
+    }
+}

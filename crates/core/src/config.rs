@@ -1,0 +1,161 @@
+//! Engine configuration.
+
+use gg_graph::reorder::EdgeOrder;
+use gg_runtime::numa::NumaTopology;
+
+/// The density thresholds of Algorithm 2, expressed as divisors of `|E|`:
+/// a frontier is *dense* when `|F| + Σ deg_out(F) > |E| / dense_divisor`
+/// and *sparse* when the metric is `<= |E| / sparse_divisor`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Thresholds {
+    /// Divisor for the dense cut-off (paper: 2, i.e. 50 %).
+    pub dense_divisor: u64,
+    /// Divisor for the sparse cut-off (paper: 20, i.e. 5 %).
+    pub sparse_divisor: u64,
+}
+
+impl Default for Thresholds {
+    fn default() -> Self {
+        Thresholds {
+            dense_divisor: 2,
+            sparse_divisor: 20,
+        }
+    }
+}
+
+/// Overrides the adaptive decision with a fixed kernel — the four
+/// configurations of Figures 5 and 6.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ForcedKernel {
+    /// Partitioned (pruned) CSR, forward, atomic updates ("CSR + a").
+    CsrAtomic,
+    /// Whole CSC, backward, partitioned ranges, no atomics ("CSC + na").
+    CscNoAtomic,
+    /// Partitioned COO, edge-chunk parallel, atomic updates ("COO + a").
+    CooAtomic,
+    /// Partitioned COO, one thread per partition, no atomics ("COO + na").
+    CooNoAtomic,
+}
+
+/// Configuration of a [`GraphGrind2`](crate::engine::GraphGrind2) engine.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Worker threads.
+    pub threads: usize,
+    /// Requested number of graph partitions for the COO layout and the CSC
+    /// computation ranges (rounded up to a multiple of the NUMA domain
+    /// count, as in §III.D). The paper's sweet spot is 384.
+    pub num_partitions: usize,
+    /// Simulated NUMA topology.
+    pub numa: NumaTopology,
+    /// Edge order within COO partitions (§IV.C; default Hilbert).
+    pub edge_order: EdgeOrder,
+    /// Use atomic updates on the dense COO path even though partitions are
+    /// exclusive (the "+a" ablation). Default `false` ("+na").
+    pub use_atomics_dense: bool,
+    /// Density thresholds of Algorithm 2.
+    pub thresholds: Thresholds,
+    /// Force a fixed kernel instead of the adaptive decision.
+    pub force: Option<ForcedKernel>,
+    /// Build the partitioned CSR layout (required for
+    /// [`ForcedKernel::CsrAtomic`]; costs `r(p)`-scaled memory, §II.E).
+    pub build_partitioned_csr: bool,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        Config {
+            threads,
+            num_partitions: 384,
+            numa: NumaTopology::paper_machine(),
+            edge_order: EdgeOrder::Hilbert,
+            use_atomics_dense: false,
+            thresholds: Thresholds::default(),
+            force: None,
+            build_partitioned_csr: false,
+        }
+    }
+}
+
+impl Config {
+    /// A small, fast configuration for unit tests and doctests: 2 threads,
+    /// 8 partitions, 2 simulated domains.
+    pub fn for_tests() -> Self {
+        Config {
+            threads: 2,
+            num_partitions: 8,
+            numa: NumaTopology::new(2),
+            ..Default::default()
+        }
+    }
+
+    /// Effective partition count after NUMA rounding.
+    pub fn effective_partitions(&self) -> usize {
+        self.numa.round_partitions(self.num_partitions)
+    }
+
+    /// Sets the partition count (builder style).
+    pub fn with_partitions(mut self, p: usize) -> Self {
+        self.num_partitions = p;
+        self
+    }
+
+    /// Sets the thread count (builder style).
+    pub fn with_threads(mut self, t: usize) -> Self {
+        self.threads = t;
+        self
+    }
+
+    /// Sets the COO edge order (builder style).
+    pub fn with_edge_order(mut self, o: EdgeOrder) -> Self {
+        self.edge_order = o;
+        self
+    }
+
+    /// Forces a fixed kernel (builder style). `CsrAtomic` also enables
+    /// building the partitioned CSR.
+    pub fn with_forced(mut self, k: ForcedKernel) -> Self {
+        if k == ForcedKernel::CsrAtomic {
+            self.build_partitioned_csr = true;
+        }
+        self.force = Some(k);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let t = Thresholds::default();
+        assert_eq!(t.dense_divisor, 2);
+        assert_eq!(t.sparse_divisor, 20);
+        let c = Config::default();
+        assert_eq!(c.num_partitions, 384);
+        assert!(!c.use_atomics_dense);
+        assert!(c.force.is_none());
+    }
+
+    #[test]
+    fn partition_rounding() {
+        let c = Config {
+            num_partitions: 5,
+            numa: NumaTopology::new(4),
+            ..Config::default()
+        };
+        assert_eq!(c.effective_partitions(), 8);
+    }
+
+    #[test]
+    fn forcing_csr_enables_build() {
+        let c = Config::for_tests().with_forced(ForcedKernel::CsrAtomic);
+        assert!(c.build_partitioned_csr);
+        let c = Config::for_tests().with_forced(ForcedKernel::CooNoAtomic);
+        assert!(!c.build_partitioned_csr);
+    }
+}

@@ -1,0 +1,494 @@
+//! The [`Engine`] abstraction and [`GraphGrind2`], the paper's engine.
+//!
+//! Algorithms in `gg-algorithms` are generic over [`Engine`], so the same
+//! algorithm source runs on GraphGrind-v2 and on the baseline engines
+//! (Ligra / Polymer / GraphGrind-v1 in `gg-baselines`) — exactly how the
+//! paper's Figure 9 compares *traversal policies* rather than unrelated
+//! codebases.
+//!
+//! [`EdgeMapSpec`] carries the per-algorithm metadata from Table II:
+//! vertex- vs edge-orientation (selects the load-balancing ranges, §III.D)
+//! and the traversal direction the *baselines* would prefer for dense
+//! frontiers. GraphGrind-v2 deliberately ignores the direction hint — the
+//! paper's point is that the frontier-density decision subsumes it.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use gg_graph::edge_list::EdgeList;
+use gg_graph::types::VertexId;
+use gg_runtime::counters::WorkCounters;
+use gg_runtime::pool::Pool;
+use gg_runtime::schedule::PartitionSchedule;
+
+use crate::config::{Config, ForcedKernel};
+use crate::edge_map::{self, EdgeKind, EdgeOp};
+use crate::frontier::Frontier;
+use crate::store::GraphStore;
+
+/// Dense-traversal direction preferred by an algorithm (Table II). Only
+/// baseline engines honour it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// Push along out-edges (CSR-ordered).
+    Forward,
+    /// Pull along in-edges (CSC-ordered).
+    Backward,
+}
+
+/// Whether the algorithm does near-constant work per vertex or per edge
+/// (§III.D); selects vertex- vs edge-balanced computation ranges.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Orientation {
+    /// Near-constant work per vertex (BFS, BC, Bellman-Ford).
+    Vertex,
+    /// Near-constant work per edge (CC, PR, PRDelta, SPMV, BP).
+    Edge,
+}
+
+/// Per-edge-map metadata supplied by the algorithm.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct EdgeMapSpec {
+    /// Vertex- or edge-oriented load balancing.
+    pub orientation: Orientation,
+    /// Direction a direction-choosing baseline would use on dense
+    /// frontiers.
+    pub preferred: Direction,
+}
+
+impl EdgeMapSpec {
+    /// Vertex-oriented, backward-preferring (BFS/BC-style).
+    pub fn vertex_oriented() -> Self {
+        EdgeMapSpec {
+            orientation: Orientation::Vertex,
+            preferred: Direction::Backward,
+        }
+    }
+
+    /// Edge-oriented, forward-preferring (PRDelta/SPMV-style).
+    pub fn edge_oriented() -> Self {
+        EdgeMapSpec {
+            orientation: Orientation::Edge,
+            preferred: Direction::Forward,
+        }
+    }
+
+    /// Overrides the preferred dense direction (builder style).
+    pub fn with_direction(mut self, d: Direction) -> Self {
+        self.preferred = d;
+        self
+    }
+}
+
+/// Counts of edge-map invocations per traversal class — the per-algorithm
+/// mix reported alongside Table II.
+#[derive(Debug, Default)]
+pub struct KernelCounts {
+    sparse: AtomicU64,
+    medium: AtomicU64,
+    dense: AtomicU64,
+}
+
+impl KernelCounts {
+    fn bump(&self, kind: EdgeKind) {
+        match kind {
+            EdgeKind::Sparse => self.sparse.fetch_add(1, Ordering::Relaxed),
+            EdgeKind::Medium => self.medium.fetch_add(1, Ordering::Relaxed),
+            EdgeKind::Dense => self.dense.fetch_add(1, Ordering::Relaxed),
+        };
+    }
+
+    /// `(sparse, medium, dense)` invocation counts.
+    pub fn snapshot(&self) -> (u64, u64, u64) {
+        (
+            self.sparse.load(Ordering::Relaxed),
+            self.medium.load(Ordering::Relaxed),
+            self.dense.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Resets all counts.
+    pub fn reset(&self) {
+        self.sparse.store(0, Ordering::Relaxed);
+        self.medium.store(0, Ordering::Relaxed);
+        self.dense.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A graph-analytics engine: a graph bound to a traversal policy.
+pub trait Engine: Sync {
+    /// Number of vertices.
+    fn num_vertices(&self) -> usize;
+
+    /// Number of edges.
+    fn num_edges(&self) -> usize;
+
+    /// Out-degree array (drives frontier statistics).
+    fn out_degrees(&self) -> &[u32];
+
+    /// The engine's thread pool.
+    fn pool(&self) -> &Pool;
+
+    /// Work counters accumulated across edge maps.
+    fn work_counters(&self) -> &WorkCounters;
+
+    /// Short display name ("Ligra", "Polymer", "GG-v1", "GG-v2").
+    fn name(&self) -> &'static str;
+
+    /// Applies `op` to the out-edges of the active vertices of `frontier`,
+    /// returning the next frontier (the set of destinations for which an
+    /// update returned `true`, deduplicated).
+    ///
+    /// Edge maps parallelise internally; the engine itself is **not
+    /// reentrant** — issue one `edge_map` at a time per engine (the sparse
+    /// path shares a deduplication scratch bitmap across calls).
+    fn edge_map<O: EdgeOp>(&self, frontier: &Frontier, op: &O, spec: EdgeMapSpec) -> Frontier;
+
+    /// The all-active frontier.
+    fn frontier_all(&self) -> Frontier {
+        Frontier::all(self.num_vertices(), self.num_edges() as u64)
+    }
+
+    /// A single-vertex frontier.
+    fn frontier_single(&self, v: VertexId) -> Frontier {
+        Frontier::single(v, self.num_vertices(), self.out_degrees())
+    }
+
+    /// A frontier from an explicit vertex list.
+    fn frontier_sparse(&self, vertices: Vec<VertexId>) -> Frontier {
+        Frontier::from_sparse(vertices, self.num_vertices(), self.out_degrees())
+    }
+}
+
+/// The paper's engine: composite 3-layout store + Algorithm 2.
+#[derive(Debug)]
+pub struct GraphGrind2 {
+    store: GraphStore,
+    config: Config,
+    pool: Pool,
+    schedule: PartitionSchedule,
+    counters: WorkCounters,
+    kernel_counts: KernelCounts,
+    scratch: gg_graph::bitmap::AtomicBitmap,
+    /// Destination ranges per orientation, precomputed from the store.
+    edge_ranges: Vec<std::ops::Range<VertexId>>,
+    vertex_ranges: Vec<std::ops::Range<VertexId>>,
+}
+
+impl GraphGrind2 {
+    /// Builds the engine (all layouts, partition sets and schedule) from an
+    /// edge list.
+    pub fn new(el: &EdgeList, config: Config) -> Self {
+        let store = GraphStore::build(el, &config);
+        let pool = Pool::new(config.threads);
+        let p = store.num_partitions();
+        let schedule = PartitionSchedule::new(p, config.numa);
+        let scratch = gg_graph::bitmap::AtomicBitmap::new(store.num_vertices());
+        let edge_ranges = (0..p).map(|i| store.edge_parts().range(i)).collect();
+        let vertex_ranges = (0..p).map(|i| store.vertex_parts().range(i)).collect();
+        GraphGrind2 {
+            store,
+            config,
+            pool,
+            schedule,
+            counters: WorkCounters::new(),
+            kernel_counts: KernelCounts::default(),
+            scratch,
+            edge_ranges,
+            vertex_ranges,
+        }
+    }
+
+    /// The composite store.
+    pub fn store(&self) -> &GraphStore {
+        &self.store
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &Config {
+        &self.config
+    }
+
+    /// Per-class edge-map invocation counts.
+    pub fn kernel_counts(&self) -> &KernelCounts {
+        &self.kernel_counts
+    }
+
+    /// The NUMA-domain-major partition schedule.
+    pub fn schedule(&self) -> &PartitionSchedule {
+        &self.schedule
+    }
+
+    fn run_kind<O: EdgeOp>(&self, kind: EdgeKind, frontier: &Frontier, op: &O, spec: EdgeMapSpec) -> Frontier {
+        let n = self.store.num_vertices();
+        self.kernel_counts.bump(kind);
+        match kind {
+            EdgeKind::Sparse => {
+                let active = frontier.to_vertex_list();
+                let out = edge_map::sparse_forward_csr(
+                    self.store.csr(),
+                    &active,
+                    op,
+                    &self.pool,
+                    &self.scratch,
+                    &self.counters,
+                );
+                Frontier::from_sparse(out, n, self.store.out_degrees())
+            }
+            EdgeKind::Medium => {
+                let current = frontier.to_bitmap();
+                let ranges = match spec.orientation {
+                    Orientation::Edge => &self.edge_ranges,
+                    Orientation::Vertex => &self.vertex_ranges,
+                };
+                let next = edge_map::medium_backward_csc(
+                    self.store.csc(),
+                    &current,
+                    op,
+                    &self.pool,
+                    ranges,
+                    &self.counters,
+                );
+                Frontier::from_atomic(next, self.store.out_degrees(), &self.pool)
+            }
+            EdgeKind::Dense => {
+                let current = frontier.to_bitmap();
+                let next = edge_map::dense_coo(
+                    self.store.coo(),
+                    &current,
+                    op,
+                    &self.pool,
+                    self.schedule.order(),
+                    self.config.use_atomics_dense,
+                    &self.counters,
+                );
+                Frontier::from_atomic(next, self.store.out_degrees(), &self.pool)
+            }
+        }
+    }
+
+    fn run_forced<O: EdgeOp>(&self, forced: ForcedKernel, frontier: &Frontier, op: &O, spec: EdgeMapSpec) -> Frontier {
+        match forced {
+            ForcedKernel::CsrAtomic => {
+                self.kernel_counts.bump(EdgeKind::Dense);
+                let current = frontier.to_bitmap();
+                let pcsr = self
+                    .store
+                    .partitioned_csr()
+                    .expect("CsrAtomic requires build_partitioned_csr");
+                let next = edge_map::dense_forward_partitioned_csr(
+                    pcsr,
+                    &current,
+                    op,
+                    &self.pool,
+                    &self.counters,
+                );
+                Frontier::from_atomic(next, self.store.out_degrees(), &self.pool)
+            }
+            ForcedKernel::CscNoAtomic => self.run_kind(EdgeKind::Medium, frontier, op, spec),
+            ForcedKernel::CooAtomic => {
+                self.kernel_counts.bump(EdgeKind::Dense);
+                let current = frontier.to_bitmap();
+                let next = edge_map::dense_coo(
+                    self.store.coo(),
+                    &current,
+                    op,
+                    &self.pool,
+                    self.schedule.order(),
+                    true,
+                    &self.counters,
+                );
+                Frontier::from_atomic(next, self.store.out_degrees(), &self.pool)
+            }
+            ForcedKernel::CooNoAtomic => {
+                self.kernel_counts.bump(EdgeKind::Dense);
+                let current = frontier.to_bitmap();
+                let next = edge_map::dense_coo(
+                    self.store.coo(),
+                    &current,
+                    op,
+                    &self.pool,
+                    self.schedule.order(),
+                    false,
+                    &self.counters,
+                );
+                Frontier::from_atomic(next, self.store.out_degrees(), &self.pool)
+            }
+        }
+    }
+}
+
+impl Engine for GraphGrind2 {
+    fn num_vertices(&self) -> usize {
+        self.store.num_vertices()
+    }
+
+    fn num_edges(&self) -> usize {
+        self.store.num_edges()
+    }
+
+    fn out_degrees(&self) -> &[u32] {
+        self.store.out_degrees()
+    }
+
+    fn pool(&self) -> &Pool {
+        &self.pool
+    }
+
+    fn work_counters(&self) -> &WorkCounters {
+        &self.counters
+    }
+
+    fn name(&self) -> &'static str {
+        "GG-v2"
+    }
+
+    fn edge_map<O: EdgeOp>(&self, frontier: &Frontier, op: &O, spec: EdgeMapSpec) -> Frontier {
+        if frontier.is_empty() {
+            return Frontier::empty(self.num_vertices());
+        }
+        match self.config.force {
+            Some(forced) => self.run_forced(forced, frontier, op, spec),
+            None => {
+                let kind = edge_map::decide(
+                    frontier.density_metric(),
+                    self.num_edges() as u64,
+                    &self.config.thresholds,
+                );
+                self.run_kind(kind, frontier, op, spec)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gg_graph::generators;
+    use std::sync::atomic::AtomicU32;
+
+    /// CC-style operator: propagate minimum label.
+    struct MinLabel {
+        labels: Vec<AtomicU32>,
+    }
+
+    impl MinLabel {
+        fn new(n: usize) -> Self {
+            MinLabel {
+                labels: (0..n as u32).map(AtomicU32::new).collect(),
+            }
+        }
+        fn snapshot(&self) -> Vec<u32> {
+            self.labels
+                .iter()
+                .map(|l| l.load(Ordering::Relaxed))
+                .collect()
+        }
+    }
+
+    impl EdgeOp for MinLabel {
+        fn update(&self, s: u32, d: u32, _w: f32) -> bool {
+            let sl = self.labels[s as usize].load(Ordering::Relaxed);
+            let dl = self.labels[d as usize].load(Ordering::Relaxed);
+            if sl < dl {
+                self.labels[d as usize].store(sl, Ordering::Relaxed);
+                true
+            } else {
+                false
+            }
+        }
+        fn update_atomic(&self, s: u32, d: u32, _w: f32) -> bool {
+            let sl = self.labels[s as usize].load(Ordering::Relaxed);
+            gg_runtime::atomics::fetch_min_u32(&self.labels[d as usize], sl)
+        }
+    }
+
+    fn engine_with(el: &gg_graph::edge_list::EdgeList, cfg: Config) -> GraphGrind2 {
+        GraphGrind2::new(el, cfg)
+    }
+
+    fn run_cc<E: Engine>(engine: &E) -> Vec<u32> {
+        let op = MinLabel::new(engine.num_vertices());
+        let mut frontier = engine.frontier_all();
+        let mut rounds = 0;
+        while !frontier.is_empty() && rounds < 100 {
+            frontier = engine.edge_map(&frontier, &op, EdgeMapSpec::edge_oriented());
+            rounds += 1;
+        }
+        op.snapshot()
+    }
+
+    #[test]
+    fn label_propagation_converges_identically_across_layouts() {
+        let el = gg_graph::ops::symmetrize(&generators::rmat(
+            8,
+            1500,
+            generators::RmatParams::skewed(),
+            11,
+        ));
+        let reference = run_cc(&engine_with(&el, Config::for_tests()));
+
+        for forced in [
+            ForcedKernel::CscNoAtomic,
+            ForcedKernel::CooAtomic,
+            ForcedKernel::CooNoAtomic,
+            ForcedKernel::CsrAtomic,
+        ] {
+            let cfg = Config::for_tests().with_forced(forced);
+            let got = run_cc(&engine_with(&el, cfg));
+            assert_eq!(got, reference, "forced = {forced:?}");
+        }
+    }
+
+    #[test]
+    fn partition_count_does_not_change_results() {
+        let el = gg_graph::ops::symmetrize(&generators::erdos_renyi(120, 700, 3));
+        let reference = run_cc(&engine_with(&el, Config::for_tests().with_partitions(2)));
+        for p in [4usize, 16, 64] {
+            let got = run_cc(&engine_with(&el, Config::for_tests().with_partitions(p)));
+            assert_eq!(got, reference, "P = {p}");
+        }
+    }
+
+    #[test]
+    fn empty_frontier_short_circuits() {
+        let el = generators::erdos_renyi(50, 200, 1);
+        let engine = engine_with(&el, Config::for_tests());
+        let op = MinLabel::new(50);
+        let empty = Frontier::empty(50);
+        let next = engine.edge_map(&empty, &op, EdgeMapSpec::edge_oriented());
+        assert!(next.is_empty());
+        let (s, m, d) = engine.kernel_counts().snapshot();
+        assert_eq!((s, m, d), (0, 0, 0));
+    }
+
+    #[test]
+    fn decision_records_kernel_mix() {
+        let el = generators::rmat(8, 4000, generators::RmatParams::skewed(), 5);
+        let engine = engine_with(&el, Config::for_tests());
+        let op = MinLabel::new(engine.num_vertices());
+
+        // Dense call.
+        engine.edge_map(&engine.frontier_all(), &op, EdgeMapSpec::edge_oriented());
+        // Sparse call: one low-degree vertex.
+        let v = (0..engine.num_vertices() as u32)
+            .min_by_key(|&v| engine.out_degrees()[v as usize])
+            .unwrap();
+        engine.edge_map(&engine.frontier_single(v), &op, EdgeMapSpec::edge_oriented());
+
+        let (s, _m, d) = engine.kernel_counts().snapshot();
+        assert_eq!(d, 1);
+        assert_eq!(s, 1);
+    }
+
+    #[test]
+    fn engine_reports_metadata() {
+        let el = generators::erdos_renyi(64, 256, 9);
+        let engine = engine_with(&el, Config::for_tests());
+        assert_eq!(engine.num_vertices(), 64);
+        assert_eq!(engine.num_edges(), 256);
+        assert_eq!(engine.name(), "GG-v2");
+        assert_eq!(engine.pool().threads(), 2);
+        assert_eq!(engine.frontier_all().len(), 64);
+        assert_eq!(engine.frontier_single(3).to_vertex_list(), vec![3]);
+    }
+}

@@ -1,0 +1,279 @@
+//! Frontier representations and density classification.
+//!
+//! A frontier is the set of active vertices of one iteration (§II.A). It
+//! caches two quantities consulted by the Algorithm 2 decision: the active
+//! vertex count `|F|` and the active out-degree sum `Σ_{v∈F} deg_out(v)`,
+//! so classification is O(1) at edge-map time.
+//!
+//! Sparse frontiers store a sorted vertex list; dense frontiers store a
+//! bitmap. Either representation can be materialised from the other; the
+//! cached counts are representation-independent.
+
+use gg_graph::bitmap::{AtomicBitmap, Bitmap};
+use gg_graph::types::VertexId;
+use gg_runtime::pool::Pool;
+
+/// Physical representation of the active set.
+#[derive(Clone, Debug)]
+pub enum FrontierData {
+    /// Sorted list of active vertex ids.
+    Sparse(Vec<VertexId>),
+    /// One bit per vertex.
+    Dense(Bitmap),
+}
+
+/// A set of active vertices with cached density statistics.
+///
+/// ```
+/// use gg_core::frontier::Frontier;
+///
+/// let out_degrees = [2u32, 0, 5, 1];
+/// let f = Frontier::from_sparse(vec![2, 0], 4, &out_degrees);
+/// assert_eq!(f.len(), 2);
+/// assert_eq!(f.degree_sum(), 7);
+/// assert_eq!(f.density_metric(), 9); // |F| + Σ deg_out(F), Algorithm 2
+/// assert!(f.contains(2) && !f.contains(1));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Frontier {
+    n: usize,
+    data: FrontierData,
+    count: usize,
+    degree_sum: u64,
+}
+
+impl Frontier {
+    /// The empty frontier over `n` vertices.
+    pub fn empty(n: usize) -> Self {
+        Frontier {
+            n,
+            data: FrontierData::Sparse(Vec::new()),
+            count: 0,
+            degree_sum: 0,
+        }
+    }
+
+    /// A single-vertex frontier (the classic BFS/BC/BF starting point).
+    pub fn single(v: VertexId, n: usize, out_degrees: &[u32]) -> Self {
+        Frontier {
+            n,
+            data: FrontierData::Sparse(vec![v]),
+            count: 1,
+            degree_sum: out_degrees[v as usize] as u64,
+        }
+    }
+
+    /// The all-vertices frontier (`m` = total edge count, so the cached
+    /// degree sum needs no scan).
+    pub fn all(n: usize, m: u64) -> Self {
+        Frontier {
+            n,
+            data: FrontierData::Dense(Bitmap::full(n)),
+            count: n,
+            degree_sum: m,
+        }
+    }
+
+    /// Builds a sparse frontier from a vertex list (sorted and deduped for
+    /// deterministic iteration order).
+    pub fn from_sparse(mut vertices: Vec<VertexId>, n: usize, out_degrees: &[u32]) -> Self {
+        vertices.sort_unstable();
+        vertices.dedup();
+        let count = vertices.len();
+        let degree_sum = vertices
+            .iter()
+            .map(|&v| out_degrees[v as usize] as u64)
+            .sum();
+        Frontier {
+            n,
+            data: FrontierData::Sparse(vertices),
+            count,
+            degree_sum,
+        }
+    }
+
+    /// Builds a dense frontier from a bitmap, computing the statistics in
+    /// parallel on `pool`.
+    pub fn from_dense(bitmap: Bitmap, out_degrees: &[u32], pool: &Pool) -> Self {
+        let n = bitmap.len();
+        let words = bitmap.words();
+        let tasks = (pool.threads() * 4).min(words.len().max(1));
+        let partials: Vec<(usize, u64)> = pool.map_indices(tasks, |t| {
+            let lo = words.len() * t / tasks;
+            let hi = words.len() * (t + 1) / tasks;
+            let mut count = 0usize;
+            let mut sum = 0u64;
+            for (wi, &w) in words[lo..hi].iter().enumerate() {
+                let mut bits = w;
+                count += w.count_ones() as usize;
+                while bits != 0 {
+                    let b = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    sum += out_degrees[(lo + wi) * 64 + b] as u64;
+                }
+            }
+            (count, sum)
+        });
+        let (count, degree_sum) = partials
+            .into_iter()
+            .fold((0, 0), |(c, s), (pc, ps)| (c + pc, s + ps));
+        Frontier {
+            n,
+            data: FrontierData::Dense(bitmap),
+            count,
+            degree_sum,
+        }
+    }
+
+    /// Builds a dense frontier from an atomic bitmap produced by a
+    /// traversal kernel.
+    pub fn from_atomic(bitmap: AtomicBitmap, out_degrees: &[u32], pool: &Pool) -> Self {
+        Self::from_dense(bitmap.into_bitmap(), out_degrees, pool)
+    }
+
+    /// Number of vertices in the graph (`n`), not the active count.
+    #[inline]
+    pub fn universe(&self) -> usize {
+        self.n
+    }
+
+    /// Number of active vertices `|F|`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// True when no vertex is active (the usual termination condition).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Cached `Σ_{v∈F} deg_out(v)`.
+    #[inline]
+    pub fn degree_sum(&self) -> u64 {
+        self.degree_sum
+    }
+
+    /// The Algorithm 2 density metric `|F| + Σ deg_out(F)`.
+    #[inline]
+    pub fn density_metric(&self) -> u64 {
+        self.count as u64 + self.degree_sum
+    }
+
+    /// The underlying representation.
+    #[inline]
+    pub fn data(&self) -> &FrontierData {
+        &self.data
+    }
+
+    /// True if `v` is active (O(1) dense, O(log |F|) sparse).
+    pub fn contains(&self, v: VertexId) -> bool {
+        match &self.data {
+            FrontierData::Sparse(list) => list.binary_search(&v).is_ok(),
+            FrontierData::Dense(b) => b.get(v as usize),
+        }
+    }
+
+    /// Active vertices as a sorted list (materialises for dense input).
+    pub fn to_vertex_list(&self) -> Vec<VertexId> {
+        match &self.data {
+            FrontierData::Sparse(list) => list.clone(),
+            FrontierData::Dense(b) => b.iter_ones().map(|i| i as VertexId).collect(),
+        }
+    }
+
+    /// Active vertices as a bitmap (materialises for sparse input).
+    pub fn to_bitmap(&self) -> Bitmap {
+        match &self.data {
+            FrontierData::Sparse(list) => Bitmap::from_indices(self.n, list),
+            FrontierData::Dense(b) => b.clone(),
+        }
+    }
+
+    /// Iterates active vertices in ascending order.
+    pub fn iter(&self) -> Box<dyn Iterator<Item = VertexId> + '_> {
+        match &self.data {
+            FrontierData::Sparse(list) => Box::new(list.iter().copied()),
+            FrontierData::Dense(b) => Box::new(b.iter_ones().map(|i| i as VertexId)),
+        }
+    }
+
+    /// True when physically sparse (vertex list).
+    pub fn is_sparse_repr(&self) -> bool {
+        matches!(self.data, FrontierData::Sparse(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool() -> Pool {
+        Pool::new(2)
+    }
+
+    #[test]
+    fn empty_and_all() {
+        let f = Frontier::empty(10);
+        assert!(f.is_empty());
+        assert_eq!(f.density_metric(), 0);
+
+        let f = Frontier::all(10, 55);
+        assert_eq!(f.len(), 10);
+        assert_eq!(f.degree_sum(), 55);
+        assert_eq!(f.density_metric(), 65);
+        assert!(f.contains(9));
+    }
+
+    #[test]
+    fn sparse_sorts_and_dedups() {
+        let deg = vec![1u32, 2, 3, 4, 5];
+        let f = Frontier::from_sparse(vec![3, 1, 3, 0], 5, &deg);
+        assert_eq!(f.len(), 3);
+        assert_eq!(f.to_vertex_list(), vec![0, 1, 3]);
+        assert_eq!(f.degree_sum(), 1 + 2 + 4);
+    }
+
+    #[test]
+    fn dense_statistics_match_sparse() {
+        let deg: Vec<u32> = (0..200).map(|i| i % 7).collect();
+        let actives: Vec<u32> = (0..200).step_by(3).collect();
+        let sparse = Frontier::from_sparse(actives.clone(), 200, &deg);
+        let dense = Frontier::from_dense(Bitmap::from_indices(200, &actives), &deg, &pool());
+        assert_eq!(sparse.len(), dense.len());
+        assert_eq!(sparse.degree_sum(), dense.degree_sum());
+        assert_eq!(sparse.to_vertex_list(), dense.to_vertex_list());
+    }
+
+    #[test]
+    fn conversions_roundtrip() {
+        let deg = vec![1u32; 70];
+        let f = Frontier::from_sparse(vec![0, 64, 69], 70, &deg);
+        let b = f.to_bitmap();
+        assert!(b.get(64));
+        let back = Frontier::from_dense(b, &deg, &pool());
+        assert_eq!(back.to_vertex_list(), vec![0, 64, 69]);
+        assert!(back.contains(69));
+        assert!(!back.contains(1));
+    }
+
+    #[test]
+    fn single_vertex() {
+        let deg = vec![4u32, 7, 9];
+        let f = Frontier::single(1, 3, &deg);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f.degree_sum(), 7);
+        assert!(f.contains(1));
+        assert!(!f.contains(0));
+    }
+
+    #[test]
+    fn iter_matches_list() {
+        let deg = vec![0u32; 100];
+        let f = Frontier::from_sparse(vec![5, 50, 99], 100, &deg);
+        assert_eq!(f.iter().collect::<Vec<_>>(), vec![5, 50, 99]);
+        let d = Frontier::from_dense(Bitmap::from_indices(100, &[5, 50, 99]), &deg, &pool());
+        assert_eq!(d.iter().collect::<Vec<_>>(), vec![5, 50, 99]);
+    }
+}

@@ -1,0 +1,320 @@
+//! Fixed-size bitmaps used for dense frontier representation.
+//!
+//! The paper represents dense and medium-dense frontiers as bitmaps (§II.A).
+//! Two variants are provided:
+//!
+//! * [`Bitmap`] — a plain, single-owner bitmap with fast word-level scans;
+//! * [`AtomicBitmap`] — a concurrently writable bitmap used as the *next*
+//!   frontier while an edge map is in flight. Bits are set with relaxed
+//!   `fetch_or`, which is an unconditional read-modify-write: far cheaper
+//!   than the compare-and-set loops the paper's "+a" configurations need for
+//!   value updates, and safe even when a 64-bit word straddles a partition
+//!   boundary.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+const WORD_BITS: usize = 64;
+
+#[inline]
+fn word_count(len: usize) -> usize {
+    len.div_ceil(WORD_BITS)
+}
+
+/// A plain fixed-length bitmap over `len` bits.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Bitmap {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl Bitmap {
+    /// Creates an all-zeros bitmap of `len` bits.
+    pub fn new(len: usize) -> Self {
+        Bitmap {
+            words: vec![0; word_count(len)],
+            len,
+        }
+    }
+
+    /// Creates an all-ones bitmap of `len` bits.
+    pub fn full(len: usize) -> Self {
+        let mut b = Bitmap {
+            words: vec![u64::MAX; word_count(len)],
+            len,
+        };
+        b.clear_tail();
+        b
+    }
+
+    /// Number of bits.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the bitmap has zero bits.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Zeroes any bits beyond `len` in the final word so `count_ones` stays
+    /// exact.
+    fn clear_tail(&mut self) {
+        let tail = self.len % WORD_BITS;
+        if tail != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << tail) - 1;
+            }
+        }
+    }
+
+    /// Reads bit `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        (self.words[i / WORD_BITS] >> (i % WORD_BITS)) & 1 == 1
+    }
+
+    /// Sets bit `i`.
+    #[inline]
+    pub fn set(&mut self, i: usize) {
+        debug_assert!(i < self.len);
+        self.words[i / WORD_BITS] |= 1u64 << (i % WORD_BITS);
+    }
+
+    /// Clears bit `i`.
+    #[inline]
+    pub fn unset(&mut self, i: usize) {
+        debug_assert!(i < self.len);
+        self.words[i / WORD_BITS] &= !(1u64 << (i % WORD_BITS));
+    }
+
+    /// Clears every bit.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Iterates the indices of set bits in increasing order.
+    pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut bits = w;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    None
+                } else {
+                    let b = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    Some(wi * WORD_BITS + b)
+                }
+            })
+        })
+    }
+
+    /// Raw word storage (read-only), for bulk operations.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Builds a bitmap of `len` bits with the given indices set.
+    pub fn from_indices(len: usize, idxs: &[u32]) -> Self {
+        let mut b = Bitmap::new(len);
+        for &i in idxs {
+            b.set(i as usize);
+        }
+        b
+    }
+}
+
+/// A bitmap whose bits may be set concurrently from many threads.
+///
+/// Used as the *next* frontier during parallel edge traversal: partitions own
+/// disjoint destination ranges but a 64-bit word may straddle two partitions,
+/// so bit sets always use `fetch_or` (relaxed).
+#[derive(Debug)]
+pub struct AtomicBitmap {
+    words: Vec<AtomicU64>,
+    len: usize,
+}
+
+impl AtomicBitmap {
+    /// Creates an all-zeros atomic bitmap of `len` bits.
+    pub fn new(len: usize) -> Self {
+        let mut words = Vec::with_capacity(word_count(len));
+        words.resize_with(word_count(len), || AtomicU64::new(0));
+        AtomicBitmap { words, len }
+    }
+
+    /// Number of bits.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the bitmap has zero bits.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Reads bit `i` (relaxed).
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        (self.words[i / WORD_BITS].load(Ordering::Relaxed) >> (i % WORD_BITS)) & 1 == 1
+    }
+
+    /// Sets bit `i`; returns `true` if this call changed it from 0 to 1.
+    ///
+    /// The return value lets a sparse traversal claim activation of a vertex
+    /// exactly once without a separate duplicate-removal pass.
+    #[inline]
+    pub fn set(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        let mask = 1u64 << (i % WORD_BITS);
+        let prev = self.words[i / WORD_BITS].fetch_or(mask, Ordering::Relaxed);
+        prev & mask == 0
+    }
+
+    /// Clears bit `i` (atomic `fetch_and`). Used to return a shared scratch
+    /// bitmap to all-zeros by unsetting exactly the bits that were claimed.
+    #[inline]
+    pub fn unset(&self, i: usize) {
+        debug_assert!(i < self.len);
+        let mask = !(1u64 << (i % WORD_BITS));
+        self.words[i / WORD_BITS].fetch_and(mask, Ordering::Relaxed);
+    }
+
+    /// Clears every bit (not thread-safe with concurrent setters).
+    pub fn clear(&mut self) {
+        for w in &mut self.words {
+            *w.get_mut() = 0;
+        }
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words
+            .iter()
+            .map(|w| w.load(Ordering::Relaxed).count_ones() as usize)
+            .sum()
+    }
+
+    /// Converts into a plain [`Bitmap`] without copying word contents
+    /// atomically (callers must have quiesced all writers).
+    pub fn into_bitmap(self) -> Bitmap {
+        let words = self.words.into_iter().map(AtomicU64::into_inner).collect();
+        Bitmap {
+            words,
+            len: self.len,
+        }
+    }
+
+    /// Copies the current contents into a plain [`Bitmap`].
+    pub fn snapshot(&self) -> Bitmap {
+        Bitmap {
+            words: self
+                .words
+                .iter()
+                .map(|w| w.load(Ordering::Relaxed))
+                .collect(),
+            len: self.len,
+        }
+    }
+}
+
+impl From<Bitmap> for AtomicBitmap {
+    fn from(b: Bitmap) -> Self {
+        AtomicBitmap {
+            words: b.words.into_iter().map(AtomicU64::new).collect(),
+            len: b.len,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut b = Bitmap::new(130);
+        assert_eq!(b.count_ones(), 0);
+        b.set(0);
+        b.set(63);
+        b.set(64);
+        b.set(129);
+        assert!(b.get(0) && b.get(63) && b.get(64) && b.get(129));
+        assert!(!b.get(1) && !b.get(128));
+        assert_eq!(b.count_ones(), 4);
+        b.unset(63);
+        assert!(!b.get(63));
+        assert_eq!(b.count_ones(), 3);
+    }
+
+    #[test]
+    fn full_respects_length() {
+        let b = Bitmap::full(70);
+        assert_eq!(b.count_ones(), 70);
+        let b = Bitmap::full(64);
+        assert_eq!(b.count_ones(), 64);
+        let b = Bitmap::full(0);
+        assert_eq!(b.count_ones(), 0);
+    }
+
+    #[test]
+    fn iter_ones_in_order() {
+        let b = Bitmap::from_indices(200, &[5, 64, 65, 199, 0]);
+        let ones: Vec<usize> = b.iter_ones().collect();
+        assert_eq!(ones, vec![0, 5, 64, 65, 199]);
+    }
+
+    #[test]
+    fn atomic_set_reports_first_setter() {
+        let b = AtomicBitmap::new(100);
+        assert!(b.set(42));
+        assert!(!b.set(42));
+        assert!(b.get(42));
+        assert_eq!(b.count_ones(), 1);
+    }
+
+    #[test]
+    fn atomic_concurrent_sets() {
+        use std::sync::Arc;
+        let b = Arc::new(AtomicBitmap::new(10_000));
+        let mut handles = Vec::new();
+        for t in 0..8 {
+            let b = Arc::clone(&b);
+            handles.push(std::thread::spawn(move || {
+                let mut claimed = 0usize;
+                for i in (t..10_000).step_by(1) {
+                    if b.set(i) {
+                        claimed += 1;
+                    }
+                }
+                claimed
+            }));
+        }
+        let total: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        // Every bit is claimed by exactly one thread.
+        assert_eq!(total, 10_000);
+        assert_eq!(b.count_ones(), 10_000);
+    }
+
+    #[test]
+    fn snapshot_matches() {
+        let ab = AtomicBitmap::new(77);
+        ab.set(3);
+        ab.set(76);
+        let b = ab.snapshot();
+        assert!(b.get(3) && b.get(76));
+        assert_eq!(b.count_ones(), 2);
+        let owned = ab.into_bitmap();
+        assert_eq!(owned, b);
+    }
+}

@@ -1,0 +1,148 @@
+//! Chung–Lu power-law generator (the paper's "Powerlaw (α = 2.0)" data set).
+//!
+//! Vertices receive expected degrees `w_v ∝ (v + v0)^(-1/(α-1))`, the
+//! discrete power-law weight sequence; each edge samples both endpoints
+//! independently with probability proportional to the weights. Sampling
+//! uses Walker's alias method, so generating `m` edges is O(n + m).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::edge_list::EdgeList;
+
+/// O(1)-per-sample discrete distribution (Walker's alias method).
+pub struct AliasTable {
+    prob: Vec<f64>,
+    alias: Vec<u32>,
+}
+
+impl AliasTable {
+    /// Builds the table from non-negative weights (not necessarily
+    /// normalised).
+    ///
+    /// # Panics
+    /// Panics if `weights` is empty or sums to zero.
+    pub fn new(weights: &[f64]) -> Self {
+        let n = weights.len();
+        assert!(n > 0, "empty weight vector");
+        let sum: f64 = weights.iter().sum();
+        assert!(sum > 0.0, "weights sum to zero");
+        let scale = n as f64 / sum;
+
+        let mut prob: Vec<f64> = weights.iter().map(|&w| w * scale).collect();
+        let mut alias = vec![0u32; n];
+        let mut small: Vec<u32> = Vec::new();
+        let mut large: Vec<u32> = Vec::new();
+        for (i, &p) in prob.iter().enumerate() {
+            if p < 1.0 {
+                small.push(i as u32);
+            } else {
+                large.push(i as u32);
+            }
+        }
+        while let (Some(s), Some(l)) = (small.pop(), large.pop()) {
+            alias[s as usize] = l;
+            prob[l as usize] = (prob[l as usize] + prob[s as usize]) - 1.0;
+            if prob[l as usize] < 1.0 {
+                small.push(l);
+            } else {
+                large.push(l);
+            }
+        }
+        // Numerical leftovers are certain events.
+        for i in large {
+            prob[i as usize] = 1.0;
+        }
+        for i in small {
+            prob[i as usize] = 1.0;
+        }
+        AliasTable { prob, alias }
+    }
+
+    /// Draws one index distributed proportionally to the weights.
+    #[inline]
+    pub fn sample(&self, rng: &mut SmallRng) -> u32 {
+        let n = self.prob.len();
+        let i = rng.gen_range(0..n);
+        if rng.gen::<f64>() < self.prob[i] {
+            i as u32
+        } else {
+            self.alias[i]
+        }
+    }
+}
+
+/// Generates a directed Chung–Lu graph with `n` vertices, `m` edges and
+/// power-law exponent `alpha` (> 1). Both endpoints are drawn from the same
+/// weight sequence. Duplicates/self-loops retained.
+pub fn chung_lu(n: usize, m: usize, alpha: f64, seed: u64) -> EdgeList {
+    assert!(n > 0, "need at least one vertex");
+    assert!(alpha > 1.0, "power-law exponent must exceed 1");
+    // Weight sequence w_v = (v + v0)^(-1/(alpha-1)); the offset keeps the
+    // largest expected degree bounded relative to n.
+    let gamma = 1.0 / (alpha - 1.0);
+    let v0 = 1.0;
+    let weights: Vec<f64> = (0..n).map(|v| (v as f64 + v0).powf(-gamma)).collect();
+    let table = AliasTable::new(&weights);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut el = EdgeList::with_capacity(n, m);
+    for _ in 0..m {
+        let u = table.sample(&mut rng);
+        let v = table.sample(&mut rng);
+        el.push(u, v);
+    }
+    el
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alias_table_matches_weights() {
+        // Sampling frequencies should approximate the weight ratios.
+        let table = AliasTable::new(&[1.0, 2.0, 7.0]);
+        let mut rng = SmallRng::seed_from_u64(99);
+        let mut counts = [0usize; 3];
+        let trials = 200_000;
+        for _ in 0..trials {
+            counts[table.sample(&mut rng) as usize] += 1;
+        }
+        let f: Vec<f64> = counts.iter().map(|&c| c as f64 / trials as f64).collect();
+        assert!((f[0] - 0.1).abs() < 0.01, "{f:?}");
+        assert!((f[1] - 0.2).abs() < 0.01, "{f:?}");
+        assert!((f[2] - 0.7).abs() < 0.01, "{f:?}");
+    }
+
+    #[test]
+    fn alias_table_single_element() {
+        let table = AliasTable::new(&[3.5]);
+        let mut rng = SmallRng::seed_from_u64(0);
+        assert_eq!(table.sample(&mut rng), 0);
+    }
+
+    #[test]
+    fn generates_requested_size() {
+        let el = chung_lu(500, 3000, 2.0, 11);
+        assert_eq!(el.num_vertices(), 500);
+        assert_eq!(el.num_edges(), 3000);
+        el.validate().unwrap();
+    }
+
+    #[test]
+    fn low_ids_get_high_degree() {
+        let el = chung_lu(1000, 50_000, 2.0, 4);
+        let deg = el.out_degrees();
+        let head: u32 = deg[..10].iter().sum();
+        let tail: u32 = deg[990..].iter().sum();
+        assert!(
+            head > 10 * tail.max(1),
+            "head {head} should dwarf tail {tail}"
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(chung_lu(100, 500, 2.0, 5), chung_lu(100, 500, 2.0, 5));
+    }
+}

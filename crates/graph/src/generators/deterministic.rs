@@ -1,0 +1,106 @@
+//! Tiny deterministic graphs with known-by-construction properties. The
+//! test suites use these as oracles (exact BFS levels, component counts,
+//! PageRank closed forms on symmetric structures, …).
+
+use crate::edge_list::EdgeList;
+
+/// Directed path `0 -> 1 -> … -> n-1`.
+pub fn path(n: usize) -> EdgeList {
+    let mut el = EdgeList::with_capacity(n, n.saturating_sub(1));
+    for v in 1..n {
+        el.push(v as u32 - 1, v as u32);
+    }
+    el
+}
+
+/// Directed cycle `0 -> 1 -> … -> n-1 -> 0`.
+pub fn cycle(n: usize) -> EdgeList {
+    assert!(n >= 1);
+    let mut el = EdgeList::with_capacity(n, n);
+    for v in 0..n {
+        el.push(v as u32, ((v + 1) % n) as u32);
+    }
+    el
+}
+
+/// Star with centre 0: symmetric edges `0 <-> v` for `v` in `1..n`.
+pub fn star(n: usize) -> EdgeList {
+    assert!(n >= 1);
+    let mut el = EdgeList::with_capacity(n, 2 * (n - 1));
+    for v in 1..n as u32 {
+        el.push(0, v);
+        el.push(v, 0);
+    }
+    el
+}
+
+/// Complete directed graph on `n` vertices (no self-loops).
+pub fn complete(n: usize) -> EdgeList {
+    let mut el = EdgeList::with_capacity(n, n * n.saturating_sub(1));
+    for u in 0..n as u32 {
+        for v in 0..n as u32 {
+            if u != v {
+                el.push(u, v);
+            }
+        }
+    }
+    el
+}
+
+/// Complete binary tree with `n` vertices, edges directed parent -> child.
+/// Vertex `v`'s children are `2v+1` and `2v+2`.
+pub fn binary_tree(n: usize) -> EdgeList {
+    let mut el = EdgeList::with_capacity(n, n.saturating_sub(1));
+    for v in 0..n {
+        for child in [2 * v + 1, 2 * v + 2] {
+            if child < n {
+                el.push(v as u32, child as u32);
+            }
+        }
+    }
+    el
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::properties::GraphStats;
+
+    #[test]
+    fn path_shape() {
+        let el = path(5);
+        assert_eq!(el.num_edges(), 4);
+        assert_eq!(el.out_degrees(), vec![1, 1, 1, 1, 0]);
+    }
+
+    #[test]
+    fn cycle_shape() {
+        let el = cycle(4);
+        assert_eq!(el.num_edges(), 4);
+        assert_eq!(el.in_degrees(), vec![1; 4]);
+        assert_eq!(el.out_degrees(), vec![1; 4]);
+    }
+
+    #[test]
+    fn star_is_symmetric() {
+        let el = star(6);
+        assert_eq!(el.num_edges(), 10);
+        assert!(GraphStats::compute(&el).symmetric);
+        assert_eq!(el.out_degrees()[0], 5);
+    }
+
+    #[test]
+    fn complete_degree() {
+        let el = complete(5);
+        assert_eq!(el.num_edges(), 20);
+        assert!(el.out_degrees().iter().all(|&d| d == 4));
+    }
+
+    #[test]
+    fn tree_edges() {
+        let el = binary_tree(7);
+        assert_eq!(el.num_edges(), 6);
+        assert_eq!(el.out_degrees(), vec![2, 2, 2, 0, 0, 0, 0]);
+        assert_eq!(el.in_degrees(), vec![0, 1, 1, 1, 1, 1, 1]);
+    }
+}

@@ -1,0 +1,45 @@
+//! Erdős–Rényi G(n, m) generator: `m` uniformly random directed edges.
+//! Used as the flat-degree stand-in for the Yahoo_mem data set.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::edge_list::EdgeList;
+
+/// Generates `m` edges with both endpoints uniform over `0..n`
+/// (duplicates/self-loops retained; dedup if a simple graph is required).
+pub fn erdos_renyi(n: usize, m: usize, seed: u64) -> EdgeList {
+    assert!(n > 0, "need at least one vertex");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut el = EdgeList::with_capacity(n, m);
+    for _ in 0..m {
+        let u = rng.gen_range(0..n) as u32;
+        let v = rng.gen_range(0..n) as u32;
+        el.push(u, v);
+    }
+    el
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn size_and_determinism() {
+        let a = erdos_renyi(100, 1000, 3);
+        assert_eq!(a.num_vertices(), 100);
+        assert_eq!(a.num_edges(), 1000);
+        assert_eq!(a, erdos_renyi(100, 1000, 3));
+        a.validate().unwrap();
+    }
+
+    #[test]
+    fn degrees_are_flat() {
+        let el = erdos_renyi(200, 40_000, 9);
+        let deg = el.out_degrees();
+        let avg = 200.0;
+        let max = *deg.iter().max().unwrap() as f64;
+        // Binomial concentration: max degree stays within ~2x the mean.
+        assert!(max < 2.0 * avg, "max {max} vs avg {avg}");
+    }
+}

@@ -1,0 +1,77 @@
+//! Road-network stand-in: a 2-D lattice with sparse random diagonals.
+//!
+//! The paper's USAroad graph is hard for frontier-based frameworks because
+//! of its huge diameter and uniformly tiny degrees. A `rows × cols` grid
+//! where each cell connects to its right and down neighbours (plus the
+//! symmetric reverse edges) reproduces both properties; a small fraction of
+//! random diagonal "shortcut" roads adds the mild irregularity of real road
+//! networks.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::edge_list::EdgeList;
+
+/// Generates a symmetric grid road network with `rows * cols` vertices.
+/// `diagonal_fraction` in `[0, 1]` adds that fraction of cells a diagonal
+/// edge to the down-right neighbour.
+pub fn grid_road(rows: usize, cols: usize, diagonal_fraction: f64, seed: u64) -> EdgeList {
+    assert!(rows > 0 && cols > 0, "grid must be non-empty");
+    assert!((0.0..=1.0).contains(&diagonal_fraction));
+    let n = rows * cols;
+    let id = |r: usize, c: usize| (r * cols + c) as u32;
+    let mut rng = SmallRng::seed_from_u64(seed);
+    // ~2 undirected edges per cell -> ~4 directed.
+    let mut el = EdgeList::with_capacity(n, 4 * n);
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                el.push(id(r, c), id(r, c + 1));
+                el.push(id(r, c + 1), id(r, c));
+            }
+            if r + 1 < rows {
+                el.push(id(r, c), id(r + 1, c));
+                el.push(id(r + 1, c), id(r, c));
+            }
+            if r + 1 < rows && c + 1 < cols && rng.gen::<f64>() < diagonal_fraction {
+                el.push(id(r, c), id(r + 1, c + 1));
+                el.push(id(r + 1, c + 1), id(r, c));
+            }
+        }
+    }
+    el
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::properties::GraphStats;
+
+    #[test]
+    fn pure_grid_edge_count() {
+        // rows*(cols-1) + (rows-1)*cols undirected edges, doubled.
+        let el = grid_road(4, 5, 0.0, 0);
+        assert_eq!(el.num_vertices(), 20);
+        assert_eq!(el.num_edges(), 2 * (4 * 4 + 3 * 5));
+    }
+
+    #[test]
+    fn is_symmetric() {
+        let el = grid_road(6, 6, 0.3, 5);
+        assert!(GraphStats::compute(&el).symmetric);
+    }
+
+    #[test]
+    fn degrees_are_tiny() {
+        let el = grid_road(30, 30, 0.1, 1);
+        let stats = GraphStats::compute(&el);
+        // Max degree 4 neighbours + up to 2 diagonals.
+        assert!(stats.max_out_degree <= 6);
+        assert_eq!(stats.isolated_vertices, 0);
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(grid_road(10, 10, 0.2, 9), grid_road(10, 10, 0.2, 9));
+    }
+}

@@ -1,0 +1,23 @@
+//! Synthetic graph generators.
+//!
+//! The paper evaluates on real social networks (Twitter, Friendster, Orkut,
+//! LiveJournal), a web-crawl-derived graph (Yahoo_mem), a road network
+//! (USAroad) and two synthetics (Powerlaw α=2.0, RMAT27). The real data
+//! sets are not redistributable, so this reproduction generates stand-ins
+//! whose *shape* matches: degree skew (RMAT / Chung–Lu), uniform density
+//! (Erdős–Rényi) and high-diameter low-degree lattices (road grids). All
+//! generators are deterministic given their seed.
+
+mod chung_lu;
+mod deterministic;
+mod erdos_renyi;
+mod grid;
+mod rmat;
+mod small_world;
+
+pub use chung_lu::chung_lu;
+pub use deterministic::{binary_tree, complete, cycle, path, star};
+pub use erdos_renyi::erdos_renyi;
+pub use grid::grid_road;
+pub use rmat::{rmat, RmatParams};
+pub use small_world::small_world;

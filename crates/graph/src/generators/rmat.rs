@@ -1,0 +1,163 @@
+//! Recursive-MATrix (RMAT) generator — the standard stand-in for social
+//! networks with heavy-tailed degree distributions (Twitter, Friendster,
+//! LiveJournal and the paper's own RMAT27 data set).
+//!
+//! Each edge picks its endpoints by descending the adjacency matrix's
+//! quadtree: at every level one of the four quadrants is selected with
+//! probabilities `(a, b, c, d)`. Parameter noise ("smoothing") is applied
+//! per level to avoid exactly self-similar artifacts, following the
+//! Graph500 reference generator.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::edge_list::EdgeList;
+
+/// RMAT quadrant probabilities. Must sum to 1.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RmatParams {
+    /// Top-left quadrant (hub-to-hub edges).
+    pub a: f64,
+    /// Top-right quadrant.
+    pub b: f64,
+    /// Bottom-left quadrant.
+    pub c: f64,
+    /// Fraction of per-level multiplicative noise (0 disables smoothing).
+    pub noise: f64,
+}
+
+impl RmatParams {
+    /// The classic skewed parameterisation (Graph500-like): a=0.57, b=c=0.19.
+    /// Produces Twitter-like degree skew.
+    pub fn skewed() -> Self {
+        RmatParams {
+            a: 0.57,
+            b: 0.19,
+            c: 0.19,
+            noise: 0.1,
+        }
+    }
+
+    /// A milder skew closer to Friendster's flatter distribution.
+    pub fn mild() -> Self {
+        RmatParams {
+            a: 0.45,
+            b: 0.22,
+            c: 0.22,
+            noise: 0.1,
+        }
+    }
+
+    fn d(&self) -> f64 {
+        1.0 - self.a - self.b - self.c
+    }
+}
+
+/// Generates a directed RMAT graph with `2^scale` vertices and `num_edges`
+/// edges (duplicates and self-loops retained, as in most reference
+/// generators — callers may `sort_and_dedup` if needed).
+pub fn rmat(scale: u32, num_edges: usize, params: RmatParams, seed: u64) -> EdgeList {
+    assert!((1..=31).contains(&scale), "scale out of range");
+    let total = params.a + params.b + params.c + params.d();
+    assert!(
+        (total - 1.0).abs() < 1e-9 && params.d() >= 0.0,
+        "probabilities must sum to 1"
+    );
+    let n = 1usize << scale;
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut el = EdgeList::with_capacity(n, num_edges);
+
+    for _ in 0..num_edges {
+        let (mut x, mut y) = (0u32, 0u32);
+        for level in 0..scale {
+            // Per-level smoothed probabilities.
+            let jitter = |p: f64, rng: &mut SmallRng| -> f64 {
+                if params.noise == 0.0 {
+                    p
+                } else {
+                    p * (1.0 - params.noise / 2.0 + params.noise * rng.gen::<f64>())
+                }
+            };
+            let a = jitter(params.a, &mut rng);
+            let b = jitter(params.b, &mut rng);
+            let c = jitter(params.c, &mut rng);
+            let d = jitter(params.d(), &mut rng);
+            let sum = a + b + c + d;
+            let r = rng.gen::<f64>() * sum;
+            let bit = 1u32 << (scale - 1 - level);
+            if r < a {
+                // top-left: no bits set
+            } else if r < a + b {
+                y |= bit;
+            } else if r < a + b + c {
+                x |= bit;
+            } else {
+                x |= bit;
+                y |= bit;
+            }
+        }
+        el.push(x, y);
+    }
+    el
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn respects_size() {
+        let el = rmat(10, 5000, RmatParams::skewed(), 1);
+        assert_eq!(el.num_vertices(), 1024);
+        assert_eq!(el.num_edges(), 5000);
+        el.validate().unwrap();
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = rmat(8, 1000, RmatParams::skewed(), 7);
+        let b = rmat(8, 1000, RmatParams::skewed(), 7);
+        assert_eq!(a, b);
+        let c = rmat(8, 1000, RmatParams::skewed(), 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn skewed_has_heavy_tail() {
+        // With a = 0.57 low-id vertices accumulate much higher degree than
+        // the mean; check the max out-degree well exceeds 10x the average.
+        let el = rmat(12, 40_000, RmatParams::skewed(), 3);
+        let deg = el.out_degrees();
+        let max = *deg.iter().max().unwrap() as f64;
+        let avg = 40_000.0 / 4096.0;
+        assert!(max > 10.0 * avg, "max {max} vs avg {avg}");
+    }
+
+    #[test]
+    fn uniform_params_behave_like_uniform() {
+        // a=b=c=d=0.25 spreads degree nearly evenly.
+        let p = RmatParams {
+            a: 0.25,
+            b: 0.25,
+            c: 0.25,
+            noise: 0.0,
+        };
+        let el = rmat(10, 50_000, p, 5);
+        let deg = el.out_degrees();
+        let max = *deg.iter().max().unwrap() as f64;
+        let avg = 50_000.0 / 1024.0;
+        assert!(max < 4.0 * avg, "max {max} vs avg {avg}");
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to 1")]
+    fn rejects_bad_probabilities() {
+        let p = RmatParams {
+            a: 0.9,
+            b: 0.2,
+            c: 0.2,
+            noise: 0.0,
+        };
+        let _ = rmat(4, 10, p, 0);
+    }
+}

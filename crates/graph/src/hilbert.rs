@@ -1,0 +1,171 @@
+//! Hilbert space-filling curve over the adjacency matrix.
+//!
+//! §IV.C of the paper sorts COO edge lists by the Hilbert index of the
+//! `(src, dst)` coordinate, following Murray et al. (Naiad) and McSherry et
+//! al. (COST). Traversing edges along the curve keeps both the source and
+//! the destination coordinate within a small window at every scale, which
+//! improves temporal locality on *both* the current and the next arrays —
+//! the paper measures it as up to 16.2 % faster than source- or
+//! destination-sorted orders once enough partitions remove atomics.
+//!
+//! The implementation is the classic iterative rotate-and-flip algorithm on
+//! a `2^order × 2^order` grid; `order` ≤ 32 so the distance fits in `u64`.
+
+/// Maximum supported curve order (bits per coordinate).
+pub const MAX_ORDER: u32 = 32;
+
+#[inline]
+fn rotate(s: u64, x: &mut u64, y: &mut u64, rx: u64, ry: u64) {
+    if ry == 0 {
+        if rx == 1 {
+            *x = s.wrapping_sub(1).wrapping_sub(*x);
+            *y = s.wrapping_sub(1).wrapping_sub(*y);
+        }
+        std::mem::swap(x, y);
+    }
+}
+
+/// Maps a cell `(x, y)` on the `2^order`-sided grid to its distance along
+/// the Hilbert curve.
+///
+/// # Panics
+/// Panics (debug) if a coordinate does not fit in `order` bits or
+/// `order > 32`.
+pub fn xy_to_d(order: u32, mut x: u64, mut y: u64) -> u64 {
+    debug_assert!((1..=MAX_ORDER).contains(&order));
+    debug_assert!(x >> order == 0 && y >> order == 0);
+    let side = 1u64 << order;
+    let mut d: u64 = 0;
+    let mut s: u64 = side >> 1;
+    while s > 0 {
+        let rx = u64::from(x & s > 0);
+        let ry = u64::from(y & s > 0);
+        // s*s*3 <= 3 * 2^62 < 2^64 for order <= 32; the running sum is a
+        // valid curve distance and therefore never exceeds side^2 - 1.
+        d += s * s * ((3 * rx) ^ ry);
+        // The encode direction rotates about the full grid.
+        rotate(side, &mut x, &mut y, rx, ry);
+        s >>= 1;
+    }
+    d
+}
+
+/// Maps a distance `d` along the Hilbert curve back to its `(x, y)` cell.
+pub fn d_to_xy(order: u32, d: u64) -> (u64, u64) {
+    debug_assert!((1..=MAX_ORDER).contains(&order));
+    let side = 1u64 << order;
+    let (mut x, mut y) = (0u64, 0u64);
+    let mut t = d;
+    let mut s: u64 = 1;
+    while s < side {
+        let rx = 1 & (t / 2);
+        let ry = 1 & (t ^ rx);
+        // The decode direction rotates about the current sub-grid.
+        rotate(s, &mut x, &mut y, rx, ry);
+        x += s * rx;
+        y += s * ry;
+        t /= 4;
+        s <<= 1;
+    }
+    (x, y)
+}
+
+/// The smallest curve order whose grid covers `0..n` on both axes.
+pub fn order_for(n: usize) -> u32 {
+    if n <= 1 {
+        1
+    } else {
+        (usize::BITS - (n - 1).leading_zeros()).max(1)
+    }
+}
+
+/// Hilbert distance of an edge `(src, dst)` treated as a point of the
+/// adjacency matrix of an `n`-vertex graph.
+#[inline]
+pub fn edge_key(order: u32, src: u32, dst: u32) -> u64 {
+    xy_to_d(order, src as u64, dst as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn order2_matches_reference() {
+        // The canonical order-2 Hilbert curve visits the 4x4 grid as:
+        //  0  1 14 15
+        //  3  2 13 12
+        //  4  7  8 11
+        //  5  6  9 10
+        // with x = column, y = row.
+        let expected: [[u64; 4]; 4] = [
+            [0, 1, 14, 15],
+            [3, 2, 13, 12],
+            [4, 7, 8, 11],
+            [5, 6, 9, 10],
+        ];
+        for (y, row) in expected.iter().enumerate() {
+            for (x, &d) in row.iter().enumerate() {
+                assert_eq!(xy_to_d(2, x as u64, y as u64), d, "({x},{y})");
+            }
+        }
+    }
+
+    #[test]
+    fn bijective_small_orders() {
+        for order in 1..=4u32 {
+            let side = 1u64 << order;
+            let mut seen = vec![false; (side * side) as usize];
+            for x in 0..side {
+                for y in 0..side {
+                    let d = xy_to_d(order, x, y);
+                    assert!(!seen[d as usize], "duplicate d={d}");
+                    seen[d as usize] = true;
+                    assert_eq!(d_to_xy(order, d), (x, y));
+                }
+            }
+            assert!(seen.iter().all(|&s| s));
+        }
+    }
+
+    #[test]
+    fn consecutive_cells_are_adjacent() {
+        // The defining locality property: successive curve positions are
+        // Manhattan-distance-1 apart.
+        let order = 5;
+        let side = 1u64 << order;
+        for d in 0..(side * side - 1) {
+            let (x0, y0) = d_to_xy(order, d);
+            let (x1, y1) = d_to_xy(order, d + 1);
+            let dist = x0.abs_diff(x1) + y0.abs_diff(y1);
+            assert_eq!(dist, 1, "d={d}: ({x0},{y0}) -> ({x1},{y1})");
+        }
+    }
+
+    #[test]
+    fn order_for_covers() {
+        assert_eq!(order_for(0), 1);
+        assert_eq!(order_for(1), 1);
+        assert_eq!(order_for(2), 1);
+        assert_eq!(order_for(3), 2);
+        assert_eq!(order_for(4), 2);
+        assert_eq!(order_for(5), 3);
+        assert_eq!(order_for(1 << 20), 20);
+        assert_eq!(order_for((1 << 20) + 1), 21);
+    }
+
+    #[test]
+    fn max_order_roundtrip() {
+        // Spot-check the 32-bit order used for real vertex ids.
+        for &(x, y) in &[
+            (0u64, 0u64),
+            (u32::MAX as u64, 0),
+            (0, u32::MAX as u64),
+            (u32::MAX as u64, u32::MAX as u64),
+            (123_456_789, 987_654_321),
+        ] {
+            let d = xy_to_d(32, x, y);
+            assert_eq!(d_to_xy(32, d), (x, y));
+        }
+    }
+}

@@ -1,0 +1,151 @@
+//! Compact versioned binary edge-list format.
+//!
+//! Layout (all little-endian):
+//!
+//! ```text
+//! magic   8 bytes  b"GGBIN\x00\x00\x01"   (last byte = version)
+//! n       8 bytes  u64 vertex count
+//! m       8 bytes  u64 edge count
+//! flags   1 byte   bit 0 = weighted
+//! srcs    4m bytes u32 × m
+//! dsts    4m bytes u32 × m
+//! weights 4m bytes f32 × m (only when weighted)
+//! ```
+
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use crate::edge_list::EdgeList;
+
+const MAGIC: [u8; 8] = *b"GGBIN\x00\x00\x01";
+
+/// Writes `el` in the binary format.
+pub fn write_binary<P: AsRef<Path>>(el: &EdgeList, path: P) -> Result<(), String> {
+    let file = std::fs::File::create(path.as_ref())
+        .map_err(|e| format!("create {}: {e}", path.as_ref().display()))?;
+    let mut out = BufWriter::new(file);
+    let err = |e: std::io::Error| e.to_string();
+    out.write_all(&MAGIC).map_err(err)?;
+    out.write_all(&(el.num_vertices() as u64).to_le_bytes())
+        .map_err(err)?;
+    out.write_all(&(el.num_edges() as u64).to_le_bytes())
+        .map_err(err)?;
+    out.write_all(&[u8::from(el.is_weighted())]).map_err(err)?;
+    for &u in el.srcs() {
+        out.write_all(&u.to_le_bytes()).map_err(err)?;
+    }
+    for &v in el.dsts() {
+        out.write_all(&v.to_le_bytes()).map_err(err)?;
+    }
+    if let Some(w) = el.weights() {
+        for &x in w {
+            out.write_all(&x.to_le_bytes()).map_err(err)?;
+        }
+    }
+    out.flush().map_err(err)
+}
+
+/// Reads an edge list written by [`write_binary`].
+pub fn read_binary<P: AsRef<Path>>(path: P) -> Result<EdgeList, String> {
+    let file = std::fs::File::open(path.as_ref())
+        .map_err(|e| format!("open {}: {e}", path.as_ref().display()))?;
+    let mut inp = BufReader::new(file);
+    let err = |e: std::io::Error| e.to_string();
+
+    let mut magic = [0u8; 8];
+    inp.read_exact(&mut magic).map_err(err)?;
+    if magic != MAGIC {
+        return Err("bad magic (not a gg-graph binary edge list?)".into());
+    }
+    let mut b8 = [0u8; 8];
+    inp.read_exact(&mut b8).map_err(err)?;
+    let n = u64::from_le_bytes(b8) as usize;
+    inp.read_exact(&mut b8).map_err(err)?;
+    let m = u64::from_le_bytes(b8) as usize;
+    let mut flags = [0u8; 1];
+    inp.read_exact(&mut flags).map_err(err)?;
+    let weighted = flags[0] & 1 == 1;
+
+    let mut read_u32s = |count: usize| -> Result<Vec<u32>, String> {
+        let mut bytes = vec![0u8; count * 4];
+        inp.read_exact(&mut bytes).map_err(err)?;
+        Ok(bytes
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+            .collect())
+    };
+    let srcs = read_u32s(m)?;
+    let dsts = read_u32s(m)?;
+    let weights = if weighted {
+        Some(
+            read_u32s(m)?
+                .into_iter()
+                .map(f32::from_bits)
+                .collect::<Vec<f32>>(),
+        )
+    } else {
+        None
+    };
+
+    let el = match &weights {
+        Some(w) => {
+            let triples: Vec<(u32, u32, f32)> = (0..m).map(|i| (srcs[i], dsts[i], w[i])).collect();
+            EdgeList::from_weighted_edges(n, &triples)
+        }
+        None => {
+            let pairs: Vec<(u32, u32)> = (0..m).map(|i| (srcs[i], dsts[i])).collect();
+            EdgeList::from_edges(n, &pairs)
+        }
+    };
+    el.validate()?;
+    Ok(el)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("gg_graph_bin_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn roundtrip_unweighted() {
+        let el = crate::generators::rmat(8, 500, crate::generators::RmatParams::skewed(), 1);
+        let path = tmp("u.bin");
+        write_binary(&el, &path).unwrap();
+        assert_eq!(read_binary(&path).unwrap(), el);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn roundtrip_weighted() {
+        let mut el = crate::generators::erdos_renyi(50, 200, 2);
+        crate::weights::attach_uniform(&mut el, 0.0, 1.0, 3);
+        let path = tmp("w.bin");
+        write_binary(&el, &path).unwrap();
+        assert_eq!(read_binary(&path).unwrap(), el);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        let path = tmp("garbage.bin");
+        std::fs::write(&path, b"not a graph").unwrap();
+        assert!(read_binary(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_graph_roundtrip() {
+        let el = EdgeList::new(7);
+        let path = tmp("empty.bin");
+        write_binary(&el, &path).unwrap();
+        let back = read_binary(&path).unwrap();
+        assert_eq!(back.num_vertices(), 7);
+        assert_eq!(back.num_edges(), 0);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,7 @@
+//! Edge-list I/O: plain-text (SNAP-compatible) and a compact binary format.
+
+mod binary;
+mod text;
+
+pub use binary::{read_binary, write_binary};
+pub use text::{parse_text, read_text, write_text};

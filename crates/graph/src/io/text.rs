@@ -1,0 +1,158 @@
+//! Plain-text edge lists in the SNAP style: one `src dst [weight]` per
+//! line, `#`-prefixed comment lines ignored, whitespace-separated.
+
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use crate::edge_list::EdgeList;
+
+/// Parses an edge list from text. The vertex count is the maximum endpoint
+/// plus one unless a larger `min_vertices` is given (to keep trailing
+/// isolated vertices).
+pub fn parse_text(input: &str, min_vertices: usize) -> Result<EdgeList, String> {
+    let mut edges: Vec<(u32, u32)> = Vec::new();
+    let mut weights: Vec<f32> = Vec::new();
+    let mut any_weight = false;
+    for (lineno, line) in input.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        let u: u32 = it
+            .next()
+            .ok_or_else(|| format!("line {}: missing src", lineno + 1))?
+            .parse()
+            .map_err(|e| format!("line {}: bad src ({e})", lineno + 1))?;
+        let v: u32 = it
+            .next()
+            .ok_or_else(|| format!("line {}: missing dst", lineno + 1))?
+            .parse()
+            .map_err(|e| format!("line {}: bad dst ({e})", lineno + 1))?;
+        let w = match it.next() {
+            Some(tok) => {
+                any_weight = true;
+                tok.parse::<f32>()
+                    .map_err(|e| format!("line {}: bad weight ({e})", lineno + 1))?
+            }
+            None => 1.0,
+        };
+        if it.next().is_some() {
+            return Err(format!("line {}: trailing tokens", lineno + 1));
+        }
+        edges.push((u, v));
+        weights.push(w);
+    }
+    let n = crate::types::implied_vertex_count(edges.iter().copied()).max(min_vertices);
+    let el = if any_weight {
+        let triples: Vec<(u32, u32, f32)> = edges
+            .iter()
+            .zip(&weights)
+            .map(|(&(u, v), &w)| (u, v, w))
+            .collect();
+        EdgeList::from_weighted_edges(n, &triples)
+    } else {
+        EdgeList::from_edges(n, &edges)
+    };
+    el.validate()?;
+    Ok(el)
+}
+
+/// Reads a text edge list from a file.
+pub fn read_text<P: AsRef<Path>>(path: P, min_vertices: usize) -> Result<EdgeList, String> {
+    let file = std::fs::File::open(path.as_ref())
+        .map_err(|e| format!("open {}: {e}", path.as_ref().display()))?;
+    let mut buf = String::new();
+    BufReader::new(file)
+        .read_to_string(&mut buf)
+        .map_err(|e| format!("read: {e}"))?;
+    parse_text(&buf, min_vertices)
+}
+
+/// Writes a text edge list (with weights when present).
+pub fn write_text<P: AsRef<Path>>(el: &EdgeList, path: P) -> Result<(), String> {
+    let file = std::fs::File::create(path.as_ref())
+        .map_err(|e| format!("create {}: {e}", path.as_ref().display()))?;
+    let mut out = BufWriter::new(file);
+    writeln!(out, "# gg-graph edge list: {} vertices", el.num_vertices())
+        .map_err(|e| e.to_string())?;
+    for i in 0..el.num_edges() {
+        let (u, v) = el.edge(i);
+        if el.is_weighted() {
+            writeln!(out, "{u} {v} {}", el.weight(i)).map_err(|e| e.to_string())?;
+        } else {
+            writeln!(out, "{u} {v}").map_err(|e| e.to_string())?;
+        }
+    }
+    out.flush().map_err(|e| e.to_string())
+}
+
+#[allow(dead_code)]
+fn _assert_bufread_usable<R: BufRead>(_: R) {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_basic() {
+        let el = parse_text("# comment\n0 1\n1 2\n\n2 0\n", 0).unwrap();
+        assert_eq!(el.num_vertices(), 3);
+        assert_eq!(el.num_edges(), 3);
+        assert!(!el.is_weighted());
+    }
+
+    #[test]
+    fn parse_weighted() {
+        let el = parse_text("0 1 2.5\n1 0 0.5\n", 0).unwrap();
+        assert!(el.is_weighted());
+        assert_eq!(el.weight(0), 2.5);
+    }
+
+    #[test]
+    fn mixed_weights_default_to_one() {
+        let el = parse_text("0 1 2.5\n1 0\n", 0).unwrap();
+        assert_eq!(el.weight(1), 1.0);
+    }
+
+    #[test]
+    fn min_vertices_respected() {
+        let el = parse_text("0 1\n", 10).unwrap();
+        assert_eq!(el.num_vertices(), 10);
+    }
+
+    #[test]
+    fn errors_are_reported_with_line() {
+        let err = parse_text("0 1\nx 2\n", 0).unwrap_err();
+        assert!(err.contains("line 2"), "{err}");
+        let err = parse_text("0\n", 0).unwrap_err();
+        assert!(err.contains("missing dst"), "{err}");
+        let err = parse_text("0 1 2 3\n", 0).unwrap_err();
+        assert!(err.contains("trailing"), "{err}");
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("gg_graph_text_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g.txt");
+        let el = crate::generators::erdos_renyi(20, 50, 1);
+        write_text(&el, &path).unwrap();
+        let back = read_text(&path, el.num_vertices()).unwrap();
+        assert_eq!(el, back);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn weighted_file_roundtrip() {
+        let dir = std::env::temp_dir().join("gg_graph_text_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("gw.txt");
+        let mut el = crate::generators::erdos_renyi(10, 30, 2);
+        crate::weights::attach_integer(&mut el, 5, 3);
+        write_text(&el, &path).unwrap();
+        let back = read_text(&path, el.num_vertices()).unwrap();
+        assert_eq!(el, back);
+        std::fs::remove_file(&path).ok();
+    }
+}

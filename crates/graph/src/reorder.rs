@@ -1,0 +1,111 @@
+//! Edge orderings for the COO layout (§IV.C).
+//!
+//! Within each COO partition the paper evaluates three sort orders:
+//! by **source** (the order a CSR traversal visits edges), by
+//! **destination** (CSC order) and by **Hilbert** space-filling-curve index.
+//! Hilbert order is consistently fastest (up to 16.2 %) because it bounds
+//! the working set of both endpoint arrays at every scale.
+
+use crate::hilbert;
+use crate::types::VertexId;
+
+/// Sort order of edges inside a COO partition.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum EdgeOrder {
+    /// Sorted by `(src, dst)` — the CSR traversal order.
+    Source,
+    /// Sorted by `(dst, src)` — the CSC traversal order.
+    Destination,
+    /// Sorted along the Hilbert curve of the adjacency matrix (the paper's
+    /// preferred order for high partition counts).
+    #[default]
+    Hilbert,
+}
+
+impl EdgeOrder {
+    /// Short label used in benchmark output ("Source" / "Destination" /
+    /// "Hilbert", matching Figure 7's legend).
+    pub fn label(self) -> &'static str {
+        match self {
+            EdgeOrder::Source => "Source",
+            EdgeOrder::Destination => "Destination",
+            EdgeOrder::Hilbert => "Hilbert",
+        }
+    }
+
+    /// All orders, in Figure 7's presentation order.
+    pub fn all() -> [EdgeOrder; 3] {
+        [EdgeOrder::Source, EdgeOrder::Hilbert, EdgeOrder::Destination]
+    }
+}
+
+/// Sorts edge *indices* `idx` (pointing into parallel `srcs`/`dsts` arrays)
+/// according to `order`. The vertex-count parameter sizes the Hilbert grid.
+pub fn sort_indices(
+    idx: &mut [usize],
+    srcs: &[VertexId],
+    dsts: &[VertexId],
+    num_vertices: usize,
+    order: EdgeOrder,
+) {
+    match order {
+        EdgeOrder::Source => idx.sort_unstable_by_key(|&e| (srcs[e], dsts[e])),
+        EdgeOrder::Destination => idx.sort_unstable_by_key(|&e| (dsts[e], srcs[e])),
+        EdgeOrder::Hilbert => {
+            let k = hilbert::order_for(num_vertices);
+            idx.sort_unstable_by_key(|&e| hilbert::edge_key(k, srcs[e], dsts[e]));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn source_order_sorts_by_src_then_dst() {
+        let srcs = vec![2, 0, 2, 1];
+        let dsts = vec![1, 3, 0, 2];
+        let mut idx = vec![0, 1, 2, 3];
+        sort_indices(&mut idx, &srcs, &dsts, 4, EdgeOrder::Source);
+        let sorted: Vec<(u32, u32)> = idx.iter().map(|&e| (srcs[e], dsts[e])).collect();
+        assert_eq!(sorted, vec![(0, 3), (1, 2), (2, 0), (2, 1)]);
+    }
+
+    #[test]
+    fn destination_order_sorts_by_dst_then_src() {
+        let srcs = vec![2, 0, 2, 1];
+        let dsts = vec![1, 3, 0, 2];
+        let mut idx = vec![0, 1, 2, 3];
+        sort_indices(&mut idx, &srcs, &dsts, 4, EdgeOrder::Destination);
+        let sorted: Vec<(u32, u32)> = idx.iter().map(|&e| (srcs[e], dsts[e])).collect();
+        assert_eq!(sorted, vec![(2, 0), (2, 1), (1, 2), (0, 3)]);
+    }
+
+    #[test]
+    fn hilbert_order_is_a_permutation() {
+        let srcs: Vec<u32> = (0..50).map(|i| (i * 7) % 20).collect();
+        let dsts: Vec<u32> = (0..50).map(|i| (i * 13) % 20).collect();
+        let mut idx: Vec<usize> = (0..50).collect();
+        sort_indices(&mut idx, &srcs, &dsts, 20, EdgeOrder::Hilbert);
+        let mut check = idx.clone();
+        check.sort_unstable();
+        assert_eq!(check, (0..50).collect::<Vec<_>>());
+        // Keys are non-decreasing along the sorted sequence.
+        let k = crate::hilbert::order_for(20);
+        let keys: Vec<u64> = idx
+            .iter()
+            .map(|&e| crate::hilbert::edge_key(k, srcs[e], dsts[e]))
+            .collect();
+        assert!(keys.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn labels_match_figure7_legend() {
+        assert_eq!(EdgeOrder::all().map(|o| o.label()), [
+            "Source",
+            "Hilbert",
+            "Destination"
+        ]);
+    }
+}

@@ -1,0 +1,187 @@
+//! Vertex replication analysis (§II.D, Figure 3).
+//!
+//! When the edge set is partitioned, a vertex is *replicated* into every
+//! partition that holds an edge incident to it. For partitioning by
+//! destination with a CSR (source-indexed) per-partition layout, vertex `u`
+//! appears in partition `p` iff `u` has at least one out-edge whose
+//! destination's home is `p`. The **replication factor**
+//! `r(p) = (Σ_p #distinct sources in p) / |V|` multiplies the vertex-array
+//! storage of the pruned CSR layout and the control work of traversal
+//! (§II.F). Its worst case is `|E| / |V|` (one partition per vertex).
+
+use crate::edge_list::EdgeList;
+use crate::partition::{BalanceMode, PartitionBy, PartitionSet};
+use crate::types::VertexId;
+
+/// Counts, per partition, the number of distinct vertices that have at least
+/// one incident edge assigned to that partition (the pruned-CSR "stored
+/// vertex" count), counting the indexed endpoint.
+///
+/// For [`PartitionBy::Destination`] the indexed endpoint is the **source**
+/// (forward traversal within the partition); for [`PartitionBy::Source`] it
+/// is the destination.
+pub fn stored_vertices_per_partition(el: &EdgeList, set: &PartitionSet) -> Vec<usize> {
+    let p = set.num_partitions();
+    let n = el.num_vertices();
+    // stamp[u] = last partition id (plus one) that counted u; partitions are
+    // processed one at a time so a single array suffices.
+    let mut stamp = vec![0u32; n];
+    let mut counts = vec![0usize; p];
+
+    // Bucket edge endpoints by home partition first so each partition's
+    // pass sees its own edges contiguously.
+    let srcs = el.srcs();
+    let dsts = el.dsts();
+    let m = el.num_edges();
+    let mut bucket_counts = vec![0usize; p + 1];
+    for e in 0..m {
+        bucket_counts[set.edge_home(srcs[e], dsts[e]) + 1] += 1;
+    }
+    for i in 0..p {
+        bucket_counts[i + 1] += bucket_counts[i];
+    }
+    let offsets = bucket_counts.clone();
+    // The endpoint that the per-partition index stores explicitly.
+    let mut indexed = vec![0 as VertexId; m];
+    for e in 0..m {
+        let h = set.edge_home(srcs[e], dsts[e]);
+        indexed[bucket_counts[h]] = match set.by() {
+            PartitionBy::Destination => srcs[e],
+            PartitionBy::Source => dsts[e],
+        };
+        bucket_counts[h] += 1;
+    }
+
+    for part in 0..p {
+        let marker = part as u32 + 1;
+        for &u in &indexed[offsets[part]..offsets[part + 1]] {
+            if stamp[u as usize] != marker {
+                stamp[u as usize] = marker;
+                counts[part] += 1;
+            }
+        }
+    }
+    counts
+}
+
+/// The replication factor `r(p)` of §II.D: average number of partitions in
+/// which a vertex is stored. Returns 0.0 for an empty vertex set.
+pub fn replication_factor(el: &EdgeList, set: &PartitionSet) -> f64 {
+    if el.num_vertices() == 0 {
+        return 0.0;
+    }
+    let total: usize = stored_vertices_per_partition(el, set).iter().sum();
+    total as f64 / el.num_vertices() as f64
+}
+
+/// Worst-case replication factor `|E| / |V|` (every vertex in a distinct
+/// partition, §II.D).
+pub fn worst_case_replication_factor(el: &EdgeList) -> f64 {
+    if el.num_vertices() == 0 {
+        0.0
+    } else {
+        el.num_edges() as f64 / el.num_vertices() as f64
+    }
+}
+
+/// Computes `r(p)` for each requested partition count, using edge-balanced
+/// partitioning by destination (the configuration of Figure 3).
+pub fn replication_sweep(el: &EdgeList, partition_counts: &[usize]) -> Vec<(usize, f64)> {
+    let in_deg = el.in_degrees();
+    partition_counts
+        .iter()
+        .map(|&p| {
+            let set = PartitionSet::new(&in_deg, p, PartitionBy::Destination, BalanceMode::Edges);
+            (p, replication_factor(el, &set))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn figure1_graph() -> EdgeList {
+        EdgeList::from_edges(
+            6,
+            &[
+                (0, 1),
+                (0, 2),
+                (0, 3),
+                (0, 4),
+                (0, 5),
+                (2, 4),
+                (3, 4),
+                (3, 5),
+                (4, 5),
+                (5, 0),
+                (5, 1),
+                (5, 2),
+                (5, 3),
+                (5, 4),
+            ],
+        )
+    }
+
+    #[test]
+    fn figure1_value() {
+        // §II.D: "the average replication factor is 7/6 for the partitioned
+        // CSR layout" with 2 partitions.
+        let el = figure1_graph();
+        let set = PartitionSet::edge_balanced(&el.in_degrees(), 2, PartitionBy::Destination);
+        let r = replication_factor(&el, &set);
+        assert!((r - 7.0 / 6.0).abs() < 1e-12, "r = {r}");
+    }
+
+    #[test]
+    fn one_partition_counts_sources_once() {
+        let el = figure1_graph();
+        let set = PartitionSet::whole(6, PartitionBy::Destination);
+        // Vertices with out-edges: 0, 2, 3, 4, 5 (vertex 1 has none).
+        assert_eq!(stored_vertices_per_partition(&el, &set), vec![5]);
+    }
+
+    #[test]
+    fn monotone_in_partition_count() {
+        // r(p) is non-decreasing in p for nested range partitions in
+        // practice; verify on the example graph.
+        let el = figure1_graph();
+        let sweep = replication_sweep(&el, &[1, 2, 3, 6]);
+        for w in sweep.windows(2) {
+            assert!(w[1].1 >= w[0].1 - 1e-12, "{sweep:?}");
+        }
+    }
+
+    #[test]
+    fn worst_case_bound_holds() {
+        let el = figure1_graph();
+        let wc = worst_case_replication_factor(&el);
+        assert!((wc - 14.0 / 6.0).abs() < 1e-12);
+        // One partition per vertex reaches at most the worst case.
+        let set = PartitionSet::vertex_balanced(6, 6, PartitionBy::Destination);
+        assert!(replication_factor(&el, &set) <= wc + 1e-12);
+    }
+
+    #[test]
+    fn by_source_counts_destinations() {
+        // Under partitioning-by-source the per-partition index stores
+        // destinations (a CSC layout per partition).
+        let el = EdgeList::from_edges(4, &[(0, 1), (0, 2), (0, 3), (1, 3)]);
+        let set = PartitionSet::vertex_balanced(4, 2, PartitionBy::Source);
+        // All 4 edges have src in partition 0 (vertices 0..2): distinct dsts
+        // = {1, 2, 3} = 3. Partition 1 has no edges.
+        assert_eq!(stored_vertices_per_partition(&el, &set), vec![3, 0]);
+    }
+
+    #[test]
+    fn agrees_with_partitioned_csr() {
+        // The analytic count must match what PartitionedCsr actually builds.
+        let el = figure1_graph();
+        for p in [1usize, 2, 3, 4, 6] {
+            let set = PartitionSet::edge_balanced(&el.in_degrees(), p, PartitionBy::Destination);
+            let counted: usize = stored_vertices_per_partition(&el, &set).iter().sum();
+            let built = crate::csr::PartitionedCsr::new(&el, &set).total_stored_vertices();
+            assert_eq!(counted, built, "P = {p}");
+        }
+    }
+}

@@ -1,0 +1,170 @@
+//! The storage-size model of §II.E (Figure 4).
+//!
+//! For a directed unweighted graph with `|V|` vertices, `|E|` edges,
+//! replication factor `r(p)` at `p` partitions, `bv` bytes per vertex id and
+//! `be` bytes per edge-list index:
+//!
+//! | Layout        | Bytes                          | Grows with `p`?       |
+//! |---------------|--------------------------------|------------------------|
+//! | CSR (pruned)  | `r(p)·|V|·(be + bv) + |E|·bv` | as `r(p)`             |
+//! | CSR (unpruned)| `p·|V|·be + |E|·bv`           | linearly              |
+//! | CSC (whole)   | `|V|·be + |E|·bv`             | no                    |
+//! | COO           | `2·|E|·bv`                    | no                    |
+//!
+//! The conclusion driving the paper's composite design: only COO scales to
+//! large partition counts; the CSC needs a single unpartitioned copy; CSR is
+//! kept unpartitioned for sparse frontiers only.
+
+use crate::edge_list::EdgeList;
+use crate::replication;
+use crate::types::{BYTES_PER_EDGE_INDEX, BYTES_PER_VERTEX_ID};
+
+/// Modeled bytes for the pruned partitioned CSR at replication factor `r`.
+pub fn csr_pruned_bytes(n: usize, m: usize, r: f64) -> f64 {
+    r * n as f64 * (BYTES_PER_EDGE_INDEX + BYTES_PER_VERTEX_ID) as f64
+        + m as f64 * BYTES_PER_VERTEX_ID as f64
+}
+
+/// Modeled bytes for the unpruned partitioned CSR (Polymer's layout) at `p`
+/// partitions.
+pub fn csr_unpruned_bytes(n: usize, m: usize, p: usize) -> f64 {
+    (p * n * BYTES_PER_EDGE_INDEX + m * BYTES_PER_VERTEX_ID) as f64
+}
+
+/// Modeled bytes for the whole-graph CSC (independent of `p`).
+pub fn csc_bytes(n: usize, m: usize) -> f64 {
+    (n * BYTES_PER_EDGE_INDEX + m * BYTES_PER_VERTEX_ID) as f64
+}
+
+/// Modeled bytes for the COO layout (independent of `p`).
+pub fn coo_bytes(m: usize) -> f64 {
+    (2 * m * BYTES_PER_VERTEX_ID) as f64
+}
+
+/// One row of the Figure 4 storage sweep.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct StorageRow {
+    /// Number of partitions.
+    pub partitions: usize,
+    /// Replication factor at this partition count.
+    pub replication: f64,
+    /// Pruned partitioned CSR bytes (curve "CSR pruned").
+    pub csr_pruned: f64,
+    /// Unpruned partitioned CSR bytes (curve "CSR").
+    pub csr_unpruned: f64,
+    /// Whole-graph CSC bytes (flat curve).
+    pub csc: f64,
+    /// COO bytes (flat curve).
+    pub coo: f64,
+}
+
+/// Computes the Figure 4 storage curves for the given partition counts,
+/// using edge-balanced partitioning by destination.
+pub fn storage_sweep(el: &EdgeList, partition_counts: &[usize]) -> Vec<StorageRow> {
+    let n = el.num_vertices();
+    let m = el.num_edges();
+    replication::replication_sweep(el, partition_counts)
+        .into_iter()
+        .map(|(p, r)| StorageRow {
+            partitions: p,
+            replication: r,
+            csr_pruned: csr_pruned_bytes(n, m, r),
+            csr_unpruned: csr_unpruned_bytes(n, m, p),
+            csc: csc_bytes(n, m),
+            coo: coo_bytes(m),
+        })
+        .collect()
+}
+
+/// Bytes → GiB, for printing Figure 4's y-axis.
+pub fn to_gib(bytes: f64) -> f64 {
+    bytes / (1024.0 * 1024.0 * 1024.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::{PartitionBy, PartitionSet};
+
+    fn figure1_graph() -> EdgeList {
+        EdgeList::from_edges(
+            6,
+            &[
+                (0, 1),
+                (0, 2),
+                (0, 3),
+                (0, 4),
+                (0, 5),
+                (2, 4),
+                (3, 4),
+                (3, 5),
+                (4, 5),
+                (5, 0),
+                (5, 1),
+                (5, 2),
+                (5, 3),
+                (5, 4),
+            ],
+        )
+    }
+
+    #[test]
+    fn flat_layouts_do_not_grow() {
+        let el = figure1_graph();
+        let rows = storage_sweep(&el, &[1, 2, 4, 6]);
+        for w in rows.windows(2) {
+            assert_eq!(w[0].coo, w[1].coo);
+            assert_eq!(w[0].csc, w[1].csc);
+        }
+    }
+
+    #[test]
+    fn csr_layouts_grow() {
+        let el = figure1_graph();
+        let rows = storage_sweep(&el, &[1, 2, 6]);
+        assert!(rows[2].csr_pruned > rows[0].csr_pruned);
+        assert!(rows[2].csr_unpruned > rows[0].csr_unpruned);
+        // Unpruned grows strictly linearly in p.
+        let n = 6.0 * BYTES_PER_EDGE_INDEX as f64;
+        assert!((rows[1].csr_unpruned - rows[0].csr_unpruned - n).abs() < 1e-9);
+    }
+
+    #[test]
+    fn model_tracks_measured_coo() {
+        let el = figure1_graph();
+        let coo = crate::coo::Coo::from_edge_list(&el);
+        assert_eq!(coo.heap_bytes() as f64, coo_bytes(el.num_edges()));
+    }
+
+    #[test]
+    fn model_tracks_measured_csc() {
+        let el = figure1_graph();
+        let csc = crate::csc::Csc::from_edge_list(&el);
+        // Measured has one extra offset entry (n+1 vs n in the model).
+        let modeled = csc_bytes(el.num_vertices(), el.num_edges());
+        let measured = csc.heap_bytes() as f64;
+        assert!((measured - modeled - BYTES_PER_EDGE_INDEX as f64).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pruned_model_tracks_measured_within_offsets() {
+        // The model charges (be + bv) per stored vertex; the built structure
+        // additionally stores one offset per partition (the +1 entry).
+        let el = figure1_graph();
+        let set = PartitionSet::edge_balanced(&el.in_degrees(), 2, PartitionBy::Destination);
+        let built = crate::csr::PartitionedCsr::new(&el, &set);
+        let r = crate::replication::replication_factor(&el, &set);
+        let modeled = csr_pruned_bytes(el.num_vertices(), el.num_edges(), r);
+        let measured = built.heap_bytes() as f64;
+        let slack = (set.num_partitions() * BYTES_PER_EDGE_INDEX) as f64;
+        assert!(
+            (measured - modeled - slack).abs() < 1e-9,
+            "measured {measured}, modeled {modeled}"
+        );
+    }
+
+    #[test]
+    fn gib_conversion() {
+        assert_eq!(to_gib(1024.0 * 1024.0 * 1024.0), 1.0);
+    }
+}

@@ -1,0 +1,59 @@
+//! Fundamental scalar types shared across all graph layouts.
+//!
+//! Vertex identifiers are 32-bit (the paper's storage model, §II.E, assumes
+//! `bv = 4` bytes per vertex id); edge-list indices are machine words
+//! (`be = 8` bytes), matching the Compressed Sparse Row convention of
+//! SPARSKIT-style formats.
+
+/// Identifier of a vertex. Dense in `0..n`.
+pub type VertexId = u32;
+
+/// Index into an edge array (offsets in CSR/CSC, positions in COO).
+pub type EdgeId = usize;
+
+/// Sentinel for "no vertex" (e.g. an unvisited BFS parent).
+pub const INVALID_VERTEX: VertexId = VertexId::MAX;
+
+/// Bytes used to store one vertex identifier (`bv` in the paper's §II.E
+/// storage model).
+pub const BYTES_PER_VERTEX_ID: usize = std::mem::size_of::<VertexId>();
+
+/// Bytes used to store one edge-list index (`be` in the paper's §II.E
+/// storage model).
+pub const BYTES_PER_EDGE_INDEX: usize = std::mem::size_of::<EdgeId>();
+
+/// A directed edge `(src, dst)`.
+pub type Edge = (VertexId, VertexId);
+
+/// Returns the number of vertices implied by an iterator of edges: one more
+/// than the maximum endpoint, or zero for an empty iterator.
+pub fn implied_vertex_count<I: IntoIterator<Item = Edge>>(edges: I) -> usize {
+    edges
+        .into_iter()
+        .map(|(u, v)| u.max(v) as usize + 1)
+        .max()
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn implied_count_empty() {
+        assert_eq!(implied_vertex_count(Vec::new()), 0);
+    }
+
+    #[test]
+    fn implied_count_max_endpoint() {
+        assert_eq!(implied_vertex_count(vec![(0, 3), (2, 1)]), 4);
+        assert_eq!(implied_vertex_count(vec![(7, 0)]), 8);
+    }
+
+    #[test]
+    fn storage_constants_match_paper() {
+        // The §II.E model uses bv = 4 and be = 8 on 64-bit targets.
+        assert_eq!(BYTES_PER_VERTEX_ID, 4);
+        assert_eq!(BYTES_PER_EDGE_INDEX, 8);
+    }
+}

@@ -1,0 +1,171 @@
+//! Log2-bucketed histograms, the presentation format of Figure 2 (both axes
+//! of that figure are logarithmic).
+
+/// A histogram over `u64` values with power-of-two buckets: bucket 0 holds
+/// the value 0, bucket `k >= 1` holds values in `[2^(k-1), 2^k - 1]`.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct LogHistogram {
+    buckets: Vec<u64>,
+    count: u64,
+}
+
+impl LogHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    #[inline]
+    fn bucket_of(value: u64) -> usize {
+        if value == 0 {
+            0
+        } else {
+            (64 - value.leading_zeros()) as usize
+        }
+    }
+
+    /// Adds one observation.
+    #[inline]
+    pub fn add(&mut self, value: u64) {
+        let b = Self::bucket_of(value);
+        if self.buckets.len() <= b {
+            self.buckets.resize(b + 1, 0);
+        }
+        self.buckets[b] += 1;
+        self.count += 1;
+    }
+
+    /// Number of observations.
+    #[inline]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Bucket counts (index = bucket number).
+    #[inline]
+    pub fn buckets(&self) -> &[u64] {
+        &self.buckets
+    }
+
+    /// Inclusive value range of bucket `b`.
+    pub fn bucket_range(b: usize) -> (u64, u64) {
+        if b == 0 {
+            (0, 0)
+        } else {
+            (1u64 << (b - 1), (1u64 << b) - 1)
+        }
+    }
+
+    /// Largest observed bucket's upper bound (0 for an empty histogram) —
+    /// the "worst-case reuse distance" Figure 2 shows contracting.
+    pub fn max_bucket_upper(&self) -> u64 {
+        match self.buckets.iter().rposition(|&c| c > 0) {
+            Some(b) => Self::bucket_range(b).1,
+            None => 0,
+        }
+    }
+
+    /// Approximate quantile: upper bound of the bucket containing the
+    /// `q`-quantile observation (`0.0 <= q <= 1.0`).
+    pub fn quantile_upper(&self, q: f64) -> u64 {
+        assert!((0.0..=1.0).contains(&q));
+        if self.count == 0 {
+            return 0;
+        }
+        let target = (q * self.count as f64).ceil().max(1.0) as u64;
+        let mut acc = 0;
+        for (b, &c) in self.buckets.iter().enumerate() {
+            acc += c;
+            if acc >= target {
+                return Self::bucket_range(b).1;
+            }
+        }
+        self.max_bucket_upper()
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        if self.buckets.len() < other.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (b, &c) in other.buckets.iter().enumerate() {
+            self.buckets[b] += c;
+        }
+        self.count += other.count;
+    }
+
+    /// Iterator over `(bucket_upper_bound, count)` pairs for plotting, with
+    /// empty buckets skipped.
+    pub fn series(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(b, &c)| (Self::bucket_range(b).1, c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(LogHistogram::bucket_of(0), 0);
+        assert_eq!(LogHistogram::bucket_of(1), 1);
+        assert_eq!(LogHistogram::bucket_of(2), 2);
+        assert_eq!(LogHistogram::bucket_of(3), 2);
+        assert_eq!(LogHistogram::bucket_of(4), 3);
+        assert_eq!(LogHistogram::bucket_of(1023), 10);
+        assert_eq!(LogHistogram::bucket_of(1024), 11);
+        assert_eq!(LogHistogram::bucket_range(2), (2, 3));
+        assert_eq!(LogHistogram::bucket_range(0), (0, 0));
+    }
+
+    #[test]
+    fn add_and_count() {
+        let mut h = LogHistogram::new();
+        for v in [0u64, 1, 2, 3, 100] {
+            h.add(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.buckets()[0], 1);
+        assert_eq!(h.buckets()[1], 1);
+        assert_eq!(h.buckets()[2], 2);
+        assert_eq!(h.max_bucket_upper(), 127); // 100 is in [64, 127]
+    }
+
+    #[test]
+    fn quantiles() {
+        let mut h = LogHistogram::new();
+        for _ in 0..90 {
+            h.add(1);
+        }
+        for _ in 0..10 {
+            h.add(1000);
+        }
+        assert_eq!(h.quantile_upper(0.5), 1);
+        assert_eq!(h.quantile_upper(0.99), 1023);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = LogHistogram::new();
+        a.add(5);
+        let mut b = LogHistogram::new();
+        b.add(5);
+        b.add(1_000_000);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.buckets()[3], 2); // value 5 -> bucket 3 ([4,7])
+    }
+
+    #[test]
+    fn series_skips_empty() {
+        let mut h = LogHistogram::new();
+        h.add(1);
+        h.add(64);
+        let s: Vec<_> = h.series().collect();
+        assert_eq!(s, vec![(1, 1), (127, 1)]);
+    }
+}

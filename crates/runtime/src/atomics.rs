@@ -1,0 +1,284 @@
+//! Atomic cells with dual update paths.
+//!
+//! The paper's central performance lever (§III.C): when every partition is
+//! processed by exactly one thread and partitions have non-overlapping
+//! update sets, value updates need **no hardware atomics** — they observed
+//! 6.1–23.7 % speedup from removing them. In Rust we keep the arrays typed
+//! as atomics for safety, but the *exclusive* path uses plain relaxed
+//! load/store (compiling to ordinary `mov`s on x86), while the *atomic*
+//! path uses `compare_exchange` loops / RMW instructions. The two paths
+//! therefore reproduce exactly the "+na" vs "+a" cost difference.
+
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+
+/// An `f32` stored in an `AtomicU32`.
+#[derive(Debug, Default)]
+pub struct AtomicF32(AtomicU32);
+
+impl AtomicF32 {
+    /// Creates a cell holding `v`.
+    pub fn new(v: f32) -> Self {
+        AtomicF32(AtomicU32::new(v.to_bits()))
+    }
+
+    /// Relaxed load.
+    #[inline]
+    pub fn load(&self) -> f32 {
+        f32::from_bits(self.0.load(Ordering::Relaxed))
+    }
+
+    /// Relaxed store (the exclusive / "+na" write path).
+    #[inline]
+    pub fn store(&self, v: f32) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Exclusive add: plain read-modify-write without atomicity. Sound only
+    /// when the caller guarantees a single writer (partition exclusivity).
+    #[inline]
+    pub fn add_exclusive(&self, v: f32) {
+        self.store(self.load() + v);
+    }
+
+    /// Atomic add via compare-exchange loop (the "+a" path).
+    #[inline]
+    pub fn fetch_add(&self, v: f32) -> f32 {
+        let mut cur = self.0.load(Ordering::Relaxed);
+        loop {
+            let new = (f32::from_bits(cur) + v).to_bits();
+            match self
+                .0
+                .compare_exchange_weak(cur, new, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return f32::from_bits(cur),
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Atomic minimum; returns `true` if the stored value decreased.
+    /// NaN-free inputs assumed (graph weights are finite).
+    #[inline]
+    pub fn fetch_min(&self, v: f32) -> bool {
+        let mut cur = self.0.load(Ordering::Relaxed);
+        loop {
+            if f32::from_bits(cur) <= v {
+                return false;
+            }
+            match self.0.compare_exchange_weak(
+                cur,
+                v.to_bits(),
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return true,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Exclusive minimum; returns `true` if the stored value decreased.
+    #[inline]
+    pub fn min_exclusive(&self, v: f32) -> bool {
+        if v < self.load() {
+            self.store(v);
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// An `f64` stored in an `AtomicU64`.
+#[derive(Debug, Default)]
+pub struct AtomicF64(AtomicU64);
+
+impl AtomicF64 {
+    /// Creates a cell holding `v`.
+    pub fn new(v: f64) -> Self {
+        AtomicF64(AtomicU64::new(v.to_bits()))
+    }
+
+    /// Relaxed load.
+    #[inline]
+    pub fn load(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+
+    /// Relaxed store (the exclusive / "+na" write path).
+    #[inline]
+    pub fn store(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Exclusive add (single-writer contexts only).
+    #[inline]
+    pub fn add_exclusive(&self, v: f64) {
+        self.store(self.load() + v);
+    }
+
+    /// Atomic add via compare-exchange loop.
+    #[inline]
+    pub fn fetch_add(&self, v: f64) -> f64 {
+        let mut cur = self.0.load(Ordering::Relaxed);
+        loop {
+            let new = (f64::from_bits(cur) + v).to_bits();
+            match self
+                .0
+                .compare_exchange_weak(cur, new, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return f64::from_bits(cur),
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+}
+
+/// Allocates a vector of `n` atomic `f32` cells initialised to `v`.
+pub fn atomic_f32_vec(n: usize, v: f32) -> Vec<AtomicF32> {
+    let mut out = Vec::with_capacity(n);
+    out.resize_with(n, || AtomicF32::new(v));
+    out
+}
+
+/// Allocates a vector of `n` atomic `f64` cells initialised to `v`.
+pub fn atomic_f64_vec(n: usize, v: f64) -> Vec<AtomicF64> {
+    let mut out = Vec::with_capacity(n);
+    out.resize_with(n, || AtomicF64::new(v));
+    out
+}
+
+/// Allocates a vector of `n` `AtomicU32` cells initialised to `v`.
+pub fn atomic_u32_vec(n: usize, v: u32) -> Vec<AtomicU32> {
+    let mut out = Vec::with_capacity(n);
+    out.resize_with(n, || AtomicU32::new(v));
+    out
+}
+
+/// Atomic minimum on an `AtomicU32`; returns `true` if the value decreased.
+#[inline]
+pub fn fetch_min_u32(cell: &AtomicU32, v: u32) -> bool {
+    cell.fetch_min(v, Ordering::Relaxed) > v
+}
+
+/// Copies atomic `f64` values into a plain vector (quiesced readers only).
+pub fn snapshot_f64(cells: &[AtomicF64]) -> Vec<f64> {
+    cells.iter().map(|c| c.load()).collect()
+}
+
+/// Copies atomic `f32` values into a plain vector.
+pub fn snapshot_f32(cells: &[AtomicF32]) -> Vec<f32> {
+    cells.iter().map(|c| c.load()).collect()
+}
+
+/// Copies atomic `u32` values into a plain vector.
+pub fn snapshot_u32(cells: &[AtomicU32]) -> Vec<u32> {
+    cells.iter().map(|c| c.load(Ordering::Relaxed)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn f32_roundtrip() {
+        let c = AtomicF32::new(1.5);
+        assert_eq!(c.load(), 1.5);
+        c.store(-2.25);
+        assert_eq!(c.load(), -2.25);
+        c.add_exclusive(0.25);
+        assert_eq!(c.load(), -2.0);
+    }
+
+    #[test]
+    fn f32_fetch_add_concurrent() {
+        let c = Arc::new(AtomicF32::new(0.0));
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let c = Arc::clone(&c);
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        c.fetch_add(1.0);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(c.load(), 8000.0);
+    }
+
+    #[test]
+    fn f64_fetch_add_concurrent() {
+        let c = Arc::new(AtomicF64::new(0.0));
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let c = Arc::clone(&c);
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        c.fetch_add(0.5);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(c.load(), 4000.0);
+    }
+
+    #[test]
+    fn f32_fetch_min() {
+        let c = AtomicF32::new(10.0);
+        assert!(c.fetch_min(5.0));
+        assert!(!c.fetch_min(7.0));
+        assert_eq!(c.load(), 5.0);
+        assert!(c.min_exclusive(1.0));
+        assert!(!c.min_exclusive(1.0));
+        assert_eq!(c.load(), 1.0);
+    }
+
+    #[test]
+    fn u32_min_reports_decrease() {
+        let c = AtomicU32::new(100);
+        assert!(fetch_min_u32(&c, 50));
+        assert!(!fetch_min_u32(&c, 50));
+        assert!(!fetch_min_u32(&c, 60));
+        assert_eq!(c.load(Ordering::Relaxed), 50);
+    }
+
+    #[test]
+    fn concurrent_min_settles_to_global_min() {
+        let c = Arc::new(AtomicU32::new(u32::MAX));
+        let handles: Vec<_> = (0..8u32)
+            .map(|t| {
+                let c = Arc::clone(&c);
+                std::thread::spawn(move || {
+                    for i in 0..1000u32 {
+                        fetch_min_u32(&c, (t * 1000 + i) ^ 0x5a5a);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let expect = (0..8u32)
+            .flat_map(|t| (0..1000u32).map(move |i| (t * 1000 + i) ^ 0x5a5a))
+            .min()
+            .unwrap();
+        assert_eq!(c.load(Ordering::Relaxed), expect);
+    }
+
+    #[test]
+    fn vec_constructors() {
+        let v = atomic_f64_vec(5, 3.0);
+        assert_eq!(snapshot_f64(&v), vec![3.0; 5]);
+        let v = atomic_f32_vec(4, -1.0);
+        assert_eq!(snapshot_f32(&v), vec![-1.0; 4]);
+        let v = atomic_u32_vec(3, 9);
+        assert_eq!(snapshot_u32(&v), vec![9; 3]);
+    }
+}

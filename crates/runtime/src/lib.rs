@@ -1,0 +1,35 @@
+//! # gg-runtime — parallel execution substrate
+//!
+//! The paper runs on a 4-socket NUMA machine with a Cilk-based runtime
+//! extended for NUMA-aware loop scheduling. This crate provides the
+//! portable equivalent used throughout the reproduction:
+//!
+//! * [`pool::Pool`] — a rayon-backed fork-join pool with an explicit thread
+//!   count (Figure 10 sweeps 4–48 threads) and helpers for per-partition
+//!   parallel loops;
+//! * [`numa::NumaTopology`] — a *simulated* NUMA topology: partitions are
+//!   assigned to domains exactly as the paper assigns them to sockets
+//!   (equal counts per domain, §III.D), and the schedule groups partitions
+//!   of one domain together. The physical page placement the paper gets
+//!   from libnuma is not reproducible portably; what this preserves is the
+//!   *exclusive update* structure (one partition → one thread) that the
+//!   atomics-removal claim depends on;
+//! * [`atomics`] — atomic `f32`/`f64`/min/CAS cells with both an **atomic**
+//!   path (compare-exchange loops; the paper's "+a" configurations) and an
+//!   **exclusive** path (plain relaxed load/store, valid when
+//!   partitioning-by-destination guarantees a single writer; the "+na"
+//!   configurations);
+//! * [`counters::WorkCounters`] — cheap aggregate counters for edges and
+//!   vertices visited, feeding the instruction-count proxy of `gg-memsim`.
+
+pub mod atomics;
+pub mod counters;
+pub mod numa;
+pub mod pool;
+pub mod schedule;
+
+pub use atomics::{AtomicF32, AtomicF64};
+pub use counters::WorkCounters;
+pub use numa::NumaTopology;
+pub use pool::Pool;
+pub use schedule::PartitionSchedule;

@@ -1,0 +1,176 @@
+//! Fork-join thread pool with an explicit thread count.
+//!
+//! The paper's Figure 10 sweeps 4–48 threads; engines therefore carry their
+//! own [`Pool`] instead of using rayon's global pool, so benchmark code can
+//! instantiate differently sized pools side by side.
+
+use rayon::prelude::*;
+
+/// A fixed-width work-stealing pool.
+pub struct Pool {
+    inner: rayon::ThreadPool,
+    threads: usize,
+}
+
+impl std::fmt::Debug for Pool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pool").field("threads", &self.threads).finish()
+    }
+}
+
+impl Pool {
+    /// Creates a pool with exactly `threads` worker threads.
+    ///
+    /// # Panics
+    /// Panics if `threads == 0` or the OS refuses to spawn workers.
+    pub fn new(threads: usize) -> Self {
+        assert!(threads > 0, "pool needs at least one thread");
+        let inner = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .thread_name(|i| format!("gg-worker-{i}"))
+            .build()
+            .expect("failed to build thread pool");
+        Pool { inner, threads }
+    }
+
+    /// A pool sized to the machine (rayon's default heuristic).
+    pub fn machine_sized() -> Self {
+        Self::new(
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+        )
+    }
+
+    /// Number of worker threads.
+    #[inline]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `f` inside the pool (all rayon parallelism in `f` uses this
+    /// pool's workers).
+    #[inline]
+    pub fn install<R: Send>(&self, f: impl FnOnce() -> R + Send) -> R {
+        self.inner.install(f)
+    }
+
+    /// Parallel loop over `0..count` with one call per index. Used for
+    /// per-partition execution: the closure for partition `p` runs on
+    /// exactly one worker, giving the exclusive-update guarantee.
+    pub fn for_each_index(&self, count: usize, f: impl Fn(usize) + Sync) {
+        self.install(|| {
+            (0..count).into_par_iter().for_each(&f);
+        });
+    }
+
+    /// Parallel loop over `0..count` in `order`: `order[k]` is run with
+    /// priority position `k`. Used to schedule partitions grouped by NUMA
+    /// domain.
+    pub fn for_each_in_order(&self, order: &[usize], f: impl Fn(usize) + Sync) {
+        self.install(|| {
+            order.par_iter().for_each(|&i| f(i));
+        });
+    }
+
+    /// Parallel map over `0..count` collecting results in index order.
+    pub fn map_indices<R: Send>(&self, count: usize, f: impl Fn(usize) -> R + Sync) -> Vec<R> {
+        self.install(|| (0..count).into_par_iter().map(&f).collect())
+    }
+
+    /// Splits `0..len` into roughly `tasks` contiguous chunks and runs `f`
+    /// on each `(start, end)` in parallel. Chunk grain for flat loops over
+    /// vertices/edges.
+    pub fn for_each_chunk(&self, len: usize, tasks: usize, f: impl Fn(usize, usize) + Sync) {
+        if len == 0 {
+            return;
+        }
+        let tasks = tasks.max(1).min(len);
+        self.install(|| {
+            (0..tasks).into_par_iter().for_each(|t| {
+                let start = len * t / tasks;
+                let end = len * (t + 1) / tasks;
+                f(start, end);
+            });
+        });
+    }
+
+    /// Parallel sum of `f(i)` over `0..count`.
+    pub fn sum_u64(&self, count: usize, f: impl Fn(usize) -> u64 + Sync) -> u64 {
+        self.install(|| (0..count).into_par_iter().map(&f).sum())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+    #[test]
+    fn respects_thread_count() {
+        let pool = Pool::new(3);
+        assert_eq!(pool.threads(), 3);
+        let seen = AtomicUsize::new(0);
+        pool.install(|| {
+            seen.store(rayon::current_num_threads(), Ordering::Relaxed);
+        });
+        assert_eq!(seen.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn for_each_index_covers_all() {
+        let pool = Pool::new(4);
+        let hits = AtomicU64::new(0);
+        pool.for_each_index(100, |i| {
+            hits.fetch_add(i as u64 + 1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 100 * 101 / 2);
+    }
+
+    #[test]
+    fn chunks_partition_the_range() {
+        let pool = Pool::new(4);
+        let total = AtomicU64::new(0);
+        pool.for_each_chunk(1003, 7, |s, e| {
+            assert!(s < e);
+            total.fetch_add((e - s) as u64, Ordering::Relaxed);
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 1003);
+    }
+
+    #[test]
+    fn chunks_handle_degenerate_sizes() {
+        let pool = Pool::new(2);
+        pool.for_each_chunk(0, 4, |_, _| panic!("no chunks for empty range"));
+        let count = AtomicU64::new(0);
+        pool.for_each_chunk(2, 100, |s, e| {
+            count.fetch_add((e - s) as u64, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn map_preserves_order() {
+        let pool = Pool::new(4);
+        let v = pool.map_indices(50, |i| i * i);
+        assert_eq!(v[7], 49);
+        assert_eq!(v.len(), 50);
+    }
+
+    #[test]
+    fn sum_matches() {
+        let pool = Pool::new(2);
+        assert_eq!(pool.sum_u64(10, |i| i as u64), 45);
+    }
+
+    #[test]
+    fn ordered_loop_runs_all() {
+        let pool = Pool::new(2);
+        let order = vec![3, 1, 0, 2];
+        let mask = AtomicU64::new(0);
+        pool.for_each_in_order(&order, |i| {
+            mask.fetch_or(1 << i, Ordering::Relaxed);
+        });
+        assert_eq!(mask.load(Ordering::Relaxed), 0b1111);
+    }
+}

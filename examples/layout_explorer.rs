@@ -1,0 +1,64 @@
+//! Layout explorer: measures, on one graph, everything §II of the paper
+//! analyses — replication factor, storage size per layout, and the actual
+//! runtime of each forced layout — so you can see the trade-offs the
+//! composite store resolves.
+//!
+//! ```text
+//! cargo run --release --example layout_explorer
+//! ```
+
+use graphgrind::algorithms;
+use graphgrind::core::{Config, ForcedKernel, GraphGrind2};
+use graphgrind::graph::generators::{self, RmatParams};
+use graphgrind::graph::{replication, storage};
+
+fn main() {
+    let el = generators::rmat(15, 600_000, RmatParams::skewed(), 5);
+    let (n, m) = (el.num_vertices(), el.num_edges());
+    println!("graph: {n} vertices, {m} edges\n");
+
+    // §II.D: replication factor growth.
+    println!("replication factor r(p) (worst case {:.1}):", replication::worst_case_replication_factor(&el));
+    let parts = [4usize, 16, 64, 256];
+    for (p, r) in replication::replication_sweep(&el, &parts) {
+        println!("  P = {p:>3}: r = {r:.2}");
+    }
+
+    // §II.E: storage model.
+    println!("\nstorage model [MiB]:");
+    println!("  {:<12}{:>10}{:>12}{:>10}{:>10}", "partitions", "CSR", "CSR-pruned", "COO", "CSC");
+    for row in storage::storage_sweep(&el, &parts) {
+        let mib = |b: f64| b / (1024.0 * 1024.0);
+        println!(
+            "  {:<12}{:>10.1}{:>12.1}{:>10.1}{:>10.1}",
+            row.partitions,
+            mib(row.csr_unpruned),
+            mib(row.csr_pruned),
+            mib(row.coo),
+            mib(row.csc)
+        );
+    }
+
+    // §IV.A: actual PageRank time under each forced layout.
+    println!("\nPageRank (10 iters) per forced layout at P = 64:");
+    for (label, force) in [
+        ("CSR + atomics     ", ForcedKernel::CsrAtomic),
+        ("CSC no atomics    ", ForcedKernel::CscNoAtomic),
+        ("COO no atomics    ", ForcedKernel::CooNoAtomic),
+        ("COO + atomics     ", ForcedKernel::CooAtomic),
+    ] {
+        let cfg = Config::default().with_partitions(64).with_forced(force);
+        let engine = GraphGrind2::new(&el, cfg);
+        let t0 = std::time::Instant::now();
+        let _ = algorithms::pagerank(&engine, 10);
+        println!("  {label}: {:.3}s", t0.elapsed().as_secs_f64());
+    }
+
+    // The adaptive engine for comparison.
+    let engine = GraphGrind2::new(&el, Config::default().with_partitions(256));
+    let t0 = std::time::Instant::now();
+    let _ = algorithms::pagerank(&engine, 10);
+    println!("  adaptive (GG-v2)  : {:.3}s", t0.elapsed().as_secs_f64());
+    let (s, md, d) = engine.kernel_counts().snapshot();
+    println!("\nadaptive decisions: {s} sparse / {md} medium / {d} dense");
+}

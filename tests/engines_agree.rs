@@ -1,0 +1,211 @@
+//! Cross-engine agreement: every algorithm must produce the same answer on
+//! Ligra, Polymer, GraphGrind-v1 and GraphGrind-v2 — and match the
+//! sequential oracles — on a variety of graph shapes.
+//!
+//! This is the central safety claim of the paper's design: removing
+//! atomics, changing layouts, changing directions and changing partition
+//! counts are pure *performance* choices and never change results.
+
+use graphgrind::algorithms::{self, reference, validate, Algorithm, BpParams, PrDeltaParams};
+use graphgrind::baselines::{GraphGrind1, Ligra, Polymer};
+use graphgrind::core::{Config, GraphGrind2};
+use graphgrind::graph::edge_list::EdgeList;
+use graphgrind::graph::generators::{self, RmatParams};
+use graphgrind::graph::ops::{symmetrize, transpose};
+use graphgrind::graph::weights;
+use graphgrind::runtime::numa::NumaTopology;
+
+fn test_graphs() -> Vec<(&'static str, EdgeList)> {
+    vec![
+        (
+            "rmat-skewed",
+            generators::rmat(9, 5000, RmatParams::skewed(), 101),
+        ),
+        ("erdos-renyi", generators::erdos_renyi(400, 4000, 102)),
+        ("road-grid", generators::grid_road(18, 18, 0.1, 103)),
+        ("binary-tree", generators::binary_tree(255)),
+    ]
+}
+
+#[test]
+fn bfs_agrees_everywhere() {
+    for (name, el) in test_graphs() {
+        let want = reference::bfs_levels(&el, 0);
+        let l = Ligra::new(&el, 2);
+        let p = Polymer::new(&el, 2, NumaTopology::new(2));
+        let g1 = GraphGrind1::new(&el, 2, NumaTopology::new(2));
+        let g2 = GraphGrind2::new(&el, Config::for_tests());
+        assert_eq!(algorithms::bfs(&l, 0).level, want, "{name}/Ligra");
+        assert_eq!(algorithms::bfs(&p, 0).level, want, "{name}/Polymer");
+        assert_eq!(algorithms::bfs(&g1, 0).level, want, "{name}/GG-v1");
+        assert_eq!(algorithms::bfs(&g2, 0).level, want, "{name}/GG-v2");
+    }
+}
+
+#[test]
+fn cc_agrees_everywhere() {
+    for (name, el) in test_graphs() {
+        let el = symmetrize(&el);
+        let want = reference::cc_labels(&el);
+        let l = Ligra::new(&el, 2);
+        let p = Polymer::new(&el, 2, NumaTopology::new(2));
+        let g1 = GraphGrind1::new(&el, 2, NumaTopology::new(2));
+        let g2 = GraphGrind2::new(&el, Config::for_tests());
+        assert_eq!(algorithms::cc(&l).label, want, "{name}/Ligra");
+        assert_eq!(algorithms::cc(&p).label, want, "{name}/Polymer");
+        assert_eq!(algorithms::cc(&g1).label, want, "{name}/GG-v1");
+        assert_eq!(algorithms::cc(&g2).label, want, "{name}/GG-v2");
+    }
+}
+
+#[test]
+fn pagerank_agrees_everywhere() {
+    for (name, el) in test_graphs() {
+        let want = reference::pagerank(&el, 10);
+        let l = Ligra::new(&el, 2);
+        let p = Polymer::new(&el, 2, NumaTopology::new(2));
+        let g1 = GraphGrind1::new(&el, 2, NumaTopology::new(2));
+        let g2 = GraphGrind2::new(&el, Config::for_tests());
+        for (ename, got) in [
+            ("Ligra", algorithms::pagerank(&l, 10)),
+            ("Polymer", algorithms::pagerank(&p, 10)),
+            ("GG-v1", algorithms::pagerank(&g1, 10)),
+            ("GG-v2", algorithms::pagerank(&g2, 10)),
+        ] {
+            validate::assert_close_f64(&got, &want, 1e-9, 1e-14);
+            let _ = (name, ename);
+        }
+    }
+}
+
+#[test]
+fn bellman_ford_agrees_everywhere() {
+    for (name, mut el) in test_graphs() {
+        weights::attach_integer(&mut el, 9, 55);
+        let want = reference::dijkstra(&el, 0);
+        let l = Ligra::new(&el, 2);
+        let p = Polymer::new(&el, 2, NumaTopology::new(2));
+        let g1 = GraphGrind1::new(&el, 2, NumaTopology::new(2));
+        let g2 = GraphGrind2::new(&el, Config::for_tests());
+        for (ename, got) in [
+            ("Ligra", algorithms::bellman_ford(&l, 0)),
+            ("Polymer", algorithms::bellman_ford(&p, 0)),
+            ("GG-v1", algorithms::bellman_ford(&g1, 0)),
+            ("GG-v2", algorithms::bellman_ford(&g2, 0)),
+        ] {
+            validate::assert_close_f32(&got.dist, &want, 1e-4, 1e-4);
+            let _ = (name, ename);
+        }
+    }
+}
+
+#[test]
+fn spmv_agrees_everywhere() {
+    for (name, mut el) in test_graphs() {
+        weights::attach_uniform(&mut el, 0.1, 2.0, 56);
+        let x: Vec<f64> = (0..el.num_vertices()).map(|i| ((i % 13) + 1) as f64).collect();
+        let want = reference::spmv(&el, &x);
+        let l = Ligra::new(&el, 2);
+        let p = Polymer::new(&el, 2, NumaTopology::new(2));
+        let g1 = GraphGrind1::new(&el, 2, NumaTopology::new(2));
+        let g2 = GraphGrind2::new(&el, Config::for_tests());
+        for (ename, got) in [
+            ("Ligra", algorithms::spmv(&l, &x)),
+            ("Polymer", algorithms::spmv(&p, &x)),
+            ("GG-v1", algorithms::spmv(&g1, &x)),
+            ("GG-v2", algorithms::spmv(&g2, &x)),
+        ] {
+            validate::assert_close_f64(&got, &want, 1e-9, 1e-10);
+            let _ = (name, ename);
+        }
+    }
+}
+
+#[test]
+fn bp_agrees_everywhere() {
+    for (name, el) in test_graphs() {
+        let priors = algorithms::bp::random_priors(el.num_vertices(), 57);
+        let want = reference::bp(&el, &priors, 0.05, 10);
+        let l = Ligra::new(&el, 2);
+        let p = Polymer::new(&el, 2, NumaTopology::new(2));
+        let g1 = GraphGrind1::new(&el, 2, NumaTopology::new(2));
+        let g2 = GraphGrind2::new(&el, Config::for_tests());
+        for (ename, got) in [
+            ("Ligra", algorithms::bp(&l, &priors, BpParams::default())),
+            ("Polymer", algorithms::bp(&p, &priors, BpParams::default())),
+            ("GG-v1", algorithms::bp(&g1, &priors, BpParams::default())),
+            ("GG-v2", algorithms::bp(&g2, &priors, BpParams::default())),
+        ] {
+            validate::assert_close_f64(&got, &want, 1e-9, 1e-12);
+            let _ = (name, ename);
+        }
+    }
+}
+
+#[test]
+fn bc_agrees_everywhere() {
+    for (name, el) in test_graphs() {
+        let elt = transpose(&el);
+        let want = reference::bc_single_source(&el, 0);
+        let got_pairs = [
+            (
+                "Ligra",
+                algorithms::bc(&Ligra::new(&el, 2), &Ligra::new(&elt, 2), 0),
+            ),
+            (
+                "Polymer",
+                algorithms::bc(
+                    &Polymer::new(&el, 2, NumaTopology::new(2)),
+                    &Polymer::new(&elt, 2, NumaTopology::new(2)),
+                    0,
+                ),
+            ),
+            (
+                "GG-v1",
+                algorithms::bc(
+                    &GraphGrind1::new(&el, 2, NumaTopology::new(2)),
+                    &GraphGrind1::new(&elt, 2, NumaTopology::new(2)),
+                    0,
+                ),
+            ),
+            (
+                "GG-v2",
+                algorithms::bc(
+                    &GraphGrind2::new(&el, Config::for_tests()),
+                    &GraphGrind2::new(&elt, Config::for_tests()),
+                    0,
+                ),
+            ),
+        ];
+        for (ename, got) in got_pairs {
+            validate::assert_close_f64(&got.dependency, &want, 1e-9, 1e-10);
+            let _ = (name, ename);
+        }
+    }
+}
+
+#[test]
+fn prdelta_exact_mode_agrees_everywhere() {
+    let el = generators::rmat(9, 5000, RmatParams::skewed(), 104);
+    let want = reference::pagerank(&el, 10);
+    let params = PrDeltaParams {
+        epsilon: 0.0,
+        max_rounds: 10,
+    };
+    let l = Ligra::new(&el, 2);
+    let g2 = GraphGrind2::new(&el, Config::for_tests());
+    validate::assert_close_f64(&algorithms::pagerank_delta(&l, params).rank, &want, 1e-9, 1e-14);
+    validate::assert_close_f64(&algorithms::pagerank_delta(&g2, params).rank, &want, 1e-9, 1e-14);
+}
+
+#[test]
+fn orientation_metadata_consistent() {
+    // Table II invariants used by the harness.
+    for algo in Algorithm::all() {
+        let spec = algo.spec();
+        assert_eq!(
+            algo.vertex_oriented(),
+            spec.orientation == graphgrind::core::Orientation::Vertex
+        );
+    }
+}

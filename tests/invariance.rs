@@ -1,0 +1,134 @@
+//! Configuration invariance: GraphGrind-v2's tuning knobs — partition
+//! count, edge order, thread count, atomics, forced kernels — are pure
+//! performance knobs and must never change algorithm output.
+
+use graphgrind::algorithms::{self, validate};
+use graphgrind::core::{Config, ForcedKernel, GraphGrind2};
+use graphgrind::graph::edge_list::EdgeList;
+use graphgrind::graph::generators::{self, RmatParams};
+use graphgrind::graph::ops::symmetrize;
+use graphgrind::graph::reorder::EdgeOrder;
+use graphgrind::graph::weights;
+use graphgrind::runtime::numa::NumaTopology;
+
+fn graph() -> EdgeList {
+    generators::rmat(10, 9000, RmatParams::skewed(), 2024)
+}
+
+fn base_config() -> Config {
+    Config {
+        threads: 2,
+        num_partitions: 8,
+        numa: NumaTopology::new(2),
+        ..Config::default()
+    }
+}
+
+#[test]
+fn partition_count_invariance() {
+    let el = graph();
+    let reference = algorithms::pagerank(&GraphGrind2::new(&el, base_config()), 10);
+    for p in [2usize, 4, 32, 128, 512] {
+        let cfg = Config {
+            num_partitions: p,
+            ..base_config()
+        };
+        let got = algorithms::pagerank(&GraphGrind2::new(&el, cfg), 10);
+        validate::assert_close_f64(&got, &reference, 1e-12, 1e-16);
+    }
+}
+
+#[test]
+fn edge_order_invariance() {
+    let el = graph();
+    let reference = algorithms::pagerank(&GraphGrind2::new(&el, base_config()), 10);
+    for order in [EdgeOrder::Source, EdgeOrder::Destination, EdgeOrder::Hilbert] {
+        let cfg = Config {
+            edge_order: order,
+            ..base_config()
+        };
+        let got = algorithms::pagerank(&GraphGrind2::new(&el, cfg), 10);
+        // Within a partition, addition order changes -> tiny fp wiggle.
+        validate::assert_close_f64(&got, &reference, 1e-9, 1e-14);
+    }
+}
+
+#[test]
+fn thread_count_invariance() {
+    let mut el = graph();
+    weights::attach_integer(&mut el, 12, 9);
+    let reference = algorithms::bellman_ford(&GraphGrind2::new(&el, base_config()), 0).dist;
+    for threads in [1usize, 3, 8] {
+        let cfg = Config {
+            threads,
+            ..base_config()
+        };
+        let got = algorithms::bellman_ford(&GraphGrind2::new(&el, cfg), 0).dist;
+        assert_eq!(got, reference, "threads = {threads}");
+    }
+}
+
+#[test]
+fn atomics_invariance() {
+    // The paper's §III.C claim in its strongest form: identical output
+    // with and without hardware atomics on the dense path.
+    let el = graph();
+    let no_atomics = algorithms::pagerank(&GraphGrind2::new(&el, base_config()), 10);
+    let cfg = Config {
+        use_atomics_dense: true,
+        ..base_config()
+    };
+    let with_atomics = algorithms::pagerank(&GraphGrind2::new(&el, cfg), 10);
+    validate::assert_close_f64(&with_atomics, &no_atomics, 1e-9, 1e-14);
+}
+
+#[test]
+fn forced_kernel_invariance_for_bfs() {
+    let el = graph();
+    let reference = algorithms::bfs(&GraphGrind2::new(&el, base_config()), 0).level;
+    for force in [
+        ForcedKernel::CsrAtomic,
+        ForcedKernel::CscNoAtomic,
+        ForcedKernel::CooAtomic,
+        ForcedKernel::CooNoAtomic,
+    ] {
+        let cfg = base_config().with_forced(force);
+        let got = algorithms::bfs(&GraphGrind2::new(&el, cfg), 0).level;
+        assert_eq!(got, reference, "forced = {force:?}");
+    }
+}
+
+#[test]
+fn forced_kernel_invariance_for_cc() {
+    let el = symmetrize(&graph());
+    let reference = algorithms::cc(&GraphGrind2::new(&el, base_config())).label;
+    for force in [
+        ForcedKernel::CsrAtomic,
+        ForcedKernel::CscNoAtomic,
+        ForcedKernel::CooAtomic,
+        ForcedKernel::CooNoAtomic,
+    ] {
+        let cfg = base_config().with_forced(force);
+        let got = algorithms::cc(&GraphGrind2::new(&el, cfg)).label;
+        assert_eq!(got, reference, "forced = {force:?}");
+    }
+}
+
+#[test]
+fn thresholds_change_decisions_not_results() {
+    let el = graph();
+    let reference = algorithms::bfs(&GraphGrind2::new(&el, base_config()), 0).level;
+    // Degenerate thresholds force everything to one class.
+    for (dense_div, sparse_div) in [(1u64, 1u64), (u64::MAX, u64::MAX), (2, 2)] {
+        let cfg = Config {
+            thresholds: graphgrind::core::Thresholds {
+                dense_divisor: dense_div,
+                sparse_divisor: sparse_div,
+            },
+            ..base_config()
+        };
+        let engine = GraphGrind2::new(&el, cfg);
+        let got = algorithms::bfs(&engine, 0).level;
+        assert_eq!(got, reference, "divisors = ({dense_div},{sparse_div})");
+    }
+}

@@ -1,0 +1,148 @@
+//! Property-based tests (proptest) over random graphs: the structural
+//! invariants of partitioning and the layouts, and end-to-end algorithm
+//! agreement between GraphGrind-v2 and the sequential oracles.
+
+use proptest::prelude::*;
+
+use graphgrind::algorithms::{self, reference, validate};
+use graphgrind::core::{Config, GraphGrind2};
+use graphgrind::graph::coo::PartitionedCoo;
+use graphgrind::graph::csc::Csc;
+use graphgrind::graph::csr::{Csr, PartitionedCsr};
+use graphgrind::graph::edge_list::EdgeList;
+use graphgrind::graph::ops::symmetrize;
+use graphgrind::graph::partition::{PartitionBy, PartitionSet};
+use graphgrind::graph::reorder::EdgeOrder;
+use graphgrind::graph::replication;
+use graphgrind::runtime::numa::NumaTopology;
+
+/// Strategy: a random directed graph with 1..=60 vertices and 0..200 edges.
+fn arb_graph() -> impl Strategy<Value = EdgeList> {
+    (1usize..=60).prop_flat_map(|n| {
+        proptest::collection::vec((0..n as u32, 0..n as u32), 0..200)
+            .prop_map(move |edges| EdgeList::from_edges(n, &edges))
+    })
+}
+
+fn small_config() -> Config {
+    Config {
+        threads: 2,
+        num_partitions: 4,
+        numa: NumaTopology::new(2),
+        ..Config::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Partition sets cover 0..n disjointly and route each edge to its
+    /// destination's home.
+    #[test]
+    fn partition_set_invariants(el in arb_graph(), p in 1usize..12) {
+        let set = PartitionSet::edge_balanced(&el.in_degrees(), p, PartitionBy::Destination);
+        set.validate().unwrap();
+        prop_assert_eq!(set.num_partitions(), p);
+        let covered: usize = (0..p).map(|i| set.range(i).len()).sum();
+        prop_assert_eq!(covered, el.num_vertices());
+        for (u, v) in el.iter() {
+            prop_assert_eq!(set.edge_home(u, v), set.home(v));
+        }
+    }
+
+    /// Every layout conserves the edge multiset.
+    #[test]
+    fn layouts_conserve_edges(el in arb_graph(), p in 1usize..8) {
+        let mut want: Vec<(u32, u32)> = el.iter().collect();
+        want.sort_unstable();
+
+        let csr = Csr::from_edge_list(&el);
+        let mut got: Vec<(u32, u32)> = (0..el.num_vertices() as u32)
+            .flat_map(|u| csr.neighbors(u).iter().map(move |&v| (u, v)))
+            .collect();
+        got.sort_unstable();
+        prop_assert_eq!(&got, &want, "CSR");
+
+        let csc = Csc::from_edge_list(&el);
+        let mut got: Vec<(u32, u32)> = (0..el.num_vertices() as u32)
+            .flat_map(|v| csc.in_neighbors(v).iter().map(move |&u| (u, v)))
+            .collect();
+        got.sort_unstable();
+        prop_assert_eq!(&got, &want, "CSC");
+
+        let set = PartitionSet::edge_balanced(&el.in_degrees(), p, PartitionBy::Destination);
+        let coo = PartitionedCoo::new(&el, &set, EdgeOrder::Hilbert);
+        coo.validate().unwrap();
+        let mut got: Vec<(u32, u32)> = (0..p)
+            .flat_map(|part| {
+                coo.part_srcs(part)
+                    .iter()
+                    .zip(coo.part_dsts(part))
+                    .map(|(&u, &v)| (u, v))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        got.sort_unstable();
+        prop_assert_eq!(&got, &want, "COO");
+
+        let pcsr = PartitionedCsr::new(&el, &set);
+        prop_assert_eq!(pcsr.num_edges(), el.num_edges());
+    }
+
+    /// The analytic replication factor matches the built partitioned CSR,
+    /// and stays within [min(1, has-edges), |E|/|V|].
+    #[test]
+    fn replication_factor_bounds(el in arb_graph(), p in 1usize..8) {
+        let set = PartitionSet::edge_balanced(&el.in_degrees(), p, PartitionBy::Destination);
+        let r = replication::replication_factor(&el, &set);
+        let built = PartitionedCsr::new(&el, &set);
+        let expected = built.total_stored_vertices() as f64 / el.num_vertices() as f64;
+        prop_assert!((r - expected).abs() < 1e-12);
+        prop_assert!(r <= replication::worst_case_replication_factor(&el) + 1e-12);
+    }
+
+    /// GG-v2 BFS levels match the sequential oracle on random graphs.
+    #[test]
+    fn bfs_matches_reference(el in arb_graph()) {
+        let engine = GraphGrind2::new(&el, small_config());
+        let got = algorithms::bfs(&engine, 0);
+        prop_assert_eq!(got.level, reference::bfs_levels(&el, 0));
+    }
+
+    /// GG-v2 CC matches union-find on symmetrized random graphs.
+    #[test]
+    fn cc_matches_reference(el in arb_graph()) {
+        let el = symmetrize(&el);
+        let engine = GraphGrind2::new(&el, small_config());
+        let got = algorithms::cc(&engine);
+        prop_assert_eq!(got.label, reference::cc_labels(&el));
+    }
+
+    /// GG-v2 PageRank matches the sequential power method.
+    #[test]
+    fn pagerank_matches_reference(el in arb_graph()) {
+        let engine = GraphGrind2::new(&el, small_config());
+        let got = algorithms::pagerank(&engine, 5);
+        let want = reference::pagerank(&el, 5);
+        validate::assert_close_f64(&got, &want, 1e-9, 1e-14);
+    }
+
+    /// Frontier statistics are consistent between representations.
+    #[test]
+    fn frontier_statistics_consistent(el in arb_graph(), seed in 0u64..1000) {
+        use graphgrind::core::Frontier;
+        let n = el.num_vertices();
+        let deg = el.out_degrees();
+        // Pseudo-random vertex subset.
+        let actives: Vec<u32> = (0..n as u32)
+            .filter(|v| (v.wrapping_mul(2654435761).wrapping_add(seed as u32)) % 3 == 0)
+            .collect();
+        let sparse = Frontier::from_sparse(actives.clone(), n, &deg);
+        let pool = graphgrind::runtime::pool::Pool::new(2);
+        let dense = Frontier::from_dense(sparse.to_bitmap(), &deg, &pool);
+        prop_assert_eq!(sparse.len(), dense.len());
+        prop_assert_eq!(sparse.degree_sum(), dense.degree_sum());
+        prop_assert_eq!(sparse.density_metric(), dense.density_metric());
+        prop_assert_eq!(sparse.to_vertex_list(), dense.to_vertex_list());
+    }
+}
