@@ -201,7 +201,12 @@ mod tests {
         let el = generators::star(8);
         let (f, b) = engines(&el);
         let got = bc(&f, &b, 1);
-        assert_close_f64(&got.dependency, &reference::bc_single_source(&el, 1), 1e-9, 1e-12);
+        assert_close_f64(
+            &got.dependency,
+            &reference::bc_single_source(&el, 1),
+            1e-9,
+            1e-12,
+        );
     }
 
     #[test]
@@ -209,7 +214,12 @@ mod tests {
         let el = generators::rmat(8, 2500, generators::RmatParams::skewed(), 19);
         let (f, b) = engines(&el);
         let got = bc(&f, &b, 0);
-        assert_close_f64(&got.dependency, &reference::bc_single_source(&el, 0), 1e-9, 1e-12);
+        assert_close_f64(
+            &got.dependency,
+            &reference::bc_single_source(&el, 0),
+            1e-9,
+            1e-12,
+        );
     }
 
     #[test]
@@ -217,7 +227,12 @@ mod tests {
         let el = generators::grid_road(6, 6, 0.0, 0);
         let (f, b) = engines(&el);
         let got = bc(&f, &b, 0);
-        assert_close_f64(&got.dependency, &reference::bc_single_source(&el, 0), 1e-9, 1e-12);
+        assert_close_f64(
+            &got.dependency,
+            &reference::bc_single_source(&el, 0),
+            1e-9,
+            1e-12,
+        );
     }
 
     #[test]

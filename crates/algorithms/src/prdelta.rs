@@ -163,12 +163,7 @@ mod tests {
         let got = pagerank_delta(&engine, PrDeltaParams::default());
         let want = reference::pagerank(&el, 50);
         // L1 distance bounded by the truncation threshold regime.
-        let l1: f64 = got
-            .rank
-            .iter()
-            .zip(&want)
-            .map(|(a, b)| (a - b).abs())
-            .sum();
+        let l1: f64 = got.rank.iter().zip(&want).map(|(a, b)| (a - b).abs()).sum();
         assert!(l1 < 0.05, "L1 distance {l1}");
     }
 

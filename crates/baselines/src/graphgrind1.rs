@@ -50,8 +50,7 @@ impl GraphGrind1 {
         let base = EngineBase::new(el.out_degrees(), el.num_edges(), threads);
         let n = el.num_vertices();
         let in_deg = el.in_degrees();
-        let parts =
-            PartitionSet::edge_balanced(&in_deg, numa.domains(), PartitionBy::Destination);
+        let parts = PartitionSet::edge_balanced(&in_deg, numa.domains(), PartitionBy::Destination);
         let csr = Csr::from_edge_list(el);
         let csc = Csc::from_edge_list(el);
         let pcsr = PartitionedCsr::new(el, &parts);
@@ -63,8 +62,12 @@ impl GraphGrind1 {
             csr,
             csc,
             pcsr,
-            edge_ranges: (0..e_set.num_partitions()).map(|p| e_set.range(p)).collect(),
-            vertex_ranges: (0..v_set.num_partitions()).map(|p| v_set.range(p)).collect(),
+            edge_ranges: (0..e_set.num_partitions())
+                .map(|p| e_set.range(p))
+                .collect(),
+            vertex_ranges: (0..v_set.num_partitions())
+                .map(|p| v_set.range(p))
+                .collect(),
         }
     }
 

@@ -47,14 +47,16 @@ impl Polymer {
     pub fn new(el: &EdgeList, threads: usize, numa: NumaTopology) -> Self {
         let base = EngineBase::new(el.out_degrees(), el.num_edges(), threads);
         let in_deg = el.in_degrees();
-        let parts =
-            PartitionSet::edge_balanced(&in_deg, numa.domains(), PartitionBy::Destination);
+        let parts = PartitionSet::edge_balanced(&in_deg, numa.domains(), PartitionBy::Destination);
         let csr = Csr::from_edge_list(el);
         let csc = Csc::from_edge_list(el);
         let pcsr = UnprunedPartitionedCsr::new(el, &parts);
         // Backward work division: edge-balanced ranges, several per thread.
-        let range_set =
-            PartitionSet::edge_balanced(&in_deg, (threads * 4).max(numa.domains()), PartitionBy::Destination);
+        let range_set = PartitionSet::edge_balanced(
+            &in_deg,
+            (threads * 4).max(numa.domains()),
+            PartitionBy::Destination,
+        );
         let dense_ranges = (0..range_set.num_partitions())
             .map(|p| range_set.range(p))
             .collect();

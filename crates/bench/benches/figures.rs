@@ -117,7 +117,13 @@ fn fig8_mpki(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::from_parameter(p), &p, |b, &p| {
             b.iter(|| {
                 let mut cache = Cache::new(CacheConfig::l2_256k());
-                run_traced(&el, p, EdgeOrder::Hilbert, TracedAlgorithm::PageRank, &mut cache);
+                run_traced(
+                    &el,
+                    p,
+                    EdgeOrder::Hilbert,
+                    TracedAlgorithm::PageRank,
+                    &mut cache,
+                );
                 cache.stats().misses
             });
         });

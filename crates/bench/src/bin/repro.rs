@@ -1,15 +1,17 @@
 //! Regenerates every table and figure of the paper's evaluation.
 //!
 //! ```text
-//! repro <experiment> [--scale F] [--threads N] [--reps N]
+//! repro <experiment> [--scale F] [--threads N] [--reps N] [--tiny]
 //!
 //! experiments: tab1 tab2 fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10
-//!              atomics all
+//!              atomics heuristic reorder all
 //! ```
 //!
 //! `--scale` multiplies the default graph sizes (DESIGN.md §2); the
 //! default 1.0 targets a multi-core workstation. Timings are medians over
-//! `--reps` runs (default 3).
+//! `--reps` runs (default 3). `--tiny` is the CI smoke configuration
+//! (scale 0.01, 1 rep, ≤4 threads): numbers are meaningless, but every
+//! experiment's code path runs in seconds.
 
 use gg_algorithms::Algorithm;
 use gg_bench::datasets::Dataset;
@@ -18,11 +20,11 @@ use gg_bench::{fmt_secs, Table};
 use gg_core::config::ForcedKernel;
 use gg_core::heuristic::{suggest_partitions, HeuristicInputs};
 use gg_core::trace::{fig2_reuse_profile, run_traced_parallel, TracedAlgorithm};
-use gg_runtime::numa::NumaTopology;
 use gg_graph::reorder::EdgeOrder;
 use gg_graph::storage;
 use gg_memsim::cache::{Cache, CacheConfig};
 use gg_memsim::mpki::{InstructionModel, MpkiReport};
+use gg_runtime::numa::NumaTopology;
 
 struct Args {
     experiment: String,
@@ -40,6 +42,7 @@ fn parse_args() -> Args {
             .unwrap_or(4),
         reps: 3,
     };
+    let mut tiny = false;
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < argv.len() {
@@ -56,6 +59,7 @@ fn parse_args() -> Args {
                 i += 1;
                 args.reps = argv[i].parse().expect("--reps needs an integer");
             }
+            "--tiny" => tiny = true,
             other if args.experiment.is_empty() && !other.starts_with("--") => {
                 args.experiment = other.to_string();
             }
@@ -66,10 +70,17 @@ fn parse_args() -> Args {
         }
         i += 1;
     }
+    // Applied after the loop so the smoke contract holds regardless of
+    // where --tiny appears relative to the other flags.
+    if tiny {
+        args.scale = 0.01;
+        args.reps = 1;
+        args.threads = args.threads.min(4);
+    }
     if args.experiment.is_empty() {
         eprintln!(
             "usage: repro <tab1|tab2|fig2|fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|atomics|\
-             heuristic|reorder|all> [--scale F] [--threads N] [--reps N]"
+             heuristic|reorder|all> [--scale F] [--threads N] [--reps N] [--tiny]"
         );
         std::process::exit(2);
     }
@@ -137,7 +148,12 @@ fn tab1(args: &Args) {
             name,
             s.num_vertices.to_string(),
             s.num_edges.to_string(),
-            if d.undirected() { "undirected" } else { "directed" }.into(),
+            if d.undirected() {
+                "undirected"
+            } else {
+                "directed"
+            }
+            .into(),
             s.max_out_degree.to_string(),
             format!("{:.1}", s.avg_degree),
         ]);
@@ -187,13 +203,12 @@ fn tab2(args: &Args) {
 
 /// Figure 2: reuse-distance distribution vs partition count.
 fn fig2(args: &Args) {
-    println!("## Figure 2 — reuse distances of next-array updates (PRDelta push, partitioned CSR)\n");
+    println!(
+        "## Figure 2 — reuse distances of next-array updates (PRDelta push, partitioned CSR)\n"
+    );
     let el = Dataset::Twitter.build(args.scale * 0.25);
     let parts = [1usize, 4, 8, 24, 192, 384];
-    let profiles: Vec<_> = parts
-        .iter()
-        .map(|&p| fig2_reuse_profile(&el, p))
-        .collect();
+    let profiles: Vec<_> = parts.iter().map(|&p| fig2_reuse_profile(&el, p)).collect();
     let max_buckets = profiles
         .iter()
         .map(|p| p.histogram.buckets().len())
@@ -207,7 +222,14 @@ fn fig2(args: &Args) {
         let upper = gg_memsim::histogram::LogHistogram::bucket_range(b).1;
         let mut row = vec![upper.to_string()];
         for p in &profiles {
-            row.push(p.histogram.buckets().get(b).copied().unwrap_or(0).to_string());
+            row.push(
+                p.histogram
+                    .buckets()
+                    .get(b)
+                    .copied()
+                    .unwrap_or(0)
+                    .to_string(),
+            );
         }
         t.row(row);
     }
@@ -293,7 +315,13 @@ fn forced_configs() -> [(&'static str, ForcedKernel, bool); 4] {
     ]
 }
 
-fn layout_sweep(args: &Args, dataset: Dataset, algos: &[Algorithm], parts: &[usize], csr_cap: usize) {
+fn layout_sweep(
+    args: &Args,
+    dataset: Dataset,
+    algos: &[Algorithm],
+    parts: &[usize],
+    csr_cap: usize,
+) {
     let base = dataset.build(args.scale * 0.5);
     for &algo in algos {
         println!("### {} on {}", algo.code(), dataset.name());
@@ -337,7 +365,13 @@ fn fig6(args: &Args) {
     println!("## Figure 6 — small graphs, partitioned CSR unrestricted (BFS, BP)\n");
     let parts = [4usize, 16, 48, 192, 384];
     for d in [Dataset::LiveJournal, Dataset::YahooMem] {
-        layout_sweep(args, d, &[Algorithm::Bfs, Algorithm::Bp], &parts, usize::MAX);
+        layout_sweep(
+            args,
+            d,
+            &[Algorithm::Bfs, Algorithm::Bp],
+            &parts,
+            usize::MAX,
+        );
     }
 }
 
@@ -358,7 +392,11 @@ fn fig7(args: &Args) {
         for algo in algos {
             let w = Workload::prepare(&base, algo);
             let mut times = Vec::new();
-            for order in [EdgeOrder::Source, EdgeOrder::Hilbert, EdgeOrder::Destination] {
+            for order in [
+                EdgeOrder::Source,
+                EdgeOrder::Hilbert,
+                EdgeOrder::Destination,
+            ] {
                 let rc = RunConfig {
                     edge_order: order,
                     force: Some(ForcedKernel::CooNoAtomic),
@@ -450,7 +488,14 @@ fn fig9(args: &Args) {
             args.threads,
             NumaTopology::paper_machine(),
         ));
-        let mut t = Table::new(&["Algorithm", "L", "P", "GG-v1", "GG-v2", "GG-v2 speedup vs L"]);
+        let mut t = Table::new(&[
+            "Algorithm",
+            "L",
+            "P",
+            "GG-v1",
+            "GG-v2",
+            "GG-v2 speedup vs L",
+        ]);
         for algo in Algorithm::all() {
             let w = Workload::prepare(&base, algo);
             let rc = RunConfig {
@@ -585,7 +630,10 @@ fn reorder(args: &Args) {
             partitions: p,
             ..RunConfig::new(args.threads)
         };
-        t.row(vec![label.into(), fmt_secs(measure(EngineKind::Gg2, &w, &rc, args.reps))]);
+        t.row(vec![
+            label.into(),
+            fmt_secs(measure(EngineKind::Gg2, &w, &rc, args.reps)),
+        ]);
     }
     t.print();
     println!();

@@ -79,12 +79,8 @@ impl Dataset {
         match self {
             Dataset::Twitter => generators::rmat(s(18), m(4_000_000), RmatParams::skewed(), 42),
             Dataset::Friendster => generators::rmat(s(19), m(4_000_000), RmatParams::mild(), 43),
-            Dataset::Orkut => {
-                symmetrize(&generators::chung_lu(m(120_000), m(2_000_000), 2.3, 44))
-            }
-            Dataset::LiveJournal => {
-                generators::rmat(s(17), m(1_500_000), RmatParams::skewed(), 45)
-            }
+            Dataset::Orkut => symmetrize(&generators::chung_lu(m(120_000), m(2_000_000), 2.3, 44)),
+            Dataset::LiveJournal => generators::rmat(s(17), m(1_500_000), RmatParams::skewed(), 45),
             Dataset::YahooMem => symmetrize(&generators::erdos_renyi(m(80_000), m(800_000), 46)),
             Dataset::UsaRoad => {
                 let side = ((500_000.0 * scale).sqrt() as usize).max(32);

@@ -1,0 +1,74 @@
+//! Smoke tests for the `repro` binary: run a representative subset of
+//! experiments at `--tiny` scale so the reproduction harness cannot
+//! silently rot. Numbers are not checked — only that each experiment runs
+//! to completion and emits its table.
+
+use std::process::Command;
+
+fn run_repro(args: &[&str]) -> String {
+    let out = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(args)
+        .output()
+        .expect("failed to launch repro");
+    assert!(
+        out.status.success(),
+        "repro {:?} exited with {:?}\nstdout:\n{}\nstderr:\n{}",
+        args,
+        out.status,
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr),
+    );
+    String::from_utf8(out.stdout).expect("repro output must be UTF-8")
+}
+
+#[test]
+fn tab1_tiny_lists_all_datasets() {
+    let out = run_repro(&["tab1", "--tiny"]);
+    for name in [
+        "Twitter",
+        "Friendster",
+        "Orkut",
+        "LiveJournal",
+        "Yahoo_mem",
+        "USAroad",
+        "Powerlaw",
+        "RMAT27",
+    ] {
+        assert!(out.contains(name), "missing dataset {name} in:\n{out}");
+    }
+}
+
+#[test]
+fn tab2_tiny_runs_all_algorithms_on_gg2() {
+    // Exercises Workload::prepare + run_algorithm for all 8 algorithms on
+    // the adaptive engine, including the kernel-mix reporting.
+    let out = run_repro(&["tab2", "--tiny"]);
+    for code in ["BC", "CC", "PR", "BFS", "PRDelta", "SPMV", "BF", "BP"] {
+        assert!(out.contains(code), "missing algorithm {code} in:\n{out}");
+    }
+}
+
+#[test]
+fn fig3_tiny_reports_replication_factors() {
+    let out = run_repro(&["fig3", "--tiny"]);
+    assert!(out.contains("replication factor"), "{out}");
+    // The 384-partition column of the sweep must be present.
+    assert!(out.contains("384"), "{out}");
+}
+
+#[test]
+fn heuristic_tiny_suggests_a_partition_count() {
+    let out = run_repro(&["heuristic", "--tiny"]);
+    assert!(out.contains("heuristic suggests P ="), "{out}");
+    assert!(out.contains("<- suggested"), "{out}");
+}
+
+#[test]
+fn unknown_experiment_fails_with_usage() {
+    let out = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .output()
+        .expect("failed to launch repro");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("usage:"), "{err}");
+}

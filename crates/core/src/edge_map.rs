@@ -508,11 +508,7 @@ mod tests {
         let next = dense_forward_csr(&csr, &current, &op, &pool, &counters);
         assert_eq!(op.total(), 600);
         // Every vertex with an in-edge is in the next frontier.
-        let expected = el
-            .in_degrees()
-            .iter()
-            .filter(|&&d| d > 0)
-            .count();
+        let expected = el.in_degrees().iter().filter(|&&d| d > 0).count();
         assert_eq!(next.count_ones(), expected);
     }
 

@@ -218,7 +218,13 @@ impl GraphGrind2 {
         &self.schedule
     }
 
-    fn run_kind<O: EdgeOp>(&self, kind: EdgeKind, frontier: &Frontier, op: &O, spec: EdgeMapSpec) -> Frontier {
+    fn run_kind<O: EdgeOp>(
+        &self,
+        kind: EdgeKind,
+        frontier: &Frontier,
+        op: &O,
+        spec: EdgeMapSpec,
+    ) -> Frontier {
         let n = self.store.num_vertices();
         self.kernel_counts.bump(kind);
         match kind {
@@ -266,7 +272,13 @@ impl GraphGrind2 {
         }
     }
 
-    fn run_forced<O: EdgeOp>(&self, forced: ForcedKernel, frontier: &Frontier, op: &O, spec: EdgeMapSpec) -> Frontier {
+    fn run_forced<O: EdgeOp>(
+        &self,
+        forced: ForcedKernel,
+        frontier: &Frontier,
+        op: &O,
+        spec: EdgeMapSpec,
+    ) -> Frontier {
         match forced {
             ForcedKernel::CsrAtomic => {
                 self.kernel_counts.bump(EdgeKind::Dense);
@@ -473,7 +485,11 @@ mod tests {
         let v = (0..engine.num_vertices() as u32)
             .min_by_key(|&v| engine.out_degrees()[v as usize])
             .unwrap();
-        engine.edge_map(&engine.frontier_single(v), &op, EdgeMapSpec::edge_oriented());
+        engine.edge_map(
+            &engine.frontier_single(v),
+            &op,
+            EdgeMapSpec::edge_oriented(),
+        );
 
         let (s, _m, d) = engine.kernel_counts().snapshot();
         assert_eq!(d, 1);

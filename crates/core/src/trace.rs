@@ -45,11 +45,8 @@ pub struct TracedWork {
 /// during one full dense forward traversal of the `num_partitions`-way
 /// destination-partitioned CSR (the PRDelta update stream).
 pub fn fig2_reuse_profile(el: &EdgeList, num_partitions: usize) -> ReuseProfile {
-    let set = PartitionSet::edge_balanced(
-        &el.in_degrees(),
-        num_partitions,
-        PartitionBy::Destination,
-    );
+    let set =
+        PartitionSet::edge_balanced(&el.in_degrees(), num_partitions, PartitionBy::Destination);
     let pcsr = PartitionedCsr::new(el, &set);
     let mut layout = MemoryLayout::new();
     // PRDelta accumulates 8-byte deltas per destination vertex.
@@ -223,8 +220,7 @@ impl TracedStore {
         let t = threads.clamp(1, num_parts);
         // Worker w owns partitions [w * P / t, (w+1) * P / t).
         // Cursor per worker: (current partition, edge offset inside it).
-        let mut cursor: Vec<(usize, usize)> =
-            (0..t).map(|w| (w * num_parts / t, 0)).collect();
+        let mut cursor: Vec<(usize, usize)> = (0..t).map(|w| (w * num_parts / t, 0)).collect();
         let limit: Vec<usize> = (0..t).map(|w| (w + 1) * num_parts / t).collect();
         let mut live = t;
         while live > 0 {
@@ -369,10 +365,18 @@ fn trace_pagerank<S: AccessSink>(store: &TracedStore, threads: usize, sink: &mut
     for iter in 0..10 {
         next.fill(0.0);
         let flip = iter % 2 == 1;
-        store.dense_pass(sink, &active, false, flip, threads, &mut work, |u, v, _w| {
-            let d = deg[u as usize].max(1) as f64;
-            next[v as usize] += rank[u as usize] / d;
-        });
+        store.dense_pass(
+            sink,
+            &active,
+            false,
+            flip,
+            threads,
+            &mut work,
+            |u, v, _w| {
+                let d = deg[u as usize].max(1) as f64;
+                next[v as usize] += rank[u as usize] / d;
+            },
+        );
         for x in next.iter_mut() {
             *x = 0.15 / n as f64 + 0.85 * *x;
         }
@@ -507,7 +511,10 @@ mod tests {
         let q64 = p64.histogram.quantile_upper(0.95);
         assert!(q16 <= q1, "p95 must not grow: {q1} -> {q16}");
         assert!(q64 <= q16, "p95 must not grow: {q16} -> {q64}");
-        assert!(q64 < q1, "partitioning must shorten distances: {q1} -> {q64}");
+        assert!(
+            q64 < q1,
+            "partitioning must shorten distances: {q1} -> {q64}"
+        );
         // Same number of reuses in all cases (the edge count is fixed).
         assert_eq!(
             p1.total_references, p64.total_references,
@@ -519,7 +526,13 @@ mod tests {
     fn traced_pagerank_visits_all_edges_each_iteration() {
         let el = generators::erdos_renyi(200, 2000, 3);
         let mut sink = CountingSink::default();
-        let work = run_traced(&el, 4, EdgeOrder::Hilbert, TracedAlgorithm::PageRank, &mut sink);
+        let work = run_traced(
+            &el,
+            4,
+            EdgeOrder::Hilbert,
+            TracedAlgorithm::PageRank,
+            &mut sink,
+        );
         assert_eq!(work.edges, 10 * 2000);
         assert!(sink.count >= work.edges);
     }
@@ -529,9 +542,21 @@ mod tests {
         // §II.F: COO work does not grow with partitioning.
         let el = twitterish();
         let mut s1 = CountingSink::default();
-        let w1 = run_traced(&el, 1, EdgeOrder::Hilbert, TracedAlgorithm::PageRank, &mut s1);
+        let w1 = run_traced(
+            &el,
+            1,
+            EdgeOrder::Hilbert,
+            TracedAlgorithm::PageRank,
+            &mut s1,
+        );
         let mut s64 = CountingSink::default();
-        let w64 = run_traced(&el, 64, EdgeOrder::Hilbert, TracedAlgorithm::PageRank, &mut s64);
+        let w64 = run_traced(
+            &el,
+            64,
+            EdgeOrder::Hilbert,
+            TracedAlgorithm::PageRank,
+            &mut s64,
+        );
         assert_eq!(w1.edges, w64.edges);
         assert_eq!(s1.count, s64.count);
     }
@@ -550,7 +575,13 @@ mod tests {
         let mut el = generators::erdos_renyi(100, 1500, 9);
         gg_graph::weights::attach_integer(&mut el, 8, 4);
         let mut sink = CountingSink::default();
-        let work = run_traced(&el, 4, EdgeOrder::Hilbert, TracedAlgorithm::BellmanFord, &mut sink);
+        let work = run_traced(
+            &el,
+            4,
+            EdgeOrder::Hilbert,
+            TracedAlgorithm::BellmanFord,
+            &mut sink,
+        );
         assert!(work.edges > 0);
     }
 
@@ -570,9 +601,21 @@ mod tests {
             line_bytes: 64,
         };
         let mut c1 = Cache::new(cfg);
-        run_traced(&el, 1, EdgeOrder::Source, TracedAlgorithm::PageRank, &mut c1);
+        run_traced(
+            &el,
+            1,
+            EdgeOrder::Source,
+            TracedAlgorithm::PageRank,
+            &mut c1,
+        );
         let mut c64 = Cache::new(cfg);
-        run_traced(&el, 64, EdgeOrder::Source, TracedAlgorithm::PageRank, &mut c64);
+        run_traced(
+            &el,
+            64,
+            EdgeOrder::Source,
+            TracedAlgorithm::PageRank,
+            &mut c64,
+        );
         let m1 = c1.stats().misses;
         let m64 = c64.stats().misses;
         assert!(
@@ -597,7 +640,14 @@ mod tests {
         let threads = 16;
         let miss = |p: usize| {
             let mut c = Cache::new(cfg);
-            run_traced_parallel(&el, p, EdgeOrder::Source, TracedAlgorithm::PageRank, threads, &mut c);
+            run_traced_parallel(
+                &el,
+                p,
+                EdgeOrder::Source,
+                TracedAlgorithm::PageRank,
+                threads,
+                &mut c,
+            );
             c.stats().misses
         };
         let m4 = miss(4);
@@ -633,9 +683,21 @@ mod tests {
             line_bytes: 64,
         };
         let mut c_src = Cache::new(cfg);
-        run_traced(&el, 1, EdgeOrder::Source, TracedAlgorithm::PageRank, &mut c_src);
+        run_traced(
+            &el,
+            1,
+            EdgeOrder::Source,
+            TracedAlgorithm::PageRank,
+            &mut c_src,
+        );
         let mut c_hil = Cache::new(cfg);
-        run_traced(&el, 1, EdgeOrder::Hilbert, TracedAlgorithm::PageRank, &mut c_hil);
+        run_traced(
+            &el,
+            1,
+            EdgeOrder::Hilbert,
+            TracedAlgorithm::PageRank,
+            &mut c_hil,
+        );
         assert!(
             c_hil.stats().misses < c_src.stats().misses,
             "hilbert {} vs source {}",

@@ -166,11 +166,7 @@ mod tests {
         assert_eq!(hits.load(Ordering::Relaxed), expected);
 
         hits.store(0, Ordering::Relaxed);
-        let dense = Frontier::from_dense(
-            Bitmap::from_indices(300, &actives),
-            &deg,
-            &pool(),
-        );
+        let dense = Frontier::from_dense(Bitmap::from_indices(300, &actives), &deg, &pool());
         vertex_map(&dense, &pool(), |v| {
             hits.fetch_add(v as u64 + 1, Ordering::Relaxed);
         });

@@ -300,7 +300,9 @@ mod tests {
             .map(|&p| {
                 let set =
                     PartitionSet::edge_balanced(&el.in_degrees(), p, PartitionBy::Destination);
-                PartitionedCoo::new(&el, &set, EdgeOrder::Hilbert).coo().heap_bytes()
+                PartitionedCoo::new(&el, &set, EdgeOrder::Hilbert)
+                    .coo()
+                    .heap_bytes()
             })
             .collect();
         assert!(sizes.windows(2).all(|w| w[0] == w[1]), "{sizes:?}");
@@ -324,10 +326,8 @@ mod tests {
 
     #[test]
     fn weights_follow_edges() {
-        let el = EdgeList::from_weighted_edges(
-            4,
-            &[(0, 3, 3.0), (0, 0, 0.0), (1, 2, 2.0), (2, 1, 1.0)],
-        );
+        let el =
+            EdgeList::from_weighted_edges(4, &[(0, 3, 3.0), (0, 0, 0.0), (1, 2, 2.0), (2, 1, 1.0)]);
         let set = PartitionSet::vertex_balanced(4, 2, PartitionBy::Destination);
         let pcoo = PartitionedCoo::new(&el, &set, EdgeOrder::Source);
         pcoo.validate().unwrap();

@@ -73,9 +73,7 @@ impl Csr {
         let srcs = el.srcs();
         let (offsets, order) = bucket_edges(n, el.num_edges(), |e| srcs[e] as usize);
         let targets = order.iter().map(|&e| el.dsts()[e]).collect();
-        let weights = el
-            .weights()
-            .map(|w| order.iter().map(|&e| w[e]).collect());
+        let weights = el.weights().map(|w| order.iter().map(|&e| w[e]).collect());
         Csr {
             offsets,
             targets,
@@ -341,8 +339,7 @@ impl UnprunedPartitionedCsr {
         let n = el.num_vertices();
         let srcs = el.srcs();
         let dsts = el.dsts();
-        let (offsets, order) =
-            bucket_edges(p, el.num_edges(), |e| set.edge_home(srcs[e], dsts[e]));
+        let (offsets, order) = bucket_edges(p, el.num_edges(), |e| set.edge_home(srcs[e], dsts[e]));
         let parts = (0..p)
             .map(|i| {
                 let idx = &order[offsets[i]..offsets[i + 1]];

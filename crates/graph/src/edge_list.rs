@@ -102,7 +102,10 @@ impl EdgeList {
         assert!((src as usize) < self.num_vertices, "src out of range");
         assert!((dst as usize) < self.num_vertices, "dst out of range");
         if self.weights.is_none() {
-            assert!(self.srcs.is_empty(), "push_weighted on unweighted edge list");
+            assert!(
+                self.srcs.is_empty(),
+                "push_weighted on unweighted edge list"
+            );
             self.weights = Some(Vec::new());
         }
         self.srcs.push(src);
@@ -301,8 +304,7 @@ mod tests {
 
     #[test]
     fn dedup_keeps_first_weight() {
-        let mut el =
-            EdgeList::from_weighted_edges(3, &[(1, 2, 9.0), (0, 1, 1.0), (1, 2, 7.0)]);
+        let mut el = EdgeList::from_weighted_edges(3, &[(1, 2, 9.0), (0, 1, 1.0), (1, 2, 7.0)]);
         el.sort_and_dedup();
         assert_eq!(el.num_edges(), 2);
         assert_eq!(el.edge(1), (1, 2));

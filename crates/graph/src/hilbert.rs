@@ -98,12 +98,8 @@ mod tests {
         //  4  7  8 11
         //  5  6  9 10
         // with x = column, y = row.
-        let expected: [[u64; 4]; 4] = [
-            [0, 1, 14, 15],
-            [3, 2, 13, 12],
-            [4, 7, 8, 11],
-            [5, 6, 9, 10],
-        ];
+        let expected: [[u64; 4]; 4] =
+            [[0, 1, 14, 15], [3, 2, 13, 12], [4, 7, 8, 11], [5, 6, 9, 10]];
         for (y, row) in expected.iter().enumerate() {
             for (x, &d) in row.iter().enumerate() {
                 assert_eq!(xy_to_d(2, x as u64, y as u64), d, "({x},{y})");

@@ -304,10 +304,7 @@ mod tests {
     fn destination_rule_groups_in_edges() {
         // The defining property (Equation 1): every in-edge of a vertex maps
         // to that vertex's home partition.
-        let el = EdgeList::from_edges(
-            6,
-            &[(0, 5), (1, 5), (2, 5), (3, 0), (4, 0), (5, 2), (0, 2)],
-        );
+        let el = EdgeList::from_edges(6, &[(0, 5), (1, 5), (2, 5), (3, 0), (4, 0), (5, 2), (0, 2)]);
         let ps = PartitionSet::edge_balanced(&el.in_degrees(), 3, PartitionBy::Destination);
         for (u, v) in el.iter() {
             assert_eq!(ps.edge_home(u, v), ps.home(v));

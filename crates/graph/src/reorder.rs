@@ -35,7 +35,11 @@ impl EdgeOrder {
 
     /// All orders, in Figure 7's presentation order.
     pub fn all() -> [EdgeOrder; 3] {
-        [EdgeOrder::Source, EdgeOrder::Hilbert, EdgeOrder::Destination]
+        [
+            EdgeOrder::Source,
+            EdgeOrder::Hilbert,
+            EdgeOrder::Destination,
+        ]
     }
 }
 
@@ -102,10 +106,9 @@ mod tests {
 
     #[test]
     fn labels_match_figure7_legend() {
-        assert_eq!(EdgeOrder::all().map(|o| o.label()), [
-            "Source",
-            "Hilbert",
-            "Destination"
-        ]);
+        assert_eq!(
+            EdgeOrder::all().map(|o| o.label()),
+            ["Source", "Hilbert", "Destination"]
+        );
     }
 }

@@ -1,0 +1,196 @@
+//! Exact-count and degree-invariant tests for the graph transformations
+//! and the deterministic generators. Every integration suite builds on
+//! these primitives, so failures here must localize to one operation.
+
+use gg_graph::edge_list::EdgeList;
+use gg_graph::generators;
+use gg_graph::ops::{symmetrize, transpose};
+use gg_graph::properties::GraphStats;
+
+fn sorted_edges(el: &EdgeList) -> Vec<(u32, u32)> {
+    let mut v: Vec<(u32, u32)> = el.iter().collect();
+    v.sort_unstable();
+    v
+}
+
+// ---- transpose ----------------------------------------------------------
+
+#[test]
+fn transpose_preserves_counts() {
+    let el = EdgeList::from_edges(6, &[(0, 1), (0, 2), (3, 4), (5, 5), (2, 0)]);
+    let t = transpose(&el);
+    assert_eq!(t.num_vertices(), 6);
+    assert_eq!(t.num_edges(), 5);
+}
+
+#[test]
+fn transpose_reverses_every_edge() {
+    let el = EdgeList::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 0), (4, 4)]);
+    let t = transpose(&el);
+    let want: Vec<(u32, u32)> = {
+        let mut w: Vec<(u32, u32)> = el.iter().map(|(u, v)| (v, u)).collect();
+        w.sort_unstable();
+        w
+    };
+    assert_eq!(sorted_edges(&t), want);
+}
+
+#[test]
+fn transpose_swaps_degree_arrays() {
+    let el = generators::binary_tree(15);
+    let t = transpose(&el);
+    assert_eq!(t.out_degrees(), el.in_degrees());
+    assert_eq!(t.in_degrees(), el.out_degrees());
+}
+
+#[test]
+fn transpose_is_an_involution() {
+    let el = generators::rmat(6, 300, generators::RmatParams::skewed(), 3);
+    assert_eq!(sorted_edges(&transpose(&transpose(&el))), sorted_edges(&el));
+}
+
+#[test]
+fn transpose_of_symmetric_graph_is_same_edge_set() {
+    let el = generators::star(8);
+    assert_eq!(sorted_edges(&transpose(&el)), sorted_edges(&el));
+}
+
+// ---- symmetrize ---------------------------------------------------------
+
+#[test]
+fn symmetrize_exact_counts_on_known_graph() {
+    // (0,1) gains (1,0); (2,3)+(3,2) already paired; (4,4) self-loop stays
+    // single; duplicate (0,1) collapses.
+    let el = EdgeList::from_edges(5, &[(0, 1), (0, 1), (2, 3), (3, 2), (4, 4)]);
+    let s = symmetrize(&el);
+    assert_eq!(s.num_vertices(), 5);
+    assert_eq!(s.num_edges(), 5); // (0,1) (1,0) (2,3) (3,2) (4,4)
+    assert!(GraphStats::compute(&s).symmetric);
+}
+
+#[test]
+fn symmetrize_balances_degrees() {
+    let el = generators::rmat(7, 500, generators::RmatParams::mild(), 8);
+    let s = symmetrize(&el);
+    // In a symmetric graph every vertex has in-degree == out-degree.
+    assert_eq!(s.in_degrees(), s.out_degrees());
+}
+
+#[test]
+fn symmetrize_is_idempotent() {
+    let el = generators::erdos_renyi(50, 400, 12);
+    let once = symmetrize(&el);
+    let twice = symmetrize(&once);
+    assert_eq!(sorted_edges(&twice), sorted_edges(&once));
+    assert_eq!(twice.num_edges(), once.num_edges());
+}
+
+#[test]
+fn symmetrize_contains_original_edges() {
+    let el = generators::binary_tree(31);
+    let s = symmetrize(&el);
+    let sym_edges = sorted_edges(&s);
+    for (u, v) in el.iter() {
+        assert!(sym_edges.binary_search(&(u, v)).is_ok(), "lost ({u},{v})");
+        assert!(
+            sym_edges.binary_search(&(v, u)).is_ok(),
+            "missing ({v},{u})"
+        );
+    }
+}
+
+// ---- deterministic generators: binary tree ------------------------------
+
+#[test]
+fn binary_tree_exact_counts() {
+    for n in [1usize, 2, 3, 7, 10, 31, 100] {
+        let el = generators::binary_tree(n);
+        assert_eq!(el.num_vertices(), n, "n = {n}");
+        assert_eq!(el.num_edges(), n.saturating_sub(1), "n = {n}");
+    }
+}
+
+#[test]
+fn binary_tree_degree_invariants() {
+    let n = 21usize;
+    let el = generators::binary_tree(n);
+    let out = el.out_degrees();
+    let inn = el.in_degrees();
+    // Root has no parent; every other vertex has exactly one.
+    assert_eq!(inn[0], 0);
+    assert!(inn[1..].iter().all(|&d| d == 1));
+    // Vertex v's out-degree counts its in-range children 2v+1, 2v+2.
+    for (v, &d) in out.iter().enumerate() {
+        let expected = [2 * v + 1, 2 * v + 2].iter().filter(|&&c| c < n).count() as u32;
+        assert_eq!(d, expected, "v = {v}");
+    }
+}
+
+#[test]
+fn complete_binary_tree_level_structure() {
+    // n = 2^k - 1: every non-leaf has exactly two children.
+    let el = generators::binary_tree(15);
+    let out = el.out_degrees();
+    assert!(out[..7].iter().all(|&d| d == 2), "internal: {out:?}");
+    assert!(out[7..].iter().all(|&d| d == 0), "leaves: {out:?}");
+}
+
+// ---- deterministic generators: grid -------------------------------------
+
+#[test]
+fn grid_exact_counts_without_diagonals() {
+    for (rows, cols) in [(1usize, 1usize), (1, 8), (4, 5), (7, 7)] {
+        let el = generators::grid_road(rows, cols, 0.0, 0);
+        assert_eq!(el.num_vertices(), rows * cols, "{rows}x{cols}");
+        // rows*(cols-1) horizontal + (rows-1)*cols vertical undirected
+        // edges, stored as directed pairs.
+        let undirected = rows * (cols - 1) + (rows - 1) * cols;
+        assert_eq!(el.num_edges(), 2 * undirected, "{rows}x{cols}");
+    }
+}
+
+#[test]
+fn grid_degree_invariants() {
+    let (rows, cols) = (5usize, 6usize);
+    let el = generators::grid_road(rows, cols, 0.0, 0);
+    let out = el.out_degrees();
+    let inn = el.in_degrees();
+    // Symmetric by construction.
+    assert_eq!(out, inn);
+    let id = |r: usize, c: usize| r * cols + c;
+    // Interior cells have 4 neighbours, edges 3, corners 2.
+    assert_eq!(out[id(0, 0)], 2);
+    assert_eq!(out[id(0, cols - 1)], 2);
+    assert_eq!(out[id(rows - 1, 0)], 2);
+    assert_eq!(out[id(rows - 1, cols - 1)], 2);
+    assert_eq!(out[id(0, 2)], 3);
+    assert_eq!(out[id(2, 0)], 3);
+    assert_eq!(out[id(2, 2)], 4);
+    // Total degree equals edge count.
+    assert_eq!(
+        out.iter().map(|&d| d as usize).sum::<usize>(),
+        el.num_edges()
+    );
+}
+
+#[test]
+fn grid_diagonals_only_add_edges() {
+    let plain = generators::grid_road(10, 10, 0.0, 5);
+    let diag = generators::grid_road(10, 10, 0.5, 5);
+    assert!(diag.num_edges() > plain.num_edges());
+    // Still symmetric with shortcuts.
+    assert!(GraphStats::compute(&diag).symmetric);
+    // Diagonals add at most 2 per cell.
+    assert!(GraphStats::compute(&diag).max_out_degree <= 6);
+}
+
+// ---- other deterministic generators (used as test oracles) --------------
+
+#[test]
+fn path_cycle_star_complete_counts() {
+    assert_eq!(generators::path(9).num_edges(), 8);
+    assert_eq!(generators::cycle(9).num_edges(), 9);
+    assert_eq!(generators::star(9).num_edges(), 16);
+    assert_eq!(generators::complete(9).num_edges(), 72);
+    assert!(GraphStats::compute(&generators::star(9)).symmetric);
+}

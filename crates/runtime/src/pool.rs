@@ -14,7 +14,9 @@ pub struct Pool {
 
 impl std::fmt::Debug for Pool {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Pool").field("threads", &self.threads).finish()
+        f.debug_struct("Pool")
+            .field("threads", &self.threads)
+            .finish()
     }
 }
 

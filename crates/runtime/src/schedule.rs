@@ -99,6 +99,6 @@ mod tests {
     fn single_domain_is_identity() {
         let s = PartitionSchedule::new(5, NumaTopology::new(1));
         assert_eq!(s.order(), &[0, 1, 2, 3, 4]);
-        assert!(  (0..5).all(|p| s.domain_of(p) == 0));
+        assert!((0..5).all(|p| s.domain_of(p) == 0));
     }
 }

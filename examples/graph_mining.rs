@@ -23,7 +23,9 @@ fn main() {
 
     // Let the §IV.G heuristic pick the partition count instead of the
     // paper's hand-tuned 384.
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
     let p = suggest_partitions(&HeuristicInputs::new(
         el.num_vertices(),
         el.num_edges(),

@@ -18,7 +18,10 @@ fn main() {
     println!("graph: {n} vertices, {m} edges\n");
 
     // §II.D: replication factor growth.
-    println!("replication factor r(p) (worst case {:.1}):", replication::worst_case_replication_factor(&el));
+    println!(
+        "replication factor r(p) (worst case {:.1}):",
+        replication::worst_case_replication_factor(&el)
+    );
     let parts = [4usize, 16, 64, 256];
     for (p, r) in replication::replication_sweep(&el, &parts) {
         println!("  P = {p:>3}: r = {r:.2}");
@@ -26,7 +29,10 @@ fn main() {
 
     // §II.E: storage model.
     println!("\nstorage model [MiB]:");
-    println!("  {:<12}{:>10}{:>12}{:>10}{:>10}", "partitions", "CSR", "CSR-pruned", "COO", "CSC");
+    println!(
+        "  {:<12}{:>10}{:>12}{:>10}{:>10}",
+        "partitions", "CSR", "CSR-pruned", "COO", "CSC"
+    );
     for row in storage::storage_sweep(&el, &parts) {
         let mib = |b: f64| b / (1024.0 * 1024.0);
         println!(

@@ -51,5 +51,7 @@ fn main() {
 
     // 5. The decision mix the engine used across both algorithms.
     let (sparse, medium, dense) = engine.kernel_counts().snapshot();
-    println!("\nedge-map decisions: {sparse} sparse (CSR), {medium} medium (CSC), {dense} dense (COO)");
+    println!(
+        "\nedge-map decisions: {sparse} sparse (CSR), {medium} medium (CSC), {dense} dense (COO)"
+    );
 }

@@ -50,7 +50,12 @@ fn main() {
 
     // Distance histogram by grid ring (sanity view of wave propagation).
     println!("\ndistance deciles:");
-    let mut finite: Vec<f32> = result.dist.iter().copied().filter(|d| d.is_finite()).collect();
+    let mut finite: Vec<f32> = result
+        .dist
+        .iter()
+        .copied()
+        .filter(|d| d.is_finite())
+        .collect();
     finite.sort_by(f32::total_cmp);
     for q in [0.1, 0.25, 0.5, 0.75, 0.9, 1.0] {
         let idx = ((finite.len() - 1) as f64 * q) as usize;

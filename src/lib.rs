@@ -22,6 +22,8 @@
 pub use gg_algorithms as algorithms;
 /// Ligra / Polymer / GraphGrind-v1 comparator engines (Figure 9).
 pub use gg_baselines as baselines;
+/// The experiment harness: datasets, runner, table printer.
+pub use gg_bench as bench;
 /// The GraphGrind-v2 engine: composite store + Algorithm 2.
 pub use gg_core as core;
 /// Graph layouts, partitioning, generators and I/O.

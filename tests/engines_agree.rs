@@ -103,7 +103,9 @@ fn bellman_ford_agrees_everywhere() {
 fn spmv_agrees_everywhere() {
     for (name, mut el) in test_graphs() {
         weights::attach_uniform(&mut el, 0.1, 2.0, 56);
-        let x: Vec<f64> = (0..el.num_vertices()).map(|i| ((i % 13) + 1) as f64).collect();
+        let x: Vec<f64> = (0..el.num_vertices())
+            .map(|i| ((i % 13) + 1) as f64)
+            .collect();
         let want = reference::spmv(&el, &x);
         let l = Ligra::new(&el, 2);
         let p = Polymer::new(&el, 2, NumaTopology::new(2));
@@ -194,8 +196,18 @@ fn prdelta_exact_mode_agrees_everywhere() {
     };
     let l = Ligra::new(&el, 2);
     let g2 = GraphGrind2::new(&el, Config::for_tests());
-    validate::assert_close_f64(&algorithms::pagerank_delta(&l, params).rank, &want, 1e-9, 1e-14);
-    validate::assert_close_f64(&algorithms::pagerank_delta(&g2, params).rank, &want, 1e-9, 1e-14);
+    validate::assert_close_f64(
+        &algorithms::pagerank_delta(&l, params).rank,
+        &want,
+        1e-9,
+        1e-14,
+    );
+    validate::assert_close_f64(
+        &algorithms::pagerank_delta(&g2, params).rank,
+        &want,
+        1e-9,
+        1e-14,
+    );
 }
 
 #[test]

@@ -42,7 +42,11 @@ fn partition_count_invariance() {
 fn edge_order_invariance() {
     let el = graph();
     let reference = algorithms::pagerank(&GraphGrind2::new(&el, base_config()), 10);
-    for order in [EdgeOrder::Source, EdgeOrder::Destination, EdgeOrder::Hilbert] {
+    for order in [
+        EdgeOrder::Source,
+        EdgeOrder::Destination,
+        EdgeOrder::Hilbert,
+    ] {
         let cfg = Config {
             edge_order: order,
             ..base_config()

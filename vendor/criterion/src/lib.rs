@@ -1,0 +1,219 @@
+//! Offline stand-in for `criterion`.
+//!
+//! The build environment has no crates.io access, so this shim provides the
+//! subset of criterion's API the workspace's benches use — [`Criterion`],
+//! [`BenchmarkGroup`], [`BenchmarkId`], [`Bencher::iter`] and the
+//! [`criterion_group!`] / [`criterion_main!`] macros. It measures wall-clock
+//! means over a small, time-bounded number of iterations and prints one line
+//! per benchmark; it performs no statistical analysis, HTML reporting or
+//! outlier rejection.
+
+use std::fmt::Display;
+use std::marker::PhantomData;
+use std::time::{Duration, Instant};
+
+/// Measurement markers (only wall time is provided).
+pub mod measurement {
+    /// Wall-clock time measurement marker.
+    pub struct WallTime;
+}
+
+/// Identifier for one benchmark within a group.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Timing driver handed to benchmark closures.
+pub struct Bencher {
+    samples: usize,
+    budget: Duration,
+    last_mean: Duration,
+}
+
+impl Bencher {
+    /// Runs `f` repeatedly (one warm-up, then up to the configured sample
+    /// count or time budget) and records the mean duration.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        std::hint::black_box(f());
+        let start = Instant::now();
+        let mut iters = 0u32;
+        while iters < self.samples as u32 && start.elapsed() < self.budget {
+            std::hint::black_box(f());
+            iters += 1;
+        }
+        self.last_mean = start.elapsed() / iters.max(1);
+    }
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'c, M = measurement::WallTime> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    _marker: PhantomData<M>,
+}
+
+impl<'c, M> BenchmarkGroup<'c, M> {
+    /// Sets the target number of timed iterations.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the time budget for one benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Accepted for compatibility; the single warm-up call is not budgeted.
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Accepted for compatibility; throughput is not reported.
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    fn run_one(&mut self, label: &str, run: impl FnOnce(&mut Bencher)) {
+        let mut b = Bencher {
+            samples: self.sample_size,
+            budget: self.measurement_time,
+            last_mean: Duration::ZERO,
+        };
+        run(&mut b);
+        println!(
+            "bench {}/{}: {:>12.3?} per iter",
+            self.name, label, b.last_mean
+        );
+        self.criterion.benchmarks_run += 1;
+    }
+
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Display,
+        mut f: F,
+    ) -> &mut Self {
+        self.run_one(&id.to_string(), |b| f(b));
+        self
+    }
+
+    /// Benchmarks `f` under `id` with an explicit input.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.run_one(&id.to_string(), |b| f(b, input));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Throughput annotation (accepted, not reported).
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// The benchmark manager.
+#[derive(Default)]
+pub struct Criterion {
+    benchmarks_run: usize,
+}
+
+impl Criterion {
+    /// Mirrors `Criterion::default().configure_from_args()`; CLI filtering
+    /// is not implemented, all benchmarks run.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a benchmark group.
+    pub fn benchmark_group(
+        &mut self,
+        name: impl Into<String>,
+    ) -> BenchmarkGroup<'_, measurement::WallTime> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 10,
+            measurement_time: Duration::from_secs(2),
+            _marker: PhantomData,
+        }
+    }
+
+    /// Benchmarks `f` outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Display,
+        mut f: F,
+    ) -> &mut Self {
+        let mut g = self.benchmark_group("top");
+        g.bench_function(id, &mut f);
+        g.finish();
+        self
+    }
+}
+
+/// Prevents the optimiser from deleting a value or the work producing it.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declares a benchmark group function running each target in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut c); )+
+        }
+    };
+    (name = $group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $config;
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the bench `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,386 @@
+//! Offline stand-in for `rayon`.
+//!
+//! The build environment has no crates.io access, so this shim provides the
+//! subset of rayon's API the workspace uses — [`ThreadPool`],
+//! [`ThreadPoolBuilder`], [`current_num_threads`] and the parallel-iterator
+//! prelude over index ranges and slices. Parallelism is real: each drive of
+//! an iterator fans contiguous chunks out over `std::thread::scope` workers,
+//! honouring the installed pool's thread count. What it does *not* do is
+//! work-stealing or persistent worker threads; for the test- and
+//! reproduction-scale workloads here, chunked scoped threads are equivalent.
+
+use std::cell::Cell;
+
+thread_local! {
+    static CURRENT_THREADS: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Number of threads of the innermost installed pool (or the machine size).
+pub fn current_num_threads() -> usize {
+    CURRENT_THREADS
+        .with(|c| c.get())
+        .unwrap_or_else(default_threads)
+}
+
+/// Error type returned by [`ThreadPoolBuilder::build`]. Construction cannot
+/// actually fail in this shim, but the type keeps call sites source-compatible.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPoolBuilder {
+    /// Starts a builder with default settings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the worker count (0 means "machine-sized", like rayon).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = Some(n);
+        self
+    }
+
+    /// Accepted for compatibility; worker threads are per-operation scoped
+    /// threads here, so the name function is not retained.
+    pub fn thread_name<F: FnMut(usize) -> String>(self, _f: F) -> Self {
+        self
+    }
+
+    /// Builds the pool.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let threads = match self.num_threads {
+            Some(0) | None => default_threads(),
+            Some(n) => n,
+        };
+        Ok(ThreadPool { threads })
+    }
+}
+
+/// A fixed-width pool. Operations inside [`install`](ThreadPool::install)
+/// see this pool's width via [`current_num_threads`].
+pub struct ThreadPool {
+    threads: usize,
+}
+
+impl ThreadPool {
+    /// Runs `f` with this pool installed as the current parallelism context.
+    pub fn install<R: Send>(&self, f: impl FnOnce() -> R + Send) -> R {
+        let prev = CURRENT_THREADS.with(|c| c.replace(Some(self.threads)));
+        struct Restore(Option<usize>);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                CURRENT_THREADS.with(|c| c.set(self.0));
+            }
+        }
+        let _restore = Restore(prev);
+        f()
+    }
+
+    /// The configured worker count.
+    pub fn current_num_threads(&self) -> usize {
+        self.threads
+    }
+}
+
+/// Splits `0..len` into at most `current_num_threads()` contiguous chunks and
+/// runs `work` on each chunk in a scoped thread, returning per-chunk results
+/// in chunk order.
+fn drive<R: Send>(len: usize, work: &(dyn Fn(std::ops::Range<usize>) -> R + Sync)) -> Vec<R> {
+    if len == 0 {
+        return Vec::new();
+    }
+    let threads = current_num_threads().clamp(1, len);
+    if threads == 1 {
+        return vec![work(0..len)];
+    }
+    let inherited = CURRENT_THREADS.with(|c| c.get());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let start = len * t / threads;
+                let end = len * (t + 1) / threads;
+                scope.spawn(move || {
+                    CURRENT_THREADS.with(|c| c.set(inherited));
+                    work(start..end)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
+    })
+}
+
+/// Parallel iterators. Random-access ("indexed") sources only, which covers
+/// ranges, slices and maps thereof.
+pub mod iter {
+    use super::drive;
+
+    /// A random-access description of a parallel sequence.
+    pub trait IndexedSource: Sync + Sized {
+        /// Element type.
+        type Item: Send;
+        /// Sequence length.
+        fn seq_len(&self) -> usize;
+        /// Element at position `i` (`i < seq_len()`).
+        fn seq_get(&self, i: usize) -> Self::Item;
+    }
+
+    /// The user-facing parallel-iterator operations, blanket-implemented for
+    /// every indexed source.
+    pub trait ParallelIterator: IndexedSource {
+        /// Applies `f` to every element, in parallel.
+        fn for_each<F: Fn(Self::Item) + Sync>(self, f: F) {
+            drive(self.seq_len(), &|range| {
+                for i in range {
+                    f(self.seq_get(i));
+                }
+            });
+        }
+
+        /// Lazily maps every element through `f`.
+        fn map<R: Send, F: Fn(Self::Item) -> R + Sync>(self, f: F) -> Map<Self, F> {
+            Map { base: self, f }
+        }
+
+        /// Sums all elements.
+        fn sum<S>(self) -> S
+        where
+            S: Send + std::iter::Sum<Self::Item> + std::iter::Sum<S>,
+        {
+            drive(self.seq_len(), &|range| {
+                range.map(|i| self.seq_get(i)).sum::<S>()
+            })
+            .into_iter()
+            .sum()
+        }
+
+        /// Collects all elements in sequence order.
+        fn collect<C: FromParallel<Self::Item>>(self) -> C {
+            let chunks = drive(self.seq_len(), &|range| {
+                range.map(|i| self.seq_get(i)).collect::<Vec<_>>()
+            });
+            C::from_chunks(chunks)
+        }
+
+        /// Total number of elements.
+        fn len(&self) -> usize {
+            self.seq_len()
+        }
+
+        /// Whether the sequence is empty.
+        fn is_empty(&self) -> bool {
+            self.seq_len() == 0
+        }
+    }
+
+    impl<T: IndexedSource> ParallelIterator for T {}
+
+    /// Collection types buildable from ordered parallel chunks.
+    pub trait FromParallel<T> {
+        /// Concatenates the per-chunk outputs (already in order).
+        fn from_chunks(chunks: Vec<Vec<T>>) -> Self;
+    }
+
+    impl<T> FromParallel<T> for Vec<T> {
+        fn from_chunks(chunks: Vec<Vec<T>>) -> Self {
+            let mut out = Vec::with_capacity(chunks.iter().map(Vec::len).sum());
+            for c in chunks {
+                out.extend(c);
+            }
+            out
+        }
+    }
+
+    /// Parallel iterator over an integer range.
+    pub struct ParRange<T> {
+        pub(crate) start: T,
+        pub(crate) len: usize,
+    }
+
+    macro_rules! par_range_impl {
+        ($($t:ty),*) => {$(
+            impl IndexedSource for ParRange<$t> {
+                type Item = $t;
+                fn seq_len(&self) -> usize {
+                    self.len
+                }
+                fn seq_get(&self, i: usize) -> $t {
+                    self.start + i as $t
+                }
+            }
+        )*};
+    }
+
+    par_range_impl!(usize, u32, u64, i32, i64);
+
+    /// Parallel iterator over a slice (by reference).
+    pub struct ParSlice<'a, T> {
+        pub(crate) slice: &'a [T],
+    }
+
+    impl<'a, T: Sync> IndexedSource for ParSlice<'a, T> {
+        type Item = &'a T;
+        fn seq_len(&self) -> usize {
+            self.slice.len()
+        }
+        fn seq_get(&self, i: usize) -> &'a T {
+            &self.slice[i]
+        }
+    }
+
+    /// Lazily mapped parallel iterator.
+    pub struct Map<I, F> {
+        base: I,
+        f: F,
+    }
+
+    impl<I, R, F> IndexedSource for Map<I, F>
+    where
+        I: IndexedSource,
+        R: Send,
+        F: Fn(I::Item) -> R + Sync,
+    {
+        type Item = R;
+        fn seq_len(&self) -> usize {
+            self.base.seq_len()
+        }
+        fn seq_get(&self, i: usize) -> R {
+            (self.f)(self.base.seq_get(i))
+        }
+    }
+
+    /// Conversion into a parallel iterator (by value).
+    pub trait IntoParallelIterator {
+        /// The resulting iterator type.
+        type Iter: ParallelIterator;
+        /// Converts `self`.
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    macro_rules! into_par_range {
+        ($($t:ty),*) => {$(
+            impl IntoParallelIterator for std::ops::Range<$t> {
+                type Iter = ParRange<$t>;
+                fn into_par_iter(self) -> ParRange<$t> {
+                    let len = if self.end > self.start {
+                        (self.end - self.start) as usize
+                    } else {
+                        0
+                    };
+                    ParRange { start: self.start, len }
+                }
+            }
+        )*};
+    }
+
+    into_par_range!(usize, u32, u64, i32, i64);
+
+    /// Conversion into a parallel iterator over references.
+    pub trait IntoParallelRefIterator<'a> {
+        /// Element reference type.
+        type Iter: ParallelIterator;
+        /// Borrows `self` as a parallel iterator.
+        fn par_iter(&'a self) -> Self::Iter;
+    }
+
+    impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+        type Iter = ParSlice<'a, T>;
+        fn par_iter(&'a self) -> ParSlice<'a, T> {
+            ParSlice { slice: self }
+        }
+    }
+
+    impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+        type Iter = ParSlice<'a, T>;
+        fn par_iter(&'a self) -> ParSlice<'a, T> {
+            ParSlice { slice: self }
+        }
+    }
+}
+
+/// `use rayon::prelude::*;`
+pub mod prelude {
+    pub use crate::iter::{IntoParallelIterator, IntoParallelRefIterator, ParallelIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn install_scopes_thread_count() {
+        let pool = super::ThreadPoolBuilder::new()
+            .num_threads(3)
+            .build()
+            .unwrap();
+        assert_eq!(pool.install(super::current_num_threads), 3);
+        // Restored afterwards.
+        let outer = super::current_num_threads();
+        assert!(outer >= 1);
+    }
+
+    #[test]
+    fn for_each_covers_range() {
+        let hits = AtomicUsize::new(0);
+        (0..1000usize).into_par_iter().for_each(|i| {
+            hits.fetch_add(i + 1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 1000 * 1001 / 2);
+    }
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<usize> = (0..100usize).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(v.len(), 100);
+        assert_eq!(v[40], 80);
+    }
+
+    #[test]
+    fn slice_par_iter_and_sum() {
+        let data = vec![1u64, 2, 3, 4];
+        let total = AtomicUsize::new(0);
+        data.par_iter().for_each(|&x| {
+            total.fetch_add(x as usize, Ordering::Relaxed);
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 10);
+        let s: u64 = (0..10u64).into_par_iter().map(|i| i).sum();
+        assert_eq!(s, 45);
+    }
+
+    #[test]
+    fn nested_install_inherits_in_workers() {
+        let pool = super::ThreadPoolBuilder::new()
+            .num_threads(2)
+            .build()
+            .unwrap();
+        pool.install(|| {
+            let seen = AtomicUsize::new(0);
+            (0..4usize).into_par_iter().for_each(|_| {
+                seen.fetch_max(super::current_num_threads(), Ordering::Relaxed);
+            });
+            assert_eq!(seen.load(Ordering::Relaxed), 2);
+        });
+    }
+}
