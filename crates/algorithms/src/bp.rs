@@ -17,7 +17,6 @@
 
 use gg_core::edge_map::EdgeOp;
 use gg_core::engine::Engine;
-use gg_core::vertex_map::vertex_map_all;
 use gg_graph::types::VertexId;
 use gg_runtime::atomics::{atomic_f64_vec, snapshot_f64, AtomicF64};
 use rand::rngs::SmallRng;
@@ -79,13 +78,13 @@ pub fn bp<E: Engine>(engine: &E, priors: &[f64], params: BpParams) -> Vec<f64> {
     let belief = atomic_f64_vec(n, 0.0);
     let msg = atomic_f64_vec(n, 0.0);
     let acc = atomic_f64_vec(n, 0.0);
-    vertex_map_all(n, engine.pool(), |v| {
+    engine.vertex_map_all(|v| {
         belief[v as usize].store(priors[v as usize]);
     });
     let spec = Algorithm::Bp.spec();
 
     for _ in 0..params.iterations {
-        vertex_map_all(n, engine.pool(), |v| {
+        engine.vertex_map_all(|v| {
             msg[v as usize].store(params.lambda * belief[v as usize].load().tanh());
             acc[v as usize].store(priors[v as usize]);
         });
@@ -95,7 +94,7 @@ pub fn bp<E: Engine>(engine: &E, priors: &[f64], params: BpParams) -> Vec<f64> {
         };
         let frontier = engine.frontier_all();
         let _ = engine.edge_map(&frontier, &op, spec);
-        vertex_map_all(n, engine.pool(), |v| {
+        engine.vertex_map_all(|v| {
             belief[v as usize].store(acc[v as usize].load());
         });
     }

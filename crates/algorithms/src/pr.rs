@@ -9,7 +9,6 @@
 
 use gg_core::edge_map::EdgeOp;
 use gg_core::engine::Engine;
-use gg_core::vertex_map::vertex_map_all;
 use gg_graph::types::VertexId;
 use gg_runtime::atomics::{atomic_f64_vec, snapshot_f64, AtomicF64};
 
@@ -51,7 +50,7 @@ pub fn pagerank<E: Engine>(engine: &E, iters: usize) -> Vec<f64> {
     let spec = Algorithm::Pr.spec();
 
     for _ in 0..iters {
-        vertex_map_all(n, engine.pool(), |v| {
+        engine.vertex_map_all(|v| {
             let d = degrees[v as usize].max(1) as f64;
             contrib[v as usize].store(rank[v as usize].load() / d);
             acc[v as usize].store(0.0);
@@ -62,7 +61,7 @@ pub fn pagerank<E: Engine>(engine: &E, iters: usize) -> Vec<f64> {
         };
         let frontier = engine.frontier_all();
         let _ = engine.edge_map(&frontier, &op, spec);
-        vertex_map_all(n, engine.pool(), |v| {
+        engine.vertex_map_all(|v| {
             rank[v as usize].store(0.15 / n as f64 + DAMPING * acc[v as usize].load());
         });
     }

@@ -13,7 +13,7 @@
 
 use gg_core::edge_map::EdgeOp;
 use gg_core::engine::Engine;
-use gg_core::vertex_map::{frontier_from_predicate, vertex_map_all};
+use gg_core::vertex_map::frontier_from_predicate;
 use gg_graph::types::VertexId;
 use gg_runtime::atomics::{atomic_f64_vec, snapshot_f64, AtomicF64};
 
@@ -95,7 +95,7 @@ pub fn pagerank_delta<E: Engine>(engine: &E, params: PrDeltaParams) -> PrDeltaRe
     let mut frontier_sizes = Vec::new();
     while !frontier.is_empty() && rounds < params.max_rounds {
         frontier_sizes.push(frontier.len());
-        vertex_map_all(n, engine.pool(), |v| {
+        engine.vertex_map_all(|v| {
             let d = degrees[v as usize].max(1) as f64;
             outgoing[v as usize].store(delta[v as usize].load() / d);
             acc[v as usize].store(0.0);
@@ -107,7 +107,7 @@ pub fn pagerank_delta<E: Engine>(engine: &E, params: PrDeltaParams) -> PrDeltaRe
         let _ = engine.edge_map(&frontier, &op, spec);
         rounds += 1;
         let first_round = rounds == 1;
-        vertex_map_all(n, engine.pool(), |v| {
+        engine.vertex_map_all(|v| {
             let i = v as usize;
             let nd = if first_round {
                 // Delta_1 = p_1 - p_0 with p_1 = (1-d)/n + d * nghSum.

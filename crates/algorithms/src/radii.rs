@@ -95,7 +95,7 @@ pub fn radii<E: Engine>(engine: &E, sources: &[VertexId]) -> RadiiResult {
         };
         frontier = engine.edge_map(&frontier, &op, spec);
         // Fold the round's discoveries into the visited masks.
-        gg_core::vertex_map::vertex_map(&frontier, engine.pool(), |v| {
+        engine.vertex_map(&frontier, |v| {
             let nv = next_visited[v as usize].load(Ordering::Relaxed);
             visited[v as usize].fetch_or(nv, Ordering::Relaxed);
         });

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! repro <experiment> [--scale F] [--threads N] [--reps N] [--tiny]
+//!                    [--partitions N] [--executor monolithic|partitioned]
 //!
 //! experiments: tab1 tab2 fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10
 //!              atomics heuristic reorder all
@@ -12,6 +13,13 @@
 //! `--reps` runs (default 3). `--tiny` is the CI smoke configuration
 //! (scale 0.01, 1 rep, ≤4 threads): numbers are meaningless, but every
 //! experiment's code path runs in seconds.
+//!
+//! `--partitions` overrides the GG-v2 partition count wherever an
+//! experiment would otherwise use the §IV.G heuristic or a fixed default
+//! (tab2, fig9, fig10); sweep experiments keep their own sweeps.
+//! `--executor partitioned` routes GG-v2 edge maps through the
+//! partition-parallel executor (per-partition kernel selection,
+//! NUMA-ordered fan-out) instead of the monolithic Algorithm 2 path.
 
 use gg_algorithms::Algorithm;
 use gg_bench::datasets::Dataset;
@@ -31,6 +39,27 @@ struct Args {
     scale: f64,
     threads: usize,
     reps: usize,
+    /// Overrides the GG-v2 partition count where experiments pick one.
+    partitions: Option<usize>,
+    executor: gg_core::config::ExecutorKind,
+}
+
+impl Args {
+    /// The partition count for non-sweep experiments: the `--partitions`
+    /// override when given, otherwise `fallback`.
+    fn partitions_or(&self, fallback: usize) -> usize {
+        self.partitions.unwrap_or(fallback)
+    }
+
+    /// A [`RunConfig`] carrying the global `--threads` / `--executor`
+    /// flags and the given partition count.
+    fn run_config(&self, partitions: usize) -> RunConfig {
+        RunConfig {
+            partitions,
+            executor: self.executor,
+            ..RunConfig::new(self.threads)
+        }
+    }
 }
 
 fn parse_args() -> Args {
@@ -41,6 +70,8 @@ fn parse_args() -> Args {
             .map(|n| n.get())
             .unwrap_or(4),
         reps: 3,
+        partitions: None,
+        executor: gg_core::config::ExecutorKind::Monolithic,
     };
     let mut tiny = false;
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -58,6 +89,21 @@ fn parse_args() -> Args {
             "--reps" => {
                 i += 1;
                 args.reps = argv[i].parse().expect("--reps needs an integer");
+            }
+            "--partitions" => {
+                i += 1;
+                args.partitions = Some(argv[i].parse().expect("--partitions needs an integer"));
+            }
+            "--executor" => {
+                i += 1;
+                args.executor = match argv[i].as_str() {
+                    "monolithic" => gg_core::config::ExecutorKind::Monolithic,
+                    "partitioned" => gg_core::config::ExecutorKind::Partitioned,
+                    other => {
+                        eprintln!("--executor must be monolithic or partitioned, got {other}");
+                        std::process::exit(2);
+                    }
+                };
             }
             "--tiny" => tiny = true,
             other if args.experiment.is_empty() && !other.starts_with("--") => {
@@ -80,7 +126,8 @@ fn parse_args() -> Args {
     if args.experiment.is_empty() {
         eprintln!(
             "usage: repro <tab1|tab2|fig2|fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|atomics|\
-             heuristic|reorder|all> [--scale F] [--threads N] [--reps N] [--tiny]"
+             heuristic|reorder|all> [--scale F] [--threads N] [--reps N] [--tiny]\
+             [--partitions N] [--executor monolithic|partitioned]"
         );
         std::process::exit(2);
     }
@@ -178,7 +225,8 @@ fn tab2(args: &Args) {
         let w = Workload::prepare(&base, algo);
         let cfg = gg_core::config::Config {
             threads: args.threads,
-            num_partitions: 64,
+            num_partitions: args.partitions_or(64),
+            executor: args.executor,
             ..gg_core::config::Config::default()
         };
         let fwd = gg_core::engine::GraphGrind2::new(&w.el, cfg.clone());
@@ -187,7 +235,16 @@ fn tab2(args: &Args) {
             .as_ref()
             .map(|tr| gg_core::engine::GraphGrind2::new(tr, cfg.clone()));
         gg_bench::runner::run_algorithm(&fwd, bwd.as_ref(), &w);
-        let (s, m, d) = fwd.kernel_counts().snapshot();
+        // The monolithic path counts one kernel per edge map; the
+        // partitioned executor counts one selection per partition (the
+        // medium class folds into the dense pull there).
+        let (s, m, d) = match args.executor {
+            gg_core::config::ExecutorKind::Monolithic => fwd.kernel_counts().snapshot(),
+            gg_core::config::ExecutorKind::Partitioned => {
+                let (ps, pd, _) = fwd.kernel_counts().partition_snapshot();
+                (ps, 0, pd)
+            }
+        };
         t.row(vec![
             algo.code().into(),
             if algo.vertex_oriented() { "V" } else { "E" }.into(),
@@ -498,10 +555,7 @@ fn fig9(args: &Args) {
         ]);
         for algo in Algorithm::all() {
             let w = Workload::prepare(&base, algo);
-            let rc = RunConfig {
-                partitions: p,
-                ..RunConfig::new(args.threads)
-            };
+            let rc = args.run_config(args.partitions_or(p));
             let times: Vec<f64> = EngineKind::all()
                 .iter()
                 .map(|&k| measure(k, &w, &rc, args.reps))
@@ -542,7 +596,8 @@ fn fig10(args: &Args) {
                 NumaTopology::paper_machine(),
             ));
             let rc = RunConfig {
-                partitions: p,
+                partitions: args.partitions_or(p),
+                executor: args.executor,
                 ..RunConfig::new(th)
             };
             let mut row = vec![th.to_string()];

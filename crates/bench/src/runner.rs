@@ -2,7 +2,7 @@
 
 use gg_algorithms::{Algorithm, BpParams, PrDeltaParams};
 use gg_baselines::{GraphGrind1, Ligra, Polymer};
-use gg_core::config::{Config, ForcedKernel};
+use gg_core::config::{Config, ExecutorKind, ForcedKernel};
 use gg_core::engine::{Engine, GraphGrind2};
 use gg_graph::edge_list::EdgeList;
 use gg_graph::ops::{symmetrize, transpose};
@@ -54,10 +54,13 @@ pub struct RunConfig {
     pub partitions: usize,
     /// GG-v2 COO edge order.
     pub edge_order: EdgeOrder,
-    /// GG-v2 forced kernel (Figure 5/6 ablations).
+    /// GG-v2 forced kernel (Figure 5/6 ablations; monolithic path only).
     pub force: Option<ForcedKernel>,
     /// GG-v2 "+a" dense path.
     pub use_atomics: bool,
+    /// GG-v2 execution path (`repro --executor partitioned` routes edge
+    /// maps through the partition-parallel executor).
+    pub executor: ExecutorKind,
 }
 
 impl RunConfig {
@@ -69,6 +72,7 @@ impl RunConfig {
             edge_order: EdgeOrder::Hilbert,
             force: None,
             use_atomics: false,
+            executor: ExecutorKind::Monolithic,
         }
     }
 
@@ -79,6 +83,7 @@ impl RunConfig {
             numa: NumaTopology::paper_machine(),
             edge_order: self.edge_order,
             use_atomics_dense: self.use_atomics,
+            executor: self.executor,
             ..Config::default()
         };
         if let Some(f) = self.force {
@@ -247,6 +252,21 @@ mod tests {
                 let t = measure(kind, &w, &rc, 1);
                 assert!(t >= 0.0, "{kind:?} {algo:?}");
             }
+        }
+    }
+
+    #[test]
+    fn partitioned_executor_runs_every_algorithm() {
+        let base = tiny_graph();
+        let rc = RunConfig {
+            partitions: 8,
+            executor: ExecutorKind::Partitioned,
+            ..RunConfig::new(2)
+        };
+        for algo in Algorithm::all() {
+            let w = Workload::prepare(&base, algo);
+            let t = measure(EngineKind::Gg2, &w, &rc, 1);
+            assert!(t >= 0.0, "{algo:?}");
         }
     }
 

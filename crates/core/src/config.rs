@@ -37,6 +37,22 @@ pub enum ForcedKernel {
     CooNoAtomic,
 }
 
+/// Which execution path [`GraphGrind2`](crate::engine::GraphGrind2) routes
+/// edge maps through.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum ExecutorKind {
+    /// One kernel per edge map, chosen globally from the frontier density
+    /// (Algorithm 2 as published). The default.
+    #[default]
+    Monolithic,
+    /// The partition-parallel path: per-partition subgraph views fan out
+    /// over the pool in NUMA-domain-major order, and *each partition*
+    /// selects its own kernel from its local frontier density, so one
+    /// iteration can mix sparse (CSR-indexed) and dense (CSC-range)
+    /// traversal across partitions. See [`crate::partitioned`].
+    Partitioned,
+}
+
 /// Configuration of a [`GraphGrind2`](crate::engine::GraphGrind2) engine.
 #[derive(Clone, Debug)]
 pub struct Config {
@@ -55,11 +71,15 @@ pub struct Config {
     pub use_atomics_dense: bool,
     /// Density thresholds of Algorithm 2.
     pub thresholds: Thresholds,
-    /// Force a fixed kernel instead of the adaptive decision.
+    /// Force a fixed kernel instead of the adaptive decision (monolithic
+    /// path only; the partitioned executor always decides per partition).
     pub force: Option<ForcedKernel>,
     /// Build the partitioned CSR layout (required for
-    /// [`ForcedKernel::CsrAtomic`]; costs `r(p)`-scaled memory, §II.E).
+    /// [`ForcedKernel::CsrAtomic`] and implied by
+    /// [`ExecutorKind::Partitioned`]; costs `r(p)`-scaled memory, §II.E).
     pub build_partitioned_csr: bool,
+    /// Execution path for edge and vertex maps.
+    pub executor: ExecutorKind,
 }
 
 impl Default for Config {
@@ -76,6 +96,7 @@ impl Default for Config {
             thresholds: Thresholds::default(),
             force: None,
             build_partitioned_csr: false,
+            executor: ExecutorKind::Monolithic,
         }
     }
 }
@@ -92,9 +113,24 @@ impl Config {
         }
     }
 
+    /// The test configuration routed through the partition-parallel
+    /// executor.
+    pub fn partitioned_for_tests() -> Self {
+        Config {
+            executor: ExecutorKind::Partitioned,
+            ..Self::for_tests()
+        }
+    }
+
     /// Effective partition count after NUMA rounding.
     pub fn effective_partitions(&self) -> usize {
         self.numa.round_partitions(self.num_partitions)
+    }
+
+    /// Selects the execution path (builder style).
+    pub fn with_executor(mut self, e: ExecutorKind) -> Self {
+        self.executor = e;
+        self
     }
 
     /// Sets the partition count (builder style).

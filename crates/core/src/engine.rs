@@ -20,9 +20,10 @@ use gg_runtime::counters::WorkCounters;
 use gg_runtime::pool::Pool;
 use gg_runtime::schedule::PartitionSchedule;
 
-use crate::config::{Config, ForcedKernel};
+use crate::config::{Config, ExecutorKind, ForcedKernel};
 use crate::edge_map::{self, EdgeKind, EdgeOp};
 use crate::frontier::Frontier;
+use crate::partitioned::{PartitionView, PartitionedExec};
 use crate::store::GraphStore;
 
 /// Dense-traversal direction preferred by an algorithm (Table II). Only
@@ -81,11 +82,22 @@ impl EdgeMapSpec {
 
 /// Counts of edge-map invocations per traversal class — the per-algorithm
 /// mix reported alongside Table II.
+///
+/// The monolithic path records one count per edge map
+/// ([`snapshot`](Self::snapshot)); the partitioned executor records one
+/// count per *partition* per edge map plus the number of iterations that
+/// mixed kernels ([`partition_snapshot`](Self::partition_snapshot)).
 #[derive(Debug, Default)]
 pub struct KernelCounts {
     sparse: AtomicU64,
     medium: AtomicU64,
     dense: AtomicU64,
+    /// Partitions that selected the sparse kernel (partitioned executor).
+    part_sparse: AtomicU64,
+    /// Partitions that selected the dense kernel (partitioned executor).
+    part_dense: AtomicU64,
+    /// Edge maps in which different partitions selected different kernels.
+    mixed_iterations: AtomicU64,
 }
 
 impl KernelCounts {
@@ -97,7 +109,16 @@ impl KernelCounts {
         };
     }
 
-    /// `(sparse, medium, dense)` invocation counts.
+    /// Records one partitioned edge map's per-partition selections.
+    pub(crate) fn record_partitioned(&self, sparse_parts: u64, dense_parts: u64) {
+        self.part_sparse.fetch_add(sparse_parts, Ordering::Relaxed);
+        self.part_dense.fetch_add(dense_parts, Ordering::Relaxed);
+        if sparse_parts > 0 && dense_parts > 0 {
+            self.mixed_iterations.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// `(sparse, medium, dense)` invocation counts (monolithic path).
     pub fn snapshot(&self) -> (u64, u64, u64) {
         (
             self.sparse.load(Ordering::Relaxed),
@@ -106,11 +127,26 @@ impl KernelCounts {
         )
     }
 
+    /// `(sparse partitions, dense partitions, mixed iterations)` recorded
+    /// by the partitioned executor: the first two count per-partition
+    /// kernel selections summed over edge maps; the third counts edge maps
+    /// in which at least two partitions disagreed on the kernel.
+    pub fn partition_snapshot(&self) -> (u64, u64, u64) {
+        (
+            self.part_sparse.load(Ordering::Relaxed),
+            self.part_dense.load(Ordering::Relaxed),
+            self.mixed_iterations.load(Ordering::Relaxed),
+        )
+    }
+
     /// Resets all counts.
     pub fn reset(&self) {
         self.sparse.store(0, Ordering::Relaxed);
         self.medium.store(0, Ordering::Relaxed);
         self.dense.store(0, Ordering::Relaxed);
+        self.part_sparse.store(0, Ordering::Relaxed);
+        self.part_dense.store(0, Ordering::Relaxed);
+        self.mixed_iterations.store(0, Ordering::Relaxed);
     }
 }
 
@@ -157,6 +193,19 @@ pub trait Engine: Sync {
     fn frontier_sparse(&self, vertices: Vec<VertexId>) -> Frontier {
         Frontier::from_sparse(vertices, self.num_vertices(), self.out_degrees())
     }
+
+    /// Applies `f` to every vertex `0..n` in parallel. Engines with a
+    /// partition schedule may override to fan partitions out NUMA-locally.
+    fn vertex_map_all<F: Fn(VertexId) + Sync>(&self, f: F) {
+        crate::vertex_map::vertex_map_all(self.num_vertices(), self.pool(), f);
+    }
+
+    /// Applies `f` to every active vertex of `frontier` in parallel.
+    /// Engines with a partition schedule may override to fan partitions
+    /// out NUMA-locally.
+    fn vertex_map<F: Fn(VertexId) + Sync>(&self, frontier: &Frontier, f: F) {
+        crate::vertex_map::vertex_map(frontier, self.pool(), f);
+    }
 }
 
 /// The paper's engine: composite 3-layout store + Algorithm 2.
@@ -172,12 +221,22 @@ pub struct GraphGrind2 {
     /// Destination ranges per orientation, precomputed from the store.
     edge_ranges: Vec<std::ops::Range<VertexId>>,
     vertex_ranges: Vec<std::ops::Range<VertexId>>,
+    /// Per-partition subgraph views + fan-out order
+    /// ([`ExecutorKind::Partitioned`] only).
+    partitioned: Option<PartitionedExec>,
 }
 
 impl GraphGrind2 {
-    /// Builds the engine (all layouts, partition sets and schedule) from an
-    /// edge list.
+    /// Builds the engine (all layouts, partition sets, schedule, and — for
+    /// [`ExecutorKind::Partitioned`] — the per-partition subgraph views)
+    /// from an edge list.
     pub fn new(el: &EdgeList, config: Config) -> Self {
+        let mut config = config;
+        // The partitioned executor's sparse kernel indexes active sources
+        // through the partitioned CSR.
+        if config.executor == ExecutorKind::Partitioned {
+            config.build_partitioned_csr = true;
+        }
         let store = GraphStore::build(el, &config);
         let pool = Pool::new(config.threads);
         let p = store.num_partitions();
@@ -185,6 +244,8 @@ impl GraphGrind2 {
         let scratch = gg_graph::bitmap::AtomicBitmap::new(store.num_vertices());
         let edge_ranges = (0..p).map(|i| store.edge_parts().range(i)).collect();
         let vertex_ranges = (0..p).map(|i| store.vertex_parts().range(i)).collect();
+        let partitioned = (config.executor == ExecutorKind::Partitioned)
+            .then(|| PartitionedExec::new(&store, &schedule));
         GraphGrind2 {
             store,
             config,
@@ -195,6 +256,7 @@ impl GraphGrind2 {
             scratch,
             edge_ranges,
             vertex_ranges,
+            partitioned,
         }
     }
 
@@ -216,6 +278,13 @@ impl GraphGrind2 {
     /// The NUMA-domain-major partition schedule.
     pub fn schedule(&self) -> &PartitionSchedule {
         &self.schedule
+    }
+
+    /// The materialised per-partition subgraph views, indexed by
+    /// partition. Empty unless the engine was built with
+    /// [`ExecutorKind::Partitioned`].
+    pub fn partition_views(&self) -> &[PartitionView] {
+        self.partitioned.as_ref().map_or(&[], |e| e.views())
     }
 
     fn run_kind<O: EdgeOp>(
@@ -358,6 +427,17 @@ impl Engine for GraphGrind2 {
         if frontier.is_empty() {
             return Frontier::empty(self.num_vertices());
         }
+        if let Some(exec) = &self.partitioned {
+            return exec.edge_map(
+                &self.store,
+                &self.pool,
+                &self.config.thresholds,
+                &self.counters,
+                &self.kernel_counts,
+                frontier,
+                op,
+            );
+        }
         match self.config.force {
             Some(forced) => self.run_forced(forced, frontier, op, spec),
             None => {
@@ -368,6 +448,20 @@ impl Engine for GraphGrind2 {
                 );
                 self.run_kind(kind, frontier, op, spec)
             }
+        }
+    }
+
+    fn vertex_map_all<F: Fn(VertexId) + Sync>(&self, f: F) {
+        match &self.partitioned {
+            Some(exec) => exec.vertex_map_all(&self.pool, f),
+            None => crate::vertex_map::vertex_map_all(self.num_vertices(), &self.pool, f),
+        }
+    }
+
+    fn vertex_map<F: Fn(VertexId) + Sync>(&self, frontier: &Frontier, f: F) {
+        match &self.partitioned {
+            Some(exec) => exec.vertex_map(&self.pool, frontier, f),
+            None => crate::vertex_map::vertex_map(frontier, &self.pool, f),
         }
     }
 }
@@ -494,6 +588,124 @@ mod tests {
         let (s, _m, d) = engine.kernel_counts().snapshot();
         assert_eq!(d, 1);
         assert_eq!(s, 1);
+    }
+
+    #[test]
+    fn partitioned_executor_matches_monolithic_cc() {
+        let el = gg_graph::ops::symmetrize(&generators::rmat(
+            8,
+            1800,
+            generators::RmatParams::skewed(),
+            21,
+        ));
+        let reference = run_cc(&engine_with(&el, Config::for_tests()));
+        for p in [2usize, 8, 32] {
+            let cfg = Config::partitioned_for_tests().with_partitions(p);
+            let engine = engine_with(&el, cfg);
+            assert!(!engine.partition_views().is_empty());
+            assert_eq!(run_cc(&engine), reference, "P = {p}");
+        }
+    }
+
+    /// A dense block on low ids plus a sparse path tail: with the block
+    /// fully active, block partitions go dense while tail partitions go
+    /// sparse — one edge map, mixed kernels.
+    fn density_skewed_graph() -> gg_graph::edge_list::EdgeList {
+        let mut el = gg_graph::edge_list::EdgeList::new(64);
+        for i in 0..16u32 {
+            for j in 0..16u32 {
+                if i != j {
+                    el.push(i, j);
+                }
+            }
+        }
+        for i in 16..63u32 {
+            el.push(i, i + 1);
+        }
+        el
+    }
+
+    #[test]
+    fn partitioned_executor_mixes_kernels_within_one_iteration() {
+        let el = density_skewed_graph();
+        let engine = engine_with(&el, Config::partitioned_for_tests().with_partitions(4));
+        let op = MinLabel::new(engine.num_vertices());
+        // Activate the lower half of the dense block: block partitions see
+        // a locally dense frontier, tail partitions see zero local actives.
+        let block: Vec<u32> = (0..8).collect();
+        let frontier = engine.frontier_sparse(block);
+        let _ = engine.edge_map(&frontier, &op, EdgeMapSpec::edge_oriented());
+        let (s, d, mixed) = engine.kernel_counts().partition_snapshot();
+        assert!(s >= 1, "no partition selected the sparse kernel: {s}/{d}");
+        assert!(d >= 1, "no partition selected the dense kernel: {s}/{d}");
+        assert_eq!(mixed, 1, "the iteration must be recorded as mixed");
+        // The monolithic counters stay untouched on the partitioned path.
+        assert_eq!(engine.kernel_counts().snapshot(), (0, 0, 0));
+    }
+
+    #[test]
+    fn partitioned_executor_skips_empty_partitions() {
+        // 3 vertices over 16 requested partitions: most views are empty.
+        let el = gg_graph::edge_list::EdgeList::from_edges(3, &[(0, 1), (1, 2), (2, 0)]);
+        let engine = engine_with(&el, Config::partitioned_for_tests().with_partitions(16));
+        let nonempty = engine
+            .partition_views()
+            .iter()
+            .filter(|v| v.num_edges > 0)
+            .count() as u64;
+        assert!(nonempty <= 3);
+        let op = MinLabel::new(3);
+        let _ = engine.edge_map(&engine.frontier_all(), &op, EdgeMapSpec::edge_oriented());
+        let (s, d, _) = engine.kernel_counts().partition_snapshot();
+        assert_eq!(s + d, nonempty, "only non-empty partitions get a kernel");
+    }
+
+    #[test]
+    fn partitioned_executor_with_no_edges_never_touches_the_pool() {
+        let el = gg_graph::edge_list::EdgeList::new(8);
+        let engine = engine_with(&el, Config::partitioned_for_tests().with_partitions(4));
+        let before = engine.pool().jobs_run();
+        let op = MinLabel::new(8);
+        let next = engine.edge_map(&engine.frontier_all(), &op, EdgeMapSpec::edge_oriented());
+        assert!(next.is_empty());
+        assert_eq!(
+            engine.pool().jobs_run(),
+            before,
+            "edgeless graph: no pool work"
+        );
+        assert_eq!(engine.kernel_counts().partition_snapshot(), (0, 0, 0));
+    }
+
+    #[test]
+    fn partitioned_vertex_maps_cover_actives_numa_locally() {
+        use std::sync::atomic::AtomicU64;
+        let el = density_skewed_graph();
+        let engine = engine_with(&el, Config::partitioned_for_tests().with_partitions(4));
+        let sum = AtomicU64::new(0);
+        engine.vertex_map_all(|v| {
+            sum.fetch_add(v as u64 + 1, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 64 * 65 / 2);
+
+        sum.store(0, Ordering::Relaxed);
+        let actives: Vec<u32> = (0..64).step_by(3).collect();
+        let expected: u64 = actives.iter().map(|&v| v as u64 + 1).sum();
+        engine.vertex_map(&engine.frontier_sparse(actives.clone()), |v| {
+            sum.fetch_add(v as u64 + 1, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), expected);
+
+        // Dense representation too.
+        sum.store(0, Ordering::Relaxed);
+        let dense = Frontier::from_dense(
+            gg_graph::bitmap::Bitmap::from_indices(64, &actives),
+            engine.out_degrees(),
+            engine.pool(),
+        );
+        engine.vertex_map(&dense, |v| {
+            sum.fetch_add(v as u64 + 1, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), expected);
     }
 
     #[test]

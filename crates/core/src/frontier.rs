@@ -175,6 +175,39 @@ impl Frontier {
         }
     }
 
+    /// Active count and out-degree sum restricted to `range` — the
+    /// per-partition analogue of ([`len`](Self::len),
+    /// [`degree_sum`](Self::degree_sum)), consulted by the partitioned
+    /// executor's per-partition kernel decision. O(|F ∩ range|) for sparse
+    /// frontiers (after an O(log |F|) bound search), O(|range| / 64) words
+    /// scanned for dense ones.
+    pub fn range_stats(
+        &self,
+        range: std::ops::Range<VertexId>,
+        out_degrees: &[u32],
+    ) -> (usize, u64) {
+        match &self.data {
+            FrontierData::Sparse(list) => {
+                let lo = list.partition_point(|&v| v < range.start);
+                let hi = list.partition_point(|&v| v < range.end);
+                let sum = list[lo..hi]
+                    .iter()
+                    .map(|&v| out_degrees[v as usize] as u64)
+                    .sum();
+                (hi - lo, sum)
+            }
+            FrontierData::Dense(b) => {
+                let mut count = 0usize;
+                let mut sum = 0u64;
+                b.for_each_one_in_range(range.start as usize..range.end as usize, |v| {
+                    count += 1;
+                    sum += out_degrees[v] as u64;
+                });
+                (count, sum)
+            }
+        }
+    }
+
     /// Active vertices as a sorted list (materialises for dense input).
     pub fn to_vertex_list(&self) -> Vec<VertexId> {
         match &self.data {
@@ -266,6 +299,32 @@ mod tests {
         assert_eq!(f.degree_sum(), 7);
         assert!(f.contains(1));
         assert!(!f.contains(0));
+    }
+
+    #[test]
+    fn range_stats_agree_between_representations() {
+        let deg: Vec<u32> = (0..300).map(|i| (i % 11) as u32).collect();
+        let actives: Vec<u32> = (0..300).step_by(3).collect();
+        let sparse = Frontier::from_sparse(actives.clone(), 300, &deg);
+        let dense = Frontier::from_dense(Bitmap::from_indices(300, &actives), &deg, &pool());
+        for range in [0u32..300, 0..64, 63..65, 64..128, 17..211, 299..300, 5..5] {
+            let s = sparse.range_stats(range.clone(), &deg);
+            let d = dense.range_stats(range.clone(), &deg);
+            assert_eq!(s, d, "range {range:?}");
+            // Brute-force check.
+            let want_count = actives.iter().filter(|&&v| range.contains(&v)).count();
+            let want_sum: u64 = actives
+                .iter()
+                .filter(|&&v| range.contains(&v))
+                .map(|&v| deg[v as usize] as u64)
+                .sum();
+            assert_eq!(s, (want_count, want_sum), "range {range:?}");
+        }
+        // Whole-range stats match the cached totals.
+        assert_eq!(
+            sparse.range_stats(0..300, &deg),
+            (sparse.len(), sparse.degree_sum())
+        );
     }
 
     #[test]

@@ -22,6 +22,29 @@
 //! The forward/backward choice the Ligra API forces on programmers folds
 //! into this decision and disappears from the public API.
 //!
+//! ## The partition-parallel execution path
+//!
+//! With [`config::ExecutorKind::Partitioned`], the classification above
+//! runs **per partition** instead of once per edge map. `Engine::new`
+//! materialises one subgraph view per edge-balanced destination partition;
+//! each edge map fans the non-empty partitions out over the engine's
+//! [`Pool`](gg_runtime::pool::Pool) in NUMA-domain-major order, every
+//! partition selects its own kernel from its local frontier density (so a
+//! single iteration can mix sparse and dense traversal across partitions),
+//! and the disjoint per-partition next frontiers merge deterministically:
+//!
+//! ```text
+//! frontier ──▶ per-partition stats ──▶ kernel per partition ──▶ merge
+//!              |F∩R_p| + Σdeg(F∩R_p)     sparse: CSR-indexed     disjoint
+//!              (empty partitions          candidates → pull      dst ranges,
+//!               skipped, no pool work)    dense:  CSC range scan  bit-stable
+//! ```
+//!
+//! Both kernels apply updates destination-major in CSC adjacency order, so
+//! results are **bit-identical across partition counts, thread counts and
+//! kernel choices** for operators that do not read concurrently-updated
+//! source state. See [`partitioned`] for the full contract.
+//!
 //! ## Crate layout
 //!
 //! * [`store::GraphStore`] — the composite 3-layout store (whole CSR +
@@ -31,6 +54,9 @@
 //! * [`edge_map`] — the traversal kernels and the [`EdgeOp`] trait;
 //! * [`engine`] — the [`Engine`] trait shared with the baseline systems and
 //!   [`GraphGrind2`], this paper's engine;
+//! * [`partitioned`] — the partition-parallel executor: per-partition
+//!   views, per-partition kernel selection, NUMA-ordered fan-out and the
+//!   deterministic frontier merge;
 //! * [`vertex_map`] — vertex-parallel operators;
 //! * [`trace`] — instrumented (sequential) traversals that feed
 //!   `gg-memsim` for the Figure 2 / Figure 8 locality measurements.
@@ -58,17 +84,19 @@ pub mod edge_map;
 pub mod engine;
 pub mod frontier;
 pub mod heuristic;
+pub mod partitioned;
 pub mod store;
 pub mod trace;
 pub mod vertex_map;
 
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
-    pub use crate::config::{Config, ForcedKernel, Thresholds};
+    pub use crate::config::{Config, ExecutorKind, ForcedKernel, Thresholds};
     pub use crate::edge_map::{EdgeKind, EdgeOp};
     pub use crate::engine::{Direction, EdgeMapSpec, Engine, GraphGrind2, Orientation};
     pub use crate::frontier::Frontier;
     pub use crate::heuristic::{suggest_partitions, HeuristicInputs};
+    pub use crate::partitioned::{PartKernel, PartitionView};
     pub use crate::store::GraphStore;
 }
 

@@ -1,0 +1,482 @@
+//! The partition-parallel execution path.
+//!
+//! [`GraphGrind2`](crate::engine::GraphGrind2) with
+//! [`ExecutorKind::Partitioned`](crate::config::ExecutorKind) routes every
+//! edge map through this module instead of picking one global kernel:
+//!
+//! ```text
+//!            frontier F
+//!                │
+//!   ┌────────────┼──────────────────────────────┐  per-partition stats
+//!   ▼            ▼                              ▼  |F ∩ R_p| + Σdeg(F ∩ R_p)
+//! ┌──────┐   ┌──────┐          ┌──────┐    ┌──────┐
+//! │ P0   │   │ P1   │          │ P_k  │    │ P_e  │  (empty: skipped,
+//! │sparse│   │dense │   ...    │sparse│    │ ∅    │   never reaches pool)
+//! └──┬───┘   └──┬───┘          └──┬───┘    └──────┘
+//!    │ CSR-indexed │ CSC range     │
+//!    │ candidates  │ scan          │      one pool task per partition,
+//!    ▼            ▼               ▼      NUMA-domain-major order
+//!  ┌─────────────────────────────────┐
+//!  │ next frontier bitmap (disjoint  │   deterministic merge: partitions
+//!  │ destination ranges, no races)   │   own disjoint destination ranges
+//!  └─────────────────────────────────┘
+//! ```
+//!
+//! * **Views** — `Engine::new` materialises one [`PartitionView`] per
+//!   partition of the edge-balanced destination [`PartitionSet`]
+//!   (Equation 1): the destination range, the in-edge count, and the
+//!   owning NUMA domain from the [`PartitionSchedule`]. Partitions with no
+//!   edges (including the empty trailing ranges
+//!   `PartitionSet::edge_balanced` produces when partitions outnumber
+//!   vertices) are excluded from the task list up front, so they never
+//!   touch the pool.
+//! * **Per-partition kernel selection** — each partition classifies the
+//!   frontier *locally*: Algorithm 2's `decide` runs on
+//!   `|F ∩ R_p| + Σ deg_out(F ∩ R_p)` against the partition's own edge
+//!   count, so a single iteration can run the sparse kernel on quiet
+//!   partitions and the dense kernel on saturated ones — the paper's
+//!   mixed-kernel iterations. Selections are recorded in
+//!   [`KernelCounts`](crate::engine::KernelCounts) per class, plus a
+//!   counter of iterations that mixed classes.
+//! * **Kernels** — both kernels apply updates destination-major in CSC
+//!   adjacency order and only to destinations inside the partition's
+//!   range, so each destination has exactly one writer (the exclusive
+//!   `update` path, no atomics) **and the applied update sequence is
+//!   independent of the kernel chosen, the partition count, and the
+//!   thread count**:
+//!   * [`pull_range`] (dense): scan every destination of the range over
+//!     the shared whole-graph CSC, early-exiting on `cond`;
+//!   * [`pull_candidates`] (sparse): use the partition's pruned-CSR
+//!     source index to find the destinations reachable from the frontier,
+//!     then pull exactly those — work proportional to the frontier's
+//!     footprint in the partition, not the partition size.
+//! * **Deterministic merge** — partition tasks set bits of the shared
+//!   next-frontier bitmap in disjoint destination ranges; the merged
+//!   frontier (and every operator value) is bit-identical at any thread
+//!   count. Operators whose `update` reads only destination-local state or
+//!   state frozen during the edge map (BFS, PR, SPMV, BC) therefore
+//!   produce bit-identical results across *all* partitioned
+//!   configurations; operators that read concurrently-updated
+//!   source-side state (CC's label reads) still converge to the same
+//!   fixpoint but may take different round counts under concurrency.
+//!
+//! **Known trade-off:** the merge is always a dense bitmap, so every
+//! round pays an O(|V| / 64) floor for the frontier densify / merge /
+//! stats scans even when only a handful of vertices are active. That
+//! keeps the merge trivially deterministic; a sparse-output fast path
+//! (per-partition sorted lists concatenated in partition order, which is
+//! equally deterministic) is the obvious next optimisation for
+//! high-diameter graphs and is tracked in ROADMAP.md.
+
+use gg_graph::bitmap::{AtomicBitmap, Bitmap};
+use gg_graph::csc::Csc;
+use gg_graph::csr::PrunedCsr;
+use gg_graph::types::VertexId;
+use gg_runtime::counters::{LocalTally, WorkCounters};
+use gg_runtime::pool::Pool;
+use gg_runtime::schedule::PartitionSchedule;
+
+use crate::config::Thresholds;
+use crate::edge_map::{decide, EdgeKind, EdgeOp};
+use crate::engine::KernelCounts;
+use crate::frontier::{Frontier, FrontierData};
+use crate::store::GraphStore;
+
+/// Which per-partition kernel a partition selected for one edge map.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum PartKernel {
+    /// CSR-indexed candidate discovery + CSC-ordered pull of candidates.
+    Sparse,
+    /// Full CSC-ordered pull of the partition's destination range.
+    Dense,
+}
+
+/// A materialised per-partition subgraph view: the partition's destination
+/// range plus the metadata the executor consults per iteration. The edge
+/// storage itself is shared (whole-graph CSC) or owned by the store's
+/// partitioned CSR; views add no per-partition edge copies.
+#[derive(Clone, Debug)]
+pub struct PartitionView {
+    /// Partition index in the engine's `PartitionSet`.
+    pub index: usize,
+    /// Destinations owned by this partition (Equation 1).
+    pub dst_range: std::ops::Range<VertexId>,
+    /// In-edges homed to this partition.
+    pub num_edges: u64,
+    /// Simulated NUMA domain owning the partition.
+    pub domain: usize,
+}
+
+/// The partition-parallel executor: per-partition views plus the pool
+/// submission order (domain-major, empty partitions dropped).
+#[derive(Debug)]
+pub(crate) struct PartitionedExec {
+    views: Vec<PartitionView>,
+    /// Partitions with at least one edge, in NUMA-domain-major order.
+    edge_order: Vec<usize>,
+    /// Partitions with a non-empty vertex range, in NUMA-domain-major
+    /// order (vertex maps have work even in edge-free partitions).
+    vertex_order: Vec<usize>,
+}
+
+impl PartitionedExec {
+    /// Builds the views from the store's edge-balanced destination
+    /// partitions and the NUMA schedule.
+    pub fn new(store: &GraphStore, schedule: &PartitionSchedule) -> Self {
+        let parts = store.edge_parts();
+        let per_part = parts.edges_per_partition(store.in_degrees());
+        let views: Vec<PartitionView> = (0..parts.num_partitions())
+            .map(|p| PartitionView {
+                index: p,
+                dst_range: parts.range(p),
+                num_edges: per_part[p],
+                domain: schedule.domain_of(p),
+            })
+            .collect();
+        let edge_order = schedule.order_filtered(|p| views[p].num_edges > 0);
+        let vertex_order = schedule.order_filtered(|p| !views[p].dst_range.is_empty());
+        PartitionedExec {
+            views,
+            edge_order,
+            vertex_order,
+        }
+    }
+
+    /// All per-partition views, indexed by partition.
+    pub fn views(&self) -> &[PartitionView] {
+        &self.views
+    }
+
+    /// One partition-parallel edge map: decide a kernel per partition,
+    /// fan the non-empty partitions out over the pool in NUMA order, and
+    /// merge the disjoint per-partition next frontiers.
+    #[allow(clippy::too_many_arguments)]
+    pub fn edge_map<O: EdgeOp>(
+        &self,
+        store: &GraphStore,
+        pool: &Pool,
+        thresholds: &Thresholds,
+        counters: &WorkCounters,
+        kernel_counts: &KernelCounts,
+        frontier: &Frontier,
+        op: &O,
+    ) -> Frontier {
+        let n = store.num_vertices();
+        if self.edge_order.is_empty() {
+            // No partition has edges: nothing to traverse, pool untouched.
+            return Frontier::empty(n);
+        }
+
+        // Per-partition kernel decisions (cheap, deterministic, pool-free).
+        let mut sparse_parts = 0u64;
+        let mut dense_parts = 0u64;
+        let tasks: Vec<(usize, PartKernel)> = self
+            .edge_order
+            .iter()
+            .map(|&p| {
+                let view = &self.views[p];
+                let (count, degree_sum) =
+                    frontier.range_stats(view.dst_range.clone(), store.out_degrees());
+                let metric = count as u64 + degree_sum;
+                let kernel = match decide(metric, view.num_edges, thresholds) {
+                    EdgeKind::Sparse => PartKernel::Sparse,
+                    EdgeKind::Medium | EdgeKind::Dense => PartKernel::Dense,
+                };
+                match kernel {
+                    PartKernel::Sparse => sparse_parts += 1,
+                    PartKernel::Dense => dense_parts += 1,
+                }
+                (p, kernel)
+            })
+            .collect();
+        kernel_counts.record_partitioned(sparse_parts, dense_parts);
+
+        let current = frontier.to_bitmap();
+        let active_list = match frontier.data() {
+            FrontierData::Sparse(list) => Some(list.as_slice()),
+            FrontierData::Dense(_) => None,
+        };
+        let next = AtomicBitmap::new(n);
+        let pcsr = store
+            .partitioned_csr()
+            .expect("partitioned executor requires the partitioned CSR layout");
+
+        // `tasks` is already domain-major, so index order is NUMA order.
+        pool.for_each_index(tasks.len(), |t| {
+            let (p, kernel) = tasks[t];
+            let view = &self.views[p];
+            let mut tally = LocalTally::new(counters);
+            match kernel {
+                PartKernel::Dense => pull_range(
+                    store.csc(),
+                    &current,
+                    op,
+                    view.dst_range.clone(),
+                    &next,
+                    &mut tally,
+                ),
+                PartKernel::Sparse => pull_candidates(
+                    store.csc(),
+                    pcsr.part(p),
+                    active_list,
+                    &current,
+                    op,
+                    &next,
+                    &mut tally,
+                ),
+            }
+        });
+
+        Frontier::from_atomic(next, store.out_degrees(), pool)
+    }
+
+    /// Partition-parallel `vertex_map_all`: every vertex range fans out as
+    /// one pool task, in NUMA-domain-major order.
+    pub fn vertex_map_all<F: Fn(VertexId) + Sync>(&self, pool: &Pool, f: F) {
+        pool.for_each_in_order(&self.vertex_order, |p| {
+            for v in self.views[p].dst_range.clone() {
+                f(v);
+            }
+        });
+    }
+
+    /// Partition-parallel `vertex_map`: each partition visits the active
+    /// vertices inside its range, in ascending order.
+    pub fn vertex_map<F: Fn(VertexId) + Sync>(&self, pool: &Pool, frontier: &Frontier, f: F) {
+        if frontier.is_empty() {
+            return;
+        }
+        match frontier.data() {
+            FrontierData::Sparse(list) => {
+                pool.for_each_in_order(&self.vertex_order, |p| {
+                    let range = &self.views[p].dst_range;
+                    let lo = list.partition_point(|&v| v < range.start);
+                    let hi = list.partition_point(|&v| v < range.end);
+                    for &v in &list[lo..hi] {
+                        f(v);
+                    }
+                });
+            }
+            FrontierData::Dense(bitmap) => {
+                pool.for_each_in_order(&self.vertex_order, |p| {
+                    let range = self.views[p].dst_range.clone();
+                    bitmap.for_each_one_in_range(range.start as usize..range.end as usize, |v| {
+                        f(v as VertexId)
+                    });
+                });
+            }
+        }
+    }
+}
+
+/// Applies the in-edges of destination `v` (CSC adjacency order) for every
+/// active source, honouring `cond` pre-check and early exit. This inner
+/// loop is shared by both partition kernels, which is what makes kernel
+/// selection invisible in the computed values.
+#[inline]
+fn pull_vertex<O: EdgeOp>(
+    csc: &Csc,
+    current: &Bitmap,
+    op: &O,
+    v: VertexId,
+    next: &AtomicBitmap,
+    tally: &mut LocalTally,
+) {
+    tally.vertex();
+    if !op.cond(v) {
+        return;
+    }
+    for e in csc.edge_range(v) {
+        tally.edge();
+        let u = csc.sources()[e];
+        if current.get(u as usize) {
+            if op.update(u, v, csc.weight_at(e)) {
+                next.set(v as usize);
+            }
+            if !op.cond(v) {
+                break;
+            }
+        }
+    }
+}
+
+/// Dense partition kernel: pull every destination of `range` over the
+/// shared whole-graph CSC. Exclusive updates — the caller guarantees one
+/// task per destination range.
+pub fn pull_range<O: EdgeOp>(
+    csc: &Csc,
+    current: &Bitmap,
+    op: &O,
+    range: std::ops::Range<VertexId>,
+    next: &AtomicBitmap,
+    tally: &mut LocalTally,
+) {
+    for v in range {
+        pull_vertex(csc, current, op, v, next, tally);
+    }
+}
+
+/// Sparse partition kernel: discover the destinations reachable from the
+/// frontier through the partition's pruned-CSR source index, then pull
+/// exactly those destinations in ascending order.
+///
+/// Candidate discovery probes the stored-source index per active vertex
+/// when the frontier is a short list, and scans the (typically small)
+/// stored-source index against the frontier bitmap otherwise. Both
+/// strategies produce the same candidate set, so the choice never shows in
+/// results.
+pub fn pull_candidates<O: EdgeOp>(
+    csc: &Csc,
+    part: &PrunedCsr,
+    active: Option<&[VertexId]>,
+    current: &Bitmap,
+    op: &O,
+    next: &AtomicBitmap,
+    tally: &mut LocalTally,
+) {
+    let stored = part.num_stored_vertices();
+    let mut candidates: Vec<VertexId> = Vec::new();
+    match active {
+        Some(list) if list.len() < stored => {
+            for &u in list {
+                if let Ok(i) = part.vertex_ids().binary_search(&u) {
+                    candidates.extend_from_slice(part.neighbors_at(i));
+                }
+            }
+        }
+        _ => {
+            for i in 0..stored {
+                if current.get(part.vertex_ids()[i] as usize) {
+                    candidates.extend_from_slice(part.neighbors_at(i));
+                }
+            }
+        }
+    }
+    candidates.sort_unstable();
+    candidates.dedup();
+    for v in candidates {
+        pull_vertex(csc, current, op, v, next, tally);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Config;
+    use gg_graph::edge_list::EdgeList;
+    use gg_runtime::numa::NumaTopology;
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    struct TouchCount {
+        hits: Vec<AtomicU32>,
+    }
+
+    impl TouchCount {
+        fn new(n: usize) -> Self {
+            TouchCount {
+                hits: gg_runtime::atomics::atomic_u32_vec(n, 0),
+            }
+        }
+        fn total(&self) -> u32 {
+            self.hits.iter().map(|h| h.load(Ordering::Relaxed)).sum()
+        }
+    }
+
+    impl EdgeOp for TouchCount {
+        fn update(&self, _s: u32, d: u32, _w: f32) -> bool {
+            self.hits[d as usize].fetch_add(1, Ordering::Relaxed);
+            true
+        }
+        fn update_atomic(&self, s: u32, d: u32, w: f32) -> bool {
+            self.update(s, d, w)
+        }
+    }
+
+    fn build(el: &EdgeList, partitions: usize) -> (GraphStore, PartitionedExec) {
+        let config = Config {
+            num_partitions: partitions,
+            numa: NumaTopology::new(1),
+            build_partitioned_csr: true,
+            ..Config::for_tests()
+        };
+        let store = GraphStore::build(el, &config);
+        let schedule = PartitionSchedule::new(store.num_partitions(), config.numa);
+        let exec = PartitionedExec::new(&store, &schedule);
+        (store, exec)
+    }
+
+    #[test]
+    fn views_cover_all_partitions_and_edges() {
+        let el = gg_graph::generators::rmat(7, 900, gg_graph::generators::RmatParams::skewed(), 3);
+        let (store, exec) = build(&el, 6);
+        assert_eq!(exec.views().len(), store.num_partitions());
+        let total: u64 = exec.views().iter().map(|v| v.num_edges).sum();
+        assert_eq!(total, 900);
+        // Edge order only lists partitions with edges, domain-major.
+        for &p in exec.edge_order.as_slice() {
+            assert!(exec.views()[p].num_edges > 0);
+        }
+    }
+
+    #[test]
+    fn empty_partitions_never_enter_the_order() {
+        // 3 vertices spread over 10 partitions: 7+ empty trailing views.
+        let el = EdgeList::from_edges(3, &[(0, 1), (1, 2), (2, 0)]);
+        let (store, exec) = build(&el, 10);
+        assert_eq!(store.num_partitions(), 10);
+        assert!(exec.edge_order.as_slice().len() <= 3);
+        let empties = store.edge_parts().empty_partitions();
+        assert!(!empties.is_empty());
+        for p in empties {
+            assert!(!exec.edge_order.as_slice().contains(&p));
+        }
+    }
+
+    #[test]
+    fn both_kernels_apply_identical_updates() {
+        let el = gg_graph::generators::rmat(7, 700, gg_graph::generators::RmatParams::skewed(), 8);
+        let n = el.num_vertices();
+        let (store, exec) = build(&el, 4);
+        let pcsr = store.partitioned_csr().unwrap();
+        let actives: Vec<u32> = (0..n as u32).step_by(5).collect();
+        let current = Bitmap::from_indices(n, &actives);
+        let counters = WorkCounters::new();
+
+        for &p in exec.edge_order.as_slice() {
+            let view = &exec.views()[p];
+            let op_dense = TouchCount::new(n);
+            let next_dense = AtomicBitmap::new(n);
+            let mut tally = LocalTally::new(&counters);
+            pull_range(
+                store.csc(),
+                &current,
+                &op_dense,
+                view.dst_range.clone(),
+                &next_dense,
+                &mut tally,
+            );
+            drop(tally);
+
+            let op_sparse = TouchCount::new(n);
+            let next_sparse = AtomicBitmap::new(n);
+            let mut tally = LocalTally::new(&counters);
+            pull_candidates(
+                store.csc(),
+                pcsr.part(p),
+                Some(&actives),
+                &current,
+                &op_sparse,
+                &next_sparse,
+                &mut tally,
+            );
+            drop(tally);
+
+            assert_eq!(op_dense.total(), op_sparse.total(), "partition {p}");
+            assert_eq!(
+                next_dense.into_bitmap(),
+                next_sparse.into_bitmap(),
+                "partition {p}"
+            );
+        }
+    }
+}

@@ -116,6 +116,37 @@ impl Bitmap {
         })
     }
 
+    /// Calls `f` for every set bit within `range`, in increasing order.
+    /// Word-level scan with boundary-word masking — the shared primitive
+    /// behind per-partition frontier statistics and vertex maps.
+    pub fn for_each_one_in_range<F: FnMut(usize)>(&self, range: std::ops::Range<usize>, mut f: F) {
+        let (start, end) = (range.start, range.end);
+        debug_assert!(start <= end && end <= self.len);
+        if start >= end {
+            return;
+        }
+        let first = start / WORD_BITS;
+        for (off, &word) in self.words[first..end.div_ceil(WORD_BITS)]
+            .iter()
+            .enumerate()
+        {
+            let wi = first + off;
+            let mut bits = word;
+            // Mask off bits outside [start, end) in boundary words.
+            if wi == first {
+                bits &= u64::MAX << (start % WORD_BITS);
+            }
+            if wi == end / WORD_BITS && end % WORD_BITS != 0 {
+                bits &= (1u64 << (end % WORD_BITS)) - 1;
+            }
+            while bits != 0 {
+                let b = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                f(wi * WORD_BITS + b);
+            }
+        }
+    }
+
     /// Raw word storage (read-only), for bulk operations.
     pub fn words(&self) -> &[u64] {
         &self.words
@@ -272,6 +303,27 @@ mod tests {
         let b = Bitmap::from_indices(200, &[5, 64, 65, 199, 0]);
         let ones: Vec<usize> = b.iter_ones().collect();
         assert_eq!(ones, vec![0, 5, 64, 65, 199]);
+    }
+
+    #[test]
+    fn ranged_iteration_matches_filtered_iter_ones() {
+        let idxs: Vec<u32> = (0..300).step_by(7).collect();
+        let b = Bitmap::from_indices(300, &idxs);
+        for range in [
+            0usize..300,
+            0..64,
+            63..65,
+            64..128,
+            17..211,
+            299..300,
+            5..5,
+            64..64,
+        ] {
+            let mut got = Vec::new();
+            b.for_each_one_in_range(range.clone(), |i| got.push(i));
+            let want: Vec<usize> = b.iter_ones().filter(|i| range.contains(i)).collect();
+            assert_eq!(got, want, "range {range:?}");
+        }
     }
 
     #[test]

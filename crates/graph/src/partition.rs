@@ -72,9 +72,16 @@ impl PartitionSet {
     /// [`PartitionBy::Destination`], out-degrees for
     /// [`PartitionBy::Source`]) are balanced.
     ///
-    /// Matching the paper's pseudocode, a partition is closed as soon as it
-    /// has accumulated at least `sum(degrees) / P` edges, except the last
-    /// partition which absorbs the remainder.
+    /// The greedy cut is *remaining-aware*: the target for partition `i` is
+    /// `ceil(remaining_edges / remaining_partitions)`, recomputed after each
+    /// cut. A partition closes at the first vertex whose accumulated degree
+    /// reaches the target, so every partition (including the last, which
+    /// under a fixed `|E| / P` target used to silently absorb the whole
+    /// remainder) holds at most `|E| / P + max(degrees)` edges.
+    ///
+    /// With more partitions than vertices carrying edges, the trailing
+    /// partitions are empty ranges; [`empty_partitions`](Self::empty_partitions)
+    /// reports them explicitly so executors can skip them.
     ///
     /// # Panics
     /// Panics if `num_partitions == 0`.
@@ -82,16 +89,20 @@ impl PartitionSet {
         assert!(num_partitions > 0, "need at least one partition");
         let n = degrees.len();
         let total: u64 = degrees.iter().map(|&d| d as u64).sum();
-        // Target edges per partition; at least 1 so empty graphs still
-        // produce valid (possibly empty) ranges.
-        let avg = (total / num_partitions as u64).max(1);
 
         let mut boundaries = Vec::with_capacity(num_partitions + 1);
         boundaries.push(0);
+        let mut remaining = total;
+        // At least 1 so zero-edge graphs still produce valid (possibly
+        // empty) ranges instead of one cut per vertex.
+        let mut target = remaining.div_ceil(num_partitions as u64).max(1);
         let mut acc = 0u64;
         for (v, &d) in degrees.iter().enumerate() {
-            if acc >= avg && boundaries.len() < num_partitions {
+            if acc >= target && boundaries.len() < num_partitions {
                 boundaries.push(v as VertexId);
+                remaining -= acc;
+                let parts_left = (num_partitions + 1 - boundaries.len()) as u64;
+                target = remaining.div_ceil(parts_left).max(1);
                 acc = 0;
             }
             acc += d as u64;
@@ -205,6 +216,17 @@ impl PartitionSet {
         }
     }
 
+    /// Indices of partitions whose vertex range is empty — produced, for
+    /// example, by [`edge_balanced`](Self::edge_balanced) when there are
+    /// more partitions than vertices. Returned explicitly (rather than
+    /// silently owning zero vertices) so executors can assert they skip
+    /// them without scheduling work.
+    pub fn empty_partitions(&self) -> Vec<usize> {
+        (0..self.num_partitions())
+            .filter(|&p| self.range(p).is_empty())
+            .collect()
+    }
+
     /// Number of edges assigned to each partition given the per-vertex
     /// degree array used at construction time.
     pub fn edges_per_partition(&self, degrees: &[u32]) -> Vec<u64> {
@@ -280,6 +302,33 @@ mod tests {
         ps.validate().unwrap();
         let covered: usize = (0..10).map(|p| ps.range(p).len()).sum();
         assert_eq!(covered, 3);
+        // The vacuous trailing partitions are reported explicitly.
+        assert_eq!(ps.empty_partitions(), (3..10).collect::<Vec<_>>());
+        for &p in &ps.empty_partitions() {
+            assert!(ps.range(p).is_empty());
+        }
+    }
+
+    #[test]
+    fn edge_balanced_bounded_by_avg_plus_max_degree() {
+        // The remaining-aware cut keeps *every* partition — including the
+        // last — within |E|/P + max(degree). Uniform degrees with p ∤ n is
+        // exactly the case the old fixed-target walk overfilled: 10
+        // vertices of degree 1 over 4 partitions left 4 edges in the last
+        // partition (bound: 10/4 + 1 < 4).
+        let deg = vec![1u32; 10];
+        let ps = PartitionSet::edge_balanced(&deg, 4, PartitionBy::Destination);
+        let bound = 10u64 / 4 + 1;
+        for e in ps.edges_per_partition(&deg) {
+            assert!(e <= bound, "partition overfilled: {e} > {bound}");
+        }
+    }
+
+    #[test]
+    fn no_empty_partitions_when_vertices_suffice() {
+        let deg = vec![2u32; 64];
+        let ps = PartitionSet::edge_balanced(&deg, 8, PartitionBy::Destination);
+        assert!(ps.empty_partitions().is_empty());
     }
 
     #[test]

@@ -4,12 +4,17 @@
 //! own [`Pool`] instead of using rayon's global pool, so benchmark code can
 //! instantiate differently sized pools side by side.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
 use rayon::prelude::*;
 
 /// A fixed-width work-stealing pool.
 pub struct Pool {
     inner: rayon::ThreadPool,
     threads: usize,
+    /// Closure invocations executed through the structured loops below;
+    /// lets tests assert that work was (or was not) submitted to the pool.
+    jobs: AtomicU64,
 }
 
 impl std::fmt::Debug for Pool {
@@ -32,7 +37,11 @@ impl Pool {
             .thread_name(|i| format!("gg-worker-{i}"))
             .build()
             .expect("failed to build thread pool");
-        Pool { inner, threads }
+        Pool {
+            inner,
+            threads,
+            jobs: AtomicU64::new(0),
+        }
     }
 
     /// A pool sized to the machine (rayon's default heuristic).
@@ -50,6 +59,20 @@ impl Pool {
         self.threads
     }
 
+    /// Total closure invocations executed through the structured loops
+    /// (`for_each_index`, `for_each_in_order`, `map_indices`,
+    /// `for_each_chunk`). Monotonic; used by tests to prove that empty
+    /// partitions are skipped without submitting pool work.
+    #[inline]
+    pub fn jobs_run(&self) -> u64 {
+        self.jobs.load(Ordering::Relaxed)
+    }
+
+    #[inline]
+    fn count_job(&self) {
+        self.jobs.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Runs `f` inside the pool (all rayon parallelism in `f` uses this
     /// pool's workers).
     #[inline]
@@ -62,7 +85,10 @@ impl Pool {
     /// exactly one worker, giving the exclusive-update guarantee.
     pub fn for_each_index(&self, count: usize, f: impl Fn(usize) + Sync) {
         self.install(|| {
-            (0..count).into_par_iter().for_each(&f);
+            (0..count).into_par_iter().for_each(|i| {
+                self.count_job();
+                f(i);
+            });
         });
     }
 
@@ -71,13 +97,24 @@ impl Pool {
     /// domain.
     pub fn for_each_in_order(&self, order: &[usize], f: impl Fn(usize) + Sync) {
         self.install(|| {
-            order.par_iter().for_each(|&i| f(i));
+            order.par_iter().for_each(|&i| {
+                self.count_job();
+                f(i);
+            });
         });
     }
 
     /// Parallel map over `0..count` collecting results in index order.
     pub fn map_indices<R: Send>(&self, count: usize, f: impl Fn(usize) -> R + Sync) -> Vec<R> {
-        self.install(|| (0..count).into_par_iter().map(&f).collect())
+        self.install(|| {
+            (0..count)
+                .into_par_iter()
+                .map(|i| {
+                    self.count_job();
+                    f(i)
+                })
+                .collect()
+        })
     }
 
     /// Splits `0..len` into roughly `tasks` contiguous chunks and runs `f`
@@ -90,6 +127,7 @@ impl Pool {
         let tasks = tasks.max(1).min(len);
         self.install(|| {
             (0..tasks).into_par_iter().for_each(|t| {
+                self.count_job();
                 let start = len * t / tasks;
                 let end = len * (t + 1) / tasks;
                 f(start, end);
@@ -163,6 +201,24 @@ mod tests {
     fn sum_matches() {
         let pool = Pool::new(2);
         assert_eq!(pool.sum_u64(10, |i| i as u64), 45);
+    }
+
+    #[test]
+    fn jobs_run_counts_submitted_closures() {
+        let pool = Pool::new(2);
+        assert_eq!(pool.jobs_run(), 0);
+        pool.for_each_index(5, |_| {});
+        assert_eq!(pool.jobs_run(), 5);
+        pool.for_each_in_order(&[2, 0, 1], |_| {});
+        assert_eq!(pool.jobs_run(), 8);
+        let _ = pool.map_indices(3, |i| i);
+        assert_eq!(pool.jobs_run(), 11);
+        pool.for_each_chunk(100, 4, |_, _| {});
+        assert_eq!(pool.jobs_run(), 15);
+        // Degenerate loops submit nothing.
+        pool.for_each_chunk(0, 4, |_, _| {});
+        pool.for_each_index(0, |_| {});
+        assert_eq!(pool.jobs_run(), 15);
     }
 
     #[test]

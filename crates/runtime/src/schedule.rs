@@ -66,6 +66,13 @@ impl PartitionSchedule {
             .filter(|&p| self.domain_of[p] == domain)
             .collect()
     }
+
+    /// The submission order restricted to the partitions `keep` accepts,
+    /// preserving domain-major order. The partitioned executor uses this to
+    /// drop empty partitions before any work reaches the pool.
+    pub fn order_filtered(&self, keep: impl Fn(usize) -> bool) -> Vec<usize> {
+        self.order.iter().copied().filter(|&p| keep(p)).collect()
+    }
 }
 
 #[cfg(test)]
@@ -93,6 +100,16 @@ mod tests {
         let mut all: Vec<usize> = (0..3).flat_map(|d| s.partitions_of_domain(d)).collect();
         all.sort_unstable();
         assert_eq!(all, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn filtered_order_preserves_domain_majority() {
+        let s = PartitionSchedule::new(8, NumaTopology::new(4));
+        let kept = s.order_filtered(|p| p % 2 == 0);
+        assert_eq!(kept, vec![0, 2, 4, 6]);
+        let domains: Vec<usize> = kept.iter().map(|&p| s.domain_of(p)).collect();
+        assert!(domains.windows(2).all(|w| w[0] <= w[1]));
+        assert!(s.order_filtered(|_| false).is_empty());
     }
 
     #[test]

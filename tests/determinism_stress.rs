@@ -1,0 +1,114 @@
+//! Scheduling-determinism stress: the same query, repeated on a
+//! machine-sized pool, must reproduce the *entire execution trace* — every
+//! intermediate frontier, the per-partition kernel selections, and the
+//! final values — not just the answer. This is the test that catches
+//! unordered-merge races: a nondeterministic merge shows up as a frontier
+//! whose vertex list differs between runs long before it corrupts a final
+//! result.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+
+use graphgrind::core::config::{Config, ExecutorKind};
+use graphgrind::core::edge_map::EdgeOp;
+use graphgrind::core::engine::{EdgeMapSpec, Engine, GraphGrind2};
+use graphgrind::graph::generators::{self, RmatParams};
+use graphgrind::runtime::numa::NumaTopology;
+use graphgrind::runtime::pool::Pool;
+
+const RUNS: usize = 10;
+
+/// One engine sized like `Pool::machine_sized()` so the stress actually
+/// exercises the full parallelism of the host.
+fn machine_engine() -> GraphGrind2 {
+    let el = generators::rmat(9, 8000, RmatParams::skewed(), 5);
+    let threads = Pool::machine_sized().threads();
+    let cfg = Config {
+        threads,
+        num_partitions: 16,
+        numa: NumaTopology::new(2),
+        executor: ExecutorKind::Partitioned,
+        ..Config::default()
+    };
+    GraphGrind2::new(&el, cfg)
+}
+
+/// BFS-style claim-once operator: reads and writes destination state only,
+/// so the partitioned executor guarantees a fully deterministic trace.
+struct ClaimOnce {
+    parent: Vec<AtomicU32>,
+}
+
+impl ClaimOnce {
+    fn new(n: usize) -> Self {
+        ClaimOnce {
+            parent: graphgrind::runtime::atomics::atomic_u32_vec(n, u32::MAX),
+        }
+    }
+}
+
+impl EdgeOp for ClaimOnce {
+    fn update(&self, s: u32, d: u32, _w: f32) -> bool {
+        if self.parent[d as usize].load(Ordering::Relaxed) == u32::MAX {
+            self.parent[d as usize].store(s, Ordering::Relaxed);
+            true
+        } else {
+            false
+        }
+    }
+    fn update_atomic(&self, s: u32, d: u32, _w: f32) -> bool {
+        self.parent[d as usize]
+            .compare_exchange(u32::MAX, s, Ordering::Relaxed, Ordering::Relaxed)
+            .is_ok()
+    }
+    fn cond(&self, d: u32) -> bool {
+        self.parent[d as usize].load(Ordering::Relaxed) == u32::MAX
+    }
+}
+
+/// Per-round frontier vertex lists, the kernel selections, and the final
+/// parent array of one traced run.
+type Trace = (Vec<Vec<u32>>, (u64, u64, u64), Vec<u32>);
+
+/// One traced BFS-like run.
+fn traced_run(engine: &GraphGrind2, source: u32) -> Trace {
+    engine.kernel_counts().reset();
+    let op = ClaimOnce::new(engine.num_vertices());
+    op.parent[source as usize].store(source, Ordering::Relaxed);
+    let mut frontier = engine.frontier_single(source);
+    let mut trace = vec![frontier.to_vertex_list()];
+    while !frontier.is_empty() {
+        frontier = engine.edge_map(&frontier, &op, EdgeMapSpec::vertex_oriented());
+        trace.push(frontier.to_vertex_list());
+    }
+    let parents = graphgrind::runtime::atomics::snapshot_u32(&op.parent);
+    (trace, engine.kernel_counts().partition_snapshot(), parents)
+}
+
+#[test]
+fn repeated_bfs_reproduces_frontiers_and_kernel_counts() {
+    let engine = machine_engine();
+    let (trace0, counts0, parents0) = traced_run(&engine, 0);
+    assert!(trace0.len() > 2, "traversal must run several rounds");
+    assert!(counts0.0 + counts0.1 > 0, "kernels must have been selected");
+    for run in 1..RUNS {
+        let (trace, counts, parents) = traced_run(&engine, 0);
+        assert_eq!(trace.len(), trace0.len(), "round count drifted, run {run}");
+        for (round, (got, want)) in trace.iter().zip(&trace0).enumerate() {
+            assert_eq!(got, want, "frontier diverged: run {run}, round {round}");
+        }
+        assert_eq!(counts, counts0, "kernel selections diverged, run {run}");
+        assert_eq!(parents, parents0, "parents diverged, run {run}");
+    }
+}
+
+#[test]
+fn repeated_pagerank_is_bitwise_stable() {
+    let engine = machine_engine();
+    let first = graphgrind::algorithms::pagerank(&engine, 10);
+    for run in 1..RUNS {
+        let again = graphgrind::algorithms::pagerank(&engine, 10);
+        // Exact f64 equality: accumulation order per destination is fixed
+        // by the CSC layout, independent of scheduling.
+        assert_eq!(again, first, "rank bits diverged, run {run}");
+    }
+}

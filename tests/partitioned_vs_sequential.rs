@@ -1,0 +1,208 @@
+//! Differential harness for the partition-parallel executor.
+//!
+//! The executor's contract (see `gg_core::partitioned`): both per-partition
+//! kernels apply updates destination-major in CSC adjacency order, each
+//! destination has exactly one writer, and the frontier merge is over
+//! disjoint ranges — so for operators that do not read concurrently-updated
+//! source state, results are **bit-identical** across partition counts,
+//! thread counts and kernel selections. These tests pin that contract:
+//! every partitioned configuration (1, 2, 7 partitions × 1, 2, 4 threads)
+//! must match the sequential engine (1 partition on 1 thread) byte for
+//! byte, and everything must agree with the sequential oracles in
+//! `gg_algorithms::reference` (exactly for integer outputs, to float
+//! tolerance for the differently-ordered oracle summations).
+//!
+//! The topology is a single NUMA domain so the requested partition counts
+//! (including the deliberately odd 7) are used verbatim, without the
+//! multiple-of-domains rounding.
+
+use graphgrind::algorithms::{self, reference, validate};
+use graphgrind::core::config::{Config, ExecutorKind};
+use graphgrind::core::engine::GraphGrind2;
+use graphgrind::graph::edge_list::EdgeList;
+use graphgrind::graph::generators::{self, RmatParams};
+use graphgrind::graph::ops::{symmetrize, transpose};
+use graphgrind::runtime::numa::NumaTopology;
+
+const PARTITIONS: [usize; 3] = [1, 2, 7];
+const THREADS: [usize; 3] = [1, 2, 4];
+
+/// Partitioned-executor configuration with exact partition counts (UMA
+/// topology: no rounding).
+fn pconfig(partitions: usize, threads: usize) -> Config {
+    Config {
+        threads,
+        num_partitions: partitions,
+        numa: NumaTopology::new(1),
+        executor: ExecutorKind::Partitioned,
+        ..Config::default()
+    }
+}
+
+/// The sequential engine the differential tests compare against: the same
+/// executor reduced to one partition on one thread.
+fn sequential(el: &EdgeList) -> GraphGrind2 {
+    GraphGrind2::new(el, pconfig(1, 1))
+}
+
+/// A graph with a dense fully-connected block on the low vertex ids and a
+/// sparse path tail, bridged so traversals reach both. Frontiers
+/// concentrated in the block make block partitions classify dense while
+/// tail partitions classify sparse — the mixed-kernel iterations the
+/// executor exists to exploit.
+fn density_skewed(n: usize) -> EdgeList {
+    assert!(n >= 8);
+    let block = (n / 4) as u32;
+    let mut el = EdgeList::new(n);
+    for i in 0..block {
+        for j in 0..block {
+            if i != j {
+                el.push(i, j);
+            }
+        }
+    }
+    // Bridge into the tail, then a path to the end.
+    el.push(block / 2, block);
+    for i in block..(n as u32 - 1) {
+        el.push(i, i + 1);
+    }
+    el
+}
+
+/// Deterministic graphs: seeded generators plus the crafted skewed shape.
+fn graphs() -> Vec<(&'static str, EdgeList)> {
+    vec![
+        (
+            "rmat-skewed",
+            generators::rmat(8, 3000, RmatParams::skewed(), 7),
+        ),
+        ("grid-road", generators::grid_road(12, 12, 0.1, 9)),
+        ("binary-tree", generators::binary_tree(127)),
+        ("density-skewed", density_skewed(64)),
+    ]
+}
+
+#[test]
+fn bfs_bit_identical_across_partitioned_configs() {
+    for (name, el) in graphs() {
+        let seq = algorithms::bfs(&sequential(&el), 0);
+        // Oracle and monolithic-engine agreement on the order-independent
+        // output (levels).
+        assert_eq!(seq.level, reference::bfs_levels(&el, 0), "{name}/oracle");
+        let mono = algorithms::bfs(&GraphGrind2::new(&el, Config::for_tests()), 0);
+        assert_eq!(seq.level, mono.level, "{name}/monolithic");
+        for p in PARTITIONS {
+            for t in THREADS {
+                let got = algorithms::bfs(&GraphGrind2::new(&el, pconfig(p, t)), 0);
+                assert_eq!(got.level, seq.level, "{name} P={p} T={t}");
+                // Parents are order-sensitive; the executor pins the order.
+                assert_eq!(got.parent, seq.parent, "{name} P={p} T={t}");
+                assert_eq!(got.rounds, seq.rounds, "{name} P={p} T={t}");
+            }
+        }
+    }
+}
+
+#[test]
+fn pagerank_bit_identical_across_partitioned_configs() {
+    for (name, el) in graphs() {
+        let seq = algorithms::pagerank(&sequential(&el), 10);
+        // The oracle sums in input-edge order; agreement is to tolerance.
+        validate::assert_close_f64(&seq, &reference::pagerank(&el, 10), 1e-9, 1e-14);
+        for p in PARTITIONS {
+            for t in THREADS {
+                let got = algorithms::pagerank(&GraphGrind2::new(&el, pconfig(p, t)), 10);
+                // f64 accumulation order is fixed (CSC order per
+                // destination), so equality is exact, not approximate.
+                assert_eq!(got, seq, "{name} P={p} T={t}");
+            }
+        }
+    }
+}
+
+#[test]
+fn cc_bit_identical_across_partitioned_configs() {
+    for (name, el) in graphs() {
+        let el = symmetrize(&el);
+        let want = reference::cc_labels(&el);
+        let seq = algorithms::cc(&sequential(&el));
+        assert_eq!(seq.label, want, "{name}/oracle");
+        for p in PARTITIONS {
+            for t in THREADS {
+                // CC's update reads source labels that another partition
+                // may be rewriting, so the *round count* may vary with
+                // concurrency — but the converged labels are the
+                // component minima, bit-identical everywhere.
+                let got = algorithms::cc(&GraphGrind2::new(&el, pconfig(p, t)));
+                assert_eq!(got.label, want, "{name} P={p} T={t}");
+            }
+        }
+    }
+}
+
+#[test]
+fn bc_bit_identical_across_partitioned_configs() {
+    for (name, el) in graphs() {
+        let elt = transpose(&el);
+        let seq = algorithms::bc(&sequential(&el), &sequential(&elt), 0);
+        validate::assert_close_f64(
+            &seq.dependency,
+            &reference::bc_single_source(&el, 0),
+            1e-9,
+            1e-12,
+        );
+        for p in PARTITIONS {
+            for t in THREADS {
+                let fwd = GraphGrind2::new(&el, pconfig(p, t));
+                let bwd = GraphGrind2::new(&elt, pconfig(p, t));
+                let got = algorithms::bc(&fwd, &bwd, 0);
+                assert_eq!(got.level, seq.level, "{name} P={p} T={t}");
+                assert_eq!(got.sigma, seq.sigma, "{name} P={p} T={t}");
+                assert_eq!(got.dependency, seq.dependency, "{name} P={p} T={t}");
+            }
+        }
+    }
+}
+
+/// Acceptance check: with ≥2 partitions on a pool of ≥2 threads, at least
+/// one iteration of a real traversal mixes kernels across partitions on
+/// the density-skewed graph — and the result still matches the sequential
+/// engine bit for bit.
+#[test]
+fn skewed_graph_mixes_kernels_and_stays_bit_identical() {
+    let el = density_skewed(64);
+    let seq = algorithms::bfs(&sequential(&el), 0);
+
+    let engine = GraphGrind2::new(&el, pconfig(7, 2));
+    let got = algorithms::bfs(&engine, 0);
+    assert_eq!(got.level, seq.level);
+    assert_eq!(got.parent, seq.parent);
+
+    let (sparse_parts, dense_parts, mixed) = engine.kernel_counts().partition_snapshot();
+    assert!(
+        sparse_parts > 0 && dense_parts > 0,
+        "expected both kernels over the run: sparse={sparse_parts} dense={dense_parts}"
+    );
+    assert!(
+        mixed >= 1,
+        "expected at least one mixed-kernel iteration, got {mixed}"
+    );
+}
+
+/// The per-partition views the executor materialises are consistent with
+/// the engine's partition set, and empty partitions are explicit.
+#[test]
+fn partition_views_expose_the_schedule() {
+    let el = density_skewed(64);
+    let engine = GraphGrind2::new(&el, pconfig(7, 2));
+    let views = engine.partition_views();
+    assert_eq!(views.len(), 7);
+    assert_eq!(views[0].dst_range.start, 0);
+    assert_eq!(views.last().unwrap().dst_range.end, 64);
+    let total_edges: u64 = views.iter().map(|v| v.num_edges).sum();
+    assert_eq!(total_edges, el.num_edges() as u64);
+    for w in views.windows(2) {
+        assert_eq!(w[0].dst_range.end, w[1].dst_range.start, "contiguous");
+        assert!(w[0].domain <= w[1].domain, "domain-major");
+    }
+}

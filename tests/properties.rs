@@ -50,6 +50,55 @@ proptest! {
         }
     }
 
+    /// The ranges partition `0..n` *exactly once*: contiguous, in order,
+    /// starting at 0 and ending at n — not merely summing to n.
+    #[test]
+    fn partition_ranges_tile_the_vertex_space(el in arb_graph(), p in 1usize..12) {
+        let set = PartitionSet::edge_balanced(&el.in_degrees(), p, PartitionBy::Destination);
+        let mut cursor = 0u32;
+        for i in 0..p {
+            let r = set.range(i);
+            prop_assert_eq!(r.start, cursor, "gap or overlap before partition {}", i);
+            prop_assert!(r.start <= r.end);
+            cursor = r.end;
+        }
+        prop_assert_eq!(cursor as usize, el.num_vertices());
+        // Every empty partition is reported, and reported partitions are
+        // genuinely empty.
+        let empties = set.empty_partitions();
+        for i in 0..p {
+            prop_assert_eq!(set.range(i).is_empty(), empties.contains(&i), "partition {}", i);
+        }
+    }
+
+    /// The remaining-aware greedy cut bounds every partition — including
+    /// the last — by `|E| / P + max(degree)`.
+    #[test]
+    fn edge_balanced_never_exceeds_avg_plus_max_degree(el in arb_graph(), p in 1usize..12) {
+        let deg = el.in_degrees();
+        let set = PartitionSet::edge_balanced(&deg, p, PartitionBy::Destination);
+        let total: u64 = deg.iter().map(|&d| d as u64).sum();
+        let max_degree = deg.iter().copied().max().unwrap_or(0) as u64;
+        let bound = total / p as u64 + max_degree;
+        for (i, e) in set.edges_per_partition(&deg).into_iter().enumerate() {
+            prop_assert!(e <= bound, "partition {} holds {} > {} edges", i, e, bound);
+        }
+    }
+
+    /// `whole()` round-trips through `range()`: one partition owning
+    /// exactly `0..n`, with every vertex homed to it.
+    #[test]
+    fn whole_roundtrips_through_range(n in 0usize..400) {
+        let set = PartitionSet::whole(n, PartitionBy::Destination);
+        prop_assert_eq!(set.num_partitions(), 1);
+        prop_assert_eq!(set.range(0), 0..n as u32);
+        prop_assert_eq!(set.num_vertices(), n);
+        prop_assert!(set.empty_partitions().is_empty() || n == 0);
+        for v in (0..n as u32).step_by(7) {
+            prop_assert_eq!(set.home(v), 0);
+        }
+    }
+
     /// Every layout conserves the edge multiset.
     #[test]
     fn layouts_conserve_edges(el in arb_graph(), p in 1usize..8) {
@@ -107,6 +156,25 @@ proptest! {
         let engine = GraphGrind2::new(&el, small_config());
         let got = algorithms::bfs(&engine, 0);
         prop_assert_eq!(got.level, reference::bfs_levels(&el, 0));
+    }
+
+    /// The partition-parallel executor matches the oracle on random graphs
+    /// (BFS levels exactly, CC labels exactly).
+    #[test]
+    fn partitioned_executor_matches_reference(el in arb_graph()) {
+        use graphgrind::core::config::ExecutorKind;
+        let cfg = Config {
+            executor: ExecutorKind::Partitioned,
+            ..small_config()
+        };
+        let engine = GraphGrind2::new(&el, cfg.clone());
+        prop_assert_eq!(
+            algorithms::bfs(&engine, 0).level,
+            reference::bfs_levels(&el, 0)
+        );
+        let sym = symmetrize(&el);
+        let engine = GraphGrind2::new(&sym, cfg);
+        prop_assert_eq!(algorithms::cc(&engine).label, reference::cc_labels(&sym));
     }
 
     /// GG-v2 CC matches union-find on symmetrized random graphs.
