@@ -3,9 +3,10 @@
 //! ```text
 //! repro <experiment> [--scale F] [--threads N] [--reps N] [--tiny]
 //!                    [--partitions N] [--executor monolithic|partitioned]
+//!                    [--output auto|sparse|dense] [--scenario grid|smallworld]
 //!
 //! experiments: tab1 tab2 fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10
-//!              atomics heuristic reorder all
+//!              atomics heuristic reorder smoke sparse_output all
 //! ```
 //!
 //! `--scale` multiplies the default graph sizes (DESIGN.md §2); the
@@ -20,6 +21,18 @@
 //! `--executor partitioned` routes GG-v2 edge maps through the
 //! partition-parallel executor (per-partition kernel selection,
 //! NUMA-ordered fan-out) instead of the monolithic Algorithm 2 path.
+//! `--output` forces the partitioned executor's per-partition output
+//! representation (sorted vertex lists vs dense bitmap segments).
+//!
+//! `smoke` is the differential smoke experiment: every algorithm runs on
+//! **both** executors and **both** output representations and the results
+//! must agree, so the smoke suite cannot pass on one path alone. It exits
+//! non-zero on any disagreement.
+//!
+//! `sparse_output` is the high-diameter scenario (`--scenario grid` — a
+//! USA-road-style grid — or `--scenario smallworld`) comparing dense-merge
+//! vs sparse-output BFS / Bellman-Ford; it writes
+//! `BENCH_sparse_output.json` with the timing and merge-work trajectory.
 
 use gg_algorithms::Algorithm;
 use gg_bench::datasets::Dataset;
@@ -42,6 +55,10 @@ struct Args {
     /// Overrides the GG-v2 partition count where experiments pick one.
     partitions: Option<usize>,
     executor: gg_core::config::ExecutorKind,
+    /// Output-representation policy for the partitioned executor.
+    output: gg_core::config::OutputMode,
+    /// High-diameter scenario for `sparse_output` (grid | smallworld).
+    scenario: String,
 }
 
 impl Args {
@@ -51,12 +68,13 @@ impl Args {
         self.partitions.unwrap_or(fallback)
     }
 
-    /// A [`RunConfig`] carrying the global `--threads` / `--executor`
-    /// flags and the given partition count.
+    /// A [`RunConfig`] carrying the global `--threads` / `--executor` /
+    /// `--output` flags and the given partition count.
     fn run_config(&self, partitions: usize) -> RunConfig {
         RunConfig {
             partitions,
             executor: self.executor,
+            output: self.output,
             ..RunConfig::new(self.threads)
         }
     }
@@ -72,6 +90,8 @@ fn parse_args() -> Args {
         reps: 3,
         partitions: None,
         executor: gg_core::config::ExecutorKind::Monolithic,
+        output: gg_core::config::OutputMode::Auto,
+        scenario: "grid".to_string(),
     };
     let mut tiny = false;
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -105,6 +125,28 @@ fn parse_args() -> Args {
                     }
                 };
             }
+            "--output" => {
+                i += 1;
+                args.output = match argv[i].as_str() {
+                    "auto" => gg_core::config::OutputMode::Auto,
+                    "sparse" => gg_core::config::OutputMode::ForceSparse,
+                    "dense" => gg_core::config::OutputMode::ForceDense,
+                    other => {
+                        eprintln!("--output must be auto, sparse or dense, got {other}");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--scenario" => {
+                i += 1;
+                match argv[i].as_str() {
+                    s @ ("grid" | "smallworld") => args.scenario = s.to_string(),
+                    other => {
+                        eprintln!("--scenario must be grid or smallworld, got {other}");
+                        std::process::exit(2);
+                    }
+                }
+            }
             "--tiny" => tiny = true,
             other if args.experiment.is_empty() && !other.starts_with("--") => {
                 args.experiment = other.to_string();
@@ -126,8 +168,9 @@ fn parse_args() -> Args {
     if args.experiment.is_empty() {
         eprintln!(
             "usage: repro <tab1|tab2|fig2|fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|atomics|\
-             heuristic|reorder|all> [--scale F] [--threads N] [--reps N] [--tiny]\
-             [--partitions N] [--executor monolithic|partitioned]"
+             heuristic|reorder|smoke|sparse_output|all> [--scale F] [--threads N] [--reps N]\
+             [--tiny] [--partitions N] [--executor monolithic|partitioned]\
+             [--output auto|sparse|dense] [--scenario grid|smallworld]"
         );
         std::process::exit(2);
     }
@@ -182,6 +225,12 @@ fn main() {
     }
     if run("reorder") {
         reorder(&args);
+    }
+    if run("smoke") {
+        smoke(&args);
+    }
+    if run("sparse_output") {
+        sparse_output(&args);
     }
 }
 
@@ -692,6 +741,191 @@ fn reorder(args: &Args) {
     }
     t.print();
     println!();
+}
+
+/// Differential smoke: every algorithm runs on **both** executors and
+/// **both** output representations, and the results must agree — the
+/// smoke suite cannot pass on the monolithic/sequential path alone.
+/// Exits non-zero on any disagreement.
+///
+/// Comparison contract: integer outputs (BFS/BC levels, CC labels) agree
+/// exactly everywhere; float outputs agree **bitwise** between output
+/// representations on the partitioned executor (same kernels, same
+/// accumulation order) and to tolerance across executors (the monolithic
+/// kernels accumulate in COO/CSR order, the partitioned ones in CSC
+/// order).
+fn smoke(args: &Args) {
+    use gg_bench::runner::gg2_output;
+    use gg_core::config::{ExecutorKind, OutputMode};
+
+    println!("## Smoke — executor × output-representation differential\n");
+    let base = Dataset::Twitter.build(args.scale * 0.25);
+    let partitions = args.partitions_or(8);
+    let part_rc = |output: OutputMode| RunConfig {
+        partitions,
+        executor: ExecutorKind::Partitioned,
+        output,
+        ..RunConfig::new(args.threads)
+    };
+    let mut t = Table::new(&[
+        "Algorithm",
+        "sparse vs dense out",
+        "mono vs partitioned",
+        "status",
+    ]);
+    let mut failures = 0usize;
+    for algo in Algorithm::all() {
+        let w = Workload::prepare(&base, algo);
+        let mono = gg2_output(
+            &w,
+            &RunConfig {
+                partitions,
+                ..RunConfig::new(args.threads)
+            },
+        );
+        let sparse_out = gg2_output(&w, &part_rc(OutputMode::ForceSparse));
+        let dense_out = gg2_output(&w, &part_rc(OutputMode::ForceDense));
+
+        // Representation differential: bitwise.
+        let repr_ok = sparse_out.ints == dense_out.ints
+            && sparse_out.floats.len() == dense_out.floats.len()
+            && sparse_out
+                .floats
+                .iter()
+                .zip(&dense_out.floats)
+                .all(|(a, b)| a.to_bits() == b.to_bits());
+        // Executor differential: ints exact, floats to tolerance.
+        let exec_err = mono.max_rel_error(&sparse_out);
+        let exec_ok = mono.ints == sparse_out.ints && exec_err <= 1e-6;
+        if !repr_ok || !exec_ok {
+            failures += 1;
+        }
+        t.row(vec![
+            algo.code().into(),
+            if repr_ok { "bit-identical" } else { "MISMATCH" }.into(),
+            format!("max rel err {exec_err:.2e}"),
+            if repr_ok && exec_ok { "OK" } else { "FAIL" }.into(),
+        ]);
+    }
+    t.print();
+    if failures > 0 {
+        eprintln!("\nSMOKE FAILED: {failures} algorithm(s) disagreed across configurations");
+        std::process::exit(1);
+    }
+    println!(
+        "\nSMOKE OK: {} algorithms x 2 executors x 2 output representations agree\n",
+        Algorithm::all().len()
+    );
+}
+
+/// The high-diameter scenario: BFS and Bellman-Ford on a road-style grid
+/// (or small-world ring) where frontiers stay tiny for hundreds of
+/// rounds — exactly the regime where PR 2's dense-bitmap merge paid an
+/// `O(|V| / 64)` floor per round. Compares the partitioned executor with
+/// the dense merge forced on vs the sparse-output fast path, prints the
+/// trajectory and writes `BENCH_sparse_output.json`.
+fn sparse_output(args: &Args) {
+    use gg_core::config::{Config, ExecutorKind, OutputMode};
+    use gg_core::engine::{Engine, GraphGrind2};
+
+    println!(
+        "## Sparse-output bench — dense merge vs sparse emission ({} scenario)\n",
+        args.scenario
+    );
+    let el = match args.scenario.as_str() {
+        "smallworld" => {
+            let n = ((200_000.0 * args.scale) as usize).max(1_000);
+            gg_graph::generators::small_world(n, 6, 0.05, 11)
+        }
+        _ => {
+            let side = ((250_000.0 * args.scale).sqrt() as usize).max(24);
+            gg_graph::generators::grid_road(side, side, 0.05, 11)
+        }
+    };
+    let n = el.num_vertices();
+    let partitions = args.partitions_or(16);
+    println!(
+        "graph: {} vertices, {} edges, {} partitions, {} threads\n",
+        n,
+        el.num_edges(),
+        partitions,
+        args.threads
+    );
+
+    let modes: [(&str, OutputMode); 3] = [
+        ("dense", OutputMode::ForceDense),
+        ("sparse", OutputMode::ForceSparse),
+        ("auto", OutputMode::Auto),
+    ];
+    let mut t = Table::new(&["Algorithm", "output", "time (s)", "rounds", "merge words"]);
+    let mut json_rows: Vec<String> = Vec::new();
+    for algo in [Algorithm::Bfs, Algorithm::Bf] {
+        let w = Workload::prepare(&el, algo);
+        let mut per_mode: Vec<(String, f64, usize, u64)> = Vec::new();
+        for (label, mode) in modes {
+            let cfg = Config {
+                threads: args.threads,
+                num_partitions: partitions,
+                numa: NumaTopology::paper_machine(),
+                executor: ExecutorKind::Partitioned,
+                output_mode: mode,
+                ..Config::default()
+            };
+            let engine = GraphGrind2::new(&w.el, cfg);
+            let run = || match algo {
+                Algorithm::Bfs => gg_algorithms::bfs(&engine, w.source).rounds,
+                _ => gg_algorithms::bellman_ford(&engine, w.source).rounds,
+            };
+            let time = gg_bench::time_median(args.reps, || {
+                run();
+            });
+            engine.work_counters().reset();
+            let rounds = run();
+            let merge_words = engine.work_counters().merge_words();
+            t.row(vec![
+                algo.code().into(),
+                label.into(),
+                fmt_secs(time),
+                rounds.to_string(),
+                merge_words.to_string(),
+            ]);
+            per_mode.push((label.to_string(), time, rounds, merge_words));
+        }
+        let dense = &per_mode[0];
+        let sparse = &per_mode[1];
+        json_rows.push(format!(
+            "    {{\"algorithm\": \"{}\", \"rounds\": {}, \"dense_merge_s\": {:.6}, \
+             \"sparse_output_s\": {:.6}, \"auto_s\": {:.6}, \"speedup_sparse_vs_dense\": {:.4}, \
+             \"merge_words_dense\": {}, \"merge_words_sparse\": {}, \"merge_words_auto\": {}}}",
+            algo.code(),
+            dense.2,
+            dense.1,
+            sparse.1,
+            per_mode[2].1,
+            dense.1 / sparse.1.max(1e-12),
+            dense.3,
+            sparse.3,
+            per_mode[2].3,
+        ));
+    }
+    t.print();
+    let json = format!(
+        "{{\n  \"bench\": \"sparse_output\",\n  \"scenario\": \"{}\",\n  \"vertices\": {},\n  \
+         \"edges\": {},\n  \"partitions\": {},\n  \"threads\": {},\n  \"reps\": {},\n  \
+         \"results\": [\n{}\n  ]\n}}\n",
+        args.scenario,
+        n,
+        el.num_edges(),
+        partitions,
+        args.threads,
+        args.reps,
+        json_rows.join(",\n")
+    );
+    let path = "BENCH_sparse_output.json";
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("\nwrote {path}\n"),
+        Err(e) => eprintln!("\nfailed to write {path}: {e}\n"),
+    }
 }
 
 /// §III.C / §IV.A: speedup from removing atomics (COO+a vs COO+na).

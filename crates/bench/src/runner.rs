@@ -2,7 +2,7 @@
 
 use gg_algorithms::{Algorithm, BpParams, PrDeltaParams};
 use gg_baselines::{GraphGrind1, Ligra, Polymer};
-use gg_core::config::{Config, ExecutorKind, ForcedKernel};
+use gg_core::config::{Config, ExecutorKind, ForcedKernel, OutputMode};
 use gg_core::engine::{Engine, GraphGrind2};
 use gg_graph::edge_list::EdgeList;
 use gg_graph::ops::{symmetrize, transpose};
@@ -61,6 +61,9 @@ pub struct RunConfig {
     /// GG-v2 execution path (`repro --executor partitioned` routes edge
     /// maps through the partition-parallel executor).
     pub executor: ExecutorKind,
+    /// GG-v2 output-representation policy (`repro --output sparse|dense`
+    /// forces the planner's per-partition output buffers).
+    pub output: OutputMode,
 }
 
 impl RunConfig {
@@ -73,6 +76,7 @@ impl RunConfig {
             force: None,
             use_atomics: false,
             executor: ExecutorKind::Monolithic,
+            output: OutputMode::Auto,
         }
     }
 
@@ -84,6 +88,7 @@ impl RunConfig {
             edge_order: self.edge_order,
             use_atomics_dense: self.use_atomics,
             executor: self.executor,
+            output_mode: self.output,
             ..Config::default()
         };
         if let Some(f) = self.force {
@@ -144,6 +149,106 @@ impl Workload {
             algo,
         }
     }
+}
+
+/// Canonical result vectors of one algorithm run, used by the smoke
+/// differential (`repro smoke`) to compare executors and output
+/// representations.
+///
+/// `ints` holds order-independent integer outputs (BFS/BC levels, CC
+/// labels) that must agree **exactly** across every configuration;
+/// `floats` holds floating-point outputs whose accumulation order differs
+/// between the monolithic kernels (COO/CSR order) and the partitioned
+/// kernels (CSC order), so cross-*executor* agreement is to tolerance —
+/// but cross-*representation* agreement (sparse vs dense output buffers
+/// on the same executor) is bitwise.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AlgoOutput {
+    /// Exactly comparable integer outputs.
+    pub ints: Vec<u64>,
+    /// Floating-point outputs (compared bitwise or to tolerance, per the
+    /// caller's contract).
+    pub floats: Vec<f64>,
+}
+
+impl AlgoOutput {
+    /// Maximum relative error between the float vectors (0.0 when both are
+    /// empty; infinite on length mismatch).
+    pub fn max_rel_error(&self, other: &AlgoOutput) -> f64 {
+        if self.floats.len() != other.floats.len() {
+            return f64::INFINITY;
+        }
+        self.floats
+            .iter()
+            .zip(&other.floats)
+            .map(|(a, b)| {
+                let scale = a.abs().max(b.abs()).max(1e-30);
+                (a - b).abs() / scale
+            })
+            .fold(0.0, f64::max)
+    }
+}
+
+/// Runs one (already-built) engine on the workload once and returns the
+/// canonical output vectors. `bwd` must be an engine over the transpose
+/// for BC (ignored otherwise).
+pub fn run_algorithm_output<E: Engine>(fwd: &E, bwd: Option<&E>, w: &Workload) -> AlgoOutput {
+    match w.algo {
+        Algorithm::Bfs => {
+            let r = gg_algorithms::bfs(fwd, w.source);
+            AlgoOutput {
+                ints: r.level.iter().map(|&l| l as u64).collect(),
+                floats: Vec::new(),
+            }
+        }
+        Algorithm::Bc => {
+            let bwd = bwd.expect("BC needs a transpose engine");
+            let r = gg_algorithms::bc(fwd, bwd, w.source);
+            AlgoOutput {
+                ints: r.level.iter().map(|&l| l as u64).collect(),
+                floats: r.sigma.iter().chain(&r.dependency).copied().collect(),
+            }
+        }
+        Algorithm::Cc => {
+            let r = gg_algorithms::cc(fwd);
+            AlgoOutput {
+                ints: r.label.iter().map(|&l| l as u64).collect(),
+                floats: Vec::new(),
+            }
+        }
+        Algorithm::Pr => AlgoOutput {
+            ints: Vec::new(),
+            floats: gg_algorithms::pagerank(fwd, 10),
+        },
+        Algorithm::PrDelta => AlgoOutput {
+            ints: Vec::new(),
+            floats: gg_algorithms::pagerank_delta(fwd, PrDeltaParams::default()).rank,
+        },
+        Algorithm::Spmv => AlgoOutput {
+            ints: Vec::new(),
+            floats: gg_algorithms::spmv(fwd, &w.x),
+        },
+        Algorithm::Bf => {
+            let r = gg_algorithms::bellman_ford(fwd, w.source);
+            AlgoOutput {
+                ints: Vec::new(),
+                floats: r.dist.iter().map(|&d| d as f64).collect(),
+            }
+        }
+        Algorithm::Bp => AlgoOutput {
+            ints: Vec::new(),
+            floats: gg_algorithms::bp(fwd, &w.priors, BpParams::default()),
+        },
+    }
+}
+
+/// Builds a GG-v2 engine pair (forward + BC transpose) for `rc` and runs
+/// the workload once, returning the canonical outputs.
+pub fn gg2_output(w: &Workload, rc: &RunConfig) -> AlgoOutput {
+    let cfg = rc.gg2_config();
+    let fwd = GraphGrind2::new(&w.el, cfg.clone());
+    let bwd = w.el_t.as_ref().map(|t| GraphGrind2::new(t, cfg.clone()));
+    run_algorithm_output(&fwd, bwd.as_ref(), w)
 }
 
 /// Runs one (already-built) engine on the workload once. `bwd` must be an

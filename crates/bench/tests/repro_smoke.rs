@@ -64,6 +64,58 @@ fn heuristic_tiny_suggests_a_partition_count() {
 }
 
 #[test]
+fn smoke_tiny_diffs_both_executors_and_output_representations() {
+    // The differential smoke experiment runs every algorithm on both
+    // executors and both output representations and exits non-zero on any
+    // disagreement — so this suite cannot pass on the sequential path
+    // alone.
+    let out = run_repro(&["smoke", "--tiny"]);
+    assert!(out.contains("SMOKE OK"), "{out}");
+    assert!(
+        out.contains("2 executors x 2 output representations"),
+        "{out}"
+    );
+    for code in ["BC", "CC", "PR", "BFS", "PRDelta", "SPMV", "BF", "BP"] {
+        assert!(out.contains(code), "missing algorithm {code} in:\n{out}");
+    }
+    assert!(!out.contains("MISMATCH"), "{out}");
+    assert!(!out.contains("FAIL"), "{out}");
+}
+
+#[test]
+fn sparse_output_tiny_writes_the_bench_json() {
+    // Run in a scratch directory so BENCH_sparse_output.json lands there.
+    let dir = std::env::temp_dir().join(format!("gg-sparse-output-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    let out = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(["sparse_output", "--tiny", "--scenario", "grid"])
+        .current_dir(&dir)
+        .output()
+        .expect("failed to launch repro");
+    assert!(
+        out.status.success(),
+        "sparse_output exited with {:?}\nstderr:\n{}",
+        out.status,
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("merge words"), "{stdout}");
+    let json = std::fs::read_to_string(dir.join("BENCH_sparse_output.json"))
+        .expect("bench JSON must be written");
+    for key in [
+        "\"bench\": \"sparse_output\"",
+        "\"scenario\": \"grid\"",
+        "\"algorithm\": \"BFS\"",
+        "\"algorithm\": \"BF\"",
+        "\"merge_words_sparse\": 0",
+        "speedup_sparse_vs_dense",
+    ] {
+        assert!(json.contains(key), "missing {key} in:\n{json}");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn unknown_experiment_fails_with_usage() {
     let out = Command::new(env!("CARGO_BIN_EXE_repro"))
         .output()

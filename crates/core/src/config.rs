@@ -37,6 +37,46 @@ pub enum ForcedKernel {
     CooNoAtomic,
 }
 
+/// How the traversal planner chooses the *output* representation of each
+/// partition's next-frontier buffer (see `gg_core::plan`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum OutputMode {
+    /// Follow the planner's rule: sparse-kernel partitions emit sorted
+    /// vertex lists, dense-kernel partitions emit range-aligned bitmap
+    /// segments. The default.
+    #[default]
+    Auto,
+    /// Every partition emits a sorted vertex list (the sparse-output fast
+    /// path, forced on — CI uses this to diff against `ForceDense`).
+    ForceSparse,
+    /// Every partition emits a dense bitmap segment (PR 2's dense-merge
+    /// behaviour, forced on).
+    ForceDense,
+}
+
+impl OutputMode {
+    /// Reads the mode from the `GG_OUTPUT` environment variable
+    /// (`auto` / `sparse` / `dense`, default `Auto` when unset) — the hook
+    /// the CI differential leg uses to run the same suite with the
+    /// sparse-output path forced on and forced off.
+    ///
+    /// # Panics
+    /// Panics on an unrecognized value: a typo'd `GG_OUTPUT` must fail
+    /// loudly, not let both CI legs silently diff two identical `Auto`
+    /// runs.
+    pub fn from_env() -> Self {
+        match std::env::var("GG_OUTPUT") {
+            Ok(v) => match v.as_str() {
+                "auto" => OutputMode::Auto,
+                "sparse" => OutputMode::ForceSparse,
+                "dense" => OutputMode::ForceDense,
+                other => panic!("GG_OUTPUT must be auto, sparse or dense, got {other:?}"),
+            },
+            Err(_) => OutputMode::Auto,
+        }
+    }
+}
+
 /// Which execution path [`GraphGrind2`](crate::engine::GraphGrind2) routes
 /// edge maps through.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
@@ -80,6 +120,10 @@ pub struct Config {
     pub build_partitioned_csr: bool,
     /// Execution path for edge and vertex maps.
     pub executor: ExecutorKind,
+    /// Per-partition output-representation policy of the traversal planner
+    /// (partitioned executor only; the monolithic path's output
+    /// representation is fixed per kernel).
+    pub output_mode: OutputMode,
 }
 
 impl Default for Config {
@@ -97,6 +141,7 @@ impl Default for Config {
             force: None,
             build_partitioned_csr: false,
             executor: ExecutorKind::Monolithic,
+            output_mode: OutputMode::Auto,
         }
     }
 }
@@ -130,6 +175,12 @@ impl Config {
     /// Selects the execution path (builder style).
     pub fn with_executor(mut self, e: ExecutorKind) -> Self {
         self.executor = e;
+        self
+    }
+
+    /// Selects the output-representation policy (builder style).
+    pub fn with_output_mode(mut self, m: OutputMode) -> Self {
+        self.output_mode = m;
         self
     }
 

@@ -63,14 +63,13 @@ pub enum EdgeKind {
 
 /// Algorithm 2's classification: compares `metric = |F| + Σ deg_out(F)`
 /// against `|E| / 2` and `|E| / 20`.
+///
+/// Kept as a compatibility alias; the single classifier now lives in the
+/// traversal planner ([`crate::plan::classify`]), which both the monolithic
+/// and the partitioned dispatch consult.
+#[inline]
 pub fn decide(metric: u64, num_edges: u64, th: &Thresholds) -> EdgeKind {
-    if metric > num_edges / th.dense_divisor {
-        EdgeKind::Dense
-    } else if metric > num_edges / th.sparse_divisor {
-        EdgeKind::Medium
-    } else {
-        EdgeKind::Sparse
-    }
+    crate::plan::classify(metric, num_edges, th)
 }
 
 /// Sparse frontier: forward traversal of the whole CSR over active

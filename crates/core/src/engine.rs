@@ -98,6 +98,13 @@ pub struct KernelCounts {
     part_dense: AtomicU64,
     /// Edge maps in which different partitions selected different kernels.
     mixed_iterations: AtomicU64,
+    /// Partitions whose planned output buffer was a sorted vertex list.
+    out_sparse: AtomicU64,
+    /// Partitions whose planned output buffer was a dense bitmap segment.
+    out_dense: AtomicU64,
+    /// Edge maps in which different partitions planned different output
+    /// representations.
+    mixed_output_iterations: AtomicU64,
 }
 
 impl KernelCounts {
@@ -109,12 +116,21 @@ impl KernelCounts {
         };
     }
 
-    /// Records one partitioned edge map's per-partition selections.
+    /// Records one partitioned edge map's per-partition kernel selections.
     pub(crate) fn record_partitioned(&self, sparse_parts: u64, dense_parts: u64) {
         self.part_sparse.fetch_add(sparse_parts, Ordering::Relaxed);
         self.part_dense.fetch_add(dense_parts, Ordering::Relaxed);
         if sparse_parts > 0 && dense_parts > 0 {
             self.mixed_iterations.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Records one partitioned edge map's planned output representations.
+    pub(crate) fn record_outputs(&self, sparse_outputs: u64, dense_outputs: u64) {
+        self.out_sparse.fetch_add(sparse_outputs, Ordering::Relaxed);
+        self.out_dense.fetch_add(dense_outputs, Ordering::Relaxed);
+        if sparse_outputs > 0 && dense_outputs > 0 {
+            self.mixed_output_iterations.fetch_add(1, Ordering::Relaxed);
         }
     }
 
@@ -139,6 +155,21 @@ impl KernelCounts {
         )
     }
 
+    /// `(sparse outputs, dense outputs, mixed-output iterations)` recorded
+    /// by the partitioned executor's planner: how many partitions emitted a
+    /// sorted vertex list vs a dense bitmap segment, and how many edge maps
+    /// mixed the two representations. Lets tests pin
+    /// mixed-representation iterations the same way
+    /// [`partition_snapshot`](Self::partition_snapshot) pins mixed-kernel
+    /// iterations.
+    pub fn output_snapshot(&self) -> (u64, u64, u64) {
+        (
+            self.out_sparse.load(Ordering::Relaxed),
+            self.out_dense.load(Ordering::Relaxed),
+            self.mixed_output_iterations.load(Ordering::Relaxed),
+        )
+    }
+
     /// Resets all counts.
     pub fn reset(&self) {
         self.sparse.store(0, Ordering::Relaxed);
@@ -147,6 +178,9 @@ impl KernelCounts {
         self.part_sparse.store(0, Ordering::Relaxed);
         self.part_dense.store(0, Ordering::Relaxed);
         self.mixed_iterations.store(0, Ordering::Relaxed);
+        self.out_sparse.store(0, Ordering::Relaxed);
+        self.out_dense.store(0, Ordering::Relaxed);
+        self.mixed_output_iterations.store(0, Ordering::Relaxed);
     }
 }
 
@@ -432,6 +466,7 @@ impl Engine for GraphGrind2 {
                 &self.store,
                 &self.pool,
                 &self.config.thresholds,
+                self.config.output_mode,
                 &self.counters,
                 &self.kernel_counts,
                 frontier,
@@ -441,8 +476,10 @@ impl Engine for GraphGrind2 {
         match self.config.force {
             Some(forced) => self.run_forced(forced, frontier, op, spec),
             None => {
-                let kind = edge_map::decide(
-                    frontier.density_metric(),
+                // The monolithic planning entry point: one kernel per edge
+                // map from the global frontier metric.
+                let kind = crate::plan::plan_edge_map(
+                    frontier,
                     self.num_edges() as u64,
                     &self.config.thresholds,
                 );

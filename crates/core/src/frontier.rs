@@ -8,9 +8,19 @@
 //! Sparse frontiers store a sorted vertex list; dense frontiers store a
 //! bitmap. Either representation can be materialised from the other; the
 //! cached counts are representation-independent.
+//!
+//! The partitioned executor additionally produces frontiers from **typed
+//! per-partition output buffers** ([`PartitionOutput`]): each partition
+//! task returns either a sorted vertex list or a range-aligned
+//! [`BitmapSegment`], and [`Frontier::from_partition_outputs`] merges them
+//! in partition (= ascending vertex) order. When every buffer is sparse the
+//! merge is a pure concatenation — `O(Σ outputs)`, no `|V|`-proportional
+//! work — which is what removes the dense-merge floor on high-diameter
+//! traversals.
 
-use gg_graph::bitmap::{AtomicBitmap, Bitmap};
+use gg_graph::bitmap::{AtomicBitmap, Bitmap, BitmapSegment, Ones};
 use gg_graph::types::VertexId;
+use gg_runtime::counters::WorkCounters;
 use gg_runtime::pool::Pool;
 
 /// Physical representation of the active set.
@@ -20,6 +30,73 @@ pub enum FrontierData {
     Sparse(Vec<VertexId>),
     /// One bit per vertex.
     Dense(Bitmap),
+}
+
+/// A borrowed, read-only view of a frontier's membership, passed to
+/// traversal kernels so a sparse-representation frontier never has to be
+/// densified just to answer `contains` probes.
+#[derive(Clone, Copy, Debug)]
+pub enum FrontierView<'a> {
+    /// Sorted active list; membership by binary search (`O(log |F|)`).
+    Sparse(&'a [VertexId]),
+    /// Bitmap; membership by bit test (`O(1)`).
+    Dense(&'a Bitmap),
+}
+
+impl FrontierView<'_> {
+    /// True if `v` is active.
+    #[inline]
+    pub fn contains(&self, v: VertexId) -> bool {
+        match self {
+            FrontierView::Sparse(list) => list.binary_search(&v).is_ok(),
+            FrontierView::Dense(b) => b.get(v as usize),
+        }
+    }
+
+    /// The sorted active list, when this view is sparse.
+    #[inline]
+    pub fn as_list(&self) -> Option<&[VertexId]> {
+        match self {
+            FrontierView::Sparse(list) => Some(list),
+            FrontierView::Dense(_) => None,
+        }
+    }
+}
+
+/// One partition task's typed next-frontier output buffer: the partition's
+/// destination range plus either a sorted vertex list or a range-aligned
+/// dense bitmap segment. Produced by the pool tasks of the partitioned
+/// executor, merged by [`Frontier::from_partition_outputs`].
+#[derive(Clone, Debug)]
+pub struct PartitionOutput {
+    /// The destination range the emitting partition owns.
+    pub range: std::ops::Range<VertexId>,
+    /// The activated destinations, in the planned representation.
+    pub data: PartitionOutputData,
+}
+
+/// The payload of a [`PartitionOutput`].
+#[derive(Clone, Debug)]
+pub enum PartitionOutputData {
+    /// Sorted, deduplicated vertex ids inside the partition's range.
+    Sparse(Vec<VertexId>),
+    /// Range-aligned bitmap covering exactly the partition's range.
+    Dense(BitmapSegment),
+}
+
+impl PartitionOutput {
+    /// Number of activated destinations in this buffer.
+    pub fn count(&self) -> usize {
+        match &self.data {
+            PartitionOutputData::Sparse(list) => list.len(),
+            PartitionOutputData::Dense(seg) => seg.count_ones(),
+        }
+    }
+
+    /// True when the buffer is a sorted vertex list.
+    pub fn is_sparse(&self) -> bool {
+        matches!(self.data, PartitionOutputData::Sparse(_))
+    }
 }
 
 /// A set of active vertices with cached density statistics.
@@ -131,6 +208,92 @@ impl Frontier {
         Self::from_dense(bitmap.into_bitmap(), out_degrees, pool)
     }
 
+    /// Builds a sparse frontier from an **already sorted, deduplicated**
+    /// vertex list — the no-scan constructor used by the partition-order
+    /// merge, where sortedness is structural (partitions own disjoint
+    /// ascending ranges).
+    pub fn from_sorted(vertices: Vec<VertexId>, n: usize, out_degrees: &[u32]) -> Self {
+        debug_assert!(vertices.windows(2).all(|w| w[0] < w[1]), "must be sorted");
+        let count = vertices.len();
+        let degree_sum = vertices
+            .iter()
+            .map(|&v| out_degrees[v as usize] as u64)
+            .sum();
+        Frontier {
+            n,
+            data: FrontierData::Sparse(vertices),
+            count,
+            degree_sum,
+        }
+    }
+
+    /// Merges typed per-partition output buffers into the next frontier,
+    /// concatenating in partition order — which, because partitions own
+    /// disjoint ascending destination ranges, *is* ascending vertex order,
+    /// so the merge is deterministic for any submission order, partition
+    /// count, thread count, kernel mix and output-representation mix.
+    ///
+    /// * Every buffer sparse → a sparse frontier by pure concatenation:
+    ///   `O(Σ outputs)` work, **no `O(|V| / 64)` dense floor**.
+    /// * Any buffer dense → a dense frontier: segments splice with
+    ///   word-level ORs, sparse lists set bits individually. The
+    ///   `|V|`-proportional allocation plus all spliced words are recorded
+    ///   in `counters.merge_words()` so tests (and the sparse-output
+    ///   bench) can pin exactly when the floor is paid.
+    ///
+    /// `outputs` may arrive in any order (the pool submits NUMA-domain-
+    /// major); they are keyed by their disjoint ranges.
+    pub fn from_partition_outputs(
+        mut outputs: Vec<PartitionOutput>,
+        n: usize,
+        out_degrees: &[u32],
+        counters: &WorkCounters,
+    ) -> Self {
+        outputs.sort_unstable_by_key(|o| o.range.start);
+        debug_assert!(outputs
+            .windows(2)
+            .all(|w| w[0].range.end <= w[1].range.start));
+        let total: usize = outputs.iter().map(|o| o.count()).sum();
+        if total == 0 {
+            return Frontier::empty(n);
+        }
+        if outputs.iter().all(|o| o.is_sparse()) {
+            let mut vertices = Vec::with_capacity(total);
+            for o in &outputs {
+                if let PartitionOutputData::Sparse(list) = &o.data {
+                    vertices.extend_from_slice(list);
+                }
+            }
+            return Frontier::from_sorted(vertices, n, out_degrees);
+        }
+        // At least one dense buffer: pay the dense merge, and say so.
+        let mut bitmap = Bitmap::new(n);
+        let mut merge_words = bitmap.words().len() as u64;
+        let mut degree_sum = 0u64;
+        for o in &outputs {
+            match &o.data {
+                PartitionOutputData::Sparse(list) => {
+                    for &v in list {
+                        bitmap.set(v as usize);
+                        degree_sum += out_degrees[v as usize] as u64;
+                    }
+                }
+                PartitionOutputData::Dense(seg) => {
+                    seg.splice_into(&mut bitmap);
+                    merge_words += seg.num_words() as u64;
+                    seg.for_each_one(|v| degree_sum += out_degrees[v] as u64);
+                }
+            }
+        }
+        counters.add_merge_words(merge_words);
+        Frontier {
+            n,
+            data: FrontierData::Dense(bitmap),
+            count: total,
+            degree_sum,
+        }
+    }
+
     /// Number of vertices in the graph (`n`), not the active count.
     #[inline]
     pub fn universe(&self) -> usize {
@@ -225,16 +388,59 @@ impl Frontier {
     }
 
     /// Iterates active vertices in ascending order.
-    pub fn iter(&self) -> Box<dyn Iterator<Item = VertexId> + '_> {
+    ///
+    /// Returns the concrete [`FrontierIter`] enum — no boxing, no dynamic
+    /// dispatch in per-round loops like BFS level assignment.
+    pub fn iter(&self) -> FrontierIter<'_> {
         match &self.data {
-            FrontierData::Sparse(list) => Box::new(list.iter().copied()),
-            FrontierData::Dense(b) => Box::new(b.iter_ones().map(|i| i as VertexId)),
+            FrontierData::Sparse(list) => FrontierIter::Sparse(list.iter()),
+            FrontierData::Dense(b) => FrontierIter::Dense(b.iter_ones()),
+        }
+    }
+
+    /// A borrowed membership view for traversal kernels (no
+    /// materialisation in either direction).
+    #[inline]
+    pub fn view(&self) -> FrontierView<'_> {
+        match &self.data {
+            FrontierData::Sparse(list) => FrontierView::Sparse(list),
+            FrontierData::Dense(b) => FrontierView::Dense(b),
         }
     }
 
     /// True when physically sparse (vertex list).
     pub fn is_sparse_repr(&self) -> bool {
         matches!(self.data, FrontierData::Sparse(_))
+    }
+}
+
+/// Concrete iterator over a [`Frontier`]'s active vertices in ascending
+/// order — the allocation-free replacement for the former
+/// `Box<dyn Iterator>` return of [`Frontier::iter`].
+#[derive(Clone, Debug)]
+pub enum FrontierIter<'a> {
+    /// Walking a sorted vertex list.
+    Sparse(std::slice::Iter<'a, VertexId>),
+    /// Walking a bitmap's set bits.
+    Dense(Ones<'a>),
+}
+
+impl Iterator for FrontierIter<'_> {
+    type Item = VertexId;
+
+    #[inline]
+    fn next(&mut self) -> Option<VertexId> {
+        match self {
+            FrontierIter::Sparse(it) => it.next().copied(),
+            FrontierIter::Dense(it) => it.next().map(|i| i as VertexId),
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        match self {
+            FrontierIter::Sparse(it) => it.size_hint(),
+            FrontierIter::Dense(_) => (0, None),
+        }
     }
 }
 
@@ -325,6 +531,96 @@ mod tests {
             sparse.range_stats(0..300, &deg),
             (sparse.len(), sparse.degree_sum())
         );
+    }
+
+    #[test]
+    fn all_sparse_outputs_concatenate_without_dense_merge() {
+        let deg: Vec<u32> = (0..200).map(|i| (i % 5) as u32).collect();
+        let counters = WorkCounters::new();
+        let outputs = vec![
+            PartitionOutput {
+                range: 70..200,
+                data: PartitionOutputData::Sparse(vec![71, 199]),
+            },
+            PartitionOutput {
+                range: 0..70,
+                data: PartitionOutputData::Sparse(vec![3, 64]),
+            },
+        ];
+        let f = Frontier::from_partition_outputs(outputs, 200, &deg, &counters);
+        assert!(f.is_sparse_repr());
+        assert_eq!(f.to_vertex_list(), vec![3, 64, 71, 199]);
+        let want: u64 = [3u32, 64, 71, 199]
+            .iter()
+            .map(|&v| deg[v as usize] as u64)
+            .sum();
+        assert_eq!(f.degree_sum(), want);
+        assert_eq!(counters.merge_words(), 0, "no dense merge may be paid");
+    }
+
+    #[test]
+    fn mixed_outputs_merge_densely_and_record_the_cost() {
+        let deg = vec![1u32; 200];
+        let counters = WorkCounters::new();
+        let seg = BitmapSegment::from_indices(70..200, &[70, 130, 199]);
+        let outputs = vec![
+            PartitionOutput {
+                range: 0..70,
+                data: PartitionOutputData::Sparse(vec![0, 69]),
+            },
+            PartitionOutput {
+                range: 70..200,
+                data: PartitionOutputData::Dense(seg),
+            },
+        ];
+        let f = Frontier::from_partition_outputs(outputs, 200, &deg, &counters);
+        assert!(!f.is_sparse_repr());
+        assert_eq!(f.to_vertex_list(), vec![0, 69, 70, 130, 199]);
+        assert_eq!(f.len(), 5);
+        assert_eq!(f.degree_sum(), 5);
+        assert!(counters.merge_words() > 0, "dense merge must be recorded");
+    }
+
+    #[test]
+    fn empty_outputs_merge_to_the_empty_frontier() {
+        let deg = vec![1u32; 64];
+        let counters = WorkCounters::new();
+        let outputs = vec![
+            PartitionOutput {
+                range: 0..32,
+                data: PartitionOutputData::Sparse(Vec::new()),
+            },
+            PartitionOutput {
+                range: 32..64,
+                data: PartitionOutputData::Dense(BitmapSegment::new(32..64)),
+            },
+        ];
+        let f = Frontier::from_partition_outputs(outputs, 64, &deg, &counters);
+        assert!(f.is_empty());
+        assert_eq!(counters.merge_words(), 0);
+    }
+
+    #[test]
+    fn views_answer_membership_without_materialising() {
+        let deg = vec![1u32; 100];
+        let sparse = Frontier::from_sparse(vec![5, 50, 99], 100, &deg);
+        let view = sparse.view();
+        assert!(view.contains(50) && !view.contains(51));
+        assert_eq!(view.as_list(), Some(&[5u32, 50, 99][..]));
+        let dense = Frontier::from_dense(Bitmap::from_indices(100, &[5, 50]), &deg, &pool());
+        let view = dense.view();
+        assert!(view.contains(5) && !view.contains(6));
+        assert!(view.as_list().is_none());
+    }
+
+    #[test]
+    fn from_sorted_matches_from_sparse() {
+        let deg: Vec<u32> = (0..50).collect();
+        let sorted = Frontier::from_sorted(vec![1, 7, 30], 50, &deg);
+        let general = Frontier::from_sparse(vec![30, 1, 7], 50, &deg);
+        assert_eq!(sorted.to_vertex_list(), general.to_vertex_list());
+        assert_eq!(sorted.degree_sum(), general.degree_sum());
+        assert_eq!(sorted.len(), general.len());
     }
 
     #[test]

@@ -24,26 +24,30 @@
 //!
 //! ## The partition-parallel execution path
 //!
-//! With [`config::ExecutorKind::Partitioned`], the classification above
-//! runs **per partition** instead of once per edge map. `Engine::new`
-//! materialises one subgraph view per edge-balanced destination partition;
-//! each edge map fans the non-empty partitions out over the engine's
-//! [`Pool`](gg_runtime::pool::Pool) in NUMA-domain-major order, every
-//! partition selects its own kernel from its local frontier density (so a
-//! single iteration can mix sparse and dense traversal across partitions),
-//! and the disjoint per-partition next frontiers merge deterministically:
+//! With [`config::ExecutorKind::Partitioned`], the [traversal
+//! planner](plan) runs the classification above **per partition** instead
+//! of once per edge map, and additionally chooses each partition's
+//! **output representation**. `Engine::new` materialises one subgraph view
+//! per edge-balanced destination partition; each edge map fans the
+//! non-empty partitions out over the engine's
+//! [`Pool`](gg_runtime::pool::Pool) in NUMA-domain-major order, every pool
+//! task returns a typed output buffer, and the buffers merge in partition
+//! order:
 //!
 //! ```text
-//! frontier ──▶ per-partition stats ──▶ kernel per partition ──▶ merge
-//!              |F∩R_p| + Σdeg(F∩R_p)     sparse: CSR-indexed     disjoint
-//!              (empty partitions          candidates → pull      dst ranges,
-//!               skipped, no pool work)    dense:  CSC range scan  bit-stable
+//! frontier ──▶ TraversalPlan ────────▶ typed tasks ─────────▶ merge
+//!              per partition:           sparse kernel →        partition-order
+//!              |F∩R_p| + Σdeg(F∩R_p)    sorted vertex list     concatenation;
+//!              → (kernel, output-repr)  dense kernel →         all-sparse rounds
+//!              (empty partitions         range-aligned         do O(Σ outputs),
+//!               skipped, no pool work)   bitmap segment        no O(|V|/64) floor
 //! ```
 //!
 //! Both kernels apply updates destination-major in CSC adjacency order, so
-//! results are **bit-identical across partition counts, thread counts and
-//! kernel choices** for operators that do not read concurrently-updated
-//! source state. See [`partitioned`] for the full contract.
+//! results are **bit-identical across partition counts, thread counts,
+//! kernel choices and output representations** for operators that do not
+//! read concurrently-updated source state. See [`partitioned`] for the
+//! full contract and [`plan`] for the decision rules.
 //!
 //! ## Crate layout
 //!
@@ -54,9 +58,11 @@
 //! * [`edge_map`] — the traversal kernels and the [`EdgeOp`] trait;
 //! * [`engine`] — the [`Engine`] trait shared with the baseline systems and
 //!   [`GraphGrind2`], this paper's engine;
+//! * [`plan`] — the traversal planner: the single Algorithm 2 classifier
+//!   plus per-partition (kernel, output-representation) planning;
 //! * [`partitioned`] — the partition-parallel executor: per-partition
-//!   views, per-partition kernel selection, NUMA-ordered fan-out and the
-//!   deterministic frontier merge;
+//!   views, planned typed output buffers, NUMA-ordered fan-out and the
+//!   deterministic partition-order merge;
 //! * [`vertex_map`] — vertex-parallel operators;
 //! * [`trace`] — instrumented (sequential) traversals that feed
 //!   `gg-memsim` for the Figure 2 / Figure 8 locality measurements.
@@ -85,18 +91,20 @@ pub mod engine;
 pub mod frontier;
 pub mod heuristic;
 pub mod partitioned;
+pub mod plan;
 pub mod store;
 pub mod trace;
 pub mod vertex_map;
 
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
-    pub use crate::config::{Config, ExecutorKind, ForcedKernel, Thresholds};
+    pub use crate::config::{Config, ExecutorKind, ForcedKernel, OutputMode, Thresholds};
     pub use crate::edge_map::{EdgeKind, EdgeOp};
     pub use crate::engine::{Direction, EdgeMapSpec, Engine, GraphGrind2, Orientation};
-    pub use crate::frontier::Frontier;
+    pub use crate::frontier::{Frontier, FrontierIter, FrontierView, PartitionOutput};
     pub use crate::heuristic::{suggest_partitions, HeuristicInputs};
     pub use crate::partitioned::{PartKernel, PartitionView};
+    pub use crate::plan::{OutputRepr, PartStep, TraversalPlan};
     pub use crate::store::GraphStore;
 }
 

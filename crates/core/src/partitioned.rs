@@ -2,24 +2,31 @@
 //!
 //! [`GraphGrind2`](crate::engine::GraphGrind2) with
 //! [`ExecutorKind::Partitioned`](crate::config::ExecutorKind) routes every
-//! edge map through this module instead of picking one global kernel:
+//! edge map through this module. The [traversal planner](crate::plan)
+//! chooses, per non-empty partition, both the kernel **and the output
+//! representation**; pool tasks return typed buffers that merge in
+//! partition order:
 //!
 //! ```text
-//!            frontier F
-//!                │
-//!   ┌────────────┼──────────────────────────────┐  per-partition stats
-//!   ▼            ▼                              ▼  |F ∩ R_p| + Σdeg(F ∩ R_p)
-//! ┌──────┐   ┌──────┐          ┌──────┐    ┌──────┐
-//! │ P0   │   │ P1   │          │ P_k  │    │ P_e  │  (empty: skipped,
-//! │sparse│   │dense │   ...    │sparse│    │ ∅    │   never reaches pool)
-//! └──┬───┘   └──┬───┘          └──┬───┘    └──────┘
-//!    │ CSR-indexed │ CSC range     │
-//!    │ candidates  │ scan          │      one pool task per partition,
-//!    ▼            ▼               ▼      NUMA-domain-major order
-//!  ┌─────────────────────────────────┐
-//!  │ next frontier bitmap (disjoint  │   deterministic merge: partitions
-//!  │ destination ranges, no races)   │   own disjoint destination ranges
-//!  └─────────────────────────────────┘
+//!            frontier F ──────▶ TraversalPlan (gg_core::plan)
+//!                │     per-partition |F ∩ R_p| + Σdeg(F ∩ R_p):
+//!                │     (kernel, output-repr) per non-empty partition
+//!   ┌────────────┼──────────────────────────────┐
+//!   ▼            ▼                              ▼
+//! ┌────────┐ ┌────────┐        ┌────────┐  ┌──────┐
+//! │ P0     │ │ P1     │        │ P_k    │  │ P_e  │ (empty: skipped,
+//! │sparse/ │ │dense/  │  ...   │sparse/ │  │ ∅    │  never reaches pool)
+//! │ list   │ │ segment│        │ list   │  └──────┘
+//! └──┬─────┘ └──┬─────┘        └──┬─────┘
+//!    │ CSR-indexed │ CSC range     │   one pool task per partition,
+//!    │ candidates  │ scan          │   NUMA-domain-major order
+//!    ▼             ▼               ▼
+//!  Vec<VertexId>  BitmapSegment   Vec<VertexId>     typed output buffers
+//!    └─────────────┴───────────────┘
+//!                  ▼
+//!  Frontier::from_partition_outputs — partition-order concatenation
+//!    all sparse → sorted list, O(Σ outputs), no |V|-proportional work
+//!    any dense  → bitmap splice,  cost recorded in merge_words()
 //! ```
 //!
 //! * **Views** — `Engine::new` materialises one [`PartitionView`] per
@@ -30,45 +37,49 @@
 //!   `PartitionSet::edge_balanced` produces when partitions outnumber
 //!   vertices) are excluded from the task list up front, so they never
 //!   touch the pool.
-//! * **Per-partition kernel selection** — each partition classifies the
-//!   frontier *locally*: Algorithm 2's `decide` runs on
+//! * **Planning** — [`plan_partitions`](crate::plan::plan_partitions)
+//!   classifies the frontier *locally* per partition (Algorithm 2 on
 //!   `|F ∩ R_p| + Σ deg_out(F ∩ R_p)` against the partition's own edge
-//!   count, so a single iteration can run the sparse kernel on quiet
-//!   partitions and the dense kernel on saturated ones — the paper's
-//!   mixed-kernel iterations. Selections are recorded in
-//!   [`KernelCounts`](crate::engine::KernelCounts) per class, plus a
-//!   counter of iterations that mixed classes.
+//!   count) and pairs each kernel with an output representation: sparse
+//!   kernels emit sorted vertex lists, dense kernels emit range-aligned
+//!   [`BitmapSegment`]s (`Config::output_mode` can force either). Kernel
+//!   *and* output selections are recorded in
+//!   [`KernelCounts`](crate::engine::KernelCounts), including iterations
+//!   that mixed kernels or representations.
 //! * **Kernels** — both kernels apply updates destination-major in CSC
 //!   adjacency order and only to destinations inside the partition's
 //!   range, so each destination has exactly one writer (the exclusive
 //!   `update` path, no atomics) **and the applied update sequence is
-//!   independent of the kernel chosen, the partition count, and the
-//!   thread count**:
+//!   independent of the kernel chosen, the output representation, the
+//!   partition count, and the thread count**:
 //!   * [`pull_range`] (dense): scan every destination of the range over
 //!     the shared whole-graph CSC, early-exiting on `cond`;
 //!   * [`pull_candidates`] (sparse): use the partition's pruned-CSR
 //!     source index to find the destinations reachable from the frontier,
 //!     then pull exactly those — work proportional to the frontier's
 //!     footprint in the partition, not the partition size.
-//! * **Deterministic merge** — partition tasks set bits of the shared
-//!   next-frontier bitmap in disjoint destination ranges; the merged
-//!   frontier (and every operator value) is bit-identical at any thread
-//!   count. Operators whose `update` reads only destination-local state or
-//!   state frozen during the edge map (BFS, PR, SPMV, BC) therefore
-//!   produce bit-identical results across *all* partitioned
-//!   configurations; operators that read concurrently-updated
-//!   source-side state (CC's label reads) still converge to the same
-//!   fixpoint but may take different round counts under concurrency.
 //!
-//! **Known trade-off:** the merge is always a dense bitmap, so every
-//! round pays an O(|V| / 64) floor for the frontier densify / merge /
-//! stats scans even when only a handful of vertices are active. That
-//! keeps the merge trivially deterministic; a sparse-output fast path
-//! (per-partition sorted lists concatenated in partition order, which is
-//! equally deterministic) is the obvious next optimisation for
-//! high-diameter graphs and is tracked in ROADMAP.md.
+//!   The *current* frontier reaches kernels as a borrowed
+//!   [`FrontierView`] — a sparse frontier is never densified just for
+//!   membership probes (it is materialised once per edge map only when
+//!   `|F| ≥ |V| / 64`, where the bitmap costs less than the probes).
+//! * **Deterministic merge** — each pool task returns its typed
+//!   [`PartitionOutput`]; [`Frontier::from_partition_outputs`] concatenates
+//!   them in partition order, which over disjoint ascending destination
+//!   ranges *is* ascending vertex order. The merged frontier (and every
+//!   operator value) is therefore bit-identical across partition counts,
+//!   thread counts, kernel choices and output representations. A round
+//!   whose partitions all emitted sparse lists performs **no
+//!   `O(|V| / 64)` merge work** — the dense floor PR 2 paid on every
+//!   round — and `WorkCounters::merge_words()` counts exactly the rounds
+//!   that still pay it. Operators whose `update` reads only
+//!   destination-local state or state frozen during the edge map (BFS,
+//!   PR, SPMV, BC) produce bit-identical results across *all* partitioned
+//!   configurations; operators that read concurrently-updated source-side
+//!   state (CC's label reads) still converge to the same fixpoint but may
+//!   take different round counts under concurrency.
 
-use gg_graph::bitmap::{AtomicBitmap, Bitmap};
+use gg_graph::bitmap::{AtomicBitmap, Bitmap, BitmapSegment};
 use gg_graph::csc::Csc;
 use gg_graph::csr::PrunedCsr;
 use gg_graph::types::VertexId;
@@ -76,10 +87,11 @@ use gg_runtime::counters::{LocalTally, WorkCounters};
 use gg_runtime::pool::Pool;
 use gg_runtime::schedule::PartitionSchedule;
 
-use crate::config::Thresholds;
-use crate::edge_map::{decide, EdgeKind, EdgeOp};
+use crate::config::{OutputMode, Thresholds};
+use crate::edge_map::EdgeOp;
 use crate::engine::KernelCounts;
-use crate::frontier::{Frontier, FrontierData};
+use crate::frontier::{Frontier, FrontierData, FrontierView, PartitionOutput, PartitionOutputData};
+use crate::plan::{self, OutputRepr};
 use crate::store::GraphStore;
 
 /// Which per-partition kernel a partition selected for one edge map.
@@ -147,15 +159,17 @@ impl PartitionedExec {
         &self.views
     }
 
-    /// One partition-parallel edge map: decide a kernel per partition,
-    /// fan the non-empty partitions out over the pool in NUMA order, and
-    /// merge the disjoint per-partition next frontiers.
+    /// One partition-parallel edge map: let the planner pair a kernel with
+    /// an output representation per partition, fan the non-empty
+    /// partitions out over the pool in NUMA order with each task returning
+    /// its typed output buffer, and merge the buffers in partition order.
     #[allow(clippy::too_many_arguments)]
     pub fn edge_map<O: EdgeOp>(
         &self,
         store: &GraphStore,
         pool: &Pool,
         thresholds: &Thresholds,
+        output_mode: OutputMode,
         counters: &WorkCounters,
         kernel_counts: &KernelCounts,
         frontier: &Frontier,
@@ -167,67 +181,70 @@ impl PartitionedExec {
             return Frontier::empty(n);
         }
 
-        // Per-partition kernel decisions (cheap, deterministic, pool-free).
-        let mut sparse_parts = 0u64;
-        let mut dense_parts = 0u64;
-        let tasks: Vec<(usize, PartKernel)> = self
-            .edge_order
-            .iter()
-            .map(|&p| {
-                let view = &self.views[p];
-                let (count, degree_sum) =
-                    frontier.range_stats(view.dst_range.clone(), store.out_degrees());
-                let metric = count as u64 + degree_sum;
-                let kernel = match decide(metric, view.num_edges, thresholds) {
-                    EdgeKind::Sparse => PartKernel::Sparse,
-                    EdgeKind::Medium | EdgeKind::Dense => PartKernel::Dense,
-                };
-                match kernel {
-                    PartKernel::Sparse => sparse_parts += 1,
-                    PartKernel::Dense => dense_parts += 1,
-                }
-                (p, kernel)
-            })
-            .collect();
-        kernel_counts.record_partitioned(sparse_parts, dense_parts);
+        // The plan: (kernel, output-repr) per partition — cheap,
+        // deterministic, pool-free.
+        let traversal = plan::plan_partitions(
+            frontier,
+            &self.views,
+            &self.edge_order,
+            store.out_degrees(),
+            thresholds,
+            output_mode,
+        );
+        let (ks, kd) = traversal.kernel_tally();
+        let (os, od) = traversal.output_tally();
+        kernel_counts.record_partitioned(ks, kd);
+        kernel_counts.record_outputs(os, od);
 
-        let current = frontier.to_bitmap();
-        let active_list = match frontier.data() {
-            FrontierData::Sparse(list) => Some(list.as_slice()),
-            FrontierData::Dense(_) => None,
+        // Input side: kernels probe the frontier through a borrowed view.
+        // A sparse list is densified once per edge map only when it is
+        // large enough that the O(|V| / 64) bitmap costs less than the
+        // binary-search probes it replaces.
+        let densified: Option<Bitmap> = match frontier.data() {
+            FrontierData::Sparse(list) if n >= 64 && list.len() >= n / 64 => {
+                Some(frontier.to_bitmap())
+            }
+            _ => None,
         };
-        let next = AtomicBitmap::new(n);
+        let current = match &densified {
+            Some(bitmap) => FrontierView::Dense(bitmap),
+            None => frontier.view(),
+        };
+
         let pcsr = store
             .partitioned_csr()
             .expect("partitioned executor requires the partitioned CSR layout");
 
-        // `tasks` is already domain-major, so index order is NUMA order.
-        pool.for_each_index(tasks.len(), |t| {
-            let (p, kernel) = tasks[t];
-            let view = &self.views[p];
+        // One typed task per planned step; the plan preserves the
+        // NUMA-domain-major edge order, so index order is submission order.
+        let steps = &traversal.steps;
+        let outputs: Vec<PartitionOutput> = pool.map_indices(steps.len(), |k| {
+            let step = steps[k];
+            let view = &self.views[step.partition];
             let mut tally = LocalTally::new(counters);
-            match kernel {
+            let mut sink = PartSink::new(step.output, view.dst_range.clone());
+            match step.kernel {
                 PartKernel::Dense => pull_range(
                     store.csc(),
-                    &current,
+                    current,
                     op,
                     view.dst_range.clone(),
-                    &next,
+                    &mut sink,
                     &mut tally,
                 ),
                 PartKernel::Sparse => pull_candidates(
                     store.csc(),
-                    pcsr.part(p),
-                    active_list,
-                    &current,
+                    pcsr.part(step.partition),
+                    current,
                     op,
-                    &next,
+                    &mut sink,
                     &mut tally,
                 ),
             }
+            sink.into_output()
         });
 
-        Frontier::from_atomic(next, store.out_degrees(), pool)
+        Frontier::from_partition_outputs(outputs, n, store.out_degrees(), counters)
     }
 
     /// Partition-parallel `vertex_map_all`: every vertex range fans out as
@@ -269,50 +286,140 @@ impl PartitionedExec {
     }
 }
 
+/// Where a partition kernel records activated destinations. Kernels call
+/// [`activate`](Self::activate) at most once per destination (pull-based
+/// traversal visits each destination once), so sinks need no deduplication.
+pub trait FrontierSink {
+    /// Records that destination `v` joins the next frontier.
+    fn activate(&mut self, v: VertexId);
+}
+
+/// The typed per-partition output sink the planner selects: a sorted
+/// vertex list or a range-aligned dense bitmap segment. Owned by exactly
+/// one pool task — plain stores, no atomics.
+#[derive(Debug)]
+pub enum PartSink {
+    /// Sorted list (destinations are pulled in ascending order).
+    Sparse {
+        /// The emitting partition's destination range.
+        range: std::ops::Range<VertexId>,
+        /// Activated destinations, ascending.
+        list: Vec<VertexId>,
+    },
+    /// Range-aligned dense segment.
+    Dense {
+        /// The segment, covering exactly the partition's range.
+        segment: BitmapSegment,
+    },
+}
+
+impl PartSink {
+    /// An empty sink of the planned representation over `range`.
+    pub fn new(repr: OutputRepr, range: std::ops::Range<VertexId>) -> Self {
+        match repr {
+            OutputRepr::Sparse => PartSink::Sparse {
+                range,
+                list: Vec::new(),
+            },
+            OutputRepr::Dense => PartSink::Dense {
+                segment: BitmapSegment::new(range.start as usize..range.end as usize),
+            },
+        }
+    }
+
+    /// Finishes the task, yielding the typed output buffer for the merge.
+    pub fn into_output(self) -> PartitionOutput {
+        match self {
+            PartSink::Sparse { range, list } => PartitionOutput {
+                range,
+                data: PartitionOutputData::Sparse(list),
+            },
+            PartSink::Dense { segment } => {
+                let r = segment.range();
+                PartitionOutput {
+                    range: r.start as VertexId..r.end as VertexId,
+                    data: PartitionOutputData::Dense(segment),
+                }
+            }
+        }
+    }
+}
+
+impl FrontierSink for PartSink {
+    #[inline]
+    fn activate(&mut self, v: VertexId) {
+        match self {
+            PartSink::Sparse { list, range } => {
+                debug_assert!(range.contains(&v));
+                debug_assert!(list.last().is_none_or(|&last| last < v));
+                list.push(v);
+            }
+            PartSink::Dense { segment } => segment.set(v as usize),
+        }
+    }
+}
+
+/// Adapter writing activations into a shared [`AtomicBitmap`] — the shape
+/// the pre-planner executor used, kept for differential tests and ad-hoc
+/// kernel harnesses.
+pub struct AtomicSink<'a>(pub &'a AtomicBitmap);
+
+impl FrontierSink for AtomicSink<'_> {
+    #[inline]
+    fn activate(&mut self, v: VertexId) {
+        self.0.set(v as usize);
+    }
+}
+
 /// Applies the in-edges of destination `v` (CSC adjacency order) for every
 /// active source, honouring `cond` pre-check and early exit. This inner
 /// loop is shared by both partition kernels, which is what makes kernel
-/// selection invisible in the computed values.
+/// selection invisible in the computed values. The destination is
+/// activated at most once, after its in-edge scan.
 #[inline]
-fn pull_vertex<O: EdgeOp>(
+fn pull_vertex<O: EdgeOp, S: FrontierSink>(
     csc: &Csc,
-    current: &Bitmap,
+    current: FrontierView<'_>,
     op: &O,
     v: VertexId,
-    next: &AtomicBitmap,
+    sink: &mut S,
     tally: &mut LocalTally,
 ) {
     tally.vertex();
     if !op.cond(v) {
         return;
     }
+    let mut activated = false;
     for e in csc.edge_range(v) {
         tally.edge();
         let u = csc.sources()[e];
-        if current.get(u as usize) {
+        if current.contains(u) {
             if op.update(u, v, csc.weight_at(e)) {
-                next.set(v as usize);
+                activated = true;
             }
             if !op.cond(v) {
                 break;
             }
         }
     }
+    if activated {
+        sink.activate(v);
+    }
 }
 
 /// Dense partition kernel: pull every destination of `range` over the
 /// shared whole-graph CSC. Exclusive updates — the caller guarantees one
 /// task per destination range.
-pub fn pull_range<O: EdgeOp>(
+pub fn pull_range<O: EdgeOp, S: FrontierSink>(
     csc: &Csc,
-    current: &Bitmap,
+    current: FrontierView<'_>,
     op: &O,
     range: std::ops::Range<VertexId>,
-    next: &AtomicBitmap,
+    sink: &mut S,
     tally: &mut LocalTally,
 ) {
     for v in range {
-        pull_vertex(csc, current, op, v, next, tally);
+        pull_vertex(csc, current, op, v, sink, tally);
     }
 }
 
@@ -321,22 +428,20 @@ pub fn pull_range<O: EdgeOp>(
 /// exactly those destinations in ascending order.
 ///
 /// Candidate discovery probes the stored-source index per active vertex
-/// when the frontier is a short list, and scans the (typically small)
-/// stored-source index against the frontier bitmap otherwise. Both
-/// strategies produce the same candidate set, so the choice never shows in
-/// results.
-pub fn pull_candidates<O: EdgeOp>(
+/// when the frontier view is a short list, and scans the (typically small)
+/// stored-source index against the view otherwise. Both strategies produce
+/// the same candidate set, so the choice never shows in results.
+pub fn pull_candidates<O: EdgeOp, S: FrontierSink>(
     csc: &Csc,
     part: &PrunedCsr,
-    active: Option<&[VertexId]>,
-    current: &Bitmap,
+    current: FrontierView<'_>,
     op: &O,
-    next: &AtomicBitmap,
+    sink: &mut S,
     tally: &mut LocalTally,
 ) {
     let stored = part.num_stored_vertices();
     let mut candidates: Vec<VertexId> = Vec::new();
-    match active {
+    match current.as_list() {
         Some(list) if list.len() < stored => {
             for &u in list {
                 if let Ok(i) = part.vertex_ids().binary_search(&u) {
@@ -346,7 +451,7 @@ pub fn pull_candidates<O: EdgeOp>(
         }
         _ => {
             for i in 0..stored {
-                if current.get(part.vertex_ids()[i] as usize) {
+                if current.contains(part.vertex_ids()[i]) {
                     candidates.extend_from_slice(part.neighbors_at(i));
                 }
             }
@@ -355,7 +460,7 @@ pub fn pull_candidates<O: EdgeOp>(
     candidates.sort_unstable();
     candidates.dedup();
     for v in candidates {
-        pull_vertex(csc, current, op, v, next, tally);
+        pull_vertex(csc, current, op, v, sink, tally);
     }
 }
 
@@ -439,7 +544,7 @@ mod tests {
         let (store, exec) = build(&el, 4);
         let pcsr = store.partitioned_csr().unwrap();
         let actives: Vec<u32> = (0..n as u32).step_by(5).collect();
-        let current = Bitmap::from_indices(n, &actives);
+        let bitmap = Bitmap::from_indices(n, &actives);
         let counters = WorkCounters::new();
 
         for &p in exec.edge_order.as_slice() {
@@ -449,10 +554,10 @@ mod tests {
             let mut tally = LocalTally::new(&counters);
             pull_range(
                 store.csc(),
-                &current,
+                FrontierView::Dense(&bitmap),
                 &op_dense,
                 view.dst_range.clone(),
-                &next_dense,
+                &mut AtomicSink(&next_dense),
                 &mut tally,
             );
             drop(tally);
@@ -463,10 +568,9 @@ mod tests {
             pull_candidates(
                 store.csc(),
                 pcsr.part(p),
-                Some(&actives),
-                &current,
+                FrontierView::Sparse(&actives),
                 &op_sparse,
-                &next_sparse,
+                &mut AtomicSink(&next_sparse),
                 &mut tally,
             );
             drop(tally);
@@ -477,6 +581,59 @@ mod tests {
                 next_sparse.into_bitmap(),
                 "partition {p}"
             );
+        }
+    }
+
+    /// The typed sinks record the same activation set as the shared atomic
+    /// bitmap, for both planned representations, and round-trip through
+    /// `PartitionOutput`.
+    #[test]
+    fn typed_sinks_match_the_atomic_bitmap() {
+        let el = gg_graph::generators::rmat(7, 700, gg_graph::generators::RmatParams::skewed(), 4);
+        let n = el.num_vertices();
+        let (store, exec) = build(&el, 4);
+        let actives: Vec<u32> = (0..n as u32).step_by(3).collect();
+        let view_of = FrontierView::Sparse(&actives);
+        let counters = WorkCounters::new();
+
+        for &p in exec.edge_order.as_slice() {
+            let range = exec.views()[p].dst_range.clone();
+            let op = TouchCount::new(n);
+            let next = AtomicBitmap::new(n);
+            let mut tally = LocalTally::new(&counters);
+            pull_range(
+                store.csc(),
+                view_of,
+                &op,
+                range.clone(),
+                &mut AtomicSink(&next),
+                &mut tally,
+            );
+            drop(tally);
+            let want: Vec<u32> = next.into_bitmap().iter_ones().map(|i| i as u32).collect();
+
+            for repr in [OutputRepr::Sparse, OutputRepr::Dense] {
+                let op = TouchCount::new(n);
+                let mut sink = PartSink::new(repr, range.clone());
+                let mut tally = LocalTally::new(&counters);
+                pull_range(
+                    store.csc(),
+                    view_of,
+                    &op,
+                    range.clone(),
+                    &mut sink,
+                    &mut tally,
+                );
+                drop(tally);
+                let out = sink.into_output();
+                assert_eq!(out.range, range, "partition {p} {repr:?}");
+                let got: Vec<u32> = match &out.data {
+                    PartitionOutputData::Sparse(list) => list.clone(),
+                    PartitionOutputData::Dense(seg) => seg.to_indices(),
+                };
+                assert_eq!(got, want, "partition {p} {repr:?}");
+                assert_eq!(out.count(), want.len(), "partition {p} {repr:?}");
+            }
         }
     }
 }

@@ -1,0 +1,253 @@
+//! The traversal planner: one place that turns frontier statistics into
+//! (kernel, output-representation) decisions.
+//!
+//! Before this module existed, Algorithm 2's `decide` was invoked from
+//! three scattered call sites — the kernel table in [`edge_map`], the
+//! monolithic dispatch in [`engine`](crate::engine), and the per-partition
+//! loop in [`partitioned`](crate::partitioned) — and the *output*
+//! representation was hard-coded dense everywhere a bitmap merge was
+//! convenient. The planner consolidates both choices:
+//!
+//! * [`classify`] is the single Algorithm 2 classifier (`|F| + Σ deg_out(F)`
+//!   against `|E| / 2` and `|E| / 20`); `edge_map::decide` now delegates
+//!   here.
+//! * [`plan_edge_map`] is the monolithic planning entry point: one
+//!   [`EdgeKind`] per edge map from the global frontier metric.
+//! * [`plan_partitions`] is the partitioned planning entry point: for every
+//!   non-empty partition, a [`PartStep`] pairing the locally decided kernel
+//!   with the locally decided **output representation** — a sorted sparse
+//!   vertex list for sparse-kernel partitions, a range-aligned dense bitmap
+//!   segment for dense-kernel partitions (overridable by
+//!   [`OutputMode`]). A whole round of sparse steps therefore merges in
+//!   `O(output)` with no `O(|V| / 64)` dense-bitmap floor.
+//!
+//! The planner is deterministic and pool-free: decisions depend only on the
+//! frontier statistics and the static partition metadata, never on
+//! scheduling, so the executor's bit-identity contract extends to the plan
+//! itself (the `determinism_stress` suite pins the recorded plans).
+
+use crate::config::{OutputMode, Thresholds};
+use crate::edge_map::EdgeKind;
+use crate::frontier::Frontier;
+use crate::partitioned::{PartKernel, PartitionView};
+
+/// Physical representation a partition's next-frontier output buffer uses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum OutputRepr {
+    /// Sorted vertex list, merged by partition-order concatenation.
+    Sparse,
+    /// Range-aligned dense bitmap segment, merged by word-level splicing.
+    Dense,
+}
+
+/// One partition's planned work for one edge map.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PartStep {
+    /// Partition index in the engine's `PartitionSet`.
+    pub partition: usize,
+    /// Locally selected traversal kernel.
+    pub kernel: PartKernel,
+    /// Locally selected output representation.
+    pub output: OutputRepr,
+}
+
+/// The planner's product for one partitioned edge map: per-partition steps
+/// in pool submission (NUMA-domain-major) order, plus the selection tallies
+/// recorded into `KernelCounts`.
+#[derive(Clone, Debug, Default)]
+pub struct TraversalPlan {
+    /// Steps in submission order (empty partitions never appear).
+    pub steps: Vec<PartStep>,
+}
+
+impl TraversalPlan {
+    /// `(sparse, dense)` kernel selections in this plan.
+    pub fn kernel_tally(&self) -> (u64, u64) {
+        let sparse = self
+            .steps
+            .iter()
+            .filter(|s| s.kernel == PartKernel::Sparse)
+            .count() as u64;
+        (sparse, self.steps.len() as u64 - sparse)
+    }
+
+    /// `(sparse, dense)` output-representation selections in this plan.
+    pub fn output_tally(&self) -> (u64, u64) {
+        let sparse = self
+            .steps
+            .iter()
+            .filter(|s| s.output == OutputRepr::Sparse)
+            .count() as u64;
+        (sparse, self.steps.len() as u64 - sparse)
+    }
+}
+
+/// Algorithm 2's classification: compares `metric = |F| + Σ deg_out(F)`
+/// against `|E| / dense_divisor` and `|E| / sparse_divisor`. The single
+/// classifier behind every decision in the engine.
+pub fn classify(metric: u64, num_edges: u64, th: &Thresholds) -> EdgeKind {
+    if metric > num_edges / th.dense_divisor {
+        EdgeKind::Dense
+    } else if metric > num_edges / th.sparse_divisor {
+        EdgeKind::Medium
+    } else {
+        EdgeKind::Sparse
+    }
+}
+
+/// Monolithic planning: one kernel per edge map from the global frontier
+/// density (Algorithm 2 as published).
+pub fn plan_edge_map(frontier: &Frontier, num_edges: u64, th: &Thresholds) -> EdgeKind {
+    classify(frontier.density_metric(), num_edges, th)
+}
+
+/// The output representation for a partition that selected `kernel`, under
+/// `mode`.
+///
+/// The `Auto` rule follows the kernel: a sparse-kernel partition's output
+/// is bounded by the frontier's footprint in the partition, so a sorted
+/// list keeps the merge output-proportional; a dense-kernel partition
+/// already scans its whole range, so a range-aligned segment adds only
+/// `O(range / 64)` to work that is `O(range)` anyway.
+pub fn output_for(kernel: PartKernel, mode: OutputMode) -> OutputRepr {
+    match mode {
+        OutputMode::ForceSparse => OutputRepr::Sparse,
+        OutputMode::ForceDense => OutputRepr::Dense,
+        OutputMode::Auto => match kernel {
+            PartKernel::Sparse => OutputRepr::Sparse,
+            PartKernel::Dense => OutputRepr::Dense,
+        },
+    }
+}
+
+/// Partitioned planning: classify the frontier *locally* per partition
+/// (`|F ∩ R_p| + Σ deg_out(F ∩ R_p)` against the partition's own edge
+/// count) and pair each kernel with an output representation. `order` is
+/// the NUMA-domain-major submission order restricted to non-empty
+/// partitions; the returned steps preserve it.
+pub fn plan_partitions(
+    frontier: &Frontier,
+    views: &[PartitionView],
+    order: &[usize],
+    out_degrees: &[u32],
+    th: &Thresholds,
+    mode: OutputMode,
+) -> TraversalPlan {
+    let steps = order
+        .iter()
+        .map(|&p| {
+            let view = &views[p];
+            let (count, degree_sum) = frontier.range_stats(view.dst_range.clone(), out_degrees);
+            let metric = count as u64 + degree_sum;
+            let kernel = match classify(metric, view.num_edges, th) {
+                EdgeKind::Sparse => PartKernel::Sparse,
+                EdgeKind::Medium | EdgeKind::Dense => PartKernel::Dense,
+            };
+            PartStep {
+                partition: p,
+                kernel,
+                output: output_for(kernel, mode),
+            }
+        })
+        .collect();
+    TraversalPlan { steps }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Config;
+    use crate::store::GraphStore;
+    use gg_runtime::numa::NumaTopology;
+    use gg_runtime::schedule::PartitionSchedule;
+
+    #[test]
+    fn classify_uses_paper_thresholds() {
+        let th = Thresholds::default();
+        assert_eq!(classify(5, 100, &th), EdgeKind::Sparse);
+        assert_eq!(classify(6, 100, &th), EdgeKind::Medium);
+        assert_eq!(classify(50, 100, &th), EdgeKind::Medium);
+        assert_eq!(classify(51, 100, &th), EdgeKind::Dense);
+    }
+
+    #[test]
+    fn output_follows_kernel_under_auto_and_obeys_forces() {
+        for kernel in [PartKernel::Sparse, PartKernel::Dense] {
+            assert_eq!(
+                output_for(kernel, OutputMode::ForceSparse),
+                OutputRepr::Sparse
+            );
+            assert_eq!(
+                output_for(kernel, OutputMode::ForceDense),
+                OutputRepr::Dense
+            );
+        }
+        assert_eq!(
+            output_for(PartKernel::Sparse, OutputMode::Auto),
+            OutputRepr::Sparse
+        );
+        assert_eq!(
+            output_for(PartKernel::Dense, OutputMode::Auto),
+            OutputRepr::Dense
+        );
+    }
+
+    /// A dense block plus a sparse tail: with the block active, the plan
+    /// must mix kernels *and* output representations in one edge map.
+    #[test]
+    fn skewed_frontier_produces_a_mixed_plan() {
+        let mut el = gg_graph::edge_list::EdgeList::new(64);
+        for i in 0..16u32 {
+            for j in 0..16u32 {
+                if i != j {
+                    el.push(i, j);
+                }
+            }
+        }
+        for i in 16..63u32 {
+            el.push(i, i + 1);
+        }
+        let config = Config {
+            num_partitions: 4,
+            numa: NumaTopology::new(1),
+            build_partitioned_csr: true,
+            ..Config::for_tests()
+        };
+        let store = GraphStore::build(&el, &config);
+        let schedule = PartitionSchedule::new(store.num_partitions(), config.numa);
+        let parts = store.edge_parts();
+        let views: Vec<PartitionView> = (0..parts.num_partitions())
+            .map(|p| PartitionView {
+                index: p,
+                dst_range: parts.range(p),
+                num_edges: parts.edges_per_partition(store.in_degrees())[p],
+                domain: schedule.domain_of(p),
+            })
+            .collect();
+        let order = schedule.order_filtered(|p| views[p].num_edges > 0);
+        let frontier = Frontier::from_sparse((0..8).collect(), 64, store.out_degrees());
+        let plan = plan_partitions(
+            &frontier,
+            &views,
+            &order,
+            store.out_degrees(),
+            &config.thresholds,
+            OutputMode::Auto,
+        );
+        let (ks, kd) = plan.kernel_tally();
+        let (os, od) = plan.output_tally();
+        assert!(ks >= 1 && kd >= 1, "kernels must mix: {ks}/{kd}");
+        assert!(os >= 1 && od >= 1, "outputs must mix: {os}/{od}");
+        assert_eq!(ks + kd, plan.steps.len() as u64);
+        // Deterministic: planning twice yields the same steps.
+        let again = plan_partitions(
+            &frontier,
+            &views,
+            &order,
+            store.out_degrees(),
+            &config.thresholds,
+            OutputMode::Auto,
+        );
+        assert_eq!(plan.steps, again.steps);
+    }
+}

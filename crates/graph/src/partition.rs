@@ -216,6 +216,32 @@ impl PartitionSet {
         }
     }
 
+    /// Range-local offset of `v` inside partition `p` — the index used by
+    /// range-aligned per-partition output buffers
+    /// (`gg_graph::bitmap::BitmapSegment`).
+    ///
+    /// # Panics
+    /// Debug-panics if `v` is not owned by `p`.
+    #[inline]
+    pub fn local_offset(&self, p: usize, v: VertexId) -> usize {
+        debug_assert!(
+            self.range(p).contains(&v),
+            "vertex {v} not in partition {p}"
+        );
+        (v - self.boundaries[p]) as usize
+    }
+
+    /// Inverse of [`local_offset`](Self::local_offset): the global vertex id
+    /// at range-local `offset` of partition `p`.
+    #[inline]
+    pub fn globalize(&self, p: usize, offset: usize) -> VertexId {
+        debug_assert!(
+            offset < self.range(p).len(),
+            "offset {offset} outside partition {p}"
+        );
+        self.boundaries[p] + offset as VertexId
+    }
+
     /// Indices of partitions whose vertex range is empty — produced, for
     /// example, by [`edge_balanced`](Self::edge_balanced) when there are
     /// more partitions than vertices. Returned explicitly (rather than
@@ -337,6 +363,18 @@ mod tests {
         for p in 0..7 {
             for v in ps.range(p) {
                 assert_eq!(ps.home(v), p, "vertex {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn local_offsets_roundtrip() {
+        let ps = PartitionSet::vertex_balanced(100, 7, PartitionBy::Destination);
+        for p in 0..7 {
+            for v in ps.range(p) {
+                let off = ps.local_offset(p, v);
+                assert!(off < ps.range(p).len());
+                assert_eq!(ps.globalize(p, off), v);
             }
         }
     }

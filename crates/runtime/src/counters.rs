@@ -15,6 +15,11 @@ use std::sync::atomic::{AtomicU64, Ordering};
 pub struct WorkCounters {
     edges: AtomicU64,
     vertices: AtomicU64,
+    /// 64-bit words touched by *dense* next-frontier merges (whole-bitmap
+    /// allocations plus spliced segment words). Sparse-output rounds add
+    /// nothing here — this is the counter that proves a tiny frontier pays
+    /// no `O(|V| / 64)` merge floor.
+    merge_words: AtomicU64,
 }
 
 impl WorkCounters {
@@ -35,6 +40,12 @@ impl WorkCounters {
         self.vertices.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Adds a batch of dense-merge word touches.
+    #[inline]
+    pub fn add_merge_words(&self, n: u64) {
+        self.merge_words.fetch_add(n, Ordering::Relaxed);
+    }
+
     /// Edges visited so far.
     #[inline]
     pub fn edges(&self) -> u64 {
@@ -47,10 +58,17 @@ impl WorkCounters {
         self.vertices.load(Ordering::Relaxed)
     }
 
-    /// Resets both counters to zero.
+    /// Dense-merge words touched so far.
+    #[inline]
+    pub fn merge_words(&self) -> u64 {
+        self.merge_words.load(Ordering::Relaxed)
+    }
+
+    /// Resets all counters to zero.
     pub fn reset(&self) {
         self.edges.store(0, Ordering::Relaxed);
         self.vertices.store(0, Ordering::Relaxed);
+        self.merge_words.store(0, Ordering::Relaxed);
     }
 }
 
@@ -111,10 +129,13 @@ mod tests {
         c.add_edges(10);
         c.add_vertices(3);
         c.add_edges(5);
+        c.add_merge_words(7);
         assert_eq!(c.edges(), 15);
         assert_eq!(c.vertices(), 3);
+        assert_eq!(c.merge_words(), 7);
         c.reset();
         assert_eq!(c.edges(), 0);
+        assert_eq!(c.merge_words(), 0);
     }
 
     #[test]

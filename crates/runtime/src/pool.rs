@@ -105,6 +105,12 @@ impl Pool {
     }
 
     /// Parallel map over `0..count` collecting results in index order.
+    ///
+    /// Also the typed-output fan-out primitive of the partitioned
+    /// executor: partition tasks *return* their per-partition buffers
+    /// (sparse vertex lists or dense bitmap segments) in submission order
+    /// instead of writing a shared bitmap, and the caller merges them
+    /// deterministically.
     pub fn map_indices<R: Send>(&self, count: usize, f: impl Fn(usize) -> R + Sync) -> Vec<R> {
         self.install(|| {
             (0..count)

@@ -8,7 +8,7 @@
 
 use std::sync::atomic::{AtomicU32, Ordering};
 
-use graphgrind::core::config::{Config, ExecutorKind};
+use graphgrind::core::config::{Config, ExecutorKind, OutputMode};
 use graphgrind::core::edge_map::EdgeOp;
 use graphgrind::core::engine::{EdgeMapSpec, Engine, GraphGrind2};
 use graphgrind::graph::generators::{self, RmatParams};
@@ -27,6 +27,9 @@ fn machine_engine() -> GraphGrind2 {
         num_partitions: 16,
         numa: NumaTopology::new(2),
         executor: ExecutorKind::Partitioned,
+        // CI runs this suite under GG_OUTPUT=sparse and GG_OUTPUT=dense:
+        // the trace must reproduce under either output representation.
+        output_mode: OutputMode::from_env(),
         ..Config::default()
     };
     GraphGrind2::new(&el, cfg)

@@ -15,9 +15,14 @@
 //! The topology is a single NUMA domain so the requested partition counts
 //! (including the deliberately odd 7) are used verbatim, without the
 //! multiple-of-domains rounding.
+//!
+//! The output-representation policy is read from the `GG_OUTPUT`
+//! environment variable (`auto` / `sparse` / `dense`): CI runs this suite
+//! once with the sparse-output fast path forced on and once forced off and
+//! diffs the outcomes, so a representation-dependent result cannot land.
 
 use graphgrind::algorithms::{self, reference, validate};
-use graphgrind::core::config::{Config, ExecutorKind};
+use graphgrind::core::config::{Config, ExecutorKind, OutputMode};
 use graphgrind::core::engine::GraphGrind2;
 use graphgrind::graph::edge_list::EdgeList;
 use graphgrind::graph::generators::{self, RmatParams};
@@ -28,13 +33,14 @@ const PARTITIONS: [usize; 3] = [1, 2, 7];
 const THREADS: [usize; 3] = [1, 2, 4];
 
 /// Partitioned-executor configuration with exact partition counts (UMA
-/// topology: no rounding).
+/// topology: no rounding) and the CI-controlled output policy.
 fn pconfig(partitions: usize, threads: usize) -> Config {
     Config {
         threads,
         num_partitions: partitions,
         numa: NumaTopology::new(1),
         executor: ExecutorKind::Partitioned,
+        output_mode: OutputMode::from_env(),
         ..Config::default()
     }
 }

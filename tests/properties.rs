@@ -195,6 +195,103 @@ proptest! {
         validate::assert_close_f64(&got, &want, 1e-9, 1e-14);
     }
 
+    /// Frontier representations round-trip: sparse ↔ dense ↔ per-partition
+    /// segments all describe the same active set with the same statistics.
+    #[test]
+    fn frontier_representations_roundtrip_through_segments(
+        n in 1usize..400,
+        seed in 0u64..1000,
+        p in 1usize..9,
+    ) {
+        use graphgrind::core::Frontier;
+        use graphgrind::core::frontier::{PartitionOutput, PartitionOutputData};
+        use graphgrind::graph::bitmap::BitmapSegment;
+        use graphgrind::graph::partition::{PartitionBy, PartitionSet};
+        use graphgrind::runtime::counters::WorkCounters;
+
+        let deg: Vec<u32> = (0..n as u32).map(|v| (v ^ seed as u32) % 7).collect();
+        let actives: Vec<u32> = (0..n as u32)
+            .filter(|v| (v.wrapping_mul(2654435761).wrapping_add(seed as u32)) % 3 == 0)
+            .collect();
+        let pool = graphgrind::runtime::pool::Pool::new(2);
+
+        // sparse → dense → sparse.
+        let sparse = Frontier::from_sparse(actives.clone(), n, &deg);
+        let dense = Frontier::from_dense(sparse.to_bitmap(), &deg, &pool);
+        prop_assert_eq!(dense.to_vertex_list(), actives.clone());
+
+        // dense bitmap → per-partition segments → merged frontier.
+        let set = PartitionSet::vertex_balanced(n, p, PartitionBy::Destination);
+        let counters = WorkCounters::new();
+        let seg_outputs: Vec<PartitionOutput> = (0..p)
+            .map(|i| {
+                let r = set.range(i);
+                let local: Vec<u32> = actives
+                    .iter()
+                    .copied()
+                    .filter(|&v| r.contains(&v))
+                    .collect();
+                PartitionOutput {
+                    range: r.clone(),
+                    data: PartitionOutputData::Dense(BitmapSegment::from_indices(
+                        r.start as usize..r.end as usize,
+                        &local,
+                    )),
+                }
+            })
+            .collect();
+        let merged = Frontier::from_partition_outputs(seg_outputs, n, &deg, &counters);
+        prop_assert_eq!(merged.to_vertex_list(), actives.clone());
+        prop_assert_eq!(merged.len(), sparse.len());
+        prop_assert_eq!(merged.degree_sum(), sparse.degree_sum());
+        // segments → bitmap equals the direct densification.
+        prop_assert_eq!(merged.to_bitmap(), sparse.to_bitmap());
+
+        // per-partition sorted lists → merged frontier (the sparse-output
+        // fast path): identical active set, zero dense-merge work.
+        let counters = WorkCounters::new();
+        let list_outputs: Vec<PartitionOutput> = (0..p)
+            .map(|i| {
+                let r = set.range(i);
+                PartitionOutput {
+                    range: r.clone(),
+                    data: PartitionOutputData::Sparse(
+                        actives.iter().copied().filter(|&v| r.contains(&v)).collect(),
+                    ),
+                }
+            })
+            .collect();
+        let concat = Frontier::from_partition_outputs(list_outputs, n, &deg, &counters);
+        prop_assert_eq!(concat.to_vertex_list(), actives.clone());
+        prop_assert_eq!(concat.degree_sum(), sparse.degree_sum());
+        prop_assert_eq!(counters.merge_words(), 0);
+        prop_assert!(concat.is_sparse_repr() || actives.is_empty());
+
+        // Mixed lists + segments still merge to the same set.
+        let counters = WorkCounters::new();
+        let mixed_outputs: Vec<PartitionOutput> = (0..p)
+            .map(|i| {
+                let r = set.range(i);
+                let local: Vec<u32> = actives
+                    .iter()
+                    .copied()
+                    .filter(|&v| r.contains(&v))
+                    .collect();
+                let data = if i % 2 == 0 {
+                    PartitionOutputData::Sparse(local)
+                } else {
+                    PartitionOutputData::Dense(BitmapSegment::from_indices(
+                        r.start as usize..r.end as usize,
+                        &local,
+                    ))
+                };
+                PartitionOutput { range: r, data }
+            })
+            .collect();
+        let mixed = Frontier::from_partition_outputs(mixed_outputs, n, &deg, &counters);
+        prop_assert_eq!(mixed.to_vertex_list(), actives);
+    }
+
     /// Frontier statistics are consistent between representations.
     #[test]
     fn frontier_statistics_consistent(el in arb_graph(), seed in 0u64..1000) {
