@@ -3,10 +3,13 @@
 //! ```text
 //! repro <experiment> [--scale F] [--threads N] [--reps N] [--tiny]
 //!                    [--partitions N] [--executor monolithic|partitioned]
-//!                    [--output auto|sparse|dense] [--scenario grid|smallworld]
+//!                    [--output auto|sparse|dense] [--chunk N|max]
+//!                    [--scenario grid|smallworld|powerlaw]
+//!                    [--alpha F] [--hubs N]
 //!
 //! experiments: tab1 tab2 fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10
-//!              atomics heuristic reorder smoke sparse_output all
+//!              atomics heuristic reorder smoke sparse_output load_balance
+//!              all
 //! ```
 //!
 //! `--scale` multiplies the default graph sizes (DESIGN.md §2); the
@@ -33,6 +36,13 @@
 //! USA-road-style grid — or `--scenario smallworld`) comparing dense-merge
 //! vs sparse-output BFS / Bellman-Ford; it writes
 //! `BENCH_sparse_output.json` with the timing and merge-work trajectory.
+//!
+//! `load_balance` is the skewed scenario (`--scenario powerlaw`, with
+//! `--alpha` / `--hubs` shaping the skew): one destination partition is
+//! star-shaped heavy, and the experiment compares partition-granular
+//! execution (`--chunk max`) against intra-partition chunking with
+//! NUMA-affine work stealing, reporting chunk/steal statistics and writing
+//! `BENCH_load_balance.json`.
 
 use gg_algorithms::Algorithm;
 use gg_bench::datasets::Dataset;
@@ -57,8 +67,15 @@ struct Args {
     executor: gg_core::config::ExecutorKind,
     /// Output-representation policy for the partitioned executor.
     output: gg_core::config::OutputMode,
-    /// High-diameter scenario for `sparse_output` (grid | smallworld).
+    /// Scenario for `sparse_output` / `load_balance`
+    /// (grid | smallworld | powerlaw).
     scenario: String,
+    /// Work-stealing chunk-edge cap override (`--chunk N|max`).
+    chunk: Option<usize>,
+    /// Power-law exponent of the `powerlaw` scenario.
+    alpha: f64,
+    /// Star-hub count of the `powerlaw` scenario.
+    hubs: usize,
 }
 
 impl Args {
@@ -68,13 +85,24 @@ impl Args {
         self.partitions.unwrap_or(fallback)
     }
 
+    /// The `--scenario` value, or the experiment's own default when the
+    /// flag was not given.
+    fn scenario_or(&self, fallback: &str) -> String {
+        if self.scenario.is_empty() {
+            fallback.to_string()
+        } else {
+            self.scenario.clone()
+        }
+    }
+
     /// A [`RunConfig`] carrying the global `--threads` / `--executor` /
-    /// `--output` flags and the given partition count.
+    /// `--output` / `--chunk` flags and the given partition count.
     fn run_config(&self, partitions: usize) -> RunConfig {
         RunConfig {
             partitions,
             executor: self.executor,
             output: self.output,
+            chunk_edges: self.chunk.unwrap_or(gg_core::config::DEFAULT_CHUNK_EDGES),
             ..RunConfig::new(self.threads)
         }
     }
@@ -91,7 +119,10 @@ fn parse_args() -> Args {
         partitions: None,
         executor: gg_core::config::ExecutorKind::Monolithic,
         output: gg_core::config::OutputMode::Auto,
-        scenario: "grid".to_string(),
+        scenario: String::new(),
+        chunk: None,
+        alpha: 2.0,
+        hubs: 16,
     };
     let mut tiny = false;
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -140,12 +171,33 @@ fn parse_args() -> Args {
             "--scenario" => {
                 i += 1;
                 match argv[i].as_str() {
-                    s @ ("grid" | "smallworld") => args.scenario = s.to_string(),
+                    s @ ("grid" | "smallworld" | "powerlaw") => args.scenario = s.to_string(),
                     other => {
-                        eprintln!("--scenario must be grid or smallworld, got {other}");
+                        eprintln!("--scenario must be grid, smallworld or powerlaw, got {other}");
                         std::process::exit(2);
                     }
                 }
+            }
+            "--chunk" => {
+                i += 1;
+                args.chunk = Some(match argv[i].as_str() {
+                    "max" => usize::MAX,
+                    v => match v.parse::<usize>() {
+                        Ok(n) if n > 0 => n,
+                        _ => {
+                            eprintln!("--chunk needs a positive integer or max, got {v}");
+                            std::process::exit(2);
+                        }
+                    },
+                });
+            }
+            "--alpha" => {
+                i += 1;
+                args.alpha = argv[i].parse().expect("--alpha needs a float > 1");
+            }
+            "--hubs" => {
+                i += 1;
+                args.hubs = argv[i].parse().expect("--hubs needs an integer");
             }
             "--tiny" => tiny = true,
             other if args.experiment.is_empty() && !other.starts_with("--") => {
@@ -168,9 +220,10 @@ fn parse_args() -> Args {
     if args.experiment.is_empty() {
         eprintln!(
             "usage: repro <tab1|tab2|fig2|fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|atomics|\
-             heuristic|reorder|smoke|sparse_output|all> [--scale F] [--threads N] [--reps N]\
-             [--tiny] [--partitions N] [--executor monolithic|partitioned]\
-             [--output auto|sparse|dense] [--scenario grid|smallworld]"
+             heuristic|reorder|smoke|sparse_output|load_balance|all> [--scale F] [--threads N]\
+             [--reps N] [--tiny] [--partitions N] [--executor monolithic|partitioned]\
+             [--output auto|sparse|dense] [--scenario grid|smallworld|powerlaw]\
+             [--chunk N|max] [--alpha F] [--hubs N]"
         );
         std::process::exit(2);
     }
@@ -231,6 +284,9 @@ fn main() {
     }
     if run("sparse_output") {
         sparse_output(&args);
+    }
+    if run("load_balance") {
+        load_balance(&args);
     }
 }
 
@@ -828,15 +884,14 @@ fn sparse_output(args: &Args) {
     use gg_core::config::{Config, ExecutorKind, OutputMode};
     use gg_core::engine::{Engine, GraphGrind2};
 
-    println!(
-        "## Sparse-output bench — dense merge vs sparse emission ({} scenario)\n",
-        args.scenario
-    );
-    let el = match args.scenario.as_str() {
+    let scenario = args.scenario_or("grid");
+    println!("## Sparse-output bench — dense merge vs sparse emission ({scenario} scenario)\n");
+    let el = match scenario.as_str() {
         "smallworld" => {
             let n = ((200_000.0 * args.scale) as usize).max(1_000);
             gg_graph::generators::small_world(n, 6, 0.05, 11)
         }
+        "powerlaw" => gg_bench::datasets::powerlaw_scenario(args.scale, args.alpha, args.hubs, 11),
         _ => {
             let side = ((250_000.0 * args.scale).sqrt() as usize).max(24);
             gg_graph::generators::grid_road(side, side, 0.05, 11)
@@ -913,7 +968,7 @@ fn sparse_output(args: &Args) {
         "{{\n  \"bench\": \"sparse_output\",\n  \"scenario\": \"{}\",\n  \"vertices\": {},\n  \
          \"edges\": {},\n  \"partitions\": {},\n  \"threads\": {},\n  \"reps\": {},\n  \
          \"results\": [\n{}\n  ]\n}}\n",
-        args.scenario,
+        scenario,
         n,
         el.num_edges(),
         partitions,
@@ -922,6 +977,142 @@ fn sparse_output(args: &Args) {
         json_rows.join(",\n")
     );
     let path = "BENCH_sparse_output.json";
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("\nwrote {path}\n"),
+        Err(e) => eprintln!("\nfailed to write {path}: {e}\n"),
+    }
+}
+
+/// The load-balance bench: PR and BFS on a skewed scale-free scenario
+/// whose star hubs make one destination partition carry a large multiple
+/// of the average partition's edges — the imbalance regime where one
+/// heavy partition used to bound every round of the partition-granular
+/// executor. Compares partition-granular tasks (`--chunk max`) against
+/// intra-partition chunking + work stealing (`--chunk`, default
+/// `DEFAULT_CHUNK_EDGES`), prints the chunk/steal statistics and writes
+/// `BENCH_load_balance.json`.
+fn load_balance(args: &Args) {
+    use gg_core::config::{Config, ExecutorKind};
+    use gg_core::engine::{Engine, GraphGrind2};
+
+    let scenario = args.scenario_or("powerlaw");
+    println!(
+        "## Load-balance bench — partition-granular vs chunked work stealing ({scenario} scenario)\n"
+    );
+    let el = match scenario.as_str() {
+        "smallworld" => {
+            let n = ((200_000.0 * args.scale) as usize).max(1_000);
+            gg_graph::generators::small_world(n, 6, 0.05, 13)
+        }
+        "grid" => {
+            let side = ((250_000.0 * args.scale).sqrt() as usize).max(24);
+            gg_graph::generators::grid_road(side, side, 0.05, 13)
+        }
+        _ => gg_bench::datasets::powerlaw_scenario(args.scale, args.alpha, args.hubs, 13),
+    };
+    let n = el.num_vertices();
+    let partitions = args.partitions_or(16);
+    // An explicit --chunk is honoured verbatim; only the default cap is
+    // scaled down so tiny graphs still split into more chunks than
+    // threads.
+    let chunk = args.chunk.unwrap_or_else(|| {
+        gg_core::config::DEFAULT_CHUNK_EDGES
+            .min((el.num_edges() / (4 * args.threads).max(1)).max(64))
+    });
+    println!(
+        "graph: {} vertices, {} edges, {} partitions, {} threads, chunk cap {}\n",
+        n,
+        el.num_edges(),
+        partitions,
+        args.threads,
+        chunk
+    );
+
+    let modes: [(&str, usize); 2] = [("partition-granular", usize::MAX), ("chunked", chunk)];
+    let mut t = Table::new(&[
+        "Algorithm",
+        "mode",
+        "time (s)",
+        "chunks",
+        "steals",
+        "x-domain",
+        "max chunk",
+        "mean chunk",
+    ]);
+    let mut json_rows: Vec<String> = Vec::new();
+    for algo in [Algorithm::Pr, Algorithm::Bfs] {
+        let w = Workload::prepare(&el, algo);
+        let mut per_mode: Vec<(String, f64)> = Vec::new();
+        for (label, cap) in modes {
+            let cfg = Config {
+                threads: args.threads,
+                num_partitions: partitions,
+                numa: NumaTopology::paper_machine(),
+                executor: ExecutorKind::Partitioned,
+                chunk_edges: cap,
+                ..Config::default()
+            };
+            let engine = GraphGrind2::new(&w.el, cfg);
+            let run = || match algo {
+                Algorithm::Bfs => {
+                    let _ = gg_algorithms::bfs(&engine, w.source);
+                }
+                _ => {
+                    let _ = gg_algorithms::pagerank(&engine, 10);
+                }
+            };
+            let time = gg_bench::time_median(args.reps, run);
+            engine.work_counters().reset();
+            run();
+            let c = engine.work_counters();
+            t.row(vec![
+                algo.code().into(),
+                label.into(),
+                fmt_secs(time),
+                c.chunks().to_string(),
+                c.steals().to_string(),
+                c.cross_domain_steals().to_string(),
+                c.max_chunk_edges().to_string(),
+                format!("{:.1}", c.mean_chunk_edges()),
+            ]);
+            json_rows.push(format!(
+                "    {{\"algorithm\": \"{}\", \"mode\": \"{}\", \"time_s\": {:.6}, \
+                 \"chunks\": {}, \"steals\": {}, \"cross_domain_steals\": {}, \
+                 \"max_chunk_edges\": {}, \"mean_chunk_edges\": {:.1}}}",
+                algo.code(),
+                label,
+                time,
+                c.chunks(),
+                c.steals(),
+                c.cross_domain_steals(),
+                c.max_chunk_edges(),
+                c.mean_chunk_edges(),
+            ));
+            per_mode.push((label.to_string(), time));
+        }
+        println!(
+            "{}: chunked vs partition-granular speedup {:.3}x",
+            algo.code(),
+            per_mode[0].1 / per_mode[1].1.max(1e-12)
+        );
+    }
+    t.print();
+    let json = format!(
+        "{{\n  \"bench\": \"load_balance\",\n  \"scenario\": \"{}\",\n  \"alpha\": {},\n  \
+         \"hubs\": {},\n  \"vertices\": {},\n  \"edges\": {},\n  \"partitions\": {},\n  \
+         \"threads\": {},\n  \"reps\": {},\n  \"chunk_edges\": {},\n  \"results\": [\n{}\n  ]\n}}\n",
+        scenario,
+        args.alpha,
+        args.hubs,
+        n,
+        el.num_edges(),
+        partitions,
+        args.threads,
+        args.reps,
+        chunk,
+        json_rows.join(",\n")
+    );
+    let path = "BENCH_load_balance.json";
     match std::fs::write(path, &json) {
         Ok(()) => println!("\nwrote {path}\n"),
         Err(e) => eprintln!("\nfailed to write {path}: {e}\n"),

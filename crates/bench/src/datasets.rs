@@ -98,6 +98,39 @@ impl Dataset {
     }
 }
 
+/// The skewed `powerlaw` scenario: a Chung–Lu power-law base (configurable
+/// exponent) plus `hubs` star hubs on the lowest vertex ids, each pulling
+/// in-edges from sources spread across the whole id space.
+///
+/// Partitioning by destination homes all the hub in-edges into the
+/// partitions owning the low id range, so one partition is star-shaped
+/// heavy while the tail partitions stay light — the imbalance regime the
+/// work-stealing chunked executor exists to beat (`repro load_balance`,
+/// `tests/chunked_differential.rs`). Deterministic for a given
+/// `(scale, alpha, hubs, seed)`.
+///
+/// Each hub receives `max(n / 8, 32)` spokes; with the default 16 hubs
+/// that concentrates ~2n extra edges on the lowest ids.
+pub fn powerlaw_scenario(scale: f64, alpha: f64, hubs: usize, seed: u64) -> EdgeList {
+    assert!(scale > 0.0, "scale must be positive");
+    let n = ((50_000.0 * scale) as usize).max(600);
+    let m = ((300_000.0 * scale) as usize).max(3_000);
+    let mut el = generators::chung_lu(n, m, alpha, seed);
+    let spokes = (n / 8).max(32);
+    for h in 0..hubs.min(n) {
+        // Sources strided over the id space, offset per hub so spoke sets
+        // differ between hubs; self-loops skipped.
+        let stride = (n / spokes).max(1);
+        for s in 0..spokes {
+            let src = ((h + 1) * 7 + s * stride) % n;
+            if src != h {
+                el.push(src as u32, h as u32);
+            }
+        }
+    }
+    el
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -149,5 +182,27 @@ mod tests {
         let a = Dataset::LiveJournal.build(TEST_SCALE);
         let b = Dataset::LiveJournal.build(TEST_SCALE);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn powerlaw_scenario_concentrates_in_degree_on_the_hubs() {
+        let hubs = 8;
+        let el = powerlaw_scenario(0.02, 2.0, hubs, 7);
+        el.validate().unwrap();
+        let n = el.num_vertices();
+        let in_deg = el.in_degrees();
+        let spokes = (n / 8).max(32) as u32;
+        // Every hub's in-degree is dominated by its spokes.
+        for (h, &d) in in_deg.iter().take(hubs).enumerate() {
+            assert!(d >= spokes / 2, "hub {h} in-degree {d} too small");
+        }
+        // The hub block holds a large multiple of the per-vertex average.
+        let hub_edges: u64 = in_deg[..hubs].iter().map(|&d| d as u64).sum();
+        let avg = el.num_edges() as u64 / n as u64;
+        assert!(hub_edges > 20 * avg * hubs as u64 / 2);
+        // Deterministic and parameter-sensitive.
+        assert_eq!(el, powerlaw_scenario(0.02, 2.0, hubs, 7));
+        assert_ne!(el, powerlaw_scenario(0.02, 2.0, hubs + 1, 7));
+        assert_ne!(el, powerlaw_scenario(0.02, 2.3, hubs, 7));
     }
 }

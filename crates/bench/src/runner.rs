@@ -64,6 +64,9 @@ pub struct RunConfig {
     /// GG-v2 output-representation policy (`repro --output sparse|dense`
     /// forces the planner's per-partition output buffers).
     pub output: OutputMode,
+    /// GG-v2 work-stealing chunk-edge cap (`repro --chunk N|max`;
+    /// `usize::MAX` = one chunk per partition).
+    pub chunk_edges: usize,
 }
 
 impl RunConfig {
@@ -77,6 +80,7 @@ impl RunConfig {
             use_atomics: false,
             executor: ExecutorKind::Monolithic,
             output: OutputMode::Auto,
+            chunk_edges: gg_core::config::DEFAULT_CHUNK_EDGES,
         }
     }
 
@@ -89,6 +93,7 @@ impl RunConfig {
             use_atomics_dense: self.use_atomics,
             executor: self.executor,
             output_mode: self.output,
+            chunk_edges: self.chunk_edges,
             ..Config::default()
         };
         if let Some(f) = self.force {

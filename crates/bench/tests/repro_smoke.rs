@@ -116,6 +116,43 @@ fn sparse_output_tiny_writes_the_bench_json() {
 }
 
 #[test]
+fn load_balance_tiny_writes_the_bench_json() {
+    // Run in a scratch directory so BENCH_load_balance.json lands there.
+    let dir = std::env::temp_dir().join(format!("gg-load-balance-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    let out = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(["load_balance", "--tiny", "--hubs", "8"])
+        .current_dir(&dir)
+        .output()
+        .expect("failed to launch repro");
+    assert!(
+        out.status.success(),
+        "load_balance exited with {:?}\nstderr:\n{}",
+        out.status,
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("steals"), "{stdout}");
+    assert!(stdout.contains("powerlaw"), "{stdout}");
+    let json = std::fs::read_to_string(dir.join("BENCH_load_balance.json"))
+        .expect("bench JSON must be written");
+    for key in [
+        "\"bench\": \"load_balance\"",
+        "\"scenario\": \"powerlaw\"",
+        "\"hubs\": 8",
+        "\"algorithm\": \"PR\"",
+        "\"algorithm\": \"BFS\"",
+        "\"mode\": \"partition-granular\"",
+        "\"mode\": \"chunked\"",
+        "max_chunk_edges",
+        "cross_domain_steals",
+    ] {
+        assert!(json.contains(key), "missing {key} in:\n{json}");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn unknown_experiment_fails_with_usage() {
     let out = Command::new(env!("CARGO_BIN_EXE_repro"))
         .output()

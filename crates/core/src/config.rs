@@ -77,6 +77,32 @@ impl OutputMode {
     }
 }
 
+/// Default cap on the planned CSC edge count of one work-stealing chunk
+/// (see [`Config::chunk_edges`]). Large enough that per-chunk overhead is
+/// noise, small enough that a heavy partition splits into many more chunks
+/// than there are threads.
+pub const DEFAULT_CHUNK_EDGES: usize = 16_384;
+
+/// Reads the chunk-edge cap override from the `GG_CHUNK` environment
+/// variable: a positive integer, or `max` for unbounded (one chunk per
+/// partition — the pre-chunking behaviour). Returns `None` when unset —
+/// the hook the CI chunk-differential leg uses to run the partitioned
+/// suites with per-vertex chunking forced on and chunking forced off.
+///
+/// # Panics
+/// Panics on an unrecognized value: a typo'd `GG_CHUNK` must fail loudly,
+/// not let both CI legs silently diff two identical default runs.
+pub fn chunk_edges_from_env() -> Option<usize> {
+    match std::env::var("GG_CHUNK") {
+        Ok(v) if v == "max" => Some(usize::MAX),
+        Ok(v) => match v.parse::<usize>() {
+            Ok(n) if n > 0 => Some(n),
+            _ => panic!("GG_CHUNK must be a positive integer or \"max\", got {v:?}"),
+        },
+        Err(_) => None,
+    }
+}
+
 /// Which execution path [`GraphGrind2`](crate::engine::GraphGrind2) routes
 /// edge maps through.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
@@ -124,6 +150,16 @@ pub struct Config {
     /// (partitioned executor only; the monolithic path's output
     /// representation is fixed per kernel).
     pub output_mode: OutputMode,
+    /// Cap on the planned CSC edge count of one work-stealing chunk
+    /// (partitioned executor only). The planner splits every planned
+    /// partition into edge-balanced chunks of at most
+    /// `chunk_edges + max_degree` edges (a single destination's in-edges
+    /// are never split), and the pool schedules the chunks with
+    /// NUMA-domain-affine work stealing — so a star-shaped heavy partition
+    /// no longer bounds round latency. `usize::MAX` disables splitting
+    /// (one chunk per partition); the `GG_CHUNK` environment variable (see
+    /// [`chunk_edges_from_env`]) is the conventional override.
+    pub chunk_edges: usize,
 }
 
 impl Default for Config {
@@ -142,6 +178,7 @@ impl Default for Config {
             build_partitioned_csr: false,
             executor: ExecutorKind::Monolithic,
             output_mode: OutputMode::Auto,
+            chunk_edges: DEFAULT_CHUNK_EDGES,
         }
     }
 }
@@ -181,6 +218,13 @@ impl Config {
     /// Selects the output-representation policy (builder style).
     pub fn with_output_mode(mut self, m: OutputMode) -> Self {
         self.output_mode = m;
+        self
+    }
+
+    /// Sets the work-stealing chunk-edge cap (builder style;
+    /// `usize::MAX` = one chunk per partition).
+    pub fn with_chunk_edges(mut self, c: usize) -> Self {
+        self.chunk_edges = c;
         self
     }
 
@@ -236,6 +280,18 @@ mod tests {
             ..Config::default()
         };
         assert_eq!(c.effective_partitions(), 8);
+    }
+
+    #[test]
+    fn chunk_knob_defaults_and_builds() {
+        let c = Config::default();
+        assert_eq!(c.chunk_edges, DEFAULT_CHUNK_EDGES);
+        let c = Config::for_tests().with_chunk_edges(64);
+        assert_eq!(c.chunk_edges, 64);
+        // Unset env → no override (the suites fall back to the default).
+        if std::env::var("GG_CHUNK").is_err() {
+            assert_eq!(chunk_edges_from_env(), None);
+        }
     }
 
     #[test]

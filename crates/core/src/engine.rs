@@ -13,9 +13,11 @@
 //! paper's point is that the frontier-density decision subsumes it.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use gg_graph::edge_list::EdgeList;
 use gg_graph::types::VertexId;
+use gg_runtime::buffer::BufferPool;
 use gg_runtime::counters::WorkCounters;
 use gg_runtime::pool::Pool;
 use gg_runtime::schedule::PartitionSchedule;
@@ -252,6 +254,9 @@ pub struct GraphGrind2 {
     counters: WorkCounters,
     kernel_counts: KernelCounts,
     scratch: gg_graph::bitmap::AtomicBitmap,
+    /// Recycles the word buffers behind dense frontier merges
+    /// (partitioned executor only).
+    merge_scratch: Arc<BufferPool>,
     /// Destination ranges per orientation, precomputed from the store.
     edge_ranges: Vec<std::ops::Range<VertexId>>,
     vertex_ranges: Vec<std::ops::Range<VertexId>>,
@@ -288,6 +293,7 @@ impl GraphGrind2 {
             counters: WorkCounters::new(),
             kernel_counts: KernelCounts::default(),
             scratch,
+            merge_scratch: Arc::new(BufferPool::new()),
             edge_ranges,
             vertex_ranges,
             partitioned,
@@ -312,6 +318,12 @@ impl GraphGrind2 {
     /// The NUMA-domain-major partition schedule.
     pub fn schedule(&self) -> &PartitionSchedule {
         &self.schedule
+    }
+
+    /// The buffer pool recycling dense-merge scratch bitmaps (partitioned
+    /// executor only) — exposed so tests and benches can observe recycling.
+    pub fn merge_scratch(&self) -> &Arc<BufferPool> {
+        &self.merge_scratch
     }
 
     /// The materialised per-partition subgraph views, indexed by
@@ -465,10 +477,10 @@ impl Engine for GraphGrind2 {
             return exec.edge_map(
                 &self.store,
                 &self.pool,
-                &self.config.thresholds,
-                self.config.output_mode,
+                &self.config,
                 &self.counters,
                 &self.kernel_counts,
+                &self.merge_scratch,
                 frontier,
                 op,
             );
@@ -743,6 +755,102 @@ mod tests {
             sum.fetch_add(v as u64 + 1, Ordering::Relaxed);
         });
         assert_eq!(sum.load(Ordering::Relaxed), expected);
+    }
+
+    /// Intra-partition chunking is invisible in results: a tiny chunk cap
+    /// splits partitions into many more work-stealing chunks, with every
+    /// chunk within the `cap + max_degree` bound, and converges to the
+    /// same labels as unbounded (one chunk per partition) execution.
+    #[test]
+    fn chunk_cap_changes_scheduling_but_not_results() {
+        let el = gg_graph::ops::symmetrize(&generators::rmat(
+            8,
+            1800,
+            generators::RmatParams::skewed(),
+            21,
+        ));
+        let unbounded = engine_with(
+            &el,
+            Config::partitioned_for_tests()
+                .with_partitions(4)
+                .with_chunk_edges(usize::MAX),
+        );
+        let reference = run_cc(&unbounded);
+        let baseline_chunks = unbounded.work_counters().chunks();
+        assert!(baseline_chunks > 0);
+
+        let cap = 8usize;
+        let chunked = engine_with(
+            &el,
+            Config::partitioned_for_tests()
+                .with_partitions(4)
+                .with_chunk_edges(cap),
+        );
+        assert_eq!(run_cc(&chunked), reference);
+        let counters = chunked.work_counters();
+        assert!(
+            counters.chunks() > baseline_chunks,
+            "cap {cap} must split partitions: {} vs {baseline_chunks}",
+            counters.chunks()
+        );
+        let max_in_degree = chunked
+            .store()
+            .in_degrees()
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(0) as u64;
+        assert!(
+            counters.max_chunk_edges() <= cap as u64 + max_in_degree,
+            "chunk bound violated: {} > {cap} + {max_in_degree}",
+            counters.max_chunk_edges()
+        );
+        assert!(counters.mean_chunk_edges() <= counters.max_chunk_edges() as f64);
+    }
+
+    /// The dense-merge scratch bitmap is recycled through the engine's
+    /// buffer pool: steady-state rounds reuse a dead frontier's words
+    /// instead of allocating, and at most two buffers (the in-flight input
+    /// and output frontiers) ever exist.
+    #[test]
+    fn dense_merge_scratch_is_recycled_across_rounds() {
+        // PR-style usage: every round is a dense edge map over the full
+        // frontier whose output frontier dies before the next round — the
+        // exact pattern the pooled scratch bitmap exists for.
+        struct AlwaysActivate;
+        impl EdgeOp for AlwaysActivate {
+            fn update(&self, _s: u32, _d: u32, _w: f32) -> bool {
+                true
+            }
+            fn update_atomic(&self, _s: u32, _d: u32, _w: f32) -> bool {
+                true
+            }
+        }
+        let el = generators::rmat(8, 1800, generators::RmatParams::skewed(), 21);
+        let cfg = Config {
+            output_mode: crate::config::OutputMode::ForceDense,
+            ..Config::partitioned_for_tests().with_partitions(4)
+        };
+        let engine = engine_with(&el, cfg);
+        for _ in 0..6 {
+            let next = engine.edge_map(
+                &engine.frontier_all(),
+                &AlwaysActivate,
+                EdgeMapSpec::edge_oriented(),
+            );
+            assert!(!next.is_empty());
+        }
+        let pool = engine.merge_scratch();
+        assert_eq!(
+            pool.recycled(),
+            5,
+            "every round after the first must recycle the scratch bitmap"
+        );
+        assert_eq!(
+            pool.allocated(),
+            1,
+            "only the first round may allocate fresh"
+        );
     }
 
     #[test]

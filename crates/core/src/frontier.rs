@@ -18,8 +18,11 @@
 //! work — which is what removes the dense-merge floor on high-diameter
 //! traversals.
 
+use std::sync::Arc;
+
 use gg_graph::bitmap::{AtomicBitmap, Bitmap, BitmapSegment, Ones};
 use gg_graph::types::VertexId;
+use gg_runtime::buffer::BufferPool;
 use gg_runtime::counters::WorkCounters;
 use gg_runtime::pool::Pool;
 
@@ -111,12 +114,46 @@ impl PartitionOutput {
 /// assert_eq!(f.density_metric(), 9); // |F| + Σ deg_out(F), Algorithm 2
 /// assert!(f.contains(2) && !f.contains(1));
 /// ```
-#[derive(Clone, Debug)]
+#[derive(Debug)]
 pub struct Frontier {
     n: usize,
     data: FrontierData,
     count: usize,
     degree_sum: u64,
+    /// When the dense storage came out of a [`BufferPool`], how to give it
+    /// back on drop: the pool plus the word indices the merge touched
+    /// (`None` = untracked, the next taker zeroes the whole buffer).
+    recycle: Option<Recycle>,
+}
+
+#[derive(Debug)]
+struct Recycle {
+    pool: Arc<BufferPool>,
+    touched: Option<Vec<u32>>,
+}
+
+impl Clone for Frontier {
+    fn clone(&self) -> Self {
+        // The clone owns a plain allocation: recycling stays with the
+        // original so the buffer is returned exactly once.
+        Frontier {
+            n: self.n,
+            data: self.data.clone(),
+            count: self.count,
+            degree_sum: self.degree_sum,
+            recycle: None,
+        }
+    }
+}
+
+impl Drop for Frontier {
+    fn drop(&mut self) {
+        if let Some(r) = self.recycle.take() {
+            if let FrontierData::Dense(b) = &mut self.data {
+                r.pool.put(b.take_words(), r.touched);
+            }
+        }
+    }
 }
 
 impl Frontier {
@@ -127,6 +164,7 @@ impl Frontier {
             data: FrontierData::Sparse(Vec::new()),
             count: 0,
             degree_sum: 0,
+            recycle: None,
         }
     }
 
@@ -137,6 +175,7 @@ impl Frontier {
             data: FrontierData::Sparse(vec![v]),
             count: 1,
             degree_sum: out_degrees[v as usize] as u64,
+            recycle: None,
         }
     }
 
@@ -148,6 +187,7 @@ impl Frontier {
             data: FrontierData::Dense(Bitmap::full(n)),
             count: n,
             degree_sum: m,
+            recycle: None,
         }
     }
 
@@ -166,6 +206,7 @@ impl Frontier {
             data: FrontierData::Sparse(vertices),
             count,
             degree_sum,
+            recycle: None,
         }
     }
 
@@ -199,6 +240,7 @@ impl Frontier {
             data: FrontierData::Dense(bitmap),
             count,
             degree_sum,
+            recycle: None,
         }
     }
 
@@ -224,14 +266,16 @@ impl Frontier {
             data: FrontierData::Sparse(vertices),
             count,
             degree_sum,
+            recycle: None,
         }
     }
 
-    /// Merges typed per-partition output buffers into the next frontier,
-    /// concatenating in partition order — which, because partitions own
-    /// disjoint ascending destination ranges, *is* ascending vertex order,
-    /// so the merge is deterministic for any submission order, partition
-    /// count, thread count, kernel mix and output-representation mix.
+    /// Merges typed per-chunk output buffers into the next frontier,
+    /// concatenating in `(partition, chunk)` — i.e. ascending range —
+    /// order. Because chunks own disjoint ascending destination ranges,
+    /// that *is* ascending vertex order, so the merge is deterministic for
+    /// any submission order, partition count, chunk size, thread count,
+    /// steal schedule, kernel mix and output-representation mix.
     ///
     /// * Every buffer sparse → a sparse frontier by pure concatenation:
     ///   `O(Σ outputs)` work, **no `O(|V| / 64)` dense floor**.
@@ -239,15 +283,20 @@ impl Frontier {
     ///   word-level ORs, sparse lists set bits individually. The
     ///   `|V|`-proportional allocation plus all spliced words are recorded
     ///   in `counters.merge_words()` so tests (and the sparse-output
-    ///   bench) can pin exactly when the floor is paid.
+    ///   bench) can pin exactly when the floor is paid. When `scratch` is
+    ///   given, the backing words come out of the [`BufferPool`] instead
+    ///   of a fresh allocation, the touched words are tracked, and the
+    ///   frontier hands the buffer back on drop — so steady-state dense
+    ///   rounds recycle one buffer instead of allocating per round.
     ///
-    /// `outputs` may arrive in any order (the pool submits NUMA-domain-
-    /// major); they are keyed by their disjoint ranges.
+    /// `outputs` may arrive in any order (the pool schedules chunks by
+    /// stealing); they are keyed by their disjoint ranges.
     pub fn from_partition_outputs(
         mut outputs: Vec<PartitionOutput>,
         n: usize,
         out_degrees: &[u32],
         counters: &WorkCounters,
+        scratch: Option<&Arc<BufferPool>>,
     ) -> Self {
         outputs.sort_unstable_by_key(|o| o.range.start);
         debug_assert!(outputs
@@ -267,7 +316,16 @@ impl Frontier {
             return Frontier::from_sorted(vertices, n, out_degrees);
         }
         // At least one dense buffer: pay the dense merge, and say so.
-        let mut bitmap = Bitmap::new(n);
+        let (mut bitmap, mut touched) = match scratch {
+            Some(pool) => {
+                let (words, touched) = pool.take(n.div_ceil(64));
+                (Bitmap::from_zeroed_words(words, n), Some(touched))
+            }
+            None => (Bitmap::new(n), None),
+        };
+        // Stop tracking once the touched list approaches the word count:
+        // a full-buffer zero on the next take is then the cheaper cleanup.
+        let track_limit = bitmap.words().len() / 2;
         let mut merge_words = bitmap.words().len() as u64;
         let mut degree_sum = 0u64;
         for o in &outputs {
@@ -277,20 +335,40 @@ impl Frontier {
                         bitmap.set(v as usize);
                         degree_sum += out_degrees[v as usize] as u64;
                     }
+                    if let Some(t) = &mut touched {
+                        t.extend(list.iter().map(|&v| v / 64));
+                    }
                 }
                 PartitionOutputData::Dense(seg) => {
                     seg.splice_into(&mut bitmap);
                     merge_words += seg.num_words() as u64;
                     seg.for_each_one(|v| degree_sum += out_degrees[v] as u64);
+                    if let Some(t) = &mut touched {
+                        // A shifted splice can spill into one extra word.
+                        let r = seg.range();
+                        let lo = (r.start / 64) as u32;
+                        let hi = (r.end.div_ceil(64) as u32).max(lo + 1);
+                        t.extend(lo..hi);
+                    }
+                }
+            }
+            if let Some(t) = &touched {
+                if t.len() > track_limit {
+                    touched = None;
                 }
             }
         }
         counters.add_merge_words(merge_words);
+        let recycle = scratch.map(|pool| Recycle {
+            pool: Arc::clone(pool),
+            touched,
+        });
         Frontier {
             n,
             data: FrontierData::Dense(bitmap),
             count: total,
             degree_sum,
+            recycle,
         }
     }
 
@@ -547,7 +625,7 @@ mod tests {
                 data: PartitionOutputData::Sparse(vec![3, 64]),
             },
         ];
-        let f = Frontier::from_partition_outputs(outputs, 200, &deg, &counters);
+        let f = Frontier::from_partition_outputs(outputs, 200, &deg, &counters, None);
         assert!(f.is_sparse_repr());
         assert_eq!(f.to_vertex_list(), vec![3, 64, 71, 199]);
         let want: u64 = [3u32, 64, 71, 199]
@@ -573,7 +651,7 @@ mod tests {
                 data: PartitionOutputData::Dense(seg),
             },
         ];
-        let f = Frontier::from_partition_outputs(outputs, 200, &deg, &counters);
+        let f = Frontier::from_partition_outputs(outputs, 200, &deg, &counters, None);
         assert!(!f.is_sparse_repr());
         assert_eq!(f.to_vertex_list(), vec![0, 69, 70, 130, 199]);
         assert_eq!(f.len(), 5);
@@ -595,9 +673,116 @@ mod tests {
                 data: PartitionOutputData::Dense(BitmapSegment::new(32..64)),
             },
         ];
-        let f = Frontier::from_partition_outputs(outputs, 64, &deg, &counters);
+        let f = Frontier::from_partition_outputs(outputs, 64, &deg, &counters, None);
         assert!(f.is_empty());
         assert_eq!(counters.merge_words(), 0);
+    }
+
+    #[test]
+    fn merging_no_outputs_yields_the_empty_frontier() {
+        // The all-empty round: every planned partition produced zero
+        // chunks (e.g. sparse kernels with no candidates).
+        let deg = vec![1u32; 50];
+        let counters = WorkCounters::new();
+        let f = Frontier::from_partition_outputs(Vec::new(), 50, &deg, &counters, None);
+        assert!(f.is_empty());
+        assert_eq!(f.universe(), 50);
+        assert_eq!(counters.merge_words(), 0);
+    }
+
+    /// Chunk-grained outputs (several disjoint sub-range buffers per
+    /// partition) merge to exactly the frontier their single-chunk
+    /// equivalents produce, for sparse, dense and mixed buffers.
+    #[test]
+    fn chunk_grained_outputs_merge_like_partition_grained() {
+        let deg: Vec<u32> = (0..200).map(|i| (i % 9) as u32).collect();
+        let counters = WorkCounters::new();
+        // Partition [0, 128) as one sparse buffer…
+        let whole = vec![
+            PartitionOutput {
+                range: 0..128,
+                data: PartitionOutputData::Sparse(vec![3, 64, 100, 127]),
+            },
+            PartitionOutput {
+                range: 128..200,
+                data: PartitionOutputData::Dense(BitmapSegment::from_indices(
+                    128..200,
+                    &[130, 199],
+                )),
+            },
+        ];
+        // …vs the same sets split into chunk-sized buffers.
+        let chunked = vec![
+            PartitionOutput {
+                range: 0..50,
+                data: PartitionOutputData::Sparse(vec![3]),
+            },
+            PartitionOutput {
+                range: 50..90,
+                data: PartitionOutputData::Sparse(vec![64]),
+            },
+            PartitionOutput {
+                range: 90..128,
+                data: PartitionOutputData::Sparse(vec![100, 127]),
+            },
+            PartitionOutput {
+                range: 128..150,
+                data: PartitionOutputData::Dense(BitmapSegment::from_indices(128..150, &[130])),
+            },
+            PartitionOutput {
+                range: 150..200,
+                data: PartitionOutputData::Dense(BitmapSegment::from_indices(150..200, &[199])),
+            },
+        ];
+        let a = Frontier::from_partition_outputs(whole, 200, &deg, &counters, None);
+        let b = Frontier::from_partition_outputs(chunked, 200, &deg, &counters, None);
+        assert_eq!(a.to_vertex_list(), b.to_vertex_list());
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a.degree_sum(), b.degree_sum());
+    }
+
+    /// A pooled dense merge is indistinguishable from an unpooled one, and
+    /// the dying frontier's buffer is recycled by the next merge.
+    #[test]
+    fn pooled_merge_matches_unpooled_and_recycles() {
+        let deg = vec![2u32; 300];
+        let counters = WorkCounters::new();
+        let pool = Arc::new(BufferPool::new());
+        let outputs = || {
+            vec![
+                PartitionOutput {
+                    range: 0..100,
+                    data: PartitionOutputData::Sparse(vec![1, 64, 99]),
+                },
+                PartitionOutput {
+                    range: 100..300,
+                    data: PartitionOutputData::Dense(BitmapSegment::from_indices(
+                        100..300,
+                        &[100, 250, 299],
+                    )),
+                },
+            ]
+        };
+        let plain = Frontier::from_partition_outputs(outputs(), 300, &deg, &counters, None);
+        let pooled = Frontier::from_partition_outputs(outputs(), 300, &deg, &counters, Some(&pool));
+        assert_eq!(pooled.to_vertex_list(), plain.to_vertex_list());
+        assert_eq!(pooled.len(), plain.len());
+        assert_eq!(pooled.degree_sum(), plain.degree_sum());
+        assert_eq!(pool.allocated(), 1);
+
+        // Cloning must not double-return the buffer; the drop does.
+        let clone = pooled.clone();
+        drop(pooled);
+        assert_eq!(pool.idle_buffers(), 1);
+        assert_eq!(clone.to_vertex_list(), plain.to_vertex_list());
+        drop(clone);
+        assert_eq!(pool.idle_buffers(), 1, "clones are not pooled");
+
+        // The next pooled merge recycles the returned words.
+        let again = Frontier::from_partition_outputs(outputs(), 300, &deg, &counters, Some(&pool));
+        assert_eq!(again.to_vertex_list(), plain.to_vertex_list());
+        assert_eq!(pool.recycled(), 1);
+        assert_eq!(pool.allocated(), 1);
     }
 
     #[test]

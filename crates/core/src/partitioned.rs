@@ -4,8 +4,12 @@
 //! [`ExecutorKind::Partitioned`](crate::config::ExecutorKind) routes every
 //! edge map through this module. The [traversal planner](crate::plan)
 //! chooses, per non-empty partition, both the kernel **and the output
-//! representation**; pool tasks return typed buffers that merge in
-//! partition order:
+//! representation**, then splits each planned partition into
+//! **edge-balanced chunks** (capped by
+//! [`Config::chunk_edges`](crate::config::Config::chunk_edges) /
+//! `GG_CHUNK`); the chunks execute under deque-based, NUMA-domain-affine
+//! work stealing and return typed buffers that merge in `(partition,
+//! chunk)` order:
 //!
 //! ```text
 //!            frontier F ──────▶ TraversalPlan (gg_core::plan)
@@ -13,20 +17,29 @@
 //!                │     (kernel, output-repr) per non-empty partition
 //!   ┌────────────┼──────────────────────────────┐
 //!   ▼            ▼                              ▼
-//! ┌────────┐ ┌────────┐        ┌────────┐  ┌──────┐
-//! │ P0     │ │ P1     │        │ P_k    │  │ P_e  │ (empty: skipped,
-//! │sparse/ │ │dense/  │  ...   │sparse/ │  │ ∅    │  never reaches pool)
-//! │ list   │ │ segment│        │ list   │  └──────┘
-//! └──┬─────┘ └──┬─────┘        └──┬─────┘
-//!    │ CSR-indexed │ CSC range     │   one pool task per partition,
-//!    │ candidates  │ scan          │   NUMA-domain-major order
-//!    ▼             ▼               ▼
-//!  Vec<VertexId>  BitmapSegment   Vec<VertexId>     typed output buffers
-//!    └─────────────┴───────────────┘
-//!                  ▼
-//!  Frontier::from_partition_outputs — partition-order concatenation
+//! ┌────────┐ ┌──────────────────┐ ┌────────┐ ┌──────┐
+//! │ P0     │ │ P1 (heavy, dense)│ │ P_k    │ │ P_e  │ (empty: skipped,
+//! │sparse/ │ │ CSC offsets split│ │sparse/ │ │  ∅   │  never planned)
+//! │ list   │ │ the dst range    │ │ list   │ └──────┘
+//! └──┬─────┘ └───┬────┬────┬────┘ └──┬─────┘
+//!    │ candidate │    │    │         │  chunking (gg_core::plan):
+//!    │ slices    ▼    ▼    ▼         │  ≤ chunk_edges + max_degree
+//!    ▼        ┌────┐┌────┐┌────┐     ▼  CSC edges per chunk
+//!  chunk(s)   │c1,0││c1,1││c1,2│  chunk(s)
+//!    └──────────┴─────┴─────┴────────┘
+//!                     ▼
+//!     Pool::run_stealing — per-worker deques, chunks seeded onto their
+//!     owning NUMA domain's workers; idle workers steal same-domain
+//!     victims first, then cross domains (WorkCounters: chunks, steals,
+//!     cross-domain steals, max/mean chunk edges)
+//!                     ▼
+//!  typed per-chunk outputs: Vec<VertexId> | BitmapSegment (sub-range)
+//!                     ▼
+//!  Frontier::from_partition_outputs — (partition, chunk)-order concat
 //!    all sparse → sorted list, O(Σ outputs), no |V|-proportional work
-//!    any dense  → bitmap splice,  cost recorded in merge_words()
+//!    any dense  → bitmap splice into a pooled scratch bitmap (recycled
+//!                 through BufferPool, cleared by touched-word list);
+//!                 cost recorded in merge_words()
 //! ```
 //!
 //! * **Views** — `Engine::new` materialises one [`PartitionView`] per
@@ -63,31 +76,51 @@
 //!   [`FrontierView`] — a sparse frontier is never densified just for
 //!   membership probes (it is materialised once per edge map only when
 //!   `|F| ≥ |V| / 64`, where the bitmap costs less than the probes).
-//! * **Deterministic merge** — each pool task returns its typed
+//! * **Chunking** — each planned step splits into edge-balanced chunks
+//!   ([`plan::chunk_dense_range`](crate::plan::chunk_dense_range) /
+//!   [`plan::chunk_candidates`](crate::plan::chunk_candidates)): dense
+//!   kernels split their destination range at CSC-offset boundaries,
+//!   sparse kernels slice their (deterministically discovered) candidate
+//!   list; every chunk carries at most `chunk_edges + max_degree` CSC
+//!   edges because a single destination's in-edges are never split.
+//!   Chunks of one partition own disjoint destination sub-ranges, so the
+//!   exclusive-writer guarantee survives chunking unchanged. The chunks
+//!   execute under [`Pool::run_stealing`]: seeded onto workers of their
+//!   owning NUMA domain, stolen same-domain-first — so on a skewed graph
+//!   a star-shaped partition fans out over the idle workers instead of
+//!   bounding round latency, which `WorkCounters` makes observable
+//!   (chunks, steals, cross-domain steals, max/mean chunk edges).
+//! * **Deterministic merge** — each chunk task returns its typed
 //!   [`PartitionOutput`]; [`Frontier::from_partition_outputs`] concatenates
-//!   them in partition order, which over disjoint ascending destination
-//!   ranges *is* ascending vertex order. The merged frontier (and every
-//!   operator value) is therefore bit-identical across partition counts,
-//!   thread counts, kernel choices and output representations. A round
-//!   whose partitions all emitted sparse lists performs **no
-//!   `O(|V| / 64)` merge work** — the dense floor PR 2 paid on every
-//!   round — and `WorkCounters::merge_words()` counts exactly the rounds
-//!   that still pay it. Operators whose `update` reads only
-//!   destination-local state or state frozen during the edge map (BFS,
-//!   PR, SPMV, BC) produce bit-identical results across *all* partitioned
-//!   configurations; operators that read concurrently-updated source-side
-//!   state (CC's label reads) still converge to the same fixpoint but may
-//!   take different round counts under concurrency.
+//!   them in `(partition, chunk)` order, which over disjoint ascending
+//!   destination ranges *is* ascending vertex order. The merged frontier
+//!   (and every operator value) is therefore bit-identical across
+//!   partition counts, chunk sizes, thread counts, steal schedules, kernel
+//!   choices and output representations. A round whose chunks all emitted
+//!   sparse lists performs **no `O(|V| / 64)` merge work** — the dense
+//!   floor PR 2 paid on every round — and `WorkCounters::merge_words()`
+//!   counts exactly the rounds that still pay it; rounds that do pay it
+//!   recycle one scratch bitmap through the engine's
+//!   [`BufferPool`](gg_runtime::buffer::BufferPool) instead of allocating.
+//!   Operators whose `update` reads only destination-local state or state
+//!   frozen during the edge map (BFS, PR, SPMV, BC) produce bit-identical
+//!   results across *all* partitioned configurations; operators that read
+//!   concurrently-updated source-side state (CC's label reads) still
+//!   converge to the same fixpoint but may take different round counts
+//!   under concurrency.
+
+use std::sync::Arc;
 
 use gg_graph::bitmap::{AtomicBitmap, Bitmap, BitmapSegment};
 use gg_graph::csc::Csc;
 use gg_graph::csr::PrunedCsr;
 use gg_graph::types::VertexId;
+use gg_runtime::buffer::BufferPool;
 use gg_runtime::counters::{LocalTally, WorkCounters};
 use gg_runtime::pool::Pool;
 use gg_runtime::schedule::PartitionSchedule;
 
-use crate::config::{OutputMode, Thresholds};
+use crate::config::Config;
 use crate::edge_map::EdgeOp;
 use crate::engine::KernelCounts;
 use crate::frontier::{Frontier, FrontierData, FrontierView, PartitionOutput, PartitionOutputData};
@@ -117,6 +150,13 @@ pub struct PartitionView {
     pub num_edges: u64,
     /// Simulated NUMA domain owning the partition.
     pub domain: usize,
+    /// Destinations in the range with at least one in-edge — the pruned
+    /// CSR's distinct-target count, and therefore a frontier-independent
+    /// upper bound on the partition's output size. The planner's `Auto`
+    /// output rule uses it to emit sparse lists from dense-kernel
+    /// partitions whose output is provably small (see
+    /// [`plan::output_for`]).
+    pub distinct_dsts: u64,
 }
 
 /// The partition-parallel executor: per-partition views plus the pool
@@ -129,6 +169,9 @@ pub(crate) struct PartitionedExec {
     /// Partitions with a non-empty vertex range, in NUMA-domain-major
     /// order (vertex maps have work even in edge-free partitions).
     vertex_order: Vec<usize>,
+    /// Domain count of the schedule, passed to the work-stealing scheduler
+    /// for worker→domain assignment and victim ordering.
+    domains: usize,
 }
 
 impl PartitionedExec {
@@ -136,13 +179,22 @@ impl PartitionedExec {
     /// partitions and the NUMA schedule.
     pub fn new(store: &GraphStore, schedule: &PartitionSchedule) -> Self {
         let parts = store.edge_parts();
-        let per_part = parts.edges_per_partition(store.in_degrees());
+        let in_degrees = store.in_degrees();
+        let per_part = parts.edges_per_partition(in_degrees);
         let views: Vec<PartitionView> = (0..parts.num_partitions())
-            .map(|p| PartitionView {
-                index: p,
-                dst_range: parts.range(p),
-                num_edges: per_part[p],
-                domain: schedule.domain_of(p),
+            .map(|p| {
+                let dst_range = parts.range(p);
+                let distinct_dsts = in_degrees[dst_range.start as usize..dst_range.end as usize]
+                    .iter()
+                    .filter(|&&d| d > 0)
+                    .count() as u64;
+                PartitionView {
+                    index: p,
+                    dst_range,
+                    num_edges: per_part[p],
+                    domain: schedule.domain_of(p),
+                    distinct_dsts,
+                }
             })
             .collect();
         let edge_order = schedule.order_filtered(|p| views[p].num_edges > 0);
@@ -151,6 +203,7 @@ impl PartitionedExec {
             views,
             edge_order,
             vertex_order,
+            domains: schedule.domains(),
         }
     }
 
@@ -160,18 +213,20 @@ impl PartitionedExec {
     }
 
     /// One partition-parallel edge map: let the planner pair a kernel with
-    /// an output representation per partition, fan the non-empty
-    /// partitions out over the pool in NUMA order with each task returning
-    /// its typed output buffer, and merge the buffers in partition order.
+    /// an output representation per partition, split every planned
+    /// partition into edge-balanced chunks, execute the chunks under
+    /// NUMA-domain-affine work stealing with each chunk returning its
+    /// typed output buffer, and merge the buffers in `(partition, chunk)`
+    /// order.
     #[allow(clippy::too_many_arguments)]
     pub fn edge_map<O: EdgeOp>(
         &self,
         store: &GraphStore,
         pool: &Pool,
-        thresholds: &Thresholds,
-        output_mode: OutputMode,
+        config: &Config,
         counters: &WorkCounters,
         kernel_counts: &KernelCounts,
+        scratch: &Arc<BufferPool>,
         frontier: &Frontier,
         op: &O,
     ) -> Frontier {
@@ -188,8 +243,8 @@ impl PartitionedExec {
             &self.views,
             &self.edge_order,
             store.out_degrees(),
-            thresholds,
-            output_mode,
+            &config.thresholds,
+            config.output_mode,
         );
         let (ks, kd) = traversal.kernel_tally();
         let (os, od) = traversal.output_tally();
@@ -214,37 +269,78 @@ impl PartitionedExec {
         let pcsr = store
             .partitioned_csr()
             .expect("partitioned executor requires the partitioned CSR layout");
+        let csc = store.csc();
 
-        // One typed task per planned step; the plan preserves the
-        // NUMA-domain-major edge order, so index order is submission order.
+        // Chunking: split each planned step into edge-balanced chunks —
+        // CSC-offset-balanced destination sub-ranges for dense kernels,
+        // candidate-list slices for sparse kernels. Candidate discovery is
+        // a deterministic function of the frontier and the pruned CSR, so
+        // fanning it out per step (keyed by index) keeps the plan
+        // deterministic.
         let steps = &traversal.steps;
-        let outputs: Vec<PartitionOutput> = pool.map_indices(steps.len(), |k| {
+        let cap = config.chunk_edges;
+        let step_work: Vec<StepChunks> = pool.map_indices(steps.len(), |k| {
             let step = steps[k];
             let view = &self.views[step.partition];
-            let mut tally = LocalTally::new(counters);
-            let mut sink = PartSink::new(step.output, view.dst_range.clone());
             match step.kernel {
-                PartKernel::Dense => pull_range(
-                    store.csc(),
-                    current,
-                    op,
+                PartKernel::Dense => StepChunks::Dense(plan::chunk_dense_range(
+                    csc.offsets(),
                     view.dst_range.clone(),
-                    &mut sink,
-                    &mut tally,
-                ),
-                PartKernel::Sparse => pull_candidates(
-                    store.csc(),
-                    pcsr.part(step.partition),
-                    current,
-                    op,
-                    &mut sink,
-                    &mut tally,
-                ),
+                    cap,
+                )),
+                PartKernel::Sparse => {
+                    let candidates = discover_candidates(pcsr.part(step.partition), current);
+                    let chunks = plan::chunk_candidates(&candidates, csc.offsets(), cap);
+                    StepChunks::Sparse { candidates, chunks }
+                }
             }
-            sink.into_output()
         });
 
-        Frontier::from_partition_outputs(outputs, n, store.out_degrees(), counters)
+        // Flatten to the deterministic task list: steps in submission
+        // order, chunks in range order within each step. The task index is
+        // the merge key, so scheduling can never reorder results.
+        let mut tasks: Vec<(usize, usize)> = Vec::new();
+        let mut task_domains: Vec<usize> = Vec::new();
+        let (mut edge_sum, mut edge_max) = (0u64, 0u64);
+        for (k, work) in step_work.iter().enumerate() {
+            let domain = self.views[steps[k].partition].domain;
+            for (ci, chunk) in work.chunks().iter().enumerate() {
+                tasks.push((k, ci));
+                task_domains.push(domain);
+                edge_sum += chunk.edges;
+                edge_max = edge_max.max(chunk.edges);
+            }
+        }
+        counters.add_chunks(tasks.len() as u64, edge_sum, edge_max);
+
+        let (outputs, tally) = pool.run_stealing(self.domains, &task_domains, |t| {
+            let (k, ci) = tasks[t];
+            let step = steps[k];
+            let mut tally = LocalTally::new(counters);
+            match &step_work[k] {
+                StepChunks::Dense(chunks) => {
+                    let span = &chunks[ci].span;
+                    let range = span.start as VertexId..span.end as VertexId;
+                    let mut sink = PartSink::new(step.output, range.clone());
+                    pull_range(csc, current, op, range, &mut sink, &mut tally);
+                    sink.into_output()
+                }
+                StepChunks::Sparse { candidates, chunks } => {
+                    let slice = &candidates[chunks[ci].span.clone()];
+                    // A candidate slice is sorted, so it spans exactly
+                    // [first, last]: disjoint from its sibling chunks.
+                    let range = slice[0]..slice[slice.len() - 1] + 1;
+                    let mut sink = PartSink::new(step.output, range);
+                    for &v in slice {
+                        pull_vertex(csc, current, op, v, &mut sink, &mut tally);
+                    }
+                    sink.into_output()
+                }
+            }
+        });
+        counters.add_steals(tally.steals, tally.cross_domain_steals);
+
+        Frontier::from_partition_outputs(outputs, n, store.out_degrees(), counters, Some(scratch))
     }
 
     /// Partition-parallel `vertex_map_all`: every vertex range fans out as
@@ -282,6 +378,29 @@ impl PartitionedExec {
                     });
                 });
             }
+        }
+    }
+}
+
+/// One planned step's chunk decomposition: the dense kernel's sub-ranges,
+/// or the sparse kernel's discovered candidate list plus its slices.
+#[derive(Debug)]
+enum StepChunks {
+    /// Dense kernel: CSC-offset-balanced destination sub-ranges.
+    Dense(Vec<plan::Chunk>),
+    /// Sparse kernel: the partition's sorted candidate list and the
+    /// edge-balanced index slices over it.
+    Sparse {
+        candidates: Vec<VertexId>,
+        chunks: Vec<plan::Chunk>,
+    },
+}
+
+impl StepChunks {
+    fn chunks(&self) -> &[plan::Chunk] {
+        match self {
+            StepChunks::Dense(c) => c,
+            StepChunks::Sparse { chunks, .. } => chunks,
         }
     }
 }
@@ -423,22 +542,15 @@ pub fn pull_range<O: EdgeOp, S: FrontierSink>(
     }
 }
 
-/// Sparse partition kernel: discover the destinations reachable from the
-/// frontier through the partition's pruned-CSR source index, then pull
-/// exactly those destinations in ascending order.
+/// Discovers the destinations reachable from the frontier through one
+/// partition's pruned-CSR source index, as a sorted, deduplicated list —
+/// the unit the planner slices into candidate chunks.
 ///
-/// Candidate discovery probes the stored-source index per active vertex
-/// when the frontier view is a short list, and scans the (typically small)
+/// Discovery probes the stored-source index per active vertex when the
+/// frontier view is a short list, and scans the (typically small)
 /// stored-source index against the view otherwise. Both strategies produce
 /// the same candidate set, so the choice never shows in results.
-pub fn pull_candidates<O: EdgeOp, S: FrontierSink>(
-    csc: &Csc,
-    part: &PrunedCsr,
-    current: FrontierView<'_>,
-    op: &O,
-    sink: &mut S,
-    tally: &mut LocalTally,
-) {
+pub fn discover_candidates(part: &PrunedCsr, current: FrontierView<'_>) -> Vec<VertexId> {
     let stored = part.num_stored_vertices();
     let mut candidates: Vec<VertexId> = Vec::new();
     match current.as_list() {
@@ -459,7 +571,25 @@ pub fn pull_candidates<O: EdgeOp, S: FrontierSink>(
     }
     candidates.sort_unstable();
     candidates.dedup();
-    for v in candidates {
+    candidates
+}
+
+/// Sparse partition kernel: discover the destinations reachable from the
+/// frontier through the partition's pruned-CSR source index
+/// ([`discover_candidates`]), then pull exactly those destinations in
+/// ascending order. The chunked executor runs discovery and pulling
+/// separately (slicing the candidate list between them); this single-call
+/// form is the unchunked equivalent, kept for differential tests and
+/// ad-hoc kernel harnesses.
+pub fn pull_candidates<O: EdgeOp, S: FrontierSink>(
+    csc: &Csc,
+    part: &PrunedCsr,
+    current: FrontierView<'_>,
+    op: &O,
+    sink: &mut S,
+    tally: &mut LocalTally,
+) {
+    for v in discover_candidates(part, current) {
         pull_vertex(csc, current, op, v, sink, tally);
     }
 }

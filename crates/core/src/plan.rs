@@ -1,5 +1,6 @@
 //! The traversal planner: one place that turns frontier statistics into
-//! (kernel, output-representation) decisions.
+//! (kernel, output-representation) decisions and splits the planned work
+//! into edge-balanced, schedulable chunks.
 //!
 //! Before this module existed, Algorithm 2's `decide` was invoked from
 //! three scattered call sites — the kernel table in [`edge_map`], the
@@ -18,13 +19,28 @@
 //!   with the locally decided **output representation** — a sorted sparse
 //!   vertex list for sparse-kernel partitions, a range-aligned dense bitmap
 //!   segment for dense-kernel partitions (overridable by
-//!   [`OutputMode`]). A whole round of sparse steps therefore merges in
-//!   `O(output)` with no `O(|V| / 64)` dense-bitmap floor.
+//!   [`OutputMode`]). Under [`OutputMode::Auto`] a dense-kernel partition
+//!   with a *provably small* output — bounded by its pruned-CSR candidate
+//!   count, [`PartitionView::distinct_dsts`] — still emits a sorted list
+//!   (see [`output_for`]). A whole round of sparse steps therefore merges
+//!   in `O(output)` with no `O(|V| / 64)` dense-bitmap floor.
+//! * [`chunk_dense_range`] / [`chunk_candidates`] split one planned
+//!   partition's work into **edge-balanced chunks** capped by
+//!   [`Config::chunk_edges`](crate::config::Config::chunk_edges): a dense
+//!   kernel's destination range splits at CSC-offset boundaries, a sparse
+//!   kernel's candidate list splits into slices, both greedily closing a
+//!   chunk as soon as it reaches the cap — so every chunk carries at most
+//!   `cap + max_degree` edges (a single destination's in-edges are never
+//!   split) and a star-shaped partition fans out instead of serialising a
+//!   round.
 //!
-//! The planner is deterministic and pool-free: decisions depend only on the
-//! frontier statistics and the static partition metadata, never on
-//! scheduling, so the executor's bit-identity contract extends to the plan
-//! itself (the `determinism_stress` suite pins the recorded plans).
+//! The planner is deterministic and pool-free: decisions (and chunk
+//! boundaries) depend only on the frontier statistics and the static
+//! partition metadata, never on scheduling, so the executor's bit-identity
+//! contract extends to the plan itself (the `determinism_stress` suite pins
+//! the recorded plans).
+
+use gg_graph::types::{EdgeId, VertexId};
 
 use crate::config::{OutputMode, Thresholds};
 use crate::edge_map::EdgeKind;
@@ -102,19 +118,33 @@ pub fn plan_edge_map(frontier: &Frontier, num_edges: u64, th: &Thresholds) -> Ed
 }
 
 /// The output representation for a partition that selected `kernel`, under
-/// `mode`.
+/// `mode`, given a proof that the partition can activate at most
+/// `est_outputs` destinations out of a range of `range_len`.
 ///
-/// The `Auto` rule follows the kernel: a sparse-kernel partition's output
+/// The `Auto` rule follows the kernel — a sparse-kernel partition's output
 /// is bounded by the frontier's footprint in the partition, so a sorted
 /// list keeps the merge output-proportional; a dense-kernel partition
 /// already scans its whole range, so a range-aligned segment adds only
-/// `O(range / 64)` to work that is `O(range)` anyway.
-pub fn output_for(kernel: PartKernel, mode: OutputMode) -> OutputRepr {
+/// `O(range / 64)` to work that is `O(range)` anyway — **except** when the
+/// output is provably small: `est_outputs` (the pruned-CSR candidate
+/// count, i.e. the number of range destinations with any in-edge in the
+/// partition) bounds the output for *every* frontier, so when the sorted
+/// list cannot outgrow the segment's word count
+/// (`est_outputs ≤ range_len / 64`, division so huge estimates cannot
+/// saturate into looking small) even a dense-kernel partition emits a
+/// list and keeps the merge off the dense floor.
+pub fn output_for(
+    kernel: PartKernel,
+    mode: OutputMode,
+    est_outputs: u64,
+    range_len: u64,
+) -> OutputRepr {
     match mode {
         OutputMode::ForceSparse => OutputRepr::Sparse,
         OutputMode::ForceDense => OutputRepr::Dense,
         OutputMode::Auto => match kernel {
             PartKernel::Sparse => OutputRepr::Sparse,
+            PartKernel::Dense if est_outputs <= range_len / 64 => OutputRepr::Sparse,
             PartKernel::Dense => OutputRepr::Dense,
         },
     }
@@ -146,11 +176,115 @@ pub fn plan_partitions(
             PartStep {
                 partition: p,
                 kernel,
-                output: output_for(kernel, mode),
+                output: output_for(
+                    kernel,
+                    mode,
+                    view.distinct_dsts,
+                    view.dst_range.len() as u64,
+                ),
             }
         })
         .collect();
     TraversalPlan { steps }
+}
+
+/// One edge-balanced schedulable unit of a planned partition: either a
+/// contiguous destination sub-range (dense kernel) or a slice of the
+/// partition's sorted candidate list (sparse kernel), plus its planned CSC
+/// edge count.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Chunk {
+    /// Dense kernel: the destination sub-range. Sparse kernel: the
+    /// candidate-list index span (`candidates[span]` are the destinations).
+    pub span: std::ops::Range<usize>,
+    /// Planned CSC edge count of the chunk (sum of in-degrees of its
+    /// destinations).
+    pub edges: u64,
+}
+
+/// Greedy edge-balanced splitter shared by both chunk shapes: walk `items`,
+/// accumulating `weight(item)`, and close a chunk as soon as the
+/// accumulated weight reaches `cap`. Every chunk therefore carries less
+/// than `cap` plus one item's weight — the `cap + max_degree` guarantee —
+/// and the chunks tile `items` exactly, so chunking can never change which
+/// destinations run, only how they are scheduled.
+fn chunk_by_weight(len: usize, cap: usize, weight: impl Fn(usize) -> u64) -> Vec<Chunk> {
+    let cap = cap.max(1) as u64;
+    let mut chunks = Vec::new();
+    let mut start = 0usize;
+    let mut acc = 0u64;
+    for i in 0..len {
+        acc += weight(i);
+        if acc >= cap {
+            chunks.push(Chunk {
+                span: start..i + 1,
+                edges: acc,
+            });
+            start = i + 1;
+            acc = 0;
+        }
+    }
+    if start < len {
+        chunks.push(Chunk {
+            span: start..len,
+            edges: acc,
+        });
+    }
+    chunks
+}
+
+/// Splits a dense kernel's destination range into CSC-offset-balanced
+/// sub-ranges of at most `cap + max_degree` edges each. `offsets` is the
+/// whole-graph CSC offset array; the returned spans are **global vertex
+/// ranges** tiling `range` exactly. With `cap == usize::MAX` the whole
+/// range is one chunk.
+pub fn chunk_dense_range(
+    offsets: &[EdgeId],
+    range: std::ops::Range<VertexId>,
+    cap: usize,
+) -> Vec<Chunk> {
+    let (start, end) = (range.start as usize, range.end as usize);
+    if start >= end {
+        return Vec::new();
+    }
+    if cap == usize::MAX {
+        return vec![Chunk {
+            span: start..end,
+            edges: (offsets[end] - offsets[start]) as u64,
+        }];
+    }
+    let mut chunks = chunk_by_weight(end - start, cap, |i| {
+        (offsets[start + i + 1] - offsets[start + i]) as u64
+    });
+    for c in &mut chunks {
+        c.span = c.span.start + start..c.span.end + start;
+    }
+    chunks
+}
+
+/// Splits a sparse kernel's sorted candidate list into edge-balanced
+/// slices of at most `cap + max_degree` edges each, weighting every
+/// candidate by its whole-graph CSC in-degree (the pull kernel scans the
+/// full in-adjacency of each candidate). The returned spans are **index
+/// ranges into `candidates`** tiling the list exactly.
+pub fn chunk_candidates(candidates: &[VertexId], offsets: &[EdgeId], cap: usize) -> Vec<Chunk> {
+    if candidates.is_empty() {
+        return Vec::new();
+    }
+    if cap == usize::MAX {
+        let edges = candidates
+            .iter()
+            .map(|&v| (offsets[v as usize + 1] - offsets[v as usize]) as u64)
+            .sum();
+        return vec![Chunk {
+            span: 0..candidates.len(),
+            edges,
+        }];
+    }
+    chunk_by_weight(candidates.len(), cap, |i| {
+        let v = candidates[i] as usize;
+        (offsets[v + 1] - offsets[v]) as u64
+    })
 }
 
 #[cfg(test)]
@@ -172,24 +306,127 @@ mod tests {
 
     #[test]
     fn output_follows_kernel_under_auto_and_obeys_forces() {
+        // A large estimate relative to the range: the pre-estimate rules.
+        let (est, len) = (100, 100);
         for kernel in [PartKernel::Sparse, PartKernel::Dense] {
             assert_eq!(
-                output_for(kernel, OutputMode::ForceSparse),
+                output_for(kernel, OutputMode::ForceSparse, est, len),
                 OutputRepr::Sparse
             );
             assert_eq!(
-                output_for(kernel, OutputMode::ForceDense),
+                output_for(kernel, OutputMode::ForceDense, est, len),
                 OutputRepr::Dense
             );
         }
         assert_eq!(
-            output_for(PartKernel::Sparse, OutputMode::Auto),
+            output_for(PartKernel::Sparse, OutputMode::Auto, est, len),
             OutputRepr::Sparse
         );
         assert_eq!(
-            output_for(PartKernel::Dense, OutputMode::Auto),
+            output_for(PartKernel::Dense, OutputMode::Auto, est, len),
             OutputRepr::Dense
         );
+    }
+
+    /// The pruned-CSR candidate estimate: a dense-kernel partition whose
+    /// provable output bound is tiny relative to its range emits a sorted
+    /// list under `Auto` — but forces still win, and a large estimate
+    /// leaves the kernel-following rule intact.
+    #[test]
+    fn provably_small_outputs_go_sparse_under_auto() {
+        // 2 candidate destinations over a 1000-vertex range: 2*64 ≤ 1000.
+        assert_eq!(
+            output_for(PartKernel::Dense, OutputMode::Auto, 2, 1000),
+            OutputRepr::Sparse
+        );
+        // Boundary: est * 64 == range_len still counts as provably small.
+        assert_eq!(
+            output_for(PartKernel::Dense, OutputMode::Auto, 2, 128),
+            OutputRepr::Sparse
+        );
+        assert_eq!(
+            output_for(PartKernel::Dense, OutputMode::Auto, 2, 127),
+            OutputRepr::Dense
+        );
+        // Forces override the estimate.
+        assert_eq!(
+            output_for(PartKernel::Dense, OutputMode::ForceDense, 2, 1000),
+            OutputRepr::Dense
+        );
+        // No overflow on huge estimates.
+        assert_eq!(
+            output_for(PartKernel::Dense, OutputMode::Auto, u64::MAX, u64::MAX),
+            OutputRepr::Dense
+        );
+    }
+
+    #[test]
+    fn dense_chunks_tile_the_range_and_respect_the_cap() {
+        // Degrees: vertex i has in-degree i % 5 over 40 vertices.
+        let mut offsets = vec![0usize];
+        for i in 0..40usize {
+            offsets.push(offsets[i] + i % 5);
+        }
+        let total = (offsets[35] - offsets[3]) as u64;
+        let chunks = chunk_dense_range(&offsets, 3..35, 6);
+        assert!(chunks.len() > 1, "the cap must split this range");
+        // Tile exactly.
+        assert_eq!(chunks[0].span.start, 3);
+        assert_eq!(chunks.last().unwrap().span.end, 35);
+        for w in chunks.windows(2) {
+            assert_eq!(w[0].span.end, w[1].span.start);
+        }
+        assert_eq!(chunks.iter().map(|c| c.edges).sum::<u64>(), total);
+        // Edge counts match the offsets, and the cap + max-degree bound
+        // holds (max in-degree here is 4).
+        for c in &chunks {
+            assert_eq!(
+                c.edges,
+                (offsets[c.span.end] - offsets[c.span.start]) as u64
+            );
+            assert!(c.edges <= 6 + 4, "chunk {c:?} exceeds cap + max degree");
+        }
+        // Unbounded: one chunk, whole range.
+        let whole = chunk_dense_range(&offsets, 3..35, usize::MAX);
+        assert_eq!(whole.len(), 1);
+        assert_eq!(whole[0].span, 3..35);
+        assert_eq!(whole[0].edges, total);
+        // Empty range: no chunks.
+        assert!(chunk_dense_range(&offsets, 7..7, 6).is_empty());
+        // Cap 1: every chunk closes on its first edge-bearing vertex.
+        for c in chunk_dense_range(&offsets, 3..35, 1) {
+            assert!(c.edges <= 4);
+        }
+    }
+
+    #[test]
+    fn candidate_chunks_tile_the_list_and_respect_the_cap() {
+        let mut offsets = vec![0usize];
+        for i in 0..50usize {
+            offsets.push(offsets[i] + (i % 7));
+        }
+        let candidates: Vec<VertexId> = (0..50).step_by(3).collect();
+        let deg = |v: VertexId| (offsets[v as usize + 1] - offsets[v as usize]) as u64;
+        let total: u64 = candidates.iter().map(|&v| deg(v)).sum();
+        let chunks = chunk_candidates(&candidates, &offsets, 8);
+        assert!(chunks.len() > 1);
+        assert_eq!(chunks[0].span.start, 0);
+        assert_eq!(chunks.last().unwrap().span.end, candidates.len());
+        for w in chunks.windows(2) {
+            assert_eq!(w[0].span.end, w[1].span.start);
+        }
+        assert_eq!(chunks.iter().map(|c| c.edges).sum::<u64>(), total);
+        for c in &chunks {
+            let want: u64 = candidates[c.span.clone()].iter().map(|&v| deg(v)).sum();
+            assert_eq!(c.edges, want);
+            assert!(c.edges <= 8 + 6, "chunk {c:?} exceeds cap + max degree");
+        }
+        // Unbounded and empty cases.
+        let whole = chunk_candidates(&candidates, &offsets, usize::MAX);
+        assert_eq!(whole.len(), 1);
+        assert_eq!(whole[0].span, 0..candidates.len());
+        assert_eq!(whole[0].edges, total);
+        assert!(chunk_candidates(&[], &offsets, 8).is_empty());
     }
 
     /// A dense block plus a sparse tail: with the block active, the plan
@@ -217,11 +454,20 @@ mod tests {
         let schedule = PartitionSchedule::new(store.num_partitions(), config.numa);
         let parts = store.edge_parts();
         let views: Vec<PartitionView> = (0..parts.num_partitions())
-            .map(|p| PartitionView {
-                index: p,
-                dst_range: parts.range(p),
-                num_edges: parts.edges_per_partition(store.in_degrees())[p],
-                domain: schedule.domain_of(p),
+            .map(|p| {
+                let dst_range = parts.range(p);
+                let distinct_dsts = store.in_degrees()[dst_range.start as usize..]
+                    [..dst_range.len()]
+                    .iter()
+                    .filter(|&&d| d > 0)
+                    .count() as u64;
+                PartitionView {
+                    index: p,
+                    dst_range,
+                    num_edges: parts.edges_per_partition(store.in_degrees())[p],
+                    domain: schedule.domain_of(p),
+                    distinct_dsts,
+                }
             })
             .collect();
         let order = schedule.order_filtered(|p| views[p].num_edges > 0);

@@ -159,6 +159,25 @@ impl Bitmap {
         }
         b
     }
+
+    /// Wraps an **all-zeros** word buffer (for example one recycled through
+    /// a buffer pool) as a bitmap of `len` bits, without allocating.
+    ///
+    /// # Panics
+    /// Panics if `words.len()` is not exactly the word count for `len`;
+    /// debug builds additionally assert the buffer is all-zeros.
+    pub fn from_zeroed_words(words: Vec<u64>, len: usize) -> Self {
+        assert_eq!(words.len(), word_count(len), "word buffer sized wrongly");
+        debug_assert!(words.iter().all(|&w| w == 0), "buffer must be zeroed");
+        Bitmap { words, len }
+    }
+
+    /// Takes the word storage out of the bitmap (for recycling through a
+    /// buffer pool), leaving it empty.
+    pub fn take_words(&mut self) -> Vec<u64> {
+        self.len = 0;
+        std::mem::take(&mut self.words)
+    }
 }
 
 /// Concrete iterator over the set bits of a [`Bitmap`], in increasing

@@ -1,0 +1,179 @@
+//! A recycling pool for the word buffers behind dense frontier merges.
+//!
+//! The partitioned executor's dense merge used to allocate (and zero) an
+//! `O(|V| / 64)`-word bitmap every round it was paid. Rounds alternate
+//! between at most a couple of live frontiers, so the buffer of the frontier
+//! that just died is exactly the right size for the merge that is about to
+//! happen. [`BufferPool`] closes that loop: the engine hands a dying dense
+//! frontier's words back (together with the list of words the merge
+//! actually touched), and the next merge takes them out again, clearing
+//! **only the touched words** instead of the whole buffer — so a merge
+//! whose output is small pays proportional cleanup, not `O(|V| / 64)`
+//! zeroing.
+//!
+//! The pool is engine-owned and shared by `Arc`; returning and taking are
+//! short critical sections on a plain mutex (at most a handful of buffers
+//! ever live). Recycling is strictly an allocation optimisation: a cleared
+//! recycled buffer is indistinguishable from a fresh one (debug builds
+//! assert it), so results never depend on pool hits.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// A returned word buffer plus the knowledge needed to clean it cheaply.
+#[derive(Debug)]
+struct WordBuffer {
+    words: Vec<u64>,
+    /// Indices of the words that may be non-zero. `None` means the buffer
+    /// came back without tracking (assume fully dirty).
+    touched: Option<Vec<u32>>,
+}
+
+/// Recycles dense-merge word buffers across rounds.
+#[derive(Debug, Default)]
+pub struct BufferPool {
+    free: Mutex<Vec<WordBuffer>>,
+    /// `take` calls served from the free list.
+    recycled: AtomicU64,
+    /// `take` calls that had to allocate fresh.
+    allocated: AtomicU64,
+}
+
+impl BufferPool {
+    /// An empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Takes an all-zeros buffer of exactly `len` words plus an empty
+    /// touched-word scratch list for the caller to fill while writing.
+    /// Serves from the free list when possible (clearing only the words the
+    /// previous user touched), allocating fresh otherwise.
+    pub fn take(&self, len: usize) -> (Vec<u64>, Vec<u32>) {
+        let entry = self.free.lock().unwrap().pop();
+        let (words, touched) = match entry {
+            Some(WordBuffer { mut words, touched }) => {
+                self.recycled.fetch_add(1, Ordering::Relaxed);
+                let scratch = match touched {
+                    Some(list) => {
+                        for &w in &list {
+                            if let Some(slot) = words.get_mut(w as usize) {
+                                *slot = 0;
+                            }
+                        }
+                        let mut scratch = list;
+                        scratch.clear();
+                        scratch
+                    }
+                    None => {
+                        words.fill(0);
+                        Vec::new()
+                    }
+                };
+                words.resize(len, 0);
+                (words, scratch)
+            }
+            None => {
+                self.allocated.fetch_add(1, Ordering::Relaxed);
+                (vec![0; len], Vec::new())
+            }
+        };
+        debug_assert!(
+            words.iter().all(|&w| w == 0),
+            "recycled buffer must come out all-zeros"
+        );
+        (words, touched)
+    }
+
+    /// Returns a buffer to the pool. `touched` lists every word index that
+    /// may be non-zero; pass `None` when the writes were not tracked (the
+    /// next `take` then zeroes the whole buffer).
+    pub fn put(&self, words: Vec<u64>, touched: Option<Vec<u32>>) {
+        if words.is_empty() {
+            return;
+        }
+        self.free
+            .lock()
+            .unwrap()
+            .push(WordBuffer { words, touched });
+    }
+
+    /// `take` calls served from the free list so far.
+    pub fn recycled(&self) -> u64 {
+        self.recycled.load(Ordering::Relaxed)
+    }
+
+    /// `take` calls that allocated fresh so far.
+    pub fn allocated(&self) -> u64 {
+        self.allocated.load(Ordering::Relaxed)
+    }
+
+    /// Buffers currently sitting in the free list.
+    pub fn idle_buffers(&self) -> usize {
+        self.free.lock().unwrap().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_take_allocates_zeroed() {
+        let pool = BufferPool::new();
+        let (words, touched) = pool.take(5);
+        assert_eq!(words, vec![0; 5]);
+        assert!(touched.is_empty());
+        assert_eq!(pool.allocated(), 1);
+        assert_eq!(pool.recycled(), 0);
+    }
+
+    #[test]
+    fn touched_word_clearing_round_trips() {
+        let pool = BufferPool::new();
+        let (mut words, mut touched) = pool.take(8);
+        words[2] = 0xFF;
+        words[7] = 1;
+        touched.extend([2, 7]);
+        pool.put(words, Some(touched));
+        assert_eq!(pool.idle_buffers(), 1);
+
+        let (words, touched) = pool.take(8);
+        assert_eq!(words, vec![0; 8], "touched words must be re-zeroed");
+        assert!(touched.is_empty());
+        assert_eq!(pool.recycled(), 1);
+    }
+
+    #[test]
+    fn untracked_return_is_fully_cleared() {
+        let pool = BufferPool::new();
+        pool.put(vec![u64::MAX; 6], None);
+        let (words, _) = pool.take(6);
+        assert_eq!(words, vec![0; 6]);
+    }
+
+    #[test]
+    fn resizing_preserves_the_all_zeros_contract() {
+        let pool = BufferPool::new();
+        let (mut words, mut touched) = pool.take(4);
+        words[3] = 9;
+        touched.push(3);
+        pool.put(words, Some(touched));
+        // Grow.
+        let (words, _) = pool.take(10);
+        assert_eq!(words, vec![0; 10]);
+        let mut words = words;
+        words[9] = 1;
+        pool.put(words, Some(vec![9]));
+        // Shrink below the dirty word.
+        let (words, _) = pool.take(3);
+        assert_eq!(words, vec![0; 3]);
+    }
+
+    #[test]
+    fn empty_buffers_are_not_pooled() {
+        let pool = BufferPool::new();
+        pool.put(Vec::new(), None);
+        assert_eq!(pool.idle_buffers(), 0);
+    }
+}

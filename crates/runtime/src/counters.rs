@@ -20,6 +20,25 @@ pub struct WorkCounters {
     /// nothing here — this is the counter that proves a tiny frontier pays
     /// no `O(|V| / 64)` merge floor.
     merge_words: AtomicU64,
+    /// Work-stealing chunks spawned by the partitioned executor. Equals the
+    /// partition-task count when `chunk_edges` is unbounded; exceeds it as
+    /// soon as intra-partition chunking splits a heavy partition.
+    chunks: AtomicU64,
+    /// Sum of planned CSC edge counts over all spawned chunks (pairs with
+    /// [`chunks`](Self::chunks) for the mean chunk size).
+    chunk_edges_sum: AtomicU64,
+    /// Largest planned CSC edge count of any spawned chunk. The chunking
+    /// guarantee is `max_chunk_edges ≤ chunk_edges + max_degree`: a chunk
+    /// closes as soon as it reaches the cap, and a single destination's
+    /// in-edges are never split.
+    max_chunk_edges: AtomicU64,
+    /// Chunks a worker claimed from another worker's deque. Timing-
+    /// dependent diagnostics (unlike every other counter here) — results
+    /// never depend on them.
+    steals: AtomicU64,
+    /// Steals whose chunk was homed to a different NUMA domain than the
+    /// thief — work that left its domain because the domain ran dry.
+    cross_domain_steals: AtomicU64,
 }
 
 impl WorkCounters {
@@ -64,11 +83,66 @@ impl WorkCounters {
         self.merge_words.load(Ordering::Relaxed)
     }
 
+    /// Records one edge map's chunk plan: `n` chunks spawned, their planned
+    /// edge counts summing to `edge_sum` with maximum `edge_max`. All three
+    /// are deterministic functions of the plan.
+    pub fn add_chunks(&self, n: u64, edge_sum: u64, edge_max: u64) {
+        self.chunks.fetch_add(n, Ordering::Relaxed);
+        self.chunk_edges_sum.fetch_add(edge_sum, Ordering::Relaxed);
+        self.max_chunk_edges.fetch_max(edge_max, Ordering::Relaxed);
+    }
+
+    /// Records one edge map's steal tally (`steals` total, of which
+    /// `cross_domain` left their owning domain).
+    pub fn add_steals(&self, steals: u64, cross_domain: u64) {
+        self.steals.fetch_add(steals, Ordering::Relaxed);
+        self.cross_domain_steals
+            .fetch_add(cross_domain, Ordering::Relaxed);
+    }
+
+    /// Work-stealing chunks spawned so far.
+    #[inline]
+    pub fn chunks(&self) -> u64 {
+        self.chunks.load(Ordering::Relaxed)
+    }
+
+    /// Largest planned edge count of any spawned chunk.
+    #[inline]
+    pub fn max_chunk_edges(&self) -> u64 {
+        self.max_chunk_edges.load(Ordering::Relaxed)
+    }
+
+    /// Mean planned edge count per spawned chunk (0.0 before any chunk).
+    pub fn mean_chunk_edges(&self) -> f64 {
+        let n = self.chunks();
+        if n == 0 {
+            return 0.0;
+        }
+        self.chunk_edges_sum.load(Ordering::Relaxed) as f64 / n as f64
+    }
+
+    /// Chunks claimed from another worker's deque so far.
+    #[inline]
+    pub fn steals(&self) -> u64 {
+        self.steals.load(Ordering::Relaxed)
+    }
+
+    /// Steals that crossed NUMA domains so far.
+    #[inline]
+    pub fn cross_domain_steals(&self) -> u64 {
+        self.cross_domain_steals.load(Ordering::Relaxed)
+    }
+
     /// Resets all counters to zero.
     pub fn reset(&self) {
         self.edges.store(0, Ordering::Relaxed);
         self.vertices.store(0, Ordering::Relaxed);
         self.merge_words.store(0, Ordering::Relaxed);
+        self.chunks.store(0, Ordering::Relaxed);
+        self.chunk_edges_sum.store(0, Ordering::Relaxed);
+        self.max_chunk_edges.store(0, Ordering::Relaxed);
+        self.steals.store(0, Ordering::Relaxed);
+        self.cross_domain_steals.store(0, Ordering::Relaxed);
     }
 }
 
@@ -136,6 +210,25 @@ mod tests {
         c.reset();
         assert_eq!(c.edges(), 0);
         assert_eq!(c.merge_words(), 0);
+    }
+
+    #[test]
+    fn chunk_and_steal_counters_accumulate_and_reset() {
+        let c = WorkCounters::new();
+        assert_eq!(c.mean_chunk_edges(), 0.0);
+        c.add_chunks(3, 300, 150);
+        c.add_chunks(1, 100, 100);
+        c.add_steals(5, 2);
+        assert_eq!(c.chunks(), 4);
+        assert_eq!(c.max_chunk_edges(), 150);
+        assert_eq!(c.mean_chunk_edges(), 100.0);
+        assert_eq!(c.steals(), 5);
+        assert_eq!(c.cross_domain_steals(), 2);
+        c.reset();
+        assert_eq!(c.chunks(), 0);
+        assert_eq!(c.max_chunk_edges(), 0);
+        assert_eq!(c.steals(), 0);
+        assert_eq!(c.cross_domain_steals(), 0);
     }
 
     #[test]

@@ -5,8 +5,12 @@
 //! portable equivalent used throughout the reproduction:
 //!
 //! * [`pool::Pool`] — a rayon-backed fork-join pool with an explicit thread
-//!   count (Figure 10 sweeps 4–48 threads) and helpers for per-partition
-//!   parallel loops;
+//!   count (Figure 10 sweeps 4–48 threads), helpers for per-partition
+//!   parallel loops, and a deque-based work-stealing scheduler
+//!   ([`Pool::run_stealing`]) with NUMA-domain-affine victim order for
+//!   chunk-granular execution;
+//! * [`buffer::BufferPool`] — recycles the word buffers behind dense
+//!   frontier merges, clearing only the touched words;
 //! * [`numa::NumaTopology`] — a *simulated* NUMA topology: partitions are
 //!   assigned to domains exactly as the paper assigns them to sockets
 //!   (equal counts per domain, §III.D), and the schedule groups partitions
@@ -23,12 +27,14 @@
 //!   vertices visited, feeding the instruction-count proxy of `gg-memsim`.
 
 pub mod atomics;
+pub mod buffer;
 pub mod counters;
 pub mod numa;
 pub mod pool;
 pub mod schedule;
 
 pub use atomics::{AtomicF32, AtomicF64};
+pub use buffer::BufferPool;
 pub use counters::WorkCounters;
 pub use numa::NumaTopology;
 pub use pool::Pool;

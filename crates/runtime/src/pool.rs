@@ -1,12 +1,44 @@
-//! Fork-join thread pool with an explicit thread count.
+//! Fork-join thread pool with an explicit thread count, plus the
+//! deque-based work-stealing scheduler behind chunk-granular execution.
 //!
 //! The paper's Figure 10 sweeps 4–48 threads; engines therefore carry their
 //! own [`Pool`] instead of using rayon's global pool, so benchmark code can
 //! instantiate differently sized pools side by side.
+//!
+//! Two execution styles coexist:
+//!
+//! * the structured loops (`for_each_index`, `map_indices`, …) fan fixed
+//!   index ranges out — right for homogeneous work;
+//! * [`run_stealing`](Pool::run_stealing) schedules a *heterogeneous* task
+//!   list (the partitioned executor's edge-balanced chunks) over per-worker
+//!   deques with NUMA-domain-affine stealing: tasks start on a worker of
+//!   their owning domain, idle workers first raid deques of their own
+//!   domain and only then cross domains. Results are returned **keyed by
+//!   task index**, so callers merge deterministically no matter which
+//!   worker ran what.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 use rayon::prelude::*;
+
+/// One worker's contribution to a [`Pool::run_stealing`] call: the
+/// `(task index, result)` pairs it produced plus its local tally.
+type WorkerResults<R> = Mutex<(Vec<(usize, R)>, StealTally)>;
+
+/// What one [`Pool::run_stealing`] call observed: how many tasks executed
+/// and how work migrated between workers. Steal counts are *diagnostics* —
+/// they depend on timing — while the returned results never do.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StealTally {
+    /// Tasks executed (always the full task count on return).
+    pub executed: u64,
+    /// Tasks a worker claimed from another worker's deque.
+    pub steals: u64,
+    /// Steals in which the task's owning domain differed from the thief's.
+    pub cross_domain_steals: u64,
+}
 
 /// A fixed-width work-stealing pool.
 pub struct Pool {
@@ -145,6 +177,185 @@ impl Pool {
     pub fn sum_u64(&self, count: usize, f: impl Fn(usize) -> u64 + Sync) -> u64 {
         self.install(|| (0..count).into_par_iter().map(&f).sum())
     }
+
+    /// Executes `task_domain.len()` heterogeneous tasks over per-worker
+    /// deques with NUMA-domain-affine work stealing, returning results **in
+    /// task-index order** plus a [`StealTally`].
+    ///
+    /// `task_domain[t]` names the (simulated) domain that owns task `t`
+    /// under a topology of `domains` domains. Workers are block-assigned to
+    /// domains the same way partitions are; each task is seeded onto a
+    /// deque of a worker of its owning domain (round-robin within the
+    /// domain). A worker drains its own deque front-to-back (seeded order),
+    /// and when dry steals from the back of a victim's deque — visiting
+    /// same-domain victims first, then the remaining domains in ascending
+    /// wrap-around order — so work leaves its domain only when the whole
+    /// domain has run dry.
+    ///
+    /// The schedule (who ran what, who stole what) is timing-dependent;
+    /// the *output* is not: slot `t` of the returned vector is `f(t)`, so a
+    /// caller that merges results in index order is deterministic across
+    /// thread counts, chunk sizes and steal schedules.
+    pub fn run_stealing<R: Send>(
+        &self,
+        domains: usize,
+        task_domain: &[usize],
+        f: impl Fn(usize) -> R + Sync,
+    ) -> (Vec<R>, StealTally) {
+        let tasks = task_domain.len();
+        if tasks == 0 {
+            return (Vec::new(), StealTally::default());
+        }
+        let domains = domains.max(1);
+        // Inline fast path: one worker (or one task) steals from no one.
+        let workers = self.threads.min(tasks);
+        if workers == 1 {
+            let results = (0..tasks)
+                .map(|t| {
+                    self.count_job();
+                    f(t)
+                })
+                .collect();
+            return (
+                results,
+                StealTally {
+                    executed: tasks as u64,
+                    ..StealTally::default()
+                },
+            );
+        }
+
+        // Block worker→domain assignment, mirroring
+        // `NumaTopology::domain_of_partition` so a domain's workers are the
+        // ones its partitions' chunks are seeded onto.
+        let worker_domain = |w: usize| -> usize {
+            if workers <= domains {
+                w
+            } else {
+                (w * domains) / workers
+            }
+        };
+        let mut domain_workers: Vec<Vec<usize>> = vec![Vec::new(); domains];
+        for w in 0..workers {
+            let d = worker_domain(w).min(domains - 1);
+            domain_workers[d].push(w);
+        }
+
+        // Seed the deques: task t goes to a worker of its domain,
+        // round-robin; domains with no worker of their own (more domains
+        // than workers) fall back to the block-inverse worker.
+        let mut seeded: Vec<VecDeque<usize>> = vec![VecDeque::new(); workers];
+        let mut rr = vec![0usize; domains];
+        for (t, &d) in task_domain.iter().enumerate() {
+            let d = d.min(domains - 1);
+            let owners = &domain_workers[d];
+            let w = if owners.is_empty() {
+                (d * workers / domains).min(workers - 1)
+            } else {
+                owners[rr[d] % owners.len()]
+            };
+            rr[d] += 1;
+            seeded[w].push_back(t);
+        }
+        let deques: Vec<Mutex<VecDeque<usize>>> = seeded.into_iter().map(Mutex::new).collect();
+
+        // Victim orders: same-domain workers first (index order, skipping
+        // self), then the other domains in ascending wrap-around order.
+        let victim_order: Vec<Vec<usize>> = (0..workers)
+            .map(|w| {
+                let my_domain = worker_domain(w).min(domains - 1);
+                let mut order: Vec<usize> = Vec::with_capacity(workers - 1);
+                for dd in 0..domains {
+                    let d = (my_domain + dd) % domains;
+                    order.extend(domain_workers[d].iter().copied().filter(|&v| v != w));
+                }
+                order
+            })
+            .collect();
+
+        // Unclaimed-task count: a worker exits once every task is claimed
+        // (the claimant finishes it before the scope joins).
+        let remaining = AtomicUsize::new(tasks);
+        let worker_out: Vec<WorkerResults<R>> = (0..workers)
+            .map(|_| Mutex::new((Vec::new(), StealTally::default())))
+            .collect();
+
+        std::thread::scope(|scope| {
+            for w in 0..workers {
+                let deques = &deques;
+                let victim_order = &victim_order[w];
+                let remaining = &remaining;
+                let out = &worker_out[w];
+                let f = &f;
+                let my_domain = worker_domain(w).min(domains - 1);
+                scope.spawn(move || {
+                    let mut results: Vec<(usize, R)> = Vec::new();
+                    let mut tally = StealTally::default();
+                    let mut dry_scans = 0u32;
+                    loop {
+                        if remaining.load(Ordering::Acquire) == 0 {
+                            break;
+                        }
+                        // Own deque first, seeded order.
+                        let own = deques[w].lock().unwrap().pop_front();
+                        let claimed = match own {
+                            Some(t) => Some((t, false)),
+                            None => victim_order.iter().find_map(|&v| {
+                                deques[v].lock().unwrap().pop_back().map(|t| (t, true))
+                            }),
+                        };
+                        match claimed {
+                            Some((t, stolen)) => {
+                                dry_scans = 0;
+                                remaining.fetch_sub(1, Ordering::AcqRel);
+                                if stolen {
+                                    tally.steals += 1;
+                                    if task_domain[t].min(domains - 1) != my_domain {
+                                        tally.cross_domain_steals += 1;
+                                    }
+                                }
+                                self.count_job();
+                                tally.executed += 1;
+                                results.push((t, f(t)));
+                            }
+                            None => {
+                                // Every deque was dry but tasks are still
+                                // in flight: back off instead of hammering
+                                // the busy workers' deque mutexes until the
+                                // last chunk finishes.
+                                dry_scans += 1;
+                                if dry_scans < 16 {
+                                    std::thread::yield_now();
+                                } else {
+                                    std::thread::sleep(std::time::Duration::from_micros(20));
+                                }
+                            }
+                        }
+                    }
+                    *out.lock().unwrap() = (results, tally);
+                });
+            }
+        });
+
+        // Scatter worker results back into task-index order.
+        let mut slots: Vec<Option<R>> = (0..tasks).map(|_| None).collect();
+        let mut total = StealTally::default();
+        for cell in worker_out {
+            let (results, tally) = cell.into_inner().unwrap();
+            total.executed += tally.executed;
+            total.steals += tally.steals;
+            total.cross_domain_steals += tally.cross_domain_steals;
+            for (t, r) in results {
+                debug_assert!(slots[t].is_none(), "task {t} ran twice");
+                slots[t] = Some(r);
+            }
+        }
+        let results = slots
+            .into_iter()
+            .map(|s| s.expect("every task must have run exactly once"))
+            .collect();
+        (results, total)
+    }
 }
 
 #[cfg(test)]
@@ -225,6 +436,72 @@ mod tests {
         pool.for_each_chunk(0, 4, |_, _| {});
         pool.for_each_index(0, |_| {});
         assert_eq!(pool.jobs_run(), 15);
+    }
+
+    #[test]
+    fn stealing_returns_results_in_task_order() {
+        let pool = Pool::new(4);
+        let domains = [0usize, 1, 0, 1, 0, 1, 0, 1, 0, 1, 0];
+        let (results, tally) = pool.run_stealing(2, &domains, |t| t * 10);
+        assert_eq!(results, (0..11).map(|t| t * 10).collect::<Vec<_>>());
+        assert_eq!(tally.executed, 11);
+        assert!(tally.steals >= tally.cross_domain_steals);
+    }
+
+    #[test]
+    fn stealing_single_thread_runs_inline_without_steals() {
+        let pool = Pool::new(1);
+        let before = pool.jobs_run();
+        let (results, tally) = pool.run_stealing(4, &[0, 1, 2, 3], |t| t + 1);
+        assert_eq!(results, vec![1, 2, 3, 4]);
+        assert_eq!(tally.steals, 0);
+        assert_eq!(tally.cross_domain_steals, 0);
+        assert_eq!(pool.jobs_run(), before + 4);
+    }
+
+    #[test]
+    fn stealing_empty_task_list_is_a_no_op() {
+        let pool = Pool::new(2);
+        let before = pool.jobs_run();
+        let (results, tally) = pool.run_stealing(2, &[], |_| unreachable!("no tasks"));
+        assert!(results.is_empty() && tally == StealTally::default());
+        assert_eq!(pool.jobs_run(), before);
+    }
+
+    /// All tasks homed to domain 0 of a 2-domain, 2-worker pool seed onto
+    /// worker 0's deque alone; worker 1 (domain 1) can make progress only
+    /// by stealing, and every such steal crosses domains. The per-task spin
+    /// keeps worker 0 busy long enough that worker 1 reliably gets some.
+    #[test]
+    fn idle_domain_steals_across_domains() {
+        let pool = Pool::new(2);
+        let domains = vec![0usize; 4000];
+        let spin = AtomicU64::new(0);
+        let (results, tally) = pool.run_stealing(2, &domains, |t| {
+            for i in 0..500u64 {
+                spin.fetch_add(i, Ordering::Relaxed);
+            }
+            t
+        });
+        assert_eq!(results.len(), 4000);
+        assert!(results.iter().enumerate().all(|(i, &r)| i == r));
+        assert_eq!(tally.executed, 4000);
+        assert!(tally.steals > 0, "the idle domain must have stolen");
+        assert_eq!(
+            tally.steals, tally.cross_domain_steals,
+            "every steal from domain 0 by the domain-1 worker crosses domains"
+        );
+    }
+
+    /// More domains than workers: every domain still gets a home worker
+    /// via the block inverse, and all tasks run exactly once.
+    #[test]
+    fn stealing_handles_more_domains_than_workers() {
+        let pool = Pool::new(2);
+        let domains: Vec<usize> = (0..40).map(|t| t % 8).collect();
+        let (results, tally) = pool.run_stealing(8, &domains, |t| t as u64);
+        assert_eq!(results, (0..40u64).collect::<Vec<_>>());
+        assert_eq!(tally.executed, 40);
     }
 
     #[test]

@@ -1,0 +1,215 @@
+//! Differential harness for the chunk-granular work-stealing executor.
+//!
+//! The planner splits every planned partition into edge-balanced chunks
+//! (`Config::chunk_edges` / `GG_CHUNK`), and `Pool::run_stealing` executes
+//! them with NUMA-domain-affine stealing; the merge in
+//! `Frontier::from_partition_outputs` is keyed by `(partition, chunk)`
+//! range order, so the promise is that **chunk size, thread count, steal
+//! schedule and partition count are all invisible in results**. These
+//! tests pin that promise:
+//!
+//! 1. **Bit-identity across chunk caps**: BFS, PR, CC and Bellman-Ford
+//!    with caps {1, 64, unbounded} × 1–4 threads × 1/2/7 partitions all
+//!    match the sequential engine (1 partition, 1 thread, unbounded)
+//!    byte for byte.
+//! 2. **Chunking actually balances**: on the skewed `powerlaw` scenario
+//!    (star hubs concentrated in one destination partition) the steal
+//!    counter is non-zero while every spawned chunk respects the
+//!    `chunk_edges + max_degree` bound.
+//! 3. **Degenerate shapes survive**: single-chunk partitions (cap ≥
+//!    partition edges) and per-vertex chunks (cap 1) are exercised by the
+//!    cap sweep; an all-empty round and an edgeless graph terminate
+//!    cleanly.
+
+use graphgrind::algorithms;
+use graphgrind::bench::datasets::powerlaw_scenario;
+use graphgrind::core::config::{Config, ExecutorKind};
+use graphgrind::core::engine::{Engine, GraphGrind2};
+use graphgrind::graph::edge_list::EdgeList;
+use graphgrind::graph::generators::{self, RmatParams};
+use graphgrind::graph::ops::symmetrize;
+use graphgrind::runtime::numa::NumaTopology;
+
+const CAPS: [usize; 3] = [1, 64, usize::MAX];
+const PARTITIONS: [usize; 3] = [1, 2, 7];
+const THREADS: [usize; 3] = [1, 2, 4];
+
+/// Partitioned-executor configuration with exact partition counts (UMA
+/// topology: no rounding) and an explicit chunk cap.
+fn config(partitions: usize, threads: usize, chunk_edges: usize) -> Config {
+    Config {
+        threads,
+        num_partitions: partitions,
+        numa: NumaTopology::new(1),
+        executor: ExecutorKind::Partitioned,
+        chunk_edges,
+        ..Config::default()
+    }
+}
+
+/// The sequential engine every configuration must match: one partition on
+/// one thread, one chunk per partition.
+fn sequential(el: &EdgeList) -> GraphGrind2 {
+    GraphGrind2::new(el, config(1, 1, usize::MAX))
+}
+
+/// Deterministic graphs covering the regimes chunking must not disturb:
+/// skewed (dense rounds, uneven chunk counts) and a high-diameter grid
+/// (sparse candidate slices).
+fn graphs() -> Vec<(&'static str, EdgeList)> {
+    vec![
+        (
+            "rmat-skewed",
+            generators::rmat(8, 3000, RmatParams::skewed(), 7),
+        ),
+        ("grid-road", generators::grid_road(12, 12, 0.1, 9)),
+    ]
+}
+
+#[test]
+fn bfs_bit_identical_across_chunk_caps() {
+    for (name, el) in graphs() {
+        let seq = algorithms::bfs(&sequential(&el), 0);
+        for cap in CAPS {
+            for p in PARTITIONS {
+                for t in THREADS {
+                    let got = algorithms::bfs(&GraphGrind2::new(&el, config(p, t, cap)), 0);
+                    assert_eq!(got.level, seq.level, "{name} cap={cap} P={p} T={t}");
+                    assert_eq!(got.parent, seq.parent, "{name} cap={cap} P={p} T={t}");
+                    assert_eq!(got.rounds, seq.rounds, "{name} cap={cap} P={p} T={t}");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn pagerank_bit_identical_across_chunk_caps() {
+    for (name, el) in graphs() {
+        let seq = algorithms::pagerank(&sequential(&el), 10);
+        for cap in CAPS {
+            for p in PARTITIONS {
+                for t in THREADS {
+                    let got = algorithms::pagerank(&GraphGrind2::new(&el, config(p, t, cap)), 10);
+                    // f64 accumulation order is fixed (CSC order per
+                    // destination, chunks tile the destination space), so
+                    // equality is exact, not approximate.
+                    assert_eq!(got, seq, "{name} cap={cap} P={p} T={t}");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn cc_labels_identical_across_chunk_caps() {
+    for (name, el) in graphs() {
+        let el = symmetrize(&el);
+        let want = algorithms::reference::cc_labels(&el);
+        assert_eq!(algorithms::cc(&sequential(&el)).label, want, "{name}/seq");
+        for cap in CAPS {
+            for p in PARTITIONS {
+                for t in THREADS {
+                    // CC reads source labels another chunk may be
+                    // rewriting, so round counts may vary — the converged
+                    // labels are the component minima everywhere.
+                    let got = algorithms::cc(&GraphGrind2::new(&el, config(p, t, cap)));
+                    assert_eq!(got.label, want, "{name} cap={cap} P={p} T={t}");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn bellman_ford_identical_across_chunk_caps() {
+    for (name, el) in graphs() {
+        let mut el = el;
+        graphgrind::graph::weights::attach_integer(&mut el, 12, 0xBF);
+        let seq = algorithms::bellman_ford(&sequential(&el), 0);
+        for cap in CAPS {
+            for p in PARTITIONS {
+                for t in THREADS {
+                    let got =
+                        algorithms::bellman_ford(&GraphGrind2::new(&el, config(p, t, cap)), 0);
+                    // f32 distances compare bitwise: every candidate is a
+                    // path-prefix sum and the converged minimum is
+                    // schedule-independent.
+                    assert_eq!(got.dist, seq.dist, "{name} cap={cap} P={p} T={t}");
+                }
+            }
+        }
+    }
+}
+
+/// Acceptance criterion: on the skewed scale-free scenario, intra-partition
+/// chunking spawns many more chunks than partitions, idle workers steal
+/// (the counter is non-zero), every chunk respects the
+/// `chunk_edges + max_degree` bound — and the results still match the
+/// sequential engine exactly.
+#[test]
+fn skewed_scenario_steals_without_oversized_chunks() {
+    let el = powerlaw_scenario(0.05, 2.0, 16, 7);
+    let cap = 64usize;
+    let seq = algorithms::pagerank(&sequential(&el), 10);
+
+    let cfg = Config {
+        threads: 4,
+        num_partitions: 4,
+        numa: NumaTopology::new(2),
+        executor: ExecutorKind::Partitioned,
+        chunk_edges: cap,
+        ..Config::default()
+    };
+    let engine = GraphGrind2::new(&el, cfg);
+    let got = algorithms::pagerank(&engine, 10);
+    assert_eq!(got, seq, "chunked run must match the sequential engine");
+
+    let c = engine.work_counters();
+    let partitions = engine.partition_views().len() as u64;
+    assert!(
+        c.chunks() > 10 * partitions,
+        "the hub partitions must split into many chunks: {} chunks over {partitions} partitions",
+        c.chunks()
+    );
+    assert!(
+        c.steals() > 0,
+        "light-domain workers must steal from the star-shaped partition"
+    );
+    let max_degree = engine
+        .store()
+        .in_degrees()
+        .iter()
+        .copied()
+        .max()
+        .unwrap_or(0) as u64;
+    assert!(
+        c.max_chunk_edges() <= cap as u64 + max_degree,
+        "chunk bound violated: {} > {cap} + {max_degree}",
+        c.max_chunk_edges()
+    );
+    assert!(c.mean_chunk_edges() > 0.0);
+    assert!(c.cross_domain_steals() <= c.steals());
+}
+
+/// Degenerate rounds: an edgeless graph plans nothing (no chunks, no
+/// steals), and a traversal that dies out mid-run leaves the counters
+/// consistent.
+#[test]
+fn empty_rounds_plan_no_chunks() {
+    let el = EdgeList::new(24);
+    let engine = GraphGrind2::new(&el, config(4, 2, 1));
+    let r = algorithms::bfs(&engine, 0);
+    assert_eq!(r.level[0], 0);
+    assert_eq!(engine.work_counters().chunks(), 0);
+    assert_eq!(engine.work_counters().steals(), 0);
+    assert_eq!(engine.work_counters().max_chunk_edges(), 0);
+
+    // A single isolated edge: the traversal runs one real round, then the
+    // all-empty round terminates cleanly under per-vertex chunking.
+    let el = EdgeList::from_edges(24, &[(0, 1)]);
+    let engine = GraphGrind2::new(&el, config(4, 2, 1));
+    let r = algorithms::bfs(&engine, 0);
+    assert_eq!(r.level[1], 1);
+    assert!(engine.work_counters().chunks() > 0);
+}

@@ -8,7 +8,9 @@
 
 use std::sync::atomic::{AtomicU32, Ordering};
 
-use graphgrind::core::config::{Config, ExecutorKind, OutputMode};
+use graphgrind::core::config::{
+    chunk_edges_from_env, Config, ExecutorKind, OutputMode, DEFAULT_CHUNK_EDGES,
+};
 use graphgrind::core::edge_map::EdgeOp;
 use graphgrind::core::engine::{EdgeMapSpec, Engine, GraphGrind2};
 use graphgrind::graph::generators::{self, RmatParams};
@@ -27,9 +29,13 @@ fn machine_engine() -> GraphGrind2 {
         num_partitions: 16,
         numa: NumaTopology::new(2),
         executor: ExecutorKind::Partitioned,
-        // CI runs this suite under GG_OUTPUT=sparse and GG_OUTPUT=dense:
-        // the trace must reproduce under either output representation.
+        // CI runs this suite under GG_OUTPUT=sparse and GG_OUTPUT=dense,
+        // and under GG_CHUNK=1 and GG_CHUNK=max: the trace must reproduce
+        // under either output representation and any chunk granularity
+        // (including per-vertex chunks stolen across a machine-sized
+        // pool).
         output_mode: OutputMode::from_env(),
+        chunk_edges: chunk_edges_from_env().unwrap_or(DEFAULT_CHUNK_EDGES),
         ..Config::default()
     };
     GraphGrind2::new(&el, cfg)

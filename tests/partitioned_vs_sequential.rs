@@ -20,9 +20,14 @@
 //! environment variable (`auto` / `sparse` / `dense`): CI runs this suite
 //! once with the sparse-output fast path forced on and once forced off and
 //! diffs the outcomes, so a representation-dependent result cannot land.
+//! The work-stealing chunk cap is likewise read from `GG_CHUNK`
+//! (`1` / `max` in CI), so a chunk-granularity-dependent result cannot
+//! land either.
 
 use graphgrind::algorithms::{self, reference, validate};
-use graphgrind::core::config::{Config, ExecutorKind, OutputMode};
+use graphgrind::core::config::{
+    chunk_edges_from_env, Config, ExecutorKind, OutputMode, DEFAULT_CHUNK_EDGES,
+};
 use graphgrind::core::engine::GraphGrind2;
 use graphgrind::graph::edge_list::EdgeList;
 use graphgrind::graph::generators::{self, RmatParams};
@@ -41,6 +46,7 @@ fn pconfig(partitions: usize, threads: usize) -> Config {
         numa: NumaTopology::new(1),
         executor: ExecutorKind::Partitioned,
         output_mode: OutputMode::from_env(),
+        chunk_edges: chunk_edges_from_env().unwrap_or(DEFAULT_CHUNK_EDGES),
         ..Config::default()
     }
 }

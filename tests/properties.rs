@@ -177,6 +177,38 @@ proptest! {
         prop_assert_eq!(algorithms::cc(&engine).label, reference::cc_labels(&sym));
     }
 
+    /// Chunk granularity is invisible in results: per-vertex chunks
+    /// (cap 1, maximal chunking) and one-chunk-per-partition (cap
+    /// unbounded) produce identical frontiers round by round on random
+    /// graphs — BFS levels, parents and round counts, plus PageRank bits.
+    #[test]
+    fn chunk_cap_one_matches_unbounded(el in arb_graph(), p in 1usize..8) {
+        use graphgrind::core::config::ExecutorKind;
+        use graphgrind::core::Engine;
+        let cfg = |chunk_edges: usize| Config {
+            executor: ExecutorKind::Partitioned,
+            num_partitions: p,
+            numa: NumaTopology::new(1),
+            chunk_edges,
+            ..small_config()
+        };
+        let tiny = GraphGrind2::new(&el, cfg(1));
+        let unbounded = GraphGrind2::new(&el, cfg(usize::MAX));
+        let a = algorithms::bfs(&tiny, 0);
+        let b = algorithms::bfs(&unbounded, 0);
+        prop_assert_eq!(a.level, b.level);
+        prop_assert_eq!(a.parent, b.parent);
+        prop_assert_eq!(a.rounds, b.rounds);
+        prop_assert_eq!(
+            algorithms::pagerank(&tiny, 5),
+            algorithms::pagerank(&unbounded, 5)
+        );
+        // Maximal chunking can only spawn more chunks, never fewer.
+        prop_assert!(
+            tiny.work_counters().chunks() >= unbounded.work_counters().chunks()
+        );
+    }
+
     /// GG-v2 CC matches union-find on symmetrized random graphs.
     #[test]
     fn cc_matches_reference(el in arb_graph()) {
@@ -240,7 +272,7 @@ proptest! {
                 }
             })
             .collect();
-        let merged = Frontier::from_partition_outputs(seg_outputs, n, &deg, &counters);
+        let merged = Frontier::from_partition_outputs(seg_outputs, n, &deg, &counters, None);
         prop_assert_eq!(merged.to_vertex_list(), actives.clone());
         prop_assert_eq!(merged.len(), sparse.len());
         prop_assert_eq!(merged.degree_sum(), sparse.degree_sum());
@@ -261,7 +293,7 @@ proptest! {
                 }
             })
             .collect();
-        let concat = Frontier::from_partition_outputs(list_outputs, n, &deg, &counters);
+        let concat = Frontier::from_partition_outputs(list_outputs, n, &deg, &counters, None);
         prop_assert_eq!(concat.to_vertex_list(), actives.clone());
         prop_assert_eq!(concat.degree_sum(), sparse.degree_sum());
         prop_assert_eq!(counters.merge_words(), 0);
@@ -288,7 +320,7 @@ proptest! {
                 PartitionOutput { range: r, data }
             })
             .collect();
-        let mixed = Frontier::from_partition_outputs(mixed_outputs, n, &deg, &counters);
+        let mixed = Frontier::from_partition_outputs(mixed_outputs, n, &deg, &counters, None);
         prop_assert_eq!(mixed.to_vertex_list(), actives);
     }
 

@@ -21,7 +21,9 @@
 //!    emitted segments.
 
 use graphgrind::algorithms;
-use graphgrind::core::config::{Config, ExecutorKind, OutputMode};
+use graphgrind::core::config::{
+    chunk_edges_from_env, Config, ExecutorKind, OutputMode, DEFAULT_CHUNK_EDGES,
+};
 use graphgrind::core::engine::{Engine, GraphGrind2};
 use graphgrind::graph::edge_list::EdgeList;
 use graphgrind::graph::generators::{self, RmatParams};
@@ -37,6 +39,7 @@ fn config(partitions: usize, threads: usize, output: OutputMode) -> Config {
         numa: NumaTopology::new(1),
         executor: ExecutorKind::Partitioned,
         output_mode: output,
+        chunk_edges: chunk_edges_from_env().unwrap_or(DEFAULT_CHUNK_EDGES),
         ..Config::default()
     }
 }
@@ -194,6 +197,45 @@ fn skewed_graph_mixes_output_representations_and_stays_bit_identical() {
     // Output selections mirror kernel selections under Auto.
     let (k_sparse, k_dense, _) = engine.kernel_counts().partition_snapshot();
     assert_eq!((out_sparse, out_dense), (k_sparse, k_dense));
+}
+
+/// The planner's output-size estimate (ROADMAP follow-up): every vertex
+/// points at one hub destination, so the all-active frontier classifies
+/// the hub partition *dense* — but the pruned CSR stores exactly one
+/// distinct destination, a provable output bound, so under
+/// `OutputMode::Auto` the partition emits a sorted list anyway and the
+/// whole run stays off the dense-merge floor.
+#[test]
+fn provably_small_outputs_emit_sparse_lists_under_auto() {
+    let mut el = EdgeList::new(512);
+    for i in 0..512u32 {
+        if i != 300 {
+            el.push(i, 300);
+        }
+    }
+    let seq = algorithms::pagerank(
+        &GraphGrind2::new(&el, config(1, 1, OutputMode::ForceDense)),
+        10,
+    );
+    let engine = GraphGrind2::new(&el, config(2, 2, OutputMode::Auto));
+    let got = algorithms::pagerank(&engine, 10);
+    assert_eq!(
+        got, seq,
+        "estimate-driven sparse lists must not change results"
+    );
+
+    let (_, k_dense, _) = engine.kernel_counts().partition_snapshot();
+    assert!(k_dense > 0, "the hub partition must classify dense");
+    let (out_sparse, out_dense, _) = engine.kernel_counts().output_snapshot();
+    assert!(
+        out_sparse > 0 && out_dense == 0,
+        "the candidate-count estimate must emit lists: sparse={out_sparse} dense={out_dense}"
+    );
+    assert_eq!(
+        engine.work_counters().merge_words(),
+        0,
+        "all-sparse rounds must never pay the dense-merge floor"
+    );
 }
 
 /// Forced modes plan every partition onto one representation, whatever
