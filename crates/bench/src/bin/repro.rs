@@ -3,8 +3,8 @@
 //! ```text
 //! repro <experiment> [--scale F] [--threads N] [--reps N] [--tiny]
 //!                    [--partitions N] [--executor monolithic|partitioned]
-//!                    [--output auto|sparse|dense] [--chunk N|max]
-//!                    [--scenario grid|smallworld|powerlaw]
+//!                    [--output auto|sparse|dense] [--chunk N|max|auto]
+//!                    [--adaptive] [--scenario grid|smallworld|powerlaw]
 //!                    [--alpha F] [--hubs N]
 //!
 //! experiments: tab1 tab2 fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10
@@ -41,7 +41,11 @@
 //! `--alpha` / `--hubs` shaping the skew): one destination partition is
 //! star-shaped heavy, and the experiment compares partition-granular
 //! execution (`--chunk max`) against intra-partition chunking with
-//! NUMA-affine work stealing, reporting chunk/steal statistics and writing
+//! NUMA-affine work stealing — plus, with `--adaptive`, the
+//! `ChunkCap::Auto` policy deriving the cap per partition — reporting
+//! chunk/steal/hub-split statistics, the top hub's in-degree vs the
+//! observed `max_chunk_edges` (hub splitting pushes the latter below the
+//! former), and the persistent pool's spawn/epoch counters, then writing
 //! `BENCH_load_balance.json`.
 
 use gg_algorithms::Algorithm;
@@ -70,8 +74,10 @@ struct Args {
     /// Scenario for `sparse_output` / `load_balance`
     /// (grid | smallworld | powerlaw).
     scenario: String,
-    /// Work-stealing chunk-edge cap override (`--chunk N|max`).
-    chunk: Option<usize>,
+    /// Work-stealing chunk-cap override (`--chunk N|max|auto`).
+    chunk: Option<gg_core::config::ChunkCap>,
+    /// Include the adaptive-cap mode in `load_balance`.
+    adaptive: bool,
     /// Power-law exponent of the `powerlaw` scenario.
     alpha: f64,
     /// Star-hub count of the `powerlaw` scenario.
@@ -102,7 +108,7 @@ impl Args {
             partitions,
             executor: self.executor,
             output: self.output,
-            chunk_edges: self.chunk.unwrap_or(gg_core::config::DEFAULT_CHUNK_EDGES),
+            chunk_edges: self.chunk.unwrap_or(gg_core::config::ChunkCap::Auto),
             ..RunConfig::new(self.threads)
         }
     }
@@ -121,6 +127,7 @@ fn parse_args() -> Args {
         output: gg_core::config::OutputMode::Auto,
         scenario: String::new(),
         chunk: None,
+        adaptive: false,
         alpha: 2.0,
         hubs: 16,
     };
@@ -181,16 +188,18 @@ fn parse_args() -> Args {
             "--chunk" => {
                 i += 1;
                 args.chunk = Some(match argv[i].as_str() {
-                    "max" => usize::MAX,
+                    "max" => gg_core::config::ChunkCap::Fixed(usize::MAX),
+                    "auto" => gg_core::config::ChunkCap::Auto,
                     v => match v.parse::<usize>() {
-                        Ok(n) if n > 0 => n,
+                        Ok(n) if n > 0 => gg_core::config::ChunkCap::Fixed(n),
                         _ => {
-                            eprintln!("--chunk needs a positive integer or max, got {v}");
+                            eprintln!("--chunk needs a positive integer, max or auto, got {v}");
                             std::process::exit(2);
                         }
                     },
                 });
             }
+            "--adaptive" => args.adaptive = true,
             "--alpha" => {
                 i += 1;
                 args.alpha = argv[i].parse().expect("--alpha needs a float > 1");
@@ -223,7 +232,7 @@ fn parse_args() -> Args {
              heuristic|reorder|smoke|sparse_output|load_balance|all> [--scale F] [--threads N]\
              [--reps N] [--tiny] [--partitions N] [--executor monolithic|partitioned]\
              [--output auto|sparse|dense] [--scenario grid|smallworld|powerlaw]\
-             [--chunk N|max] [--alpha F] [--hubs N]"
+             [--chunk N|max|auto] [--adaptive] [--alpha F] [--hubs N]"
         );
         std::process::exit(2);
     }
@@ -992,7 +1001,7 @@ fn sparse_output(args: &Args) {
 /// `DEFAULT_CHUNK_EDGES`), prints the chunk/steal statistics and writes
 /// `BENCH_load_balance.json`.
 fn load_balance(args: &Args) {
-    use gg_core::config::{Config, ExecutorKind};
+    use gg_core::config::{ChunkCap, Config, ExecutorKind};
     use gg_core::engine::{Engine, GraphGrind2};
 
     let scenario = args.scenario_or("powerlaw");
@@ -1012,38 +1021,62 @@ fn load_balance(args: &Args) {
     };
     let n = el.num_vertices();
     let partitions = args.partitions_or(16);
-    // An explicit --chunk is honoured verbatim; only the default cap is
-    // scaled down so tiny graphs still split into more chunks than
-    // threads.
-    let chunk = args.chunk.unwrap_or_else(|| {
-        gg_core::config::DEFAULT_CHUNK_EDGES
-            .min((el.num_edges() / (4 * args.threads).max(1)).max(64))
-    });
+    // The top in-degree: hub splitting's acceptance criterion is that the
+    // observed max_chunk_edges drops *below* this.
+    let top_hub_in_degree = {
+        let mut indeg = vec![0u64; n];
+        for (_, d) in el.iter() {
+            indeg[d as usize] += 1;
+        }
+        indeg.iter().copied().max().unwrap_or(0)
+    };
+    // An explicit fixed --chunk is honoured verbatim (`--chunk max`
+    // makes the "chunked" mode deliberately identical to
+    // partition-granular); without one, the default fixed cap is scaled
+    // down (mirroring the adaptive rule's oversubscription) so tiny
+    // graphs still split into more chunks than threads.
+    let fixed_cap = match args.chunk {
+        Some(ChunkCap::Fixed(c)) => c,
+        _ => gg_core::config::DEFAULT_CHUNK_EDGES.min(
+            (el.num_edges() / (gg_core::plan::CHUNK_OVERSUBSCRIPTION * args.threads).max(1))
+                .max(gg_core::plan::MIN_CHUNK_EDGES),
+        ),
+    };
     println!(
-        "graph: {} vertices, {} edges, {} partitions, {} threads, chunk cap {}\n",
+        "graph: {} vertices, {} edges, {} partitions, {} threads, fixed chunk cap {}, \
+         top hub in-degree {}\n",
         n,
         el.num_edges(),
         partitions,
         args.threads,
-        chunk
+        fixed_cap,
+        top_hub_in_degree
     );
 
-    let modes: [(&str, usize); 2] = [("partition-granular", usize::MAX), ("chunked", chunk)];
+    let mut modes: Vec<(&str, ChunkCap)> = vec![
+        ("partition-granular", ChunkCap::Fixed(usize::MAX)),
+        ("chunked", ChunkCap::Fixed(fixed_cap)),
+    ];
+    if args.adaptive {
+        modes.push(("adaptive", ChunkCap::Auto));
+    }
     let mut t = Table::new(&[
         "Algorithm",
         "mode",
         "time (s)",
         "chunks",
+        "hub subchunks",
         "steals",
         "x-domain",
         "max chunk",
         "mean chunk",
+        "spawns/epochs",
     ]);
     let mut json_rows: Vec<String> = Vec::new();
     for algo in [Algorithm::Pr, Algorithm::Bfs] {
         let w = Workload::prepare(&el, algo);
         let mut per_mode: Vec<(String, f64)> = Vec::new();
-        for (label, cap) in modes {
+        for &(label, cap) in &modes {
             let cfg = Config {
                 threads: args.threads,
                 num_partitions: partitions,
@@ -1065,28 +1098,37 @@ fn load_balance(args: &Args) {
             engine.work_counters().reset();
             run();
             let c = engine.work_counters();
+            // The persistent pool: spawns stays at the thread count no
+            // matter how many rounds (epochs) ran.
+            let (spawns, epochs) = (engine.pool().spawns(), engine.pool().epochs());
             t.row(vec![
                 algo.code().into(),
                 label.into(),
                 fmt_secs(time),
                 c.chunks().to_string(),
+                c.hub_subchunks().to_string(),
                 c.steals().to_string(),
                 c.cross_domain_steals().to_string(),
                 c.max_chunk_edges().to_string(),
                 format!("{:.1}", c.mean_chunk_edges()),
+                format!("{spawns}/{epochs}"),
             ]);
             json_rows.push(format!(
                 "    {{\"algorithm\": \"{}\", \"mode\": \"{}\", \"time_s\": {:.6}, \
-                 \"chunks\": {}, \"steals\": {}, \"cross_domain_steals\": {}, \
-                 \"max_chunk_edges\": {}, \"mean_chunk_edges\": {:.1}}}",
+                 \"chunks\": {}, \"hub_subchunks\": {}, \"steals\": {}, \
+                 \"cross_domain_steals\": {}, \"max_chunk_edges\": {}, \
+                 \"mean_chunk_edges\": {:.1}, \"pool_spawns\": {}, \"pool_epochs\": {}}}",
                 algo.code(),
                 label,
                 time,
                 c.chunks(),
+                c.hub_subchunks(),
                 c.steals(),
                 c.cross_domain_steals(),
                 c.max_chunk_edges(),
                 c.mean_chunk_edges(),
+                spawns,
+                epochs,
             ));
             per_mode.push((label.to_string(), time));
         }
@@ -1100,7 +1142,8 @@ fn load_balance(args: &Args) {
     let json = format!(
         "{{\n  \"bench\": \"load_balance\",\n  \"scenario\": \"{}\",\n  \"alpha\": {},\n  \
          \"hubs\": {},\n  \"vertices\": {},\n  \"edges\": {},\n  \"partitions\": {},\n  \
-         \"threads\": {},\n  \"reps\": {},\n  \"chunk_edges\": {},\n  \"results\": [\n{}\n  ]\n}}\n",
+         \"threads\": {},\n  \"reps\": {},\n  \"fixed_chunk_edges\": {},\n  \
+         \"top_hub_in_degree\": {},\n  \"results\": [\n{}\n  ]\n}}\n",
         scenario,
         args.alpha,
         args.hubs,
@@ -1109,7 +1152,8 @@ fn load_balance(args: &Args) {
         partitions,
         args.threads,
         args.reps,
-        chunk,
+        fixed_cap,
+        top_hub_in_degree,
         json_rows.join(",\n")
     );
     let path = "BENCH_load_balance.json";

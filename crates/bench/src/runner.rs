@@ -2,7 +2,7 @@
 
 use gg_algorithms::{Algorithm, BpParams, PrDeltaParams};
 use gg_baselines::{GraphGrind1, Ligra, Polymer};
-use gg_core::config::{Config, ExecutorKind, ForcedKernel, OutputMode};
+use gg_core::config::{ChunkCap, Config, ExecutorKind, ForcedKernel, OutputMode};
 use gg_core::engine::{Engine, GraphGrind2};
 use gg_graph::edge_list::EdgeList;
 use gg_graph::ops::{symmetrize, transpose};
@@ -64,9 +64,10 @@ pub struct RunConfig {
     /// GG-v2 output-representation policy (`repro --output sparse|dense`
     /// forces the planner's per-partition output buffers).
     pub output: OutputMode,
-    /// GG-v2 work-stealing chunk-edge cap (`repro --chunk N|max`;
-    /// `usize::MAX` = one chunk per partition).
-    pub chunk_edges: usize,
+    /// GG-v2 work-stealing chunk-cap policy (`repro --chunk N|max|auto`;
+    /// `Fixed(usize::MAX)` = one chunk per partition, `Auto` = adaptive
+    /// per-partition cap).
+    pub chunk_edges: ChunkCap,
 }
 
 impl RunConfig {
@@ -80,7 +81,7 @@ impl RunConfig {
             use_atomics: false,
             executor: ExecutorKind::Monolithic,
             output: OutputMode::Auto,
-            chunk_edges: gg_core::config::DEFAULT_CHUNK_EDGES,
+            chunk_edges: ChunkCap::Auto,
         }
     }
 

@@ -121,7 +121,7 @@ fn load_balance_tiny_writes_the_bench_json() {
     let dir = std::env::temp_dir().join(format!("gg-load-balance-{}", std::process::id()));
     std::fs::create_dir_all(&dir).expect("create scratch dir");
     let out = Command::new(env!("CARGO_BIN_EXE_repro"))
-        .args(["load_balance", "--tiny", "--hubs", "8"])
+        .args(["load_balance", "--tiny", "--hubs", "8", "--adaptive"])
         .current_dir(&dir)
         .output()
         .expect("failed to launch repro");
@@ -144,8 +144,13 @@ fn load_balance_tiny_writes_the_bench_json() {
         "\"algorithm\": \"BFS\"",
         "\"mode\": \"partition-granular\"",
         "\"mode\": \"chunked\"",
+        "\"mode\": \"adaptive\"",
         "max_chunk_edges",
         "cross_domain_steals",
+        "hub_subchunks",
+        "top_hub_in_degree",
+        "pool_spawns",
+        "pool_epochs",
     ] {
         assert!(json.contains(key), "missing {key} in:\n{json}");
     }

@@ -77,27 +77,74 @@ impl OutputMode {
     }
 }
 
-/// Default cap on the planned CSC edge count of one work-stealing chunk
-/// (see [`Config::chunk_edges`]). Large enough that per-chunk overhead is
-/// noise, small enough that a heavy partition splits into many more chunks
-/// than there are threads.
+/// Reference fixed cap on the planned CSC edge count of one work-stealing
+/// chunk (see [`Config::chunk_edges`]). Large enough that per-chunk
+/// overhead is noise, small enough that a heavy partition splits into many
+/// more chunks than there are threads. The default policy is now
+/// [`ChunkCap::Auto`], which derives the cap per planned partition; this
+/// constant remains the reference point for fixed-cap ablations
+/// (`repro load_balance`'s `fixed` mode).
 pub const DEFAULT_CHUNK_EDGES: usize = 16_384;
 
-/// Reads the chunk-edge cap override from the `GG_CHUNK` environment
-/// variable: a positive integer, or `max` for unbounded (one chunk per
-/// partition — the pre-chunking behaviour). Returns `None` when unset —
-/// the hook the CI chunk-differential leg uses to run the partitioned
-/// suites with per-vertex chunking forced on and chunking forced off.
+/// The work-stealing chunk-cap policy: how many planned CSC edges one
+/// chunk may carry before the planner closes it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum ChunkCap {
+    /// Derive the cap per planned partition as
+    /// `max(MIN_CHUNK_EDGES, |E_partition| / (CHUNK_OVERSUBSCRIPTION ·
+    /// threads))` (see [`crate::plan::resolve_cap`]): a heavy partition
+    /// splits into roughly `CHUNK_OVERSUBSCRIPTION × threads` chunks no
+    /// matter how skewed the graph is, while light partitions stay at one
+    /// chunk. The default.
+    #[default]
+    Auto,
+    /// Fixed cap in planned CSC edges. `Fixed(usize::MAX)` disables
+    /// splitting entirely (one chunk per planned partition — the
+    /// pre-chunking behaviour).
+    Fixed(usize),
+}
+
+impl From<usize> for ChunkCap {
+    fn from(n: usize) -> Self {
+        ChunkCap::Fixed(n)
+    }
+}
+
+/// Reads the chunk-cap override from the `GG_CHUNK` environment variable:
+/// a positive integer, `max` for unbounded (one chunk per partition — the
+/// pre-chunking behaviour), or `auto` for the adaptive per-partition cap.
+/// Returns `None` when unset — the hook the CI chunk-differential leg uses
+/// to run the partitioned suites with per-vertex chunking forced on and
+/// chunking forced off.
 ///
 /// # Panics
 /// Panics on an unrecognized value: a typo'd `GG_CHUNK` must fail loudly,
 /// not let both CI legs silently diff two identical default runs.
-pub fn chunk_edges_from_env() -> Option<usize> {
+pub fn chunk_edges_from_env() -> Option<ChunkCap> {
     match std::env::var("GG_CHUNK") {
-        Ok(v) if v == "max" => Some(usize::MAX),
+        Ok(v) if v == "max" => Some(ChunkCap::Fixed(usize::MAX)),
+        Ok(v) if v == "auto" => Some(ChunkCap::Auto),
+        Ok(v) => match v.parse::<usize>() {
+            Ok(n) if n > 0 => Some(ChunkCap::Fixed(n)),
+            _ => panic!("GG_CHUNK must be a positive integer, \"max\" or \"auto\", got {v:?}"),
+        },
+        Err(_) => None,
+    }
+}
+
+/// Reads a worker-thread-count override from the `GG_THREADS` environment
+/// variable. Returns `None` when unset — the hook the CI
+/// thread-differential leg uses to run the chunked and persistent-pool
+/// suites at 1 vs 4 threads and diff the outcomes.
+///
+/// # Panics
+/// Panics on an unrecognized value, for the same fail-loudly reason as
+/// [`chunk_edges_from_env`].
+pub fn threads_from_env() -> Option<usize> {
+    match std::env::var("GG_THREADS") {
         Ok(v) => match v.parse::<usize>() {
             Ok(n) if n > 0 => Some(n),
-            _ => panic!("GG_CHUNK must be a positive integer or \"max\", got {v:?}"),
+            _ => panic!("GG_THREADS must be a positive integer, got {v:?}"),
         },
         Err(_) => None,
     }
@@ -150,16 +197,20 @@ pub struct Config {
     /// (partitioned executor only; the monolithic path's output
     /// representation is fixed per kernel).
     pub output_mode: OutputMode,
-    /// Cap on the planned CSC edge count of one work-stealing chunk
-    /// (partitioned executor only). The planner splits every planned
-    /// partition into edge-balanced chunks of at most
-    /// `chunk_edges + max_degree` edges (a single destination's in-edges
-    /// are never split), and the pool schedules the chunks with
+    /// Cap policy for the planned CSC edge count of one work-stealing
+    /// chunk (partitioned executor only). The planner splits every planned
+    /// partition into edge-balanced chunks; a destination whose in-degree
+    /// exceeds the cap is itself split into **sub-chunks** of its in-edge
+    /// scan (mega-hub splitting, reduced deterministically at merge time),
+    /// so no chunk carries more than `2 × cap` edges no matter how skewed
+    /// the degree distribution is. The pool schedules the chunks with
     /// NUMA-domain-affine work stealing — so a star-shaped heavy partition
-    /// no longer bounds round latency. `usize::MAX` disables splitting
-    /// (one chunk per partition); the `GG_CHUNK` environment variable (see
+    /// no longer bounds round latency. [`ChunkCap::Auto`] (the default)
+    /// derives the cap per planned partition from `|E_partition|` and the
+    /// thread count; `ChunkCap::Fixed(usize::MAX)` disables splitting (one
+    /// chunk per partition); the `GG_CHUNK` environment variable (see
     /// [`chunk_edges_from_env`]) is the conventional override.
-    pub chunk_edges: usize,
+    pub chunk_edges: ChunkCap,
 }
 
 impl Default for Config {
@@ -178,7 +229,7 @@ impl Default for Config {
             build_partitioned_csr: false,
             executor: ExecutorKind::Monolithic,
             output_mode: OutputMode::Auto,
-            chunk_edges: DEFAULT_CHUNK_EDGES,
+            chunk_edges: ChunkCap::Auto,
         }
     }
 }
@@ -221,10 +272,11 @@ impl Config {
         self
     }
 
-    /// Sets the work-stealing chunk-edge cap (builder style;
-    /// `usize::MAX` = one chunk per partition).
-    pub fn with_chunk_edges(mut self, c: usize) -> Self {
-        self.chunk_edges = c;
+    /// Sets the work-stealing chunk-cap policy (builder style). Accepts a
+    /// plain `usize` for a fixed cap (`usize::MAX` = one chunk per
+    /// partition) or a [`ChunkCap`] for the adaptive policy.
+    pub fn with_chunk_edges(mut self, c: impl Into<ChunkCap>) -> Self {
+        self.chunk_edges = c.into();
         self
     }
 
@@ -285,12 +337,18 @@ mod tests {
     #[test]
     fn chunk_knob_defaults_and_builds() {
         let c = Config::default();
-        assert_eq!(c.chunk_edges, DEFAULT_CHUNK_EDGES);
+        assert_eq!(c.chunk_edges, ChunkCap::Auto);
         let c = Config::for_tests().with_chunk_edges(64);
-        assert_eq!(c.chunk_edges, 64);
+        assert_eq!(c.chunk_edges, ChunkCap::Fixed(64));
+        let c = Config::for_tests().with_chunk_edges(ChunkCap::Auto);
+        assert_eq!(c.chunk_edges, ChunkCap::Auto);
+        assert_eq!(ChunkCap::from(7), ChunkCap::Fixed(7));
         // Unset env → no override (the suites fall back to the default).
         if std::env::var("GG_CHUNK").is_err() {
             assert_eq!(chunk_edges_from_env(), None);
+        }
+        if std::env::var("GG_THREADS").is_err() {
+            assert_eq!(threads_from_env(), None);
         }
     }
 

@@ -853,6 +853,50 @@ mod tests {
         );
     }
 
+    /// The engine's persistent pool: a full CC run dispatches many epochs
+    /// but spawns the worker crew exactly once, and a star hub under a
+    /// tiny fixed cap splits into sub-chunks without changing the labels.
+    #[test]
+    fn engine_reuses_one_crew_and_splits_star_hubs() {
+        // A star into vertex 0 plus a connecting ring.
+        let mut el = gg_graph::edge_list::EdgeList::new(64);
+        for s in 1..64u32 {
+            el.push(s, 0);
+            el.push(s - 1, s);
+        }
+        el.push(63, 0);
+        let reference = run_cc(&engine_with(&el, Config::for_tests()));
+
+        let cfg = Config::partitioned_for_tests()
+            .with_partitions(4)
+            .with_chunk_edges(4);
+        let engine = engine_with(&el, cfg);
+        assert_eq!(engine.pool().spawns(), 0, "no crew before the first map");
+        assert_eq!(run_cc(&engine), reference);
+        assert_eq!(run_cc(&engine), reference, "reused crew, same labels");
+        assert_eq!(
+            engine.pool().spawns(),
+            2,
+            "two runs must spawn the 2-thread crew exactly once"
+        );
+        assert!(
+            engine.pool().epochs() > engine.pool().spawns(),
+            "epochs ({}) must outnumber spawns ({})",
+            engine.pool().epochs(),
+            engine.pool().spawns()
+        );
+        let c = engine.work_counters();
+        assert!(
+            c.hub_subchunks() > 0,
+            "the 64-in-degree star centre must split under cap 4"
+        );
+        assert!(
+            c.max_chunk_edges() < 64,
+            "max chunk ({}) must drop below the hub's in-degree",
+            c.max_chunk_edges()
+        );
+    }
+
     #[test]
     fn engine_reports_metadata() {
         let el = generators::erdos_renyi(64, 256, 9);

@@ -85,20 +85,51 @@ pub enum PartitionOutputData {
     Sparse(Vec<VertexId>),
     /// Range-aligned bitmap covering exactly the partition's range.
     Dense(BitmapSegment),
+    /// A mega-hub sub-chunk's **partial accumulator**: one slice of a
+    /// single destination's in-edge scan, not yet applied. The executor
+    /// reduces consecutive partials of one destination in ascending
+    /// `(partition, chunk, sub-chunk)` order
+    /// ([`reduce_hub_partials`](crate::partitioned::reduce_hub_partials))
+    /// before the frontier merge; [`Frontier::from_partition_outputs`]
+    /// refuses unreduced partials.
+    Partial(HubPartial),
+}
+
+/// The partial accumulator a mega-hub sub-chunk emits: the frontier-active
+/// in-edge contributions of one slice of a destination's CSC adjacency,
+/// collected **without** applying the edge operator. Applying is deferred
+/// to the deterministic sequential reduction so the destination keeps a
+/// single writer and the update order stays the CSC scan order — which is
+/// what makes hub splitting invisible in results.
+#[derive(Clone, Debug)]
+pub struct HubPartial {
+    /// Offset of this slice within the destination's in-edge list — the
+    /// ascending sub-chunk merge key.
+    pub edge_offset: u64,
+    /// Active `(source, weight)` contributions of the slice, in CSC scan
+    /// order.
+    pub actives: Vec<(VertexId, f32)>,
 }
 
 impl PartitionOutput {
-    /// Number of activated destinations in this buffer.
+    /// Number of activated destinations in this buffer. A partial
+    /// accumulator has not activated anything yet.
     pub fn count(&self) -> usize {
         match &self.data {
             PartitionOutputData::Sparse(list) => list.len(),
             PartitionOutputData::Dense(seg) => seg.count_ones(),
+            PartitionOutputData::Partial(_) => 0,
         }
     }
 
     /// True when the buffer is a sorted vertex list.
     pub fn is_sparse(&self) -> bool {
         matches!(self.data, PartitionOutputData::Sparse(_))
+    }
+
+    /// True when the buffer is an unreduced mega-hub partial accumulator.
+    pub fn is_partial(&self) -> bool {
+        matches!(self.data, PartitionOutputData::Partial(_))
     }
 }
 
@@ -290,7 +321,12 @@ impl Frontier {
     ///   rounds recycle one buffer instead of allocating per round.
     ///
     /// `outputs` may arrive in any order (the pool schedules chunks by
-    /// stealing); they are keyed by their disjoint ranges.
+    /// stealing); they are keyed by their disjoint ranges. Mega-hub
+    /// partial accumulators ([`PartitionOutputData::Partial`]) must have
+    /// been reduced in ascending `(partition, chunk, sub-chunk)` order
+    /// first ([`reduce_hub_partials`](crate::partitioned::reduce_hub_partials)
+    /// does exactly that); the merge refuses unreduced partials loudly
+    /// rather than silently dropping their contributions.
     pub fn from_partition_outputs(
         mut outputs: Vec<PartitionOutput>,
         n: usize,
@@ -298,6 +334,10 @@ impl Frontier {
         counters: &WorkCounters,
         scratch: Option<&Arc<BufferPool>>,
     ) -> Self {
+        assert!(
+            outputs.iter().all(|o| !o.is_partial()),
+            "mega-hub partials must be reduced before the frontier merge"
+        );
         outputs.sort_unstable_by_key(|o| o.range.start);
         debug_assert!(outputs
             .windows(2)
@@ -351,6 +391,7 @@ impl Frontier {
                         t.extend(lo..hi);
                     }
                 }
+                PartitionOutputData::Partial(_) => unreachable!("asserted above"),
             }
             if let Some(t) = &touched {
                 if t.len() > track_limit {

@@ -5,11 +5,15 @@
 //! edge map through this module. The [traversal planner](crate::plan)
 //! chooses, per non-empty partition, both the kernel **and the output
 //! representation**, then splits each planned partition into
-//! **edge-balanced chunks** (capped by
-//! [`Config::chunk_edges`](crate::config::Config::chunk_edges) /
-//! `GG_CHUNK`); the chunks execute under deque-based, NUMA-domain-affine
-//! work stealing and return typed buffers that merge in `(partition,
-//! chunk)` order:
+//! **edge-balanced chunks** capped by the resolved
+//! [`ChunkCap`](crate::config::ChunkCap) policy
+//! ([`Config::chunk_edges`](crate::config::Config::chunk_edges) /
+//! `GG_CHUNK`; `Auto` derives `|E_partition| / (k · threads)` per
+//! partition), splitting a **mega-hub** destination's in-edge scan into
+//! sub-chunks when one in-degree alone exceeds the cap. The chunks execute
+//! as one epoch of the persistent pool's deque-based, NUMA-domain-affine
+//! work stealing and return typed buffers that reduce and merge in
+//! `(partition, chunk, sub-chunk)` order:
 //!
 //! ```text
 //!            frontier F ──────▶ TraversalPlan (gg_core::plan)
@@ -23,18 +27,27 @@
 //! │ list   │ │ the dst range    │ │ list   │ └──────┘
 //! └──┬─────┘ └───┬────┬────┬────┘ └──┬─────┘
 //!    │ candidate │    │    │         │  chunking (gg_core::plan):
-//!    │ slices    ▼    ▼    ▼         │  ≤ chunk_edges + max_degree
-//!    ▼        ┌────┐┌────┐┌────┐     ▼  CSC edges per chunk
-//!  chunk(s)   │c1,0││c1,1││c1,2│  chunk(s)
-//!    └──────────┴─────┴─────┴────────┘
-//!                     ▼
-//!     Pool::run_stealing — per-worker deques, chunks seeded onto their
-//!     owning NUMA domain's workers; idle workers steal same-domain
-//!     victims first, then cross domains (WorkCounters: chunks, steals,
+//!    │ slices    ▼    ▼    ▼         │  cap = resolve_cap(ChunkCap);
+//!    ▼        ┌────┐┌────┐┌────┐     ▼  a hub with deg > cap splits
+//!  chunk(s)   │c1,0││c1,1││c1,2│  chunk(s)   into per-scan sub-chunks
+//!    └──────────┴─────┴──┬──┴────────┘       (< 2·cap edges per chunk)
+//!                        ▼
+//!     Pool::run_stealing — ONE EPOCH of the persistent crew (parked
+//!     workers wake, drain/steal, arrive at the completion latch):
+//!     per-worker deques, chunks seeded onto their owning NUMA domain's
+//!     workers; idle workers steal same-domain victims first, then cross
+//!     domains (WorkCounters: chunks, hub sub-chunks, steals,
 //!     cross-domain steals, max/mean chunk edges)
-//!                     ▼
+//!                        ▼
 //!  typed per-chunk outputs: Vec<VertexId> | BitmapSegment (sub-range)
-//!                     ▼
+//!                          | HubPartial (collected active in-edges of
+//!                            one slice of a hub's scan, not yet applied)
+//!                        ▼
+//!  reduce_hub_partials — sequential replay of each split hub's collected
+//!    contributions in ascending (partition, chunk, sub-chunk) = CSC scan
+//!    order through the exclusive update path: one writer per
+//!    destination, bit-identical to the unsplit scan
+//!                        ▼
 //!  Frontier::from_partition_outputs — (partition, chunk)-order concat
 //!    all sparse → sorted list, O(Σ outputs), no |V|-proportional work
 //!    any dense  → bitmap splice into a pooled scratch bitmap (recycled
@@ -78,18 +91,34 @@
 //!   `|F| ≥ |V| / 64`, where the bitmap costs less than the probes).
 //! * **Chunking** — each planned step splits into edge-balanced chunks
 //!   ([`plan::chunk_dense_range`](crate::plan::chunk_dense_range) /
-//!   [`plan::chunk_candidates`](crate::plan::chunk_candidates)): dense
-//!   kernels split their destination range at CSC-offset boundaries,
-//!   sparse kernels slice their (deterministically discovered) candidate
-//!   list; every chunk carries at most `chunk_edges + max_degree` CSC
-//!   edges because a single destination's in-edges are never split.
-//!   Chunks of one partition own disjoint destination sub-ranges, so the
+//!   [`plan::chunk_candidates`](crate::plan::chunk_candidates)) capped by
+//!   [`plan::resolve_cap`](crate::plan::resolve_cap) (fixed, or derived
+//!   per partition under `ChunkCap::Auto`): dense kernels split their
+//!   destination range at CSC-offset boundaries, sparse kernels slice
+//!   their (deterministically discovered) candidate list, and a
+//!   **mega-hub** destination whose in-degree alone exceeds the cap splits
+//!   into per-scan sub-chunks ([`plan::Chunk::sub`]) — so every chunk
+//!   carries fewer than `cap + min(max_degree, cap)` CSC edges and not
+//!   even the top hub's degree bounds a chunk. Chunks of one partition own
+//!   disjoint destination sub-ranges (a split hub's slices own disjoint
+//!   edge sub-ranges and defer their writes, see below), so the
 //!   exclusive-writer guarantee survives chunking unchanged. The chunks
 //!   execute under [`Pool::run_stealing`]: seeded onto workers of their
 //!   owning NUMA domain, stolen same-domain-first — so on a skewed graph
 //!   a star-shaped partition fans out over the idle workers instead of
 //!   bounding round latency, which `WorkCounters` makes observable
-//!   (chunks, steals, cross-domain steals, max/mean chunk edges).
+//!   (chunks, hub sub-chunks, steals, cross-domain steals, max/mean chunk
+//!   edges).
+//! * **Hub-split reduction** — a sub-chunk does not apply the operator:
+//!   it *collects* the frontier-active `(source, weight)` contributions of
+//!   its slice ([`collect_hub_partial`], emitting
+//!   [`PartitionOutputData::Partial`]), and [`reduce_hub_partials`]
+//!   replays each split destination's contributions sequentially, in
+//!   ascending `(partition, chunk, sub-chunk)` = CSC scan order, through
+//!   the exclusive `update` path with the unsplit kernel's `cond`
+//!   pre-check and early exit. The applied update sequence is therefore
+//!   bit-identical to never having split the hub, for every cap, thread
+//!   count and steal schedule.
 //! * **Deterministic merge** — each chunk task returns its typed
 //!   [`PartitionOutput`]; [`Frontier::from_partition_outputs`] concatenates
 //!   them in `(partition, chunk)` order, which over disjoint ascending
@@ -123,7 +152,9 @@ use gg_runtime::schedule::PartitionSchedule;
 use crate::config::Config;
 use crate::edge_map::EdgeOp;
 use crate::engine::KernelCounts;
-use crate::frontier::{Frontier, FrontierData, FrontierView, PartitionOutput, PartitionOutputData};
+use crate::frontier::{
+    Frontier, FrontierData, FrontierView, HubPartial, PartitionOutput, PartitionOutputData,
+};
 use crate::plan::{self, OutputRepr};
 use crate::store::GraphStore;
 
@@ -273,15 +304,18 @@ impl PartitionedExec {
 
         // Chunking: split each planned step into edge-balanced chunks —
         // CSC-offset-balanced destination sub-ranges for dense kernels,
-        // candidate-list slices for sparse kernels. Candidate discovery is
-        // a deterministic function of the frontier and the pruned CSR, so
-        // fanning it out per step (keyed by index) keeps the plan
-        // deterministic.
+        // candidate-list slices for sparse kernels, and per-scan
+        // sub-chunks for mega-hub destinations whose in-degree alone
+        // exceeds the cap. The cap itself is resolved per partition
+        // (`ChunkCap::Auto` derives it from `|E_partition|` and the thread
+        // count). Candidate discovery is a deterministic function of the
+        // frontier and the pruned CSR, so fanning it out per step (keyed
+        // by index) keeps the plan deterministic.
         let steps = &traversal.steps;
-        let cap = config.chunk_edges;
         let step_work: Vec<StepChunks> = pool.map_indices(steps.len(), |k| {
             let step = steps[k];
             let view = &self.views[step.partition];
+            let cap = plan::resolve_cap(config.chunk_edges, view.num_edges, pool.threads());
             match step.kernel {
                 PartKernel::Dense => StepChunks::Dense(plan::chunk_dense_range(
                     csc.offsets(),
@@ -302,6 +336,7 @@ impl PartitionedExec {
         let mut tasks: Vec<(usize, usize)> = Vec::new();
         let mut task_domains: Vec<usize> = Vec::new();
         let (mut edge_sum, mut edge_max) = (0u64, 0u64);
+        let mut hub_subchunks = 0u64;
         for (k, work) in step_work.iter().enumerate() {
             let domain = self.views[steps[k].partition].domain;
             for (ci, chunk) in work.chunks().iter().enumerate() {
@@ -309,9 +344,11 @@ impl PartitionedExec {
                 task_domains.push(domain);
                 edge_sum += chunk.edges;
                 edge_max = edge_max.max(chunk.edges);
+                hub_subchunks += chunk.sub.is_some() as u64;
             }
         }
         counters.add_chunks(tasks.len() as u64, edge_sum, edge_max);
+        counters.add_hub_subchunks(hub_subchunks);
 
         let (outputs, tally) = pool.run_stealing(self.domains, &task_domains, |t| {
             let (k, ci) = tasks[t];
@@ -319,14 +356,24 @@ impl PartitionedExec {
             let mut tally = LocalTally::new(counters);
             match &step_work[k] {
                 StepChunks::Dense(chunks) => {
-                    let span = &chunks[ci].span;
+                    let chunk = &chunks[ci];
+                    if let Some(sub) = &chunk.sub {
+                        let v = chunk.span.start as VertexId;
+                        return collect_hub_partial(csc, current, op, v, sub, &mut tally);
+                    }
+                    let span = &chunk.span;
                     let range = span.start as VertexId..span.end as VertexId;
                     let mut sink = PartSink::new(step.output, range.clone());
                     pull_range(csc, current, op, range, &mut sink, &mut tally);
                     sink.into_output()
                 }
                 StepChunks::Sparse { candidates, chunks } => {
-                    let slice = &candidates[chunks[ci].span.clone()];
+                    let chunk = &chunks[ci];
+                    if let Some(sub) = &chunk.sub {
+                        let v = candidates[chunk.span.start];
+                        return collect_hub_partial(csc, current, op, v, sub, &mut tally);
+                    }
+                    let slice = &candidates[chunk.span.clone()];
                     // A candidate slice is sorted, so it spans exactly
                     // [first, last]: disjoint from its sibling chunks.
                     let range = slice[0]..slice[slice.len() - 1] + 1;
@@ -339,6 +386,11 @@ impl PartitionedExec {
             }
         });
         counters.add_steals(tally.steals, tally.cross_domain_steals);
+
+        // Mega-hub partial accumulators reduce sequentially in ascending
+        // (partition, chunk, sub-chunk) order before the merge, so a split
+        // destination keeps one writer and the CSC update order.
+        let outputs = reduce_hub_partials(outputs, op);
 
         Frontier::from_partition_outputs(outputs, n, store.out_degrees(), counters, Some(scratch))
     }
@@ -542,6 +594,116 @@ pub fn pull_range<O: EdgeOp, S: FrontierSink>(
     }
 }
 
+/// Executes one mega-hub sub-chunk: scan the slice `sub` of destination
+/// `v`'s CSC in-edge list and **collect** the frontier-active
+/// contributions without applying the operator. Applying is deferred to
+/// [`reduce_hub_partials`], which replays the collected contributions
+/// sequentially in scan order — so splitting a destination's scan across
+/// workers never gives it a second writer and never reorders its updates.
+///
+/// `v`'s destination state is frozen for the whole parallel phase (every
+/// update to it is deferred), so the `cond` pre-check here reads exactly
+/// the value the unsplit kernel would have seen before its scan.
+fn collect_hub_partial<O: EdgeOp>(
+    csc: &Csc,
+    current: FrontierView<'_>,
+    op: &O,
+    v: VertexId,
+    sub: &plan::SubSpan,
+    tally: &mut LocalTally,
+) -> PartitionOutput {
+    // Count the destination visit once, on its first slice.
+    if sub.lo == 0 {
+        tally.vertex();
+    }
+    let mut actives: Vec<(VertexId, f32)> = Vec::new();
+    if op.cond(v) {
+        let base = csc.offsets()[v as usize];
+        for e in base + sub.lo as usize..base + sub.hi as usize {
+            tally.edge();
+            let u = csc.sources()[e];
+            if current.contains(u) {
+                actives.push((u, csc.weight_at(e)));
+            }
+        }
+    }
+    PartitionOutput {
+        range: v..v + 1,
+        data: PartitionOutputData::Partial(HubPartial {
+            edge_offset: sub.lo,
+            actives,
+        }),
+    }
+}
+
+/// Reduces mega-hub partial accumulators into resolved outputs, in
+/// ascending `(partition, chunk, sub-chunk)` order.
+///
+/// `outputs` must be in task-index order (what [`Pool::run_stealing`]
+/// returns): a split destination's partials then arrive consecutively, in
+/// ascending slice order. The replay applies the collected `(source,
+/// weight)` contributions through the **exclusive** `update` path with the
+/// same `cond` pre-check and early exit as the unsplit scan
+/// ([`pull_vertex`]), single-threaded — so the applied update sequence is
+/// bit-identical to never having split the destination, across every cap,
+/// thread count and steal schedule. Non-partial outputs pass through
+/// untouched.
+pub fn reduce_hub_partials<O: EdgeOp>(
+    outputs: Vec<PartitionOutput>,
+    op: &O,
+) -> Vec<PartitionOutput> {
+    if !outputs.iter().any(|o| o.is_partial()) {
+        return outputs;
+    }
+    let mut reduced = Vec::with_capacity(outputs.len());
+    let mut it = outputs.into_iter().peekable();
+    while let Some(o) = it.next() {
+        let v = o.range.start;
+        match o.data {
+            PartitionOutputData::Partial(first) => {
+                let mut parts = vec![first];
+                while let Some(next) = it.peek() {
+                    if next.range.start == v && next.is_partial() {
+                        if let PartitionOutputData::Partial(p) = it.next().unwrap().data {
+                            parts.push(p);
+                        }
+                    } else {
+                        break;
+                    }
+                }
+                debug_assert!(
+                    parts
+                        .windows(2)
+                        .all(|w| w[0].edge_offset < w[1].edge_offset),
+                    "sub-chunk partials must arrive in ascending slice order"
+                );
+                let mut activated = false;
+                if op.cond(v) {
+                    'replay: for p in &parts {
+                        for &(u, w) in &p.actives {
+                            if op.update(u, v, w) {
+                                activated = true;
+                            }
+                            if !op.cond(v) {
+                                break 'replay;
+                            }
+                        }
+                    }
+                }
+                reduced.push(PartitionOutput {
+                    range: v..v + 1,
+                    data: PartitionOutputData::Sparse(if activated { vec![v] } else { Vec::new() }),
+                });
+            }
+            data => reduced.push(PartitionOutput {
+                range: o.range,
+                data,
+            }),
+        }
+    }
+    reduced
+}
+
 /// Discovers the destinations reachable from the frontier through one
 /// partition's pruned-CSR source index, as a sorted, deduplicated list —
 /// the unit the planner slices into candidate chunks.
@@ -714,6 +876,127 @@ mod tests {
         }
     }
 
+    /// Splitting a mega-hub's in-edge scan into collected partials and
+    /// replaying them through `reduce_hub_partials` applies exactly the
+    /// updates the unsplit `pull_vertex` scan applies, and resolves to the
+    /// same activation.
+    #[test]
+    fn hub_partial_collect_and_reduce_match_unsplit_pull() {
+        // A star: 200 sources all pointing at destination 0.
+        let n = 201usize;
+        let mut el = EdgeList::new(n);
+        for s in 1..201u32 {
+            el.push(s, 0);
+        }
+        let (store, _exec) = build(&el, 1);
+        let csc = store.csc();
+        let counters = WorkCounters::new();
+        let actives: Vec<u32> = (1..201).step_by(3).collect();
+        let view = FrontierView::Sparse(&actives);
+
+        // Unsplit reference.
+        let op_ref = TouchCount::new(n);
+        let next_ref = AtomicBitmap::new(n);
+        let mut tally = LocalTally::new(&counters);
+        pull_vertex(
+            csc,
+            view,
+            &op_ref,
+            0,
+            &mut AtomicSink(&next_ref),
+            &mut tally,
+        );
+        drop(tally);
+
+        // Split into sub-chunks of 16 edges, collect, then reduce.
+        let chunks = plan::chunk_dense_range(csc.offsets(), 0..1, 16);
+        assert!(chunks.len() > 1 && chunks.iter().all(|c| c.sub.is_some()));
+        let op_split = TouchCount::new(n);
+        let outputs: Vec<PartitionOutput> = chunks
+            .iter()
+            .map(|c| {
+                let mut tally = LocalTally::new(&counters);
+                collect_hub_partial(csc, view, &op_split, 0, c.sub.as_ref().unwrap(), &mut tally)
+            })
+            .collect();
+        assert!(outputs.iter().all(|o| o.is_partial()));
+        assert_eq!(
+            op_split.total(),
+            0,
+            "collection must not apply the operator"
+        );
+        let reduced = reduce_hub_partials(outputs, &op_split);
+        assert_eq!(reduced.len(), 1, "one resolved output per split hub");
+        assert_eq!(op_split.total(), op_ref.total(), "same applied updates");
+        let want: Vec<u32> = next_ref
+            .into_bitmap()
+            .iter_ones()
+            .map(|i| i as u32)
+            .collect();
+        match &reduced[0].data {
+            PartitionOutputData::Sparse(list) => assert_eq!(list, &want),
+            other => panic!("expected a resolved sparse output, got {other:?}"),
+        }
+        assert_eq!(reduced[0].range, 0..1);
+    }
+
+    /// The replay honours `cond` early exit exactly like the unsplit scan:
+    /// a claim-once operator applies one update no matter how many active
+    /// contributions the sub-chunks collected past the claim.
+    #[test]
+    fn hub_partial_reduce_honours_cond_early_exit() {
+        struct ClaimOnce {
+            claimed: AtomicU32,
+            applied: AtomicU32,
+        }
+        impl EdgeOp for ClaimOnce {
+            fn update(&self, _s: u32, _d: u32, _w: f32) -> bool {
+                self.applied.fetch_add(1, Ordering::Relaxed);
+                self.claimed.store(1, Ordering::Relaxed);
+                true
+            }
+            fn update_atomic(&self, s: u32, d: u32, w: f32) -> bool {
+                self.update(s, d, w)
+            }
+            fn cond(&self, _d: u32) -> bool {
+                self.claimed.load(Ordering::Relaxed) == 0
+            }
+        }
+        let n = 101usize;
+        let mut el = EdgeList::new(n);
+        for s in 1..101u32 {
+            el.push(s, 0);
+        }
+        let (store, _exec) = build(&el, 1);
+        let csc = store.csc();
+        let counters = WorkCounters::new();
+        let actives: Vec<u32> = (1..101).collect();
+        let view = FrontierView::Sparse(&actives);
+
+        let chunks = plan::chunk_dense_range(csc.offsets(), 0..1, 10);
+        let op = ClaimOnce {
+            claimed: AtomicU32::new(0),
+            applied: AtomicU32::new(0),
+        };
+        let outputs: Vec<PartitionOutput> = chunks
+            .iter()
+            .map(|c| {
+                let mut tally = LocalTally::new(&counters);
+                collect_hub_partial(csc, view, &op, 0, c.sub.as_ref().unwrap(), &mut tally)
+            })
+            .collect();
+        let reduced = reduce_hub_partials(outputs, &op);
+        assert_eq!(
+            op.applied.load(Ordering::Relaxed),
+            1,
+            "cond early exit must stop the replay after the claim"
+        );
+        match &reduced[0].data {
+            PartitionOutputData::Sparse(list) => assert_eq!(list, &vec![0u32]),
+            other => panic!("the claimed hub must activate, got {other:?}"),
+        }
+    }
+
     /// The typed sinks record the same activation set as the shared atomic
     /// bitmap, for both planned representations, and round-trip through
     /// `PartitionOutput`.
@@ -760,6 +1043,9 @@ mod tests {
                 let got: Vec<u32> = match &out.data {
                     PartitionOutputData::Sparse(list) => list.clone(),
                     PartitionOutputData::Dense(seg) => seg.to_indices(),
+                    PartitionOutputData::Partial(_) => {
+                        panic!("sinks never produce partials")
+                    }
                 };
                 assert_eq!(got, want, "partition {p} {repr:?}");
                 assert_eq!(out.count(), want.len(), "partition {p} {repr:?}");

@@ -24,15 +24,26 @@
 //!   count, [`PartitionView::distinct_dsts`] — still emits a sorted list
 //!   (see [`output_for`]). A whole round of sparse steps therefore merges
 //!   in `O(output)` with no `O(|V| / 64)` dense-bitmap floor.
+//! * [`resolve_cap`] turns the configured
+//!   [`ChunkCap`](crate::config::ChunkCap) policy into a concrete
+//!   per-partition edge cap: `Fixed(n)` passes through, `Auto` derives
+//!   `max(MIN_CHUNK_EDGES, |E_partition| / (CHUNK_OVERSUBSCRIPTION ·
+//!   threads))`, so every heavy partition splits into roughly
+//!   `CHUNK_OVERSUBSCRIPTION × threads` steal-able chunks regardless of
+//!   graph scale.
 //! * [`chunk_dense_range`] / [`chunk_candidates`] split one planned
-//!   partition's work into **edge-balanced chunks** capped by
-//!   [`Config::chunk_edges`](crate::config::Config::chunk_edges): a dense
-//!   kernel's destination range splits at CSC-offset boundaries, a sparse
-//!   kernel's candidate list splits into slices, both greedily closing a
-//!   chunk as soon as it reaches the cap — so every chunk carries at most
-//!   `cap + max_degree` edges (a single destination's in-edges are never
-//!   split) and a star-shaped partition fans out instead of serialising a
-//!   round.
+//!   partition's work into **edge-balanced chunks** capped by the resolved
+//!   cap: a dense kernel's destination range splits at CSC-offset
+//!   boundaries, a sparse kernel's candidate list splits into slices, both
+//!   greedily closing a chunk as soon as it reaches the cap. A
+//!   **mega-hub** destination whose in-degree alone exceeds the cap is
+//!   split further: its in-edge scan becomes several *sub-chunks*
+//!   ([`Chunk::sub`]), each scanning a slice of the hub's CSC adjacency
+//!   and emitting a partial accumulator that the executor reduces in
+//!   ascending `(partition, chunk, sub-chunk)` order (see
+//!   [`partitioned`](crate::partitioned)) — so every chunk carries fewer
+//!   than `cap + min(max_degree, cap)` edges and a single hub can no
+//!   longer bound a chunk, let alone a round.
 //!
 //! The planner is deterministic and pool-free: decisions (and chunk
 //! boundaries) depend only on the frontier statistics and the static
@@ -42,7 +53,7 @@
 
 use gg_graph::types::{EdgeId, VertexId};
 
-use crate::config::{OutputMode, Thresholds};
+use crate::config::{ChunkCap, OutputMode, Thresholds};
 use crate::edge_map::EdgeKind;
 use crate::frontier::Frontier;
 use crate::partitioned::{PartKernel, PartitionView};
@@ -188,37 +199,109 @@ pub fn plan_partitions(
     TraversalPlan { steps }
 }
 
+/// Minimum adaptive chunk cap: below this, per-chunk scheduling overhead
+/// dominates the work the chunk carries.
+pub const MIN_CHUNK_EDGES: usize = 64;
+
+/// How many chunks per thread the adaptive cap aims for within one planned
+/// partition: enough slack that stealing can rebalance a skewed plan, few
+/// enough that per-chunk overhead stays noise.
+pub const CHUNK_OVERSUBSCRIPTION: usize = 8;
+
+/// Resolves the configured [`ChunkCap`] policy into a concrete edge cap
+/// for one planned partition: `Fixed(n)` passes through, `Auto` derives
+/// `max(MIN_CHUNK_EDGES, partition_edges / (CHUNK_OVERSUBSCRIPTION ·
+/// threads))`. The result depends only on static partition metadata and
+/// the configured thread count, so the plan stays deterministic.
+pub fn resolve_cap(cap: ChunkCap, partition_edges: u64, threads: usize) -> usize {
+    match cap {
+        ChunkCap::Fixed(n) => n.max(1),
+        ChunkCap::Auto => {
+            let denom = (CHUNK_OVERSUBSCRIPTION * threads.max(1)) as u64;
+            usize::try_from(partition_edges / denom)
+                .unwrap_or(usize::MAX)
+                .max(MIN_CHUNK_EDGES)
+        }
+    }
+}
+
+/// The sub-chunk descriptor of a mega-hub split: which slice of the single
+/// destination's CSC in-edge scan this chunk covers, as offsets **within**
+/// that destination's adjacency list (`0..in_degree`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SubSpan {
+    /// First in-edge offset (inclusive) of the slice.
+    pub lo: u64,
+    /// One past the last in-edge offset of the slice.
+    pub hi: u64,
+}
+
 /// One edge-balanced schedulable unit of a planned partition: either a
 /// contiguous destination sub-range (dense kernel) or a slice of the
 /// partition's sorted candidate list (sparse kernel), plus its planned CSC
-/// edge count.
+/// edge count. A mega-hub sub-chunk covers a *single* destination
+/// (`span.len() == 1`) with [`sub`](Self::sub) naming the slice of that
+/// destination's in-edge scan it owns.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Chunk {
     /// Dense kernel: the destination sub-range. Sparse kernel: the
     /// candidate-list index span (`candidates[span]` are the destinations).
     pub span: std::ops::Range<usize>,
     /// Planned CSC edge count of the chunk (sum of in-degrees of its
-    /// destinations).
+    /// destinations; for a sub-chunk, the slice length).
     pub edges: u64,
+    /// `Some` when this chunk is one slice of a mega-hub destination's
+    /// in-edge scan. Sub-chunks of one destination are emitted
+    /// consecutively in ascending slice order and tile `0..in_degree`
+    /// exactly.
+    pub sub: Option<SubSpan>,
 }
 
 /// Greedy edge-balanced splitter shared by both chunk shapes: walk `items`,
 /// accumulating `weight(item)`, and close a chunk as soon as the
-/// accumulated weight reaches `cap`. Every chunk therefore carries less
-/// than `cap` plus one item's weight — the `cap + max_degree` guarantee —
-/// and the chunks tile `items` exactly, so chunking can never change which
-/// destinations run, only how they are scheduled.
+/// accumulated weight reaches `cap`. An item whose weight *alone* exceeds
+/// the cap (a mega-hub destination) is split into sub-chunks of at most
+/// `cap` edges each ([`Chunk::sub`]), emitted in ascending slice order.
+/// Every chunk therefore carries fewer than `cap + min(max_degree, cap)`
+/// edges, and the chunks (with their sub-slices) tile `items` exactly, so
+/// chunking can never change which destinations run or which edges are
+/// scanned — only how the scans are scheduled.
 fn chunk_by_weight(len: usize, cap: usize, weight: impl Fn(usize) -> u64) -> Vec<Chunk> {
     let cap = cap.max(1) as u64;
     let mut chunks = Vec::new();
     let mut start = 0usize;
     let mut acc = 0u64;
     for i in 0..len {
-        acc += weight(i);
+        let w = weight(i);
+        if w > cap {
+            // Mega-hub: close the open chunk, then slice this item's scan.
+            if start < i {
+                chunks.push(Chunk {
+                    span: start..i,
+                    edges: acc,
+                    sub: None,
+                });
+            }
+            let mut lo = 0u64;
+            while lo < w {
+                let hi = (lo + cap).min(w);
+                chunks.push(Chunk {
+                    span: i..i + 1,
+                    edges: hi - lo,
+                    sub: Some(SubSpan { lo, hi }),
+                });
+                lo = hi;
+            }
+            start = i + 1;
+            acc = 0;
+            continue;
+        }
+        acc += w;
         if acc >= cap {
             chunks.push(Chunk {
                 span: start..i + 1,
                 edges: acc,
+                sub: None,
             });
             start = i + 1;
             acc = 0;
@@ -228,16 +311,18 @@ fn chunk_by_weight(len: usize, cap: usize, weight: impl Fn(usize) -> u64) -> Vec
         chunks.push(Chunk {
             span: start..len,
             edges: acc,
+            sub: None,
         });
     }
     chunks
 }
 
 /// Splits a dense kernel's destination range into CSC-offset-balanced
-/// sub-ranges of at most `cap + max_degree` edges each. `offsets` is the
-/// whole-graph CSC offset array; the returned spans are **global vertex
-/// ranges** tiling `range` exactly. With `cap == usize::MAX` the whole
-/// range is one chunk.
+/// sub-ranges of fewer than `cap + min(max_degree, cap)` edges each
+/// (mega-hub destinations split into per-scan sub-chunks, see
+/// [`Chunk::sub`]). `offsets` is the whole-graph CSC offset array; the
+/// returned spans are **global vertex ranges** tiling `range` exactly.
+/// With `cap == usize::MAX` the whole range is one chunk.
 pub fn chunk_dense_range(
     offsets: &[EdgeId],
     range: std::ops::Range<VertexId>,
@@ -251,6 +336,7 @@ pub fn chunk_dense_range(
         return vec![Chunk {
             span: start..end,
             edges: (offsets[end] - offsets[start]) as u64,
+            sub: None,
         }];
     }
     let mut chunks = chunk_by_weight(end - start, cap, |i| {
@@ -263,10 +349,11 @@ pub fn chunk_dense_range(
 }
 
 /// Splits a sparse kernel's sorted candidate list into edge-balanced
-/// slices of at most `cap + max_degree` edges each, weighting every
-/// candidate by its whole-graph CSC in-degree (the pull kernel scans the
-/// full in-adjacency of each candidate). The returned spans are **index
-/// ranges into `candidates`** tiling the list exactly.
+/// slices of fewer than `cap + min(max_degree, cap)` edges each (mega-hub
+/// candidates split into per-scan sub-chunks, see [`Chunk::sub`]),
+/// weighting every candidate by its whole-graph CSC in-degree (the pull
+/// kernel scans the full in-adjacency of each candidate). The returned
+/// spans are **index ranges into `candidates`** tiling the list exactly.
 pub fn chunk_candidates(candidates: &[VertexId], offsets: &[EdgeId], cap: usize) -> Vec<Chunk> {
     if candidates.is_empty() {
         return Vec::new();
@@ -279,6 +366,7 @@ pub fn chunk_candidates(candidates: &[VertexId], offsets: &[EdgeId], cap: usize)
         return vec![Chunk {
             span: 0..candidates.len(),
             edges,
+            sub: None,
         }];
     }
     chunk_by_weight(candidates.len(), cap, |i| {
@@ -393,10 +481,102 @@ mod tests {
         assert_eq!(whole[0].edges, total);
         // Empty range: no chunks.
         assert!(chunk_dense_range(&offsets, 7..7, 6).is_empty());
-        // Cap 1: every chunk closes on its first edge-bearing vertex.
+        // Cap 1: degrees > 1 become mega-hub sub-chunks of exactly 1 edge.
         for c in chunk_dense_range(&offsets, 3..35, 1) {
-            assert!(c.edges <= 4);
+            assert!(c.edges <= 1);
+            if c.sub.is_some() {
+                assert_eq!(c.span.len(), 1);
+            }
         }
+    }
+
+    /// The adaptive cap: fixed passes through, auto derives
+    /// `|E_p| / (k · threads)` floored at `MIN_CHUNK_EDGES`.
+    #[test]
+    fn resolve_cap_derives_from_partition_edges_and_threads() {
+        assert_eq!(resolve_cap(ChunkCap::Fixed(7), 1_000_000, 4), 7);
+        assert_eq!(resolve_cap(ChunkCap::Fixed(usize::MAX), 10, 4), usize::MAX);
+        // 1M edges / (8 · 4 threads) = 31250.
+        assert_eq!(resolve_cap(ChunkCap::Auto, 1_000_000, 4), 31_250);
+        // Small partitions floor at the minimum cap.
+        assert_eq!(
+            resolve_cap(ChunkCap::Auto, 100, 4),
+            MIN_CHUNK_EDGES,
+            "tiny partitions must not produce overhead-dominated chunks"
+        );
+        assert_eq!(resolve_cap(ChunkCap::Auto, 0, 1), MIN_CHUNK_EDGES);
+        // Degenerate thread counts are clamped to 1: 640 / (8 · 1) = 80.
+        assert_eq!(resolve_cap(ChunkCap::Auto, 640, 0), 80);
+        assert_eq!(resolve_cap(ChunkCap::Fixed(0), 640, 1), 1);
+    }
+
+    /// A mega-hub destination (in-degree ≫ cap) splits into sub-chunks of
+    /// at most `cap` edges that tile its in-edge scan exactly, emitted in
+    /// ascending slice order between the ordinary chunks around it.
+    #[test]
+    fn mega_hub_destination_splits_into_subchunks() {
+        // Vertices 0..10 with degree 2 each, vertex 10 a hub of degree
+        // 100, vertices 11..20 with degree 2 again.
+        let mut offsets = vec![0usize];
+        for i in 0..20usize {
+            let d = if i == 10 { 100 } else { 2 };
+            offsets.push(offsets[i] + d);
+        }
+        let cap = 8usize;
+        let chunks = chunk_dense_range(&offsets, 0..20, cap);
+        let total = offsets[20] as u64;
+        assert_eq!(chunks.iter().map(|c| c.edges).sum::<u64>(), total);
+        // Every chunk respects the hub-split bound (< 2 · cap).
+        for c in &chunks {
+            assert!(c.edges < 2 * cap as u64, "chunk {c:?} exceeds 2 x cap");
+        }
+        // The hub produced ceil(100 / 8) = 13 consecutive sub-chunks
+        // tiling 0..100.
+        let subs: Vec<&Chunk> = chunks.iter().filter(|c| c.sub.is_some()).collect();
+        assert_eq!(subs.len(), 13);
+        let mut cursor = 0u64;
+        for s in &subs {
+            assert_eq!(s.span, 10..11, "sub-chunks cover only the hub");
+            let sub = s.sub.as_ref().unwrap();
+            assert_eq!(sub.lo, cursor, "sub-chunks must tile the scan");
+            assert!(sub.hi > sub.lo && sub.hi - sub.lo <= cap as u64);
+            assert_eq!(s.edges, sub.hi - sub.lo);
+            cursor = sub.hi;
+        }
+        assert_eq!(cursor, 100);
+        // Non-hub chunks still tile the remaining destinations.
+        let spans: Vec<_> = chunks
+            .iter()
+            .filter(|c| c.sub.is_none())
+            .map(|c| c.span.clone())
+            .collect();
+        assert!(spans.iter().all(|s| !s.contains(&10)));
+        // max chunk edges dropped below the hub's degree — the
+        // load-balance acceptance criterion in miniature.
+        let max = chunks.iter().map(|c| c.edges).max().unwrap();
+        assert!(max < 100, "hub splitting must beat the hub degree: {max}");
+    }
+
+    /// Candidate-list chunking splits hub candidates the same way.
+    #[test]
+    fn mega_hub_candidate_splits_into_subchunks() {
+        let mut offsets = vec![0usize];
+        for i in 0..12usize {
+            let d = if i == 5 { 40 } else { 3 };
+            offsets.push(offsets[i] + d);
+        }
+        let candidates: Vec<VertexId> = vec![1, 5, 9];
+        let chunks = chunk_candidates(&candidates, &offsets, 10);
+        assert_eq!(chunks.iter().map(|c| c.edges).sum::<u64>(), 3 + 40 + 3);
+        let subs: Vec<&Chunk> = chunks.iter().filter(|c| c.sub.is_some()).collect();
+        assert_eq!(subs.len(), 4, "40-edge hub at cap 10 → 4 sub-chunks");
+        for s in &subs {
+            assert_eq!(s.span, 1..2, "the hub is candidate index 1");
+        }
+        // Unbounded cap never splits.
+        assert!(chunk_candidates(&candidates, &offsets, usize::MAX)
+            .iter()
+            .all(|c| c.sub.is_none()));
     }
 
     #[test]

@@ -28,10 +28,18 @@ pub struct WorkCounters {
     /// [`chunks`](Self::chunks) for the mean chunk size).
     chunk_edges_sum: AtomicU64,
     /// Largest planned CSC edge count of any spawned chunk. The chunking
-    /// guarantee is `max_chunk_edges ≤ chunk_edges + max_degree`: a chunk
-    /// closes as soon as it reaches the cap, and a single destination's
-    /// in-edges are never split.
+    /// guarantee is `max_chunk_edges < cap + min(max_degree, cap)`: a
+    /// chunk closes as soon as it reaches the cap, and a destination
+    /// whose in-degree alone exceeds the cap is split into per-scan
+    /// sub-chunks of at most `cap` edges (see
+    /// [`hub_subchunks`](Self::hub_subchunks)).
     max_chunk_edges: AtomicU64,
+    /// Mega-hub sub-chunks spawned: chunks covering one slice of a single
+    /// destination's in-edge scan. Non-zero exactly when some destination's
+    /// in-degree exceeded the (resolved) chunk cap — the observable proof
+    /// that hub splitting engaged and `max_chunk_edges` is no longer
+    /// bounded below by the top hub's degree.
+    hub_subchunks: AtomicU64,
     /// Chunks a worker claimed from another worker's deque. Timing-
     /// dependent diagnostics (unlike every other counter here) — results
     /// never depend on them.
@@ -85,11 +93,26 @@ impl WorkCounters {
 
     /// Records one edge map's chunk plan: `n` chunks spawned, their planned
     /// edge counts summing to `edge_sum` with maximum `edge_max`. All three
-    /// are deterministic functions of the plan.
+    /// are deterministic functions of the plan. An all-empty round may
+    /// record `(0, 0, 0)`; [`mean_chunk_edges`](Self::mean_chunk_edges)
+    /// stays well-defined (0) in that case.
     pub fn add_chunks(&self, n: u64, edge_sum: u64, edge_max: u64) {
         self.chunks.fetch_add(n, Ordering::Relaxed);
         self.chunk_edges_sum.fetch_add(edge_sum, Ordering::Relaxed);
         self.max_chunk_edges.fetch_max(edge_max, Ordering::Relaxed);
+    }
+
+    /// Records one edge map's mega-hub sub-chunk count (sub-chunks are
+    /// also counted as ordinary chunks by
+    /// [`add_chunks`](Self::add_chunks)).
+    pub fn add_hub_subchunks(&self, n: u64) {
+        self.hub_subchunks.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Mega-hub sub-chunks spawned so far.
+    #[inline]
+    pub fn hub_subchunks(&self) -> u64 {
+        self.hub_subchunks.load(Ordering::Relaxed)
     }
 
     /// Records one edge map's steal tally (`steals` total, of which
@@ -112,7 +135,10 @@ impl WorkCounters {
         self.max_chunk_edges.load(Ordering::Relaxed)
     }
 
-    /// Mean planned edge count per spawned chunk (0.0 before any chunk).
+    /// Mean planned edge count per spawned chunk. Returns 0 (not NaN)
+    /// before any chunk was planned — a round whose frontier is empty in
+    /// every partition plans zero chunks, and reporting code divides by
+    /// the chunk count unconditionally.
     pub fn mean_chunk_edges(&self) -> f64 {
         let n = self.chunks();
         if n == 0 {
@@ -141,6 +167,7 @@ impl WorkCounters {
         self.chunks.store(0, Ordering::Relaxed);
         self.chunk_edges_sum.store(0, Ordering::Relaxed);
         self.max_chunk_edges.store(0, Ordering::Relaxed);
+        self.hub_subchunks.store(0, Ordering::Relaxed);
         self.steals.store(0, Ordering::Relaxed);
         self.cross_domain_steals.store(0, Ordering::Relaxed);
     }
@@ -219,16 +246,36 @@ mod tests {
         c.add_chunks(3, 300, 150);
         c.add_chunks(1, 100, 100);
         c.add_steals(5, 2);
+        c.add_hub_subchunks(2);
         assert_eq!(c.chunks(), 4);
         assert_eq!(c.max_chunk_edges(), 150);
         assert_eq!(c.mean_chunk_edges(), 100.0);
+        assert_eq!(c.hub_subchunks(), 2);
         assert_eq!(c.steals(), 5);
         assert_eq!(c.cross_domain_steals(), 2);
         c.reset();
         assert_eq!(c.chunks(), 0);
         assert_eq!(c.max_chunk_edges(), 0);
+        assert_eq!(c.hub_subchunks(), 0);
         assert_eq!(c.steals(), 0);
         assert_eq!(c.cross_domain_steals(), 0);
+    }
+
+    /// The all-empty round: a plan with zero chunks must keep the mean
+    /// well-defined (0, not NaN from a 0/0 division) — reporting code
+    /// (`repro load_balance`, the differential suites) reads the mean
+    /// unconditionally after rounds that may have planned nothing.
+    #[test]
+    fn mean_chunk_edges_is_zero_when_no_chunks_were_planned() {
+        let c = WorkCounters::new();
+        c.add_chunks(0, 0, 0);
+        assert_eq!(c.chunks(), 0);
+        let mean = c.mean_chunk_edges();
+        assert!(!mean.is_nan(), "0/0 must not leak out as NaN");
+        assert_eq!(mean, 0.0);
+        // Still zero after a reset.
+        c.reset();
+        assert_eq!(c.mean_chunk_edges(), 0.0);
     }
 
     #[test]

@@ -4,11 +4,15 @@
 //! extended for NUMA-aware loop scheduling. This crate provides the
 //! portable equivalent used throughout the reproduction:
 //!
-//! * [`pool::Pool`] — a rayon-backed fork-join pool with an explicit thread
-//!   count (Figure 10 sweeps 4–48 threads), helpers for per-partition
-//!   parallel loops, and a deque-based work-stealing scheduler
-//!   ([`Pool::run_stealing`]) with NUMA-domain-affine victim order for
-//!   chunk-granular execution;
+//! * [`pool::Pool`] — a **persistent** fork-join pool with an explicit
+//!   thread count (Figure 10 sweeps 4–48 threads): workers are spawned
+//!   once, park on a condvar between rounds, and every parallel operation
+//!   is an epoch (publish job → wake → join via a completion latch), so
+//!   per-round cost is a wake instead of `T` thread spawns. It provides
+//!   helpers for per-partition parallel loops and a deque-based
+//!   work-stealing scheduler ([`Pool::run_stealing`]) with
+//!   NUMA-domain-affine victim order for chunk-granular execution;
+//!   [`Pool::spawns`] / [`Pool::epochs`] make the reuse observable;
 //! * [`buffer::BufferPool`] — recycles the word buffers behind dense
 //!   frontier merges, clearing only the touched words;
 //! * [`numa::NumaTopology`] — a *simulated* NUMA topology: partitions are

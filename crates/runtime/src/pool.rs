@@ -1,27 +1,59 @@
-//! Fork-join thread pool with an explicit thread count, plus the
+//! Persistent fork-join thread pool with an explicit thread count, plus the
 //! deque-based work-stealing scheduler behind chunk-granular execution.
 //!
 //! The paper's Figure 10 sweeps 4–48 threads; engines therefore carry their
-//! own [`Pool`] instead of using rayon's global pool, so benchmark code can
+//! own [`Pool`] instead of a process-global pool, so benchmark code can
 //! instantiate differently sized pools side by side.
 //!
-//! Two execution styles coexist:
+//! # Worker lifecycle: spawn once, park, epoch, join
+//!
+//! Workers are spawned **once**, lazily on the first parallel call that
+//! needs them, and then persist for the pool's lifetime:
+//!
+//! ```text
+//!  Pool::new(T)            first parallel call         Drop
+//!     │                          │                       │
+//!     │   (no threads yet)       ▼                       ▼
+//!     │                   spawn T workers ──▶ park on condvar
+//!     │                          │         ◀── epoch: publish job,
+//!     │                          │             wake all, run, arrive
+//!     │                          │             at completion latch,
+//!     │                          │             park again
+//!     │                          └───────────▶ shutdown flag + wake:
+//!     │                                        workers exit, Drop joins
+//! ```
+//!
+//! Every parallel operation is one **epoch**: the caller publishes a job
+//! under the state mutex, bumps the epoch counter, wakes the parked
+//! workers, and blocks on a completion latch until all of them have run
+//! the job and arrived. Per-round cost is therefore a wake + a join, not
+//! `T` thread spawns — the difference shows at high round rates, where
+//! traversals run hundreds of tiny edge maps back to back.
+//! [`Pool::spawns`] counts worker threads ever spawned and
+//! [`Pool::epochs`] counts dispatches, so tests (and `repro load_balance`)
+//! can observe that a thousand rounds reuse the same `T` threads.
+//!
+//! Two execution styles share the crew:
 //!
 //! * the structured loops (`for_each_index`, `map_indices`, …) fan fixed
-//!   index ranges out — right for homogeneous work;
+//!   index ranges out block-wise — right for homogeneous work;
 //! * [`run_stealing`](Pool::run_stealing) schedules a *heterogeneous* task
 //!   list (the partitioned executor's edge-balanced chunks) over per-worker
-//!   deques with NUMA-domain-affine stealing: tasks start on a worker of
-//!   their owning domain, idle workers first raid deques of their own
-//!   domain and only then cross domains. Results are returned **keyed by
-//!   task index**, so callers merge deterministically no matter which
+//!   deques with NUMA-domain-affine stealing: tasks are seeded onto a
+//!   worker of their owning domain, idle workers first raid deques of their
+//!   own domain and only then cross domains. Results are returned **keyed
+//!   by task index**, so callers merge deterministically no matter which
 //!   worker ran what.
+//!
+//! The pool is not reentrant: a job closure must not invoke parallel
+//! operations on the pool that is running it (the workers it would need
+//! are the ones executing it). Concurrent dispatches from *different*
+//! threads serialize on an internal lock.
 
 use std::collections::VecDeque;
+use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Mutex;
-
-use rayon::prelude::*;
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
 /// One worker's contribution to a [`Pool::run_stealing`] call: the
 /// `(task index, result)` pairs it produced plus its local tally.
@@ -29,7 +61,9 @@ type WorkerResults<R> = Mutex<(Vec<(usize, R)>, StealTally)>;
 
 /// What one [`Pool::run_stealing`] call observed: how many tasks executed
 /// and how work migrated between workers. Steal counts are *diagnostics* —
-/// they depend on timing — while the returned results never do.
+/// they depend on timing — while the returned results never do. The
+/// invariant `executed == task count` holds on return of every epoch (the
+/// unclaimed-task latch guarantees each task is claimed exactly once).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct StealTally {
     /// Tasks executed (always the full task count on return).
@@ -40,43 +74,131 @@ pub struct StealTally {
     pub cross_domain_steals: u64,
 }
 
-/// A fixed-width work-stealing pool.
+/// The per-epoch job workers execute: a borrowed closure transmuted to
+/// `'static`. Safety rests on the dispatch protocol — `dispatch` does not
+/// return until every worker has arrived at the completion latch, so the
+/// borrow outlives every use.
+type ErasedJob = &'static (dyn Fn(usize) + Sync);
+
+/// Shared state between the dispatcher and the parked workers.
+struct CrewShared {
+    state: Mutex<EpochState>,
+    /// Workers park here between epochs.
+    work_cv: Condvar,
+    /// The dispatcher parks here until the completion latch drains.
+    done_cv: Condvar,
+}
+
+struct EpochState {
+    /// Monotonic epoch counter; a worker runs each epoch exactly once.
+    epoch: u64,
+    /// The published job of the current epoch (`None` between epochs).
+    job: Option<ErasedJob>,
+    /// Completion latch: workers yet to finish the current epoch.
+    remaining: usize,
+    /// The first panic payload a worker's job raised this epoch;
+    /// re-raised verbatim by the dispatcher (as joining a scoped thread
+    /// would), so assertion messages and locations survive the crew.
+    panic_payload: Option<Box<dyn std::any::Any + Send>>,
+    /// Set once, by `Drop`: workers exit instead of waiting for work.
+    shutdown: bool,
+}
+
+/// The persistent worker crew: spawned once, joined on pool drop.
+struct Crew {
+    shared: Arc<CrewShared>,
+    handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+fn worker_loop(w: usize, shared: &CrewShared) {
+    let mut seen = 0u64;
+    loop {
+        let job = {
+            let mut st = shared.state.lock().unwrap();
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if st.epoch > seen {
+                    seen = st.epoch;
+                    break st.job.expect("epoch published without a job");
+                }
+                st = shared.work_cv.wait(st).unwrap();
+            }
+        };
+        let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| job(w)));
+        let mut st = shared.state.lock().unwrap();
+        if let Err(payload) = outcome {
+            st.panic_payload.get_or_insert(payload);
+        }
+        st.remaining -= 1;
+        if st.remaining == 0 {
+            shared.done_cv.notify_all();
+        }
+    }
+}
+
+/// A fixed-width work-stealing pool with persistent workers.
 pub struct Pool {
-    inner: rayon::ThreadPool,
     threads: usize,
     /// Closure invocations executed through the structured loops below;
     /// lets tests assert that work was (or was not) submitted to the pool.
     jobs: AtomicU64,
+    /// The worker crew, spawned lazily on the first multi-threaded call.
+    crew: OnceLock<Crew>,
+    /// Serializes dispatches from different caller threads.
+    dispatch_lock: Mutex<()>,
+    /// Worker threads ever spawned by this pool (0 until the first
+    /// multi-threaded parallel call, then exactly `threads` forever).
+    spawns: AtomicU64,
+    /// Parallel operations dispatched to the crew so far.
+    epochs: AtomicU64,
 }
 
 impl std::fmt::Debug for Pool {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Pool")
             .field("threads", &self.threads)
+            .field("spawns", &self.spawns())
+            .field("epochs", &self.epochs())
             .finish()
     }
 }
 
+impl Drop for Pool {
+    fn drop(&mut self) {
+        if let Some(crew) = self.crew.get() {
+            {
+                let mut st = crew.shared.state.lock().unwrap();
+                st.shutdown = true;
+                crew.shared.work_cv.notify_all();
+            }
+            for h in crew.handles.lock().unwrap().drain(..) {
+                let _ = h.join();
+            }
+        }
+    }
+}
+
 impl Pool {
-    /// Creates a pool with exactly `threads` worker threads.
+    /// Creates a pool with exactly `threads` worker threads. The workers
+    /// are spawned lazily, on the first parallel call that needs them.
     ///
     /// # Panics
-    /// Panics if `threads == 0` or the OS refuses to spawn workers.
+    /// Panics if `threads == 0`.
     pub fn new(threads: usize) -> Self {
         assert!(threads > 0, "pool needs at least one thread");
-        let inner = rayon::ThreadPoolBuilder::new()
-            .num_threads(threads)
-            .thread_name(|i| format!("gg-worker-{i}"))
-            .build()
-            .expect("failed to build thread pool");
         Pool {
-            inner,
             threads,
             jobs: AtomicU64::new(0),
+            crew: OnceLock::new(),
+            dispatch_lock: Mutex::new(()),
+            spawns: AtomicU64::new(0),
+            epochs: AtomicU64::new(0),
         }
     }
 
-    /// A pool sized to the machine (rayon's default heuristic).
+    /// A pool sized to the machine.
     pub fn machine_sized() -> Self {
         Self::new(
             std::thread::available_parallelism()
@@ -91,10 +213,27 @@ impl Pool {
         self.threads
     }
 
+    /// Worker threads spawned by this pool so far: 0 until the first
+    /// multi-threaded parallel call, then exactly [`threads`](Self::threads)
+    /// for the rest of the pool's life — the observable proof that epochs
+    /// reuse parked workers instead of re-spawning.
+    #[inline]
+    pub fn spawns(&self) -> u64 {
+        self.spawns.load(Ordering::Relaxed)
+    }
+
+    /// Parallel operations dispatched to the worker crew so far (inline
+    /// single-threaded fast paths are not epochs).
+    #[inline]
+    pub fn epochs(&self) -> u64 {
+        self.epochs.load(Ordering::Relaxed)
+    }
+
     /// Total closure invocations executed through the structured loops
     /// (`for_each_index`, `for_each_in_order`, `map_indices`,
-    /// `for_each_chunk`). Monotonic; used by tests to prove that empty
-    /// partitions are skipped without submitting pool work.
+    /// `for_each_chunk`) and [`run_stealing`](Self::run_stealing) tasks.
+    /// Monotonic; used by tests to prove that empty partitions are skipped
+    /// without submitting pool work.
     #[inline]
     pub fn jobs_run(&self) -> u64 {
         self.jobs.load(Ordering::Relaxed)
@@ -105,22 +244,99 @@ impl Pool {
         self.jobs.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Runs `f` inside the pool (all rayon parallelism in `f` uses this
-    /// pool's workers).
+    /// The crew, spawning it on first use.
+    fn crew(&self) -> &Crew {
+        self.crew.get_or_init(|| {
+            let shared = Arc::new(CrewShared {
+                state: Mutex::new(EpochState {
+                    epoch: 0,
+                    job: None,
+                    remaining: 0,
+                    panic_payload: None,
+                    shutdown: false,
+                }),
+                work_cv: Condvar::new(),
+                done_cv: Condvar::new(),
+            });
+            let handles = (0..self.threads)
+                .map(|w| {
+                    let shared = Arc::clone(&shared);
+                    std::thread::Builder::new()
+                        .name(format!("gg-worker-{w}"))
+                        .spawn(move || worker_loop(w, &shared))
+                        .expect("failed to spawn pool worker")
+                })
+                .collect();
+            self.spawns
+                .fetch_add(self.threads as u64, Ordering::Relaxed);
+            Crew {
+                shared,
+                handles: Mutex::new(handles),
+            }
+        })
+    }
+
+    /// Runs one epoch: publishes `job`, wakes the parked workers, and
+    /// blocks until all of them have run it and arrived at the completion
+    /// latch. Every worker index `0..threads` is invoked exactly once.
+    fn dispatch(&self, job: &(dyn Fn(usize) + Sync)) {
+        // Poison-tolerant: a panicked previous epoch (re-raised below while
+        // this lock was held) must not wedge every later dispatch.
+        let _serial = self
+            .dispatch_lock
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        let crew = self.crew();
+        self.epochs.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: the borrow is erased to 'static only while this frame is
+        // alive — we do not return until `remaining` drains to zero, i.e.
+        // until every worker has finished calling `job`, and the job slot
+        // is cleared before the latch opens the next epoch.
+        let erased: ErasedJob = unsafe {
+            std::mem::transmute::<&(dyn Fn(usize) + Sync), &'static (dyn Fn(usize) + Sync)>(job)
+        };
+        let mut st = crew.shared.state.lock().unwrap();
+        debug_assert_eq!(st.remaining, 0, "previous epoch still in flight");
+        st.job = Some(erased);
+        st.remaining = self.threads;
+        st.epoch += 1;
+        crew.shared.work_cv.notify_all();
+        while st.remaining > 0 {
+            st = crew.shared.done_cv.wait(st).unwrap();
+        }
+        st.job = None;
+        if let Some(payload) = st.panic_payload.take() {
+            drop(st);
+            std::panic::resume_unwind(payload);
+        }
+    }
+
+    /// The contiguous block of `0..len` worker `w` owns in a block-wise
+    /// loop.
     #[inline]
-    pub fn install<R: Send>(&self, f: impl FnOnce() -> R + Send) -> R {
-        self.inner.install(f)
+    fn block(&self, len: usize, w: usize) -> std::ops::Range<usize> {
+        len * w / self.threads..len * (w + 1) / self.threads
     }
 
     /// Parallel loop over `0..count` with one call per index. Used for
     /// per-partition execution: the closure for partition `p` runs on
     /// exactly one worker, giving the exclusive-update guarantee.
     pub fn for_each_index(&self, count: usize, f: impl Fn(usize) + Sync) {
-        self.install(|| {
-            (0..count).into_par_iter().for_each(|i| {
+        if count == 0 {
+            return;
+        }
+        if self.threads == 1 || count == 1 {
+            for i in 0..count {
                 self.count_job();
                 f(i);
-            });
+            }
+            return;
+        }
+        self.dispatch(&|w| {
+            for i in self.block(count, w) {
+                self.count_job();
+                f(i);
+            }
         });
     }
 
@@ -128,12 +344,7 @@ impl Pool {
     /// priority position `k`. Used to schedule partitions grouped by NUMA
     /// domain.
     pub fn for_each_in_order(&self, order: &[usize], f: impl Fn(usize) + Sync) {
-        self.install(|| {
-            order.par_iter().for_each(|&i| {
-                self.count_job();
-                f(i);
-            });
-        });
+        self.for_each_index(order.len(), |k| f(order[k]));
     }
 
     /// Parallel map over `0..count` collecting results in index order.
@@ -144,15 +355,34 @@ impl Pool {
     /// instead of writing a shared bitmap, and the caller merges them
     /// deterministically.
     pub fn map_indices<R: Send>(&self, count: usize, f: impl Fn(usize) -> R + Sync) -> Vec<R> {
-        self.install(|| {
-            (0..count)
-                .into_par_iter()
+        if count == 0 {
+            return Vec::new();
+        }
+        if self.threads == 1 || count == 1 {
+            return (0..count)
                 .map(|i| {
                     self.count_job();
                     f(i)
                 })
-                .collect()
-        })
+                .collect();
+        }
+        // Workers own contiguous ascending blocks, so concatenating the
+        // per-worker buffers in worker order *is* index order.
+        let slots: Vec<Mutex<Vec<R>>> = (0..self.threads).map(|_| Mutex::new(Vec::new())).collect();
+        self.dispatch(&|w| {
+            let block = self.block(count, w);
+            let mut out = Vec::with_capacity(block.len());
+            for i in block {
+                self.count_job();
+                out.push(f(i));
+            }
+            *slots[w].lock().unwrap() = out;
+        });
+        let mut results = Vec::with_capacity(count);
+        for slot in slots {
+            results.append(&mut slot.into_inner().unwrap());
+        }
+        results
     }
 
     /// Splits `0..len` into roughly `tasks` contiguous chunks and runs `f`
@@ -163,19 +393,27 @@ impl Pool {
             return;
         }
         let tasks = tasks.max(1).min(len);
-        self.install(|| {
-            (0..tasks).into_par_iter().for_each(|t| {
-                self.count_job();
-                let start = len * t / tasks;
-                let end = len * (t + 1) / tasks;
-                f(start, end);
-            });
+        self.for_each_index(tasks, |t| {
+            let start = len * t / tasks;
+            let end = len * (t + 1) / tasks;
+            f(start, end);
         });
     }
 
     /// Parallel sum of `f(i)` over `0..count`.
     pub fn sum_u64(&self, count: usize, f: impl Fn(usize) -> u64 + Sync) -> u64 {
-        self.install(|| (0..count).into_par_iter().map(&f).sum())
+        if count == 0 {
+            return 0;
+        }
+        if self.threads == 1 || count == 1 {
+            return (0..count).map(&f).sum();
+        }
+        let total = AtomicU64::new(0);
+        self.dispatch(&|w| {
+            let partial: u64 = self.block(count, w).map(&f).sum();
+            total.fetch_add(partial, Ordering::Relaxed);
+        });
+        total.into_inner()
     }
 
     /// Executes `task_domain.len()` heterogeneous tasks over per-worker
@@ -191,6 +429,12 @@ impl Pool {
     /// same-domain victims first, then the remaining domains in ascending
     /// wrap-around order — so work leaves its domain only when the whole
     /// domain has run dry.
+    ///
+    /// One call is one **epoch** of the persistent crew: the deques are
+    /// seeded, the parked workers wake, and the call returns when the
+    /// completion latch confirms every task ran exactly once (which is why
+    /// the returned tally always satisfies `executed == task count`). No
+    /// deque or latch state survives into the next epoch.
     ///
     /// The schedule (who ran what, who stole what) is timing-dependent;
     /// the *output* is not: slot `t` of the returned vector is `f(t)`, so a
@@ -274,67 +518,64 @@ impl Pool {
             .collect();
 
         // Unclaimed-task count: a worker exits once every task is claimed
-        // (the claimant finishes it before the scope joins).
+        // (the claimant finishes it before the epoch's latch drains).
         let remaining = AtomicUsize::new(tasks);
         let worker_out: Vec<WorkerResults<R>> = (0..workers)
             .map(|_| Mutex::new((Vec::new(), StealTally::default())))
             .collect();
 
-        std::thread::scope(|scope| {
-            for w in 0..workers {
-                let deques = &deques;
-                let victim_order = &victim_order[w];
-                let remaining = &remaining;
-                let out = &worker_out[w];
-                let f = &f;
-                let my_domain = worker_domain(w).min(domains - 1);
-                scope.spawn(move || {
-                    let mut results: Vec<(usize, R)> = Vec::new();
-                    let mut tally = StealTally::default();
-                    let mut dry_scans = 0u32;
-                    loop {
-                        if remaining.load(Ordering::Acquire) == 0 {
-                            break;
+        self.dispatch(&|w| {
+            // Crew workers beyond the active set have no deque this epoch;
+            // they arrive at the latch immediately.
+            if w >= workers {
+                return;
+            }
+            let victim_order = &victim_order[w];
+            let my_domain = worker_domain(w).min(domains - 1);
+            let mut results: Vec<(usize, R)> = Vec::new();
+            let mut tally = StealTally::default();
+            let mut dry_scans = 0u32;
+            loop {
+                if remaining.load(Ordering::Acquire) == 0 {
+                    break;
+                }
+                // Own deque first, seeded order.
+                let own = deques[w].lock().unwrap().pop_front();
+                let claimed = match own {
+                    Some(t) => Some((t, false)),
+                    None => victim_order
+                        .iter()
+                        .find_map(|&v| deques[v].lock().unwrap().pop_back().map(|t| (t, true))),
+                };
+                match claimed {
+                    Some((t, stolen)) => {
+                        dry_scans = 0;
+                        remaining.fetch_sub(1, Ordering::AcqRel);
+                        if stolen {
+                            tally.steals += 1;
+                            if task_domain[t].min(domains - 1) != my_domain {
+                                tally.cross_domain_steals += 1;
+                            }
                         }
-                        // Own deque first, seeded order.
-                        let own = deques[w].lock().unwrap().pop_front();
-                        let claimed = match own {
-                            Some(t) => Some((t, false)),
-                            None => victim_order.iter().find_map(|&v| {
-                                deques[v].lock().unwrap().pop_back().map(|t| (t, true))
-                            }),
-                        };
-                        match claimed {
-                            Some((t, stolen)) => {
-                                dry_scans = 0;
-                                remaining.fetch_sub(1, Ordering::AcqRel);
-                                if stolen {
-                                    tally.steals += 1;
-                                    if task_domain[t].min(domains - 1) != my_domain {
-                                        tally.cross_domain_steals += 1;
-                                    }
-                                }
-                                self.count_job();
-                                tally.executed += 1;
-                                results.push((t, f(t)));
-                            }
-                            None => {
-                                // Every deque was dry but tasks are still
-                                // in flight: back off instead of hammering
-                                // the busy workers' deque mutexes until the
-                                // last chunk finishes.
-                                dry_scans += 1;
-                                if dry_scans < 16 {
-                                    std::thread::yield_now();
-                                } else {
-                                    std::thread::sleep(std::time::Duration::from_micros(20));
-                                }
-                            }
+                        self.count_job();
+                        tally.executed += 1;
+                        results.push((t, f(t)));
+                    }
+                    None => {
+                        // Every deque was dry but tasks are still in
+                        // flight: back off instead of hammering the busy
+                        // workers' deque mutexes until the last chunk
+                        // finishes.
+                        dry_scans += 1;
+                        if dry_scans < 16 {
+                            std::thread::yield_now();
+                        } else {
+                            std::thread::sleep(std::time::Duration::from_micros(20));
                         }
                     }
-                    *out.lock().unwrap() = (results, tally);
-                });
+                }
             }
+            *worker_out[w].lock().unwrap() = (results, tally);
         });
 
         // Scatter worker results back into task-index order.
@@ -354,6 +595,7 @@ impl Pool {
             .into_iter()
             .map(|s| s.expect("every task must have run exactly once"))
             .collect();
+        debug_assert_eq!(total.executed, tasks as u64);
         (results, total)
     }
 }
@@ -364,14 +606,56 @@ mod tests {
     use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
     #[test]
-    fn respects_thread_count() {
+    fn respects_thread_count_and_spawns_lazily() {
         let pool = Pool::new(3);
         assert_eq!(pool.threads(), 3);
+        assert_eq!(pool.spawns(), 0, "workers spawn on first use, not new()");
         let seen = AtomicUsize::new(0);
-        pool.install(|| {
-            seen.store(rayon::current_num_threads(), Ordering::Relaxed);
+        pool.for_each_index(100, |_| {
+            seen.fetch_add(1, Ordering::Relaxed);
         });
-        assert_eq!(seen.load(Ordering::Relaxed), 3);
+        assert_eq!(seen.load(Ordering::Relaxed), 100);
+        assert_eq!(pool.spawns(), 3, "first epoch spawns exactly the crew");
+        assert_eq!(pool.epochs(), 1);
+    }
+
+    #[test]
+    fn workers_persist_across_epochs() {
+        let pool = Pool::new(4);
+        for _ in 0..50 {
+            let hits = AtomicU64::new(0);
+            pool.for_each_index(64, |_| {
+                hits.fetch_add(1, Ordering::Relaxed);
+            });
+            assert_eq!(hits.load(Ordering::Relaxed), 64);
+        }
+        assert_eq!(pool.spawns(), 4, "50 epochs must reuse the same 4 workers");
+        assert_eq!(pool.epochs(), 50);
+    }
+
+    #[test]
+    fn single_thread_pool_never_spawns() {
+        let pool = Pool::new(1);
+        let total = AtomicU64::new(0);
+        pool.for_each_index(10, |i| {
+            total.fetch_add(i as u64, Ordering::Relaxed);
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 45);
+        let (r, _) = pool.run_stealing(2, &[0, 1], |t| t);
+        assert_eq!(r, vec![0, 1]);
+        assert_eq!(pool.spawns(), 0);
+        assert_eq!(pool.epochs(), 0);
+    }
+
+    #[test]
+    fn dropping_a_parked_pool_joins_cleanly() {
+        // Never used: no workers to join.
+        drop(Pool::new(4));
+        // Used once, then dropped while the crew is parked.
+        let pool = Pool::new(4);
+        pool.for_each_index(16, |_| {});
+        assert_eq!(pool.spawns(), 4);
+        drop(pool);
     }
 
     #[test]
@@ -412,12 +696,14 @@ mod tests {
         let v = pool.map_indices(50, |i| i * i);
         assert_eq!(v[7], 49);
         assert_eq!(v.len(), 50);
+        assert_eq!(v, (0..50).map(|i| i * i).collect::<Vec<_>>());
     }
 
     #[test]
     fn sum_matches() {
         let pool = Pool::new(2);
         assert_eq!(pool.sum_u64(10, |i| i as u64), 45);
+        assert_eq!(pool.sum_u64(0, |_| unreachable!()), 0);
     }
 
     #[test]
@@ -504,6 +790,16 @@ mod tests {
         assert_eq!(tally.executed, 40);
     }
 
+    /// More crew workers than tasks: the excess workers arrive at the
+    /// latch without touching a deque, and the epoch still joins.
+    #[test]
+    fn stealing_with_fewer_tasks_than_threads() {
+        let pool = Pool::new(4);
+        let (results, tally) = pool.run_stealing(2, &[0, 1], |t| t * 7);
+        assert_eq!(results, vec![0, 7]);
+        assert_eq!(tally.executed, 2);
+    }
+
     #[test]
     fn ordered_loop_runs_all() {
         let pool = Pool::new(2);
@@ -513,5 +809,33 @@ mod tests {
             mask.fetch_or(1 << i, Ordering::Relaxed);
         });
         assert_eq!(mask.load(Ordering::Relaxed), 0b1111);
+    }
+
+    /// A panicking job must not wedge the crew: the panic surfaces on the
+    /// dispatcher **with its original payload** (as joining a scoped
+    /// thread would re-raise it) and the pool keeps working afterwards.
+    #[test]
+    fn worker_panic_propagates_and_pool_survives() {
+        let pool = Pool::new(2);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.for_each_index(8, |i| {
+                if i == 3 {
+                    panic!("boom");
+                }
+            });
+        }));
+        let payload = result.expect_err("the worker panic must propagate");
+        assert_eq!(
+            payload.downcast_ref::<&str>().copied(),
+            Some("boom"),
+            "the original payload must survive the crew"
+        );
+        // The crew is still alive and consistent.
+        let hits = AtomicU64::new(0);
+        pool.for_each_index(16, |_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 16);
+        assert_eq!(pool.spawns(), 2);
     }
 }

@@ -9,40 +9,59 @@
 //! tests pin that promise:
 //!
 //! 1. **Bit-identity across chunk caps**: BFS, PR, CC and Bellman-Ford
-//!    with caps {1, 64, unbounded} × 1–4 threads × 1/2/7 partitions all
-//!    match the sequential engine (1 partition, 1 thread, unbounded)
-//!    byte for byte.
+//!    with caps {1, 64, unbounded, Auto} × 1–4 threads × 1/2/7 partitions
+//!    all match the sequential engine (1 partition, 1 thread, unbounded)
+//!    byte for byte — including caps small enough that mega-hub
+//!    destinations split into sub-chunks reduced at merge time, and the
+//!    adaptive cap derived per partition from `|E_p| / (k · threads)`.
 //! 2. **Chunking actually balances**: on the skewed `powerlaw` scenario
 //!    (star hubs concentrated in one destination partition) the steal
-//!    counter is non-zero while every spawned chunk respects the
-//!    `chunk_edges + max_degree` bound.
+//!    counter is non-zero, every spawned chunk respects the hub-split
+//!    `2 × cap` bound, and the observed `max_chunk_edges` drops below the
+//!    top hub's in-degree (one vertex's scan no longer bounds a chunk).
 //! 3. **Degenerate shapes survive**: single-chunk partitions (cap ≥
 //!    partition edges) and per-vertex chunks (cap 1) are exercised by the
 //!    cap sweep; an all-empty round and an edgeless graph terminate
 //!    cleanly.
+//!
+//! The thread list honours `GG_THREADS` (CI diffs a 1-thread against a
+//! 4-thread run of this suite, mirroring the `GG_CHUNK` legs).
 
 use graphgrind::algorithms;
 use graphgrind::bench::datasets::powerlaw_scenario;
-use graphgrind::core::config::{Config, ExecutorKind};
+use graphgrind::core::config::{threads_from_env, ChunkCap, Config, ExecutorKind};
 use graphgrind::core::engine::{Engine, GraphGrind2};
 use graphgrind::graph::edge_list::EdgeList;
 use graphgrind::graph::generators::{self, RmatParams};
 use graphgrind::graph::ops::symmetrize;
 use graphgrind::runtime::numa::NumaTopology;
 
-const CAPS: [usize; 3] = [1, 64, usize::MAX];
+const CAPS: [ChunkCap; 4] = [
+    ChunkCap::Fixed(1),
+    ChunkCap::Fixed(64),
+    ChunkCap::Fixed(usize::MAX),
+    ChunkCap::Auto,
+];
 const PARTITIONS: [usize; 3] = [1, 2, 7];
-const THREADS: [usize; 3] = [1, 2, 4];
+
+/// The thread sweep: `GG_THREADS` (the CI thread-differential leg) pins a
+/// single count, otherwise 1, 2 and 4.
+fn thread_counts() -> Vec<usize> {
+    match threads_from_env() {
+        Some(t) => vec![t],
+        None => vec![1, 2, 4],
+    }
+}
 
 /// Partitioned-executor configuration with exact partition counts (UMA
-/// topology: no rounding) and an explicit chunk cap.
-fn config(partitions: usize, threads: usize, chunk_edges: usize) -> Config {
+/// topology: no rounding) and an explicit chunk-cap policy.
+fn config(partitions: usize, threads: usize, chunk_edges: impl Into<ChunkCap>) -> Config {
     Config {
         threads,
         num_partitions: partitions,
         numa: NumaTopology::new(1),
         executor: ExecutorKind::Partitioned,
-        chunk_edges,
+        chunk_edges: chunk_edges.into(),
         ..Config::default()
     }
 }
@@ -72,11 +91,11 @@ fn bfs_bit_identical_across_chunk_caps() {
         let seq = algorithms::bfs(&sequential(&el), 0);
         for cap in CAPS {
             for p in PARTITIONS {
-                for t in THREADS {
+                for t in thread_counts() {
                     let got = algorithms::bfs(&GraphGrind2::new(&el, config(p, t, cap)), 0);
-                    assert_eq!(got.level, seq.level, "{name} cap={cap} P={p} T={t}");
-                    assert_eq!(got.parent, seq.parent, "{name} cap={cap} P={p} T={t}");
-                    assert_eq!(got.rounds, seq.rounds, "{name} cap={cap} P={p} T={t}");
+                    assert_eq!(got.level, seq.level, "{name} cap={cap:?} P={p} T={t}");
+                    assert_eq!(got.parent, seq.parent, "{name} cap={cap:?} P={p} T={t}");
+                    assert_eq!(got.rounds, seq.rounds, "{name} cap={cap:?} P={p} T={t}");
                 }
             }
         }
@@ -89,12 +108,12 @@ fn pagerank_bit_identical_across_chunk_caps() {
         let seq = algorithms::pagerank(&sequential(&el), 10);
         for cap in CAPS {
             for p in PARTITIONS {
-                for t in THREADS {
+                for t in thread_counts() {
                     let got = algorithms::pagerank(&GraphGrind2::new(&el, config(p, t, cap)), 10);
                     // f64 accumulation order is fixed (CSC order per
                     // destination, chunks tile the destination space), so
                     // equality is exact, not approximate.
-                    assert_eq!(got, seq, "{name} cap={cap} P={p} T={t}");
+                    assert_eq!(got, seq, "{name} cap={cap:?} P={p} T={t}");
                 }
             }
         }
@@ -109,12 +128,12 @@ fn cc_labels_identical_across_chunk_caps() {
         assert_eq!(algorithms::cc(&sequential(&el)).label, want, "{name}/seq");
         for cap in CAPS {
             for p in PARTITIONS {
-                for t in THREADS {
+                for t in thread_counts() {
                     // CC reads source labels another chunk may be
                     // rewriting, so round counts may vary — the converged
                     // labels are the component minima everywhere.
                     let got = algorithms::cc(&GraphGrind2::new(&el, config(p, t, cap)));
-                    assert_eq!(got.label, want, "{name} cap={cap} P={p} T={t}");
+                    assert_eq!(got.label, want, "{name} cap={cap:?} P={p} T={t}");
                 }
             }
         }
@@ -129,13 +148,13 @@ fn bellman_ford_identical_across_chunk_caps() {
         let seq = algorithms::bellman_ford(&sequential(&el), 0);
         for cap in CAPS {
             for p in PARTITIONS {
-                for t in THREADS {
+                for t in thread_counts() {
                     let got =
                         algorithms::bellman_ford(&GraphGrind2::new(&el, config(p, t, cap)), 0);
                     // f32 distances compare bitwise: every candidate is a
                     // path-prefix sum and the converged minimum is
                     // schedule-independent.
-                    assert_eq!(got.dist, seq.dist, "{name} cap={cap} P={p} T={t}");
+                    assert_eq!(got.dist, seq.dist, "{name} cap={cap:?} P={p} T={t}");
                 }
             }
         }
@@ -144,11 +163,12 @@ fn bellman_ford_identical_across_chunk_caps() {
 
 /// Acceptance criterion: on the skewed scale-free scenario, intra-partition
 /// chunking spawns many more chunks than partitions, idle workers steal
-/// (the counter is non-zero), every chunk respects the
-/// `chunk_edges + max_degree` bound — and the results still match the
-/// sequential engine exactly.
+/// (the counter is non-zero), mega-hub splitting engages (sub-chunks are
+/// spawned and the observed `max_chunk_edges` drops **below the top hub's
+/// in-degree**, which without splitting would be its floor) — and the
+/// results still match the sequential engine exactly.
 #[test]
-fn skewed_scenario_steals_without_oversized_chunks() {
+fn skewed_scenario_steals_and_splits_hubs_without_oversized_chunks() {
     let el = powerlaw_scenario(0.05, 2.0, 16, 7);
     let cap = 64usize;
     let seq = algorithms::pagerank(&sequential(&el), 10);
@@ -158,7 +178,7 @@ fn skewed_scenario_steals_without_oversized_chunks() {
         num_partitions: 4,
         numa: NumaTopology::new(2),
         executor: ExecutorKind::Partitioned,
-        chunk_edges: cap,
+        chunk_edges: ChunkCap::Fixed(cap),
         ..Config::default()
     };
     let engine = GraphGrind2::new(&el, cfg);
@@ -176,7 +196,7 @@ fn skewed_scenario_steals_without_oversized_chunks() {
         c.steals() > 0,
         "light-domain workers must steal from the star-shaped partition"
     );
-    let max_degree = engine
+    let top_hub = engine
         .store()
         .in_degrees()
         .iter()
@@ -184,12 +204,50 @@ fn skewed_scenario_steals_without_oversized_chunks() {
         .max()
         .unwrap_or(0) as u64;
     assert!(
-        c.max_chunk_edges() <= cap as u64 + max_degree,
-        "chunk bound violated: {} > {cap} + {max_degree}",
+        top_hub > 2 * cap as u64,
+        "scenario sanity: the top hub ({top_hub}) must dwarf the cap"
+    );
+    assert!(
+        c.hub_subchunks() > 0,
+        "the star hubs must have been split into sub-chunks"
+    );
+    assert!(
+        c.max_chunk_edges() < 2 * cap as u64,
+        "hub-split chunk bound violated: {} >= 2 x {cap}",
+        c.max_chunk_edges()
+    );
+    assert!(
+        c.max_chunk_edges() < top_hub,
+        "max chunk ({}) must drop below the top hub's in-degree ({top_hub})",
         c.max_chunk_edges()
     );
     assert!(c.mean_chunk_edges() > 0.0);
     assert!(c.cross_domain_steals() <= c.steals());
+}
+
+/// The persistent pool under the same skewed run: hundreds of epochs, one
+/// crew. `spawns()` stays at the thread count while `epochs()` grows with
+/// the rounds executed.
+#[test]
+fn skewed_scenario_reuses_one_worker_crew() {
+    let el = powerlaw_scenario(0.02, 2.0, 8, 7);
+    let engine = GraphGrind2::new(&el, config(4, 4, 64usize));
+    for _ in 0..5 {
+        let _ = algorithms::pagerank(&engine, 10);
+    }
+    let pool = engine.pool();
+    assert_eq!(
+        pool.spawns(),
+        4,
+        "5 PageRank runs must reuse the same 4 workers"
+    );
+    assert!(
+        pool.epochs() > pool.spawns(),
+        "epochs ({}) must outnumber spawned threads ({}) — the pre-pool \
+         executor spawned threads per round",
+        pool.epochs(),
+        pool.spawns()
+    );
 }
 
 /// Degenerate rounds: an edgeless graph plans nothing (no chunks, no

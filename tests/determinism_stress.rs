@@ -8,9 +8,7 @@
 
 use std::sync::atomic::{AtomicU32, Ordering};
 
-use graphgrind::core::config::{
-    chunk_edges_from_env, Config, ExecutorKind, OutputMode, DEFAULT_CHUNK_EDGES,
-};
+use graphgrind::core::config::{chunk_edges_from_env, ChunkCap, Config, ExecutorKind, OutputMode};
 use graphgrind::core::edge_map::EdgeOp;
 use graphgrind::core::engine::{EdgeMapSpec, Engine, GraphGrind2};
 use graphgrind::graph::generators::{self, RmatParams};
@@ -32,10 +30,10 @@ fn machine_engine() -> GraphGrind2 {
         // CI runs this suite under GG_OUTPUT=sparse and GG_OUTPUT=dense,
         // and under GG_CHUNK=1 and GG_CHUNK=max: the trace must reproduce
         // under either output representation and any chunk granularity
-        // (including per-vertex chunks stolen across a machine-sized
-        // pool).
+        // (including per-vertex chunks — and hub-split sub-chunks —
+        // stolen across a machine-sized pool).
         output_mode: OutputMode::from_env(),
-        chunk_edges: chunk_edges_from_env().unwrap_or(DEFAULT_CHUNK_EDGES),
+        chunk_edges: chunk_edges_from_env().unwrap_or(ChunkCap::Auto),
         ..Config::default()
     };
     GraphGrind2::new(&el, cfg)

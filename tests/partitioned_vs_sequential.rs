@@ -25,9 +25,7 @@
 //! land either.
 
 use graphgrind::algorithms::{self, reference, validate};
-use graphgrind::core::config::{
-    chunk_edges_from_env, Config, ExecutorKind, OutputMode, DEFAULT_CHUNK_EDGES,
-};
+use graphgrind::core::config::{chunk_edges_from_env, ChunkCap, Config, ExecutorKind, OutputMode};
 use graphgrind::core::engine::GraphGrind2;
 use graphgrind::graph::edge_list::EdgeList;
 use graphgrind::graph::generators::{self, RmatParams};
@@ -46,7 +44,7 @@ fn pconfig(partitions: usize, threads: usize) -> Config {
         numa: NumaTopology::new(1),
         executor: ExecutorKind::Partitioned,
         output_mode: OutputMode::from_env(),
-        chunk_edges: chunk_edges_from_env().unwrap_or(DEFAULT_CHUNK_EDGES),
+        chunk_edges: chunk_edges_from_env().unwrap_or(ChunkCap::Auto),
         ..Config::default()
     }
 }

@@ -178,9 +178,10 @@ proptest! {
     }
 
     /// Chunk granularity is invisible in results: per-vertex chunks
-    /// (cap 1, maximal chunking) and one-chunk-per-partition (cap
-    /// unbounded) produce identical frontiers round by round on random
-    /// graphs — BFS levels, parents and round counts, plus PageRank bits.
+    /// (cap 1, maximal chunking — every multi-edge destination becomes
+    /// hub-split sub-chunks) and one-chunk-per-partition (cap unbounded)
+    /// produce identical frontiers round by round on random graphs — BFS
+    /// levels, parents and round counts, plus PageRank bits.
     #[test]
     fn chunk_cap_one_matches_unbounded(el in arb_graph(), p in 1usize..8) {
         use graphgrind::core::config::ExecutorKind;
@@ -189,7 +190,7 @@ proptest! {
             executor: ExecutorKind::Partitioned,
             num_partitions: p,
             numa: NumaTopology::new(1),
-            chunk_edges,
+            chunk_edges: chunk_edges.into(),
             ..small_config()
         };
         let tiny = GraphGrind2::new(&el, cfg(1));
@@ -207,6 +208,101 @@ proptest! {
         prop_assert!(
             tiny.work_counters().chunks() >= unbounded.work_counters().chunks()
         );
+    }
+
+    /// The adaptive cap (`ChunkCap::Auto`) is bit-identical to every fixed
+    /// cap in {1, 64, unbounded} on random graphs and random partition /
+    /// thread shapes: BFS levels, parents and round counts, plus PageRank
+    /// bits.
+    #[test]
+    fn adaptive_cap_matches_every_fixed_cap(
+        el in arb_graph(),
+        p in 1usize..8,
+        threads in 1usize..4,
+    ) {
+        use graphgrind::core::config::{ChunkCap, ExecutorKind};
+        let cfg = |cap: ChunkCap| Config {
+            executor: ExecutorKind::Partitioned,
+            num_partitions: p,
+            numa: NumaTopology::new(1),
+            chunk_edges: cap,
+            threads,
+            ..small_config()
+        };
+        let auto = GraphGrind2::new(&el, cfg(ChunkCap::Auto));
+        let bfs_auto = algorithms::bfs(&auto, 0);
+        let pr_auto = algorithms::pagerank(&auto, 5);
+        for fixed in [1usize, 64, usize::MAX] {
+            let engine = GraphGrind2::new(&el, cfg(ChunkCap::Fixed(fixed)));
+            let bfs = algorithms::bfs(&engine, 0);
+            prop_assert_eq!(&bfs.level, &bfs_auto.level, "cap {}", fixed);
+            prop_assert_eq!(&bfs.parent, &bfs_auto.parent, "cap {}", fixed);
+            prop_assert_eq!(bfs.rounds, bfs_auto.rounds, "cap {}", fixed);
+            prop_assert_eq!(
+                algorithms::pagerank(&engine, 5),
+                pr_auto.clone(),
+                "cap {}", fixed
+            );
+        }
+    }
+
+    /// Mega-hub splitting is invisible in results: a random graph with an
+    /// injected star hub (in-degree far above the cap, so its in-edge scan
+    /// splits into partial-accumulator sub-chunks) matches the unsplit
+    /// (unbounded-cap) run bit for bit on BFS, PageRank and Bellman-Ford.
+    #[test]
+    fn hub_split_partial_reduction_matches_unsplit_scan(
+        el in arb_graph(),
+        p in 1usize..6,
+        hub_seed in 0u32..1000,
+    ) {
+        use graphgrind::core::config::{ChunkCap, ExecutorKind};
+        use graphgrind::core::Engine;
+        use graphgrind::graph::weights::attach_integer;
+
+        // Inject a star: every vertex points at one hub destination, so
+        // the hub's in-degree ≈ n dwarfs the tiny fixed cap below.
+        let n = el.num_vertices();
+        let hub = hub_seed % n as u32;
+        let mut edges: Vec<(u32, u32)> = el.iter().collect();
+        for s in 0..n as u32 {
+            edges.push((s, hub));
+        }
+        let mut el = EdgeList::from_edges(n, &edges);
+        attach_integer(&mut el, 12, 0xB0F ^ hub_seed as u64);
+
+        let cfg = |cap: ChunkCap| Config {
+            executor: ExecutorKind::Partitioned,
+            num_partitions: p,
+            numa: NumaTopology::new(1),
+            chunk_edges: cap,
+            ..small_config()
+        };
+        // Cap 4: the injected hub always splits (in-degree ≥ n ≥ 1 · · ·
+        // sub-chunks engage whenever n > 4).
+        let split = GraphGrind2::new(&el, cfg(ChunkCap::Fixed(4)));
+        let unsplit = GraphGrind2::new(&el, cfg(ChunkCap::Fixed(usize::MAX)));
+
+        let a = algorithms::bfs(&split, 0);
+        let b = algorithms::bfs(&unsplit, 0);
+        prop_assert_eq!(a.level, b.level);
+        prop_assert_eq!(a.parent, b.parent);
+
+        prop_assert_eq!(
+            algorithms::pagerank(&split, 5),
+            algorithms::pagerank(&unsplit, 5)
+        );
+
+        let bf_a = algorithms::bellman_ford(&split, 0);
+        let bf_b = algorithms::bellman_ford(&unsplit, 0);
+        prop_assert_eq!(bf_a.dist, bf_b.dist);
+
+        if n > 4 {
+            prop_assert!(
+                split.work_counters().hub_subchunks() > 0,
+                "the injected hub must have been split"
+            );
+        }
     }
 
     /// GG-v2 CC matches union-find on symmetrized random graphs.

@@ -21,9 +21,7 @@
 //!    emitted segments.
 
 use graphgrind::algorithms;
-use graphgrind::core::config::{
-    chunk_edges_from_env, Config, ExecutorKind, OutputMode, DEFAULT_CHUNK_EDGES,
-};
+use graphgrind::core::config::{chunk_edges_from_env, ChunkCap, Config, ExecutorKind, OutputMode};
 use graphgrind::core::engine::{Engine, GraphGrind2};
 use graphgrind::graph::edge_list::EdgeList;
 use graphgrind::graph::generators::{self, RmatParams};
@@ -39,7 +37,7 @@ fn config(partitions: usize, threads: usize, output: OutputMode) -> Config {
         numa: NumaTopology::new(1),
         executor: ExecutorKind::Partitioned,
         output_mode: output,
-        chunk_edges: chunk_edges_from_env().unwrap_or(DEFAULT_CHUNK_EDGES),
+        chunk_edges: chunk_edges_from_env().unwrap_or(ChunkCap::Auto),
         ..Config::default()
     }
 }
