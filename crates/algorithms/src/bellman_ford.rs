@@ -6,7 +6,7 @@
 //! cycles would require the classic |V|-round cutoff, which is also
 //! enforced as a safety net).
 
-use gg_core::edge_map::EdgeOp;
+use gg_core::edge_map::{EdgeMapReduce, EdgeOp};
 use gg_core::engine::Engine;
 use gg_graph::types::VertexId;
 use gg_runtime::atomics::{atomic_f32_vec, snapshot_f32, AtomicF32};
@@ -40,6 +40,32 @@ impl EdgeOp for RelaxOp {
     }
 }
 
+/// Relaxation is an associative `min` over candidate distances (source
+/// distances are frozen for the round on the pull path), so hub
+/// sub-chunks can pre-reduce locally. The f32 candidate widens to f64
+/// exactly, so folding loses no precision.
+impl EdgeMapReduce for RelaxOp {
+    #[inline]
+    fn identity(&self) -> f64 {
+        f64::INFINITY
+    }
+
+    #[inline]
+    fn accumulate(&self, acc: f64, src: VertexId, w: f32) -> f64 {
+        acc.min((self.dist[src as usize].load() + w) as f64)
+    }
+
+    #[inline]
+    fn combine(&self, a: f64, b: f64) -> f64 {
+        a.min(b)
+    }
+
+    #[inline]
+    fn apply(&self, dst: VertexId, acc: f64) -> bool {
+        self.dist[dst as usize].min_exclusive(acc as f32)
+    }
+}
+
 /// Runs Bellman-Ford from `source`.
 pub fn bellman_ford<E: Engine>(engine: &E, source: VertexId) -> BfResult {
     let n = engine.num_vertices();
@@ -52,7 +78,7 @@ pub fn bellman_ford<E: Engine>(engine: &E, source: VertexId) -> BfResult {
     let spec = Algorithm::Bf.spec();
     // Safety cutoff: n rounds suffice for non-negative weights.
     while !frontier.is_empty() && rounds <= n {
-        frontier = engine.edge_map(&frontier, &op, spec);
+        frontier = engine.edge_map_reduce(&frontier, &op, spec);
         rounds += 1;
     }
     BfResult {

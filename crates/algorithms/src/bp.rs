@@ -15,7 +15,7 @@
 //! the evaluation exercises; per-edge message storage would only change
 //! constants.
 
-use gg_core::edge_map::EdgeOp;
+use gg_core::edge_map::{EdgeMapReduce, EdgeOp};
 use gg_core::engine::Engine;
 use gg_graph::types::VertexId;
 use gg_runtime::atomics::{atomic_f64_vec, snapshot_f64, AtomicF64};
@@ -68,6 +68,31 @@ impl EdgeOp for BpOp<'_> {
     }
 }
 
+/// The belief accumulation is an associative sum of frozen per-source
+/// messages, so hub sub-chunks can pre-reduce locally.
+impl EdgeMapReduce for BpOp<'_> {
+    #[inline]
+    fn identity(&self) -> f64 {
+        0.0
+    }
+
+    #[inline]
+    fn accumulate(&self, acc: f64, src: VertexId, _w: f32) -> f64 {
+        acc + self.msg[src as usize].load()
+    }
+
+    #[inline]
+    fn combine(&self, a: f64, b: f64) -> f64 {
+        a + b
+    }
+
+    #[inline]
+    fn apply(&self, dst: VertexId, acc: f64) -> bool {
+        self.acc[dst as usize].add_exclusive(acc);
+        true
+    }
+}
+
 /// Runs BP and returns the final belief logits.
 ///
 /// # Panics
@@ -93,7 +118,7 @@ pub fn bp<E: Engine>(engine: &E, priors: &[f64], params: BpParams) -> Vec<f64> {
             acc: &acc,
         };
         let frontier = engine.frontier_all();
-        let _ = engine.edge_map(&frontier, &op, spec);
+        let _ = engine.edge_map_reduce(&frontier, &op, spec);
         engine.vertex_map_all(|v| {
             belief[v as usize].store(acc[v as usize].load());
         });

@@ -7,7 +7,7 @@
 //! the partitioned-COO path, which is exactly the configuration Figure 5c
 //! and Figure 8 study.
 
-use gg_core::edge_map::EdgeOp;
+use gg_core::edge_map::{EdgeMapReduce, EdgeOp};
 use gg_core::engine::Engine;
 use gg_graph::types::VertexId;
 use gg_runtime::atomics::{atomic_f64_vec, snapshot_f64, AtomicF64};
@@ -37,6 +37,31 @@ impl EdgeOp for PrOp<'_> {
     }
 }
 
+/// The rank accumulation is an associative sum of frozen per-source
+/// contributions, so hub sub-chunks can pre-reduce locally.
+impl EdgeMapReduce for PrOp<'_> {
+    #[inline]
+    fn identity(&self) -> f64 {
+        0.0
+    }
+
+    #[inline]
+    fn accumulate(&self, acc: f64, src: VertexId, _w: f32) -> f64 {
+        acc + self.contrib[src as usize].load()
+    }
+
+    #[inline]
+    fn combine(&self, a: f64, b: f64) -> f64 {
+        a + b
+    }
+
+    #[inline]
+    fn apply(&self, dst: VertexId, acc: f64) -> bool {
+        self.acc[dst as usize].add_exclusive(acc);
+        true
+    }
+}
+
 /// Runs `iters` power-method iterations; returns the rank vector.
 pub fn pagerank<E: Engine>(engine: &E, iters: usize) -> Vec<f64> {
     let n = engine.num_vertices();
@@ -60,7 +85,7 @@ pub fn pagerank<E: Engine>(engine: &E, iters: usize) -> Vec<f64> {
             acc: &acc,
         };
         let frontier = engine.frontier_all();
-        let _ = engine.edge_map(&frontier, &op, spec);
+        let _ = engine.edge_map_reduce(&frontier, &op, spec);
         engine.vertex_map_all(|v| {
             rank[v as usize].store(0.15 / n as f64 + DAMPING * acc[v as usize].load());
         });

@@ -2,7 +2,7 @@
 //! forward): `y[v] = Σ_{(u,v) ∈ E} w(u,v) · x[u]`, interpreting the graph
 //! as its (transposed-indexed) adjacency matrix.
 
-use gg_core::edge_map::EdgeOp;
+use gg_core::edge_map::{EdgeMapReduce, EdgeOp};
 use gg_core::engine::Engine;
 use gg_graph::types::VertexId;
 use gg_runtime::atomics::{atomic_f64_vec, snapshot_f64, AtomicF64};
@@ -28,6 +28,31 @@ impl EdgeOp for SpmvOp<'_> {
     }
 }
 
+/// The row dot-product is an associative sum over the frozen input
+/// vector, so hub sub-chunks can pre-reduce locally.
+impl EdgeMapReduce for SpmvOp<'_> {
+    #[inline]
+    fn identity(&self) -> f64 {
+        0.0
+    }
+
+    #[inline]
+    fn accumulate(&self, acc: f64, src: VertexId, w: f32) -> f64 {
+        acc + w as f64 * self.x[src as usize]
+    }
+
+    #[inline]
+    fn combine(&self, a: f64, b: f64) -> f64 {
+        a + b
+    }
+
+    #[inline]
+    fn apply(&self, dst: VertexId, acc: f64) -> bool {
+        self.y[dst as usize].add_exclusive(acc);
+        true
+    }
+}
+
 /// Computes `y = A^T x` (contributions flow along edge direction).
 ///
 /// # Panics
@@ -38,7 +63,7 @@ pub fn spmv<E: Engine>(engine: &E, x: &[f64]) -> Vec<f64> {
     let y = atomic_f64_vec(n, 0.0);
     let op = SpmvOp { x, y: &y };
     let frontier = engine.frontier_all();
-    let _ = engine.edge_map(&frontier, &op, Algorithm::Spmv.spec());
+    let _ = engine.edge_map_reduce(&frontier, &op, Algorithm::Spmv.spec());
     snapshot_f64(&y)
 }
 

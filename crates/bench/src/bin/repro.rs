@@ -9,7 +9,7 @@
 //!
 //! experiments: tab1 tab2 fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10
 //!              atomics heuristic reorder smoke sparse_output load_balance
-//!              all
+//!              chunk_overhead all
 //! ```
 //!
 //! `--scale` multiplies the default graph sizes (DESIGN.md §2); the
@@ -229,7 +229,7 @@ fn parse_args() -> Args {
     if args.experiment.is_empty() {
         eprintln!(
             "usage: repro <tab1|tab2|fig2|fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|atomics|\
-             heuristic|reorder|smoke|sparse_output|load_balance|all> [--scale F] [--threads N]\
+             heuristic|reorder|smoke|sparse_output|load_balance|chunk_overhead|all> [--scale F] [--threads N]\
              [--reps N] [--tiny] [--partitions N] [--executor monolithic|partitioned]\
              [--output auto|sparse|dense] [--scenario grid|smallworld|powerlaw]\
              [--chunk N|max|auto] [--adaptive] [--alpha F] [--hubs N]"
@@ -296,6 +296,9 @@ fn main() {
     }
     if run("load_balance") {
         load_balance(&args);
+    }
+    if run("chunk_overhead") {
+        chunk_overhead(&args);
     }
 }
 
@@ -999,7 +1002,9 @@ fn sparse_output(args: &Args) {
 /// executor. Compares partition-granular tasks (`--chunk max`) against
 /// intra-partition chunking + work stealing (`--chunk`, default
 /// `DEFAULT_CHUNK_EDGES`), prints the chunk/steal statistics and writes
-/// `BENCH_load_balance.json`.
+/// `BENCH_load_balance.json`. Each mode runs one untimed warmup rep plus
+/// `--reps` timed reps; the table and speedup lines report min-of-reps
+/// (mean alongside), and the JSON carries every per-rep sample.
 fn load_balance(args: &Args) {
     use gg_core::config::{ChunkCap, Config, ExecutorKind};
     use gg_core::engine::{Engine, GraphGrind2};
@@ -1063,7 +1068,8 @@ fn load_balance(args: &Args) {
     let mut t = Table::new(&[
         "Algorithm",
         "mode",
-        "time (s)",
+        "min (s)",
+        "mean (s)",
         "chunks",
         "hub subchunks",
         "steals",
@@ -1076,27 +1082,53 @@ fn load_balance(args: &Args) {
     for algo in [Algorithm::Pr, Algorithm::Bfs] {
         let w = Workload::prepare(&el, algo);
         let mut per_mode: Vec<(String, f64)> = Vec::new();
-        for &(label, cap) in &modes {
-            let cfg = Config {
-                threads: args.threads,
-                num_partitions: partitions,
-                numa: NumaTopology::paper_machine(),
-                executor: ExecutorKind::Partitioned,
-                chunk_edges: cap,
-                ..Config::default()
-            };
-            let engine = GraphGrind2::new(&w.el, cfg);
-            let run = || match algo {
+        // One engine per mode, timed with the reps round-robin interleaved:
+        // per-mode blocks hand host-side slow periods (CPU throttling,
+        // frequency drift) to whichever mode runs last — on this harness
+        // that bias dwarfed the per-chunk costs being measured. The warmup
+        // rep per mode still absorbs the lazy pool spawn and cold caches;
+        // the min over interleaved reps is the headline number.
+        let engines: Vec<_> = modes
+            .iter()
+            .map(|&(_, cap)| {
+                let cfg = Config {
+                    threads: args.threads,
+                    num_partitions: partitions,
+                    numa: NumaTopology::paper_machine(),
+                    executor: ExecutorKind::Partitioned,
+                    chunk_edges: cap,
+                    ..Config::default()
+                };
+                GraphGrind2::new(&w.el, cfg)
+            })
+            .collect();
+        let mut runners: Vec<_> = engines
+            .iter()
+            .map(|engine| {
+                move || match algo {
+                    Algorithm::Bfs => {
+                        let _ = gg_algorithms::bfs(engine, w.source);
+                    }
+                    _ => {
+                        let _ = gg_algorithms::pagerank(engine, 10);
+                    }
+                }
+            })
+            .collect();
+        let all_stats = gg_bench::time_stats_interleaved(args.reps, &mut runners);
+        drop(runners);
+        for ((&(label, _), engine), stats) in modes.iter().zip(&engines).zip(&all_stats) {
+            // Counters: one extra counted run per mode after timing, so the
+            // table reports a single run's chunk/steal totals.
+            engine.work_counters().reset();
+            match algo {
                 Algorithm::Bfs => {
-                    let _ = gg_algorithms::bfs(&engine, w.source);
+                    let _ = gg_algorithms::bfs(engine, w.source);
                 }
                 _ => {
-                    let _ = gg_algorithms::pagerank(&engine, 10);
+                    let _ = gg_algorithms::pagerank(engine, 10);
                 }
-            };
-            let time = gg_bench::time_median(args.reps, run);
-            engine.work_counters().reset();
-            run();
+            }
             let c = engine.work_counters();
             // The persistent pool: spawns stays at the thread count no
             // matter how many rounds (epochs) ran.
@@ -1104,7 +1136,8 @@ fn load_balance(args: &Args) {
             t.row(vec![
                 algo.code().into(),
                 label.into(),
-                fmt_secs(time),
+                fmt_secs(stats.min),
+                fmt_secs(stats.mean),
                 c.chunks().to_string(),
                 c.hub_subchunks().to_string(),
                 c.steals().to_string(),
@@ -1113,14 +1146,24 @@ fn load_balance(args: &Args) {
                 format!("{:.1}", c.mean_chunk_edges()),
                 format!("{spawns}/{epochs}"),
             ]);
+            let samples = stats
+                .samples
+                .iter()
+                .map(|s| format!("{s:.6}"))
+                .collect::<Vec<_>>()
+                .join(", ");
             json_rows.push(format!(
                 "    {{\"algorithm\": \"{}\", \"mode\": \"{}\", \"time_s\": {:.6}, \
+                 \"time_min_s\": {:.6}, \"time_mean_s\": {:.6}, \"samples\": [{}], \
                  \"chunks\": {}, \"hub_subchunks\": {}, \"steals\": {}, \
                  \"cross_domain_steals\": {}, \"max_chunk_edges\": {}, \
                  \"mean_chunk_edges\": {:.1}, \"pool_spawns\": {}, \"pool_epochs\": {}}}",
                 algo.code(),
                 label,
-                time,
+                stats.median,
+                stats.min,
+                stats.mean,
+                samples,
                 c.chunks(),
                 c.hub_subchunks(),
                 c.steals(),
@@ -1130,13 +1173,20 @@ fn load_balance(args: &Args) {
                 spawns,
                 epochs,
             ));
-            per_mode.push((label.to_string(), time));
+            per_mode.push((label.to_string(), stats.min));
         }
         println!(
-            "{}: chunked vs partition-granular speedup {:.3}x",
+            "{}: chunked vs partition-granular speedup {:.3}x (min-of-reps)",
             algo.code(),
             per_mode[0].1 / per_mode[1].1.max(1e-12)
         );
+        if per_mode.len() > 2 {
+            println!(
+                "{}: adaptive vs partition-granular speedup {:.3}x (min-of-reps)",
+                algo.code(),
+                per_mode[0].1 / per_mode[2].1.max(1e-12)
+            );
+        }
     }
     t.print();
     let json = format!(
@@ -1161,6 +1211,87 @@ fn load_balance(args: &Args) {
         Ok(()) => println!("\nwrote {path}\n"),
         Err(e) => eprintln!("\nfailed to write {path}: {e}\n"),
     }
+}
+
+/// The per-chunk overhead micro-bench calibrating
+/// `plan::HUB_SPLIT_OVERHEAD_EDGES`: how many sequential CSC edge visits
+/// cost as much as scheduling one extra work-stealing chunk? The hub-split
+/// cost model should only split a hub when the predicted imbalance
+/// (`in_degree - cap` edges) exceeds this break-even point, otherwise the
+/// split's dispatch cost outweighs the balance it buys.
+///
+/// Two measurements, both min-of-reps over `--reps` runs with a warmup:
+/// * **per-edge cost** — a PR-style indexed fold (`acc += contrib[src[e]]`)
+///   over a shuffled index array, the inner loop a chunk actually runs;
+/// * **per-chunk cost** — a `run_stealing` epoch of no-op tasks on a
+///   `--threads`-wide pool, divided by the task count.
+fn chunk_overhead(args: &Args) {
+    use gg_runtime::pool::Pool;
+
+    println!("## Chunk-overhead micro-bench — calibrates plan::HUB_SPLIT_OVERHEAD_EDGES\n");
+    let edges = ((1_000_000.0 * args.scale) as usize).clamp(10_000, 8_000_000);
+    let tasks = 2048usize;
+    // A shuffled source-index array reproduces the irregular gather of a
+    // real CSC scan (sequential src would let the prefetcher flatter the
+    // per-edge cost).
+    let contrib: Vec<f64> = (0..edges).map(|i| 1.0 / (i + 1) as f64).collect();
+    let src: Vec<u32> = {
+        let mut v: Vec<u32> = (0..edges as u32).collect();
+        let mut state = 0x9e3779b97f4a7c15u64;
+        for i in (1..v.len()).rev() {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            v.swap(i, (state % (i as u64 + 1)) as usize);
+        }
+        v
+    };
+    let sink = std::sync::atomic::AtomicU64::new(0);
+    let edge_stats = gg_bench::time_stats(args.reps, || {
+        let mut acc = 0.0f64;
+        for &s in &src {
+            acc += contrib[s as usize];
+        }
+        sink.fetch_add(acc.to_bits(), std::sync::atomic::Ordering::Relaxed);
+    });
+    let per_edge_s = edge_stats.min / edges as f64;
+
+    let pool = Pool::new(args.threads);
+    let task_domain = vec![0usize; tasks];
+    let chunk_stats = gg_bench::time_stats(args.reps, || {
+        let (r, _) = pool.run_stealing(1, &task_domain, |t| t as u64);
+        sink.fetch_add(r.len() as u64, std::sync::atomic::Ordering::Relaxed);
+    });
+    let per_chunk_s = chunk_stats.min / tasks as f64;
+
+    let break_even = if per_edge_s > 0.0 {
+        per_chunk_s / per_edge_s
+    } else {
+        0.0
+    };
+    let mut t = Table::new(&["quantity", "value"]);
+    t.row(vec![
+        "per-edge cost (ns)".into(),
+        format!("{:.3}", per_edge_s * 1e9),
+    ]);
+    t.row(vec![
+        "per-chunk cost (ns)".into(),
+        format!("{:.1}", per_chunk_s * 1e9),
+    ]);
+    t.row(vec![
+        "break-even (edges/chunk)".into(),
+        format!("{break_even:.0}"),
+    ]);
+    t.row(vec![
+        "HUB_SPLIT_OVERHEAD_EDGES".into(),
+        gg_core::plan::HUB_SPLIT_OVERHEAD_EDGES.to_string(),
+    ]);
+    t.print();
+    println!(
+        "\ncost model splits a hub only when in_degree - cap > {} \
+         (compiled constant; re-calibrate from the break-even row)\n",
+        gg_core::plan::HUB_SPLIT_OVERHEAD_EDGES
+    );
 }
 
 /// §III.C / §IV.A: speedup from removing atomics (COO+a vs COO+na).

@@ -158,6 +158,33 @@ fn load_balance_tiny_writes_the_bench_json() {
 }
 
 #[test]
+fn chunk_overhead_tiny_reports_the_break_even_point() {
+    let out = run_repro(&["chunk_overhead", "--tiny"]);
+    assert!(out.contains("per-edge cost"), "{out}");
+    assert!(out.contains("per-chunk cost"), "{out}");
+    assert!(out.contains("break-even"), "{out}");
+    assert!(out.contains("HUB_SPLIT_OVERHEAD_EDGES"), "{out}");
+}
+
+#[test]
+fn load_balance_tiny_reports_per_rep_samples() {
+    let dir = std::env::temp_dir().join(format!("gg-load-balance-stats-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    let out = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(["load_balance", "--tiny", "--hubs", "8", "--reps", "2"])
+        .current_dir(&dir)
+        .output()
+        .expect("failed to launch repro");
+    assert!(out.status.success(), "{:?}", out.status);
+    let json = std::fs::read_to_string(dir.join("BENCH_load_balance.json"))
+        .expect("bench JSON must be written");
+    for key in ["\"time_min_s\"", "\"time_mean_s\"", "\"samples\": ["] {
+        assert!(json.contains(key), "missing {key} in:\n{json}");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn unknown_experiment_fails_with_usage() {
     let out = Command::new(env!("CARGO_BIN_EXE_repro"))
         .output()

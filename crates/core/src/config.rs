@@ -92,10 +92,12 @@ pub const DEFAULT_CHUNK_EDGES: usize = 16_384;
 pub enum ChunkCap {
     /// Derive the cap per planned partition as
     /// `max(MIN_CHUNK_EDGES, |E_partition| / (CHUNK_OVERSUBSCRIPTION ·
-    /// threads))` (see [`crate::plan::resolve_cap`]): a heavy partition
-    /// splits into roughly `CHUNK_OVERSUBSCRIPTION × threads` chunks no
-    /// matter how skewed the graph is, while light partitions stay at one
-    /// chunk. The default.
+    /// threads))`, clamped to the partition's own edge count (see
+    /// [`crate::plan::resolve_cap`]): a heavy partition splits into
+    /// roughly `CHUNK_OVERSUBSCRIPTION × threads` chunks no matter how
+    /// skewed the graph is, while light partitions stay at one chunk.
+    /// Hub splitting under this policy is gated by the
+    /// [`crate::plan::HubSplit`] cost model. The default.
     #[default]
     Auto,
     /// Fixed cap in planned CSC edges. `Fixed(usize::MAX)` disables
@@ -200,15 +202,21 @@ pub struct Config {
     /// Cap policy for the planned CSC edge count of one work-stealing
     /// chunk (partitioned executor only). The planner splits every planned
     /// partition into edge-balanced chunks; a destination whose in-degree
-    /// exceeds the cap is itself split into **sub-chunks** of its in-edge
-    /// scan (mega-hub splitting, reduced deterministically at merge time),
-    /// so no chunk carries more than `2 × cap` edges no matter how skewed
-    /// the degree distribution is. The pool schedules the chunks with
-    /// NUMA-domain-affine work stealing — so a star-shaped heavy partition
-    /// no longer bounds round latency. [`ChunkCap::Auto`] (the default)
-    /// derives the cap per planned partition from `|E_partition|` and the
-    /// thread count; `ChunkCap::Fixed(usize::MAX)` disables splitting (one
-    /// chunk per partition); the `GG_CHUNK` environment variable (see
+    /// exceeds the cap is split into **sub-chunks** of its in-edge scan
+    /// (mega-hub splitting, reduced deterministically at merge time). The
+    /// pool schedules the chunks with NUMA-domain-affine work stealing —
+    /// so a star-shaped heavy partition no longer bounds round latency.
+    ///
+    /// Under a `Fixed` cap splitting is unconditional, so no chunk carries
+    /// more than `2 × cap` edges no matter how skewed the degree
+    /// distribution is. Under [`ChunkCap::Auto`] (the default, cap derived
+    /// per planned partition from `|E_partition|` and the thread count) a
+    /// hub-split **cost model** keeps a hub whole while the predicted
+    /// imbalance is smaller than the per-chunk scheduling overhead (see
+    /// [`crate::plan::HubSplit`]); a marginal hub may then sit alone in a
+    /// chunk of up to `cap + HUB_SPLIT_OVERHEAD_EDGES` edges.
+    /// `ChunkCap::Fixed(usize::MAX)` disables splitting (one chunk per
+    /// partition); the `GG_CHUNK` environment variable (see
     /// [`chunk_edges_from_env`]) is the conventional override.
     pub chunk_edges: ChunkCap,
 }

@@ -50,6 +50,49 @@ pub trait EdgeOp: Sync {
     }
 }
 
+/// Quantum width of the associative pre-reduction (edges per fold unit).
+///
+/// The reduce path ([`EdgeMapReduce`]) folds each destination's in-edge
+/// scan in fixed runs of `REDUCE_QUANTUM` consecutive CSC slots, with run
+/// boundaries at absolute multiples of the quantum within the scan —
+/// independent of chunk caps, thread counts and steal schedules. Folding
+/// per fixed quantum (rather than per sub-chunk) is what makes the reduced
+/// result bit-identical across every schedule: the f64 grouping of the
+/// accumulation is a property of the destination alone.
+pub const REDUCE_QUANTUM: usize = 64;
+
+/// An associative-accumulator extension of [`EdgeOp`] — the analogue of
+/// Ligra's `edgeMapReduce`.
+///
+/// Operators whose per-destination update is a fold over an associative
+/// operation (PR, SpMV, Bellman-Ford, BP) implement this so hub sub-chunks
+/// can pre-reduce their `(source, weight)` contributions into accumulator
+/// values *locally* — the dispatcher-side merge then costs one
+/// [`combine`](Self::combine)-sized step per sub-chunk instead of
+/// replaying every edge through [`EdgeOp::update`]. Traversal-style
+/// operators with exclusive per-destination state machines (BFS, CC, BC)
+/// do not implement it and keep the exclusive-update replay path.
+///
+/// Contract: `combine` must be associative with `identity()` as its unit,
+/// and `apply(dst, fold(edges))` must have the same effect as updating
+/// `dst` with each edge through the exclusive path (to within the f64
+/// grouping fixed by [`REDUCE_QUANTUM`]). `apply` runs under the same
+/// single-writer guarantee as [`EdgeOp::update`].
+pub trait EdgeMapReduce: EdgeOp {
+    /// The unit of [`combine`](Self::combine).
+    fn identity(&self) -> f64;
+
+    /// Folds one in-edge `(src, w)` of the destination into `acc`.
+    fn accumulate(&self, acc: f64, src: VertexId, w: f32) -> f64;
+
+    /// Associative merge of two accumulators.
+    fn combine(&self, a: f64, b: f64) -> f64;
+
+    /// Applies a folded accumulator to `dst` (single-writer guarantee);
+    /// returns `true` when `dst` should join the next frontier.
+    fn apply(&self, dst: VertexId, acc: f64) -> bool;
+}
+
 /// Which traversal class Algorithm 2 selected.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum EdgeKind {

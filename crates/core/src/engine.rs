@@ -23,7 +23,7 @@ use gg_runtime::pool::Pool;
 use gg_runtime::schedule::PartitionSchedule;
 
 use crate::config::{Config, ExecutorKind, ForcedKernel};
-use crate::edge_map::{self, EdgeKind, EdgeOp};
+use crate::edge_map::{self, EdgeKind, EdgeMapReduce, EdgeOp};
 use crate::frontier::Frontier;
 use crate::partitioned::{PartitionView, PartitionedExec};
 use crate::store::GraphStore;
@@ -214,6 +214,22 @@ pub trait Engine: Sync {
     /// reentrant** — issue one `edge_map` at a time per engine (the sparse
     /// path shares a deduplication scratch bitmap across calls).
     fn edge_map<O: EdgeOp>(&self, frontier: &Frontier, op: &O, spec: EdgeMapSpec) -> Frontier;
+
+    /// Like [`edge_map`](Self::edge_map), for operators whose
+    /// per-destination update is an associative fold
+    /// ([`EdgeMapReduce`]: PR, SpMV, BF, BP). Engines that can exploit
+    /// the associativity — pre-reducing hub sub-chunk contributions
+    /// instead of replaying them — override this; the default simply runs
+    /// the exclusive-update `edge_map` path, which every correct
+    /// `EdgeMapReduce` implementation must agree with.
+    fn edge_map_reduce<O: EdgeMapReduce>(
+        &self,
+        frontier: &Frontier,
+        op: &O,
+        spec: EdgeMapSpec,
+    ) -> Frontier {
+        self.edge_map(frontier, op, spec)
+    }
 
     /// The all-active frontier.
     fn frontier_all(&self) -> Frontier {
@@ -498,6 +514,33 @@ impl Engine for GraphGrind2 {
                 self.run_kind(kind, frontier, op, spec)
             }
         }
+    }
+
+    /// The partitioned executor routes reduce-capable operators through
+    /// the associative pre-reduction path; monolithic configurations fall
+    /// back to the exclusive-update kernels.
+    fn edge_map_reduce<O: EdgeMapReduce>(
+        &self,
+        frontier: &Frontier,
+        op: &O,
+        spec: EdgeMapSpec,
+    ) -> Frontier {
+        if frontier.is_empty() {
+            return Frontier::empty(self.num_vertices());
+        }
+        if let Some(exec) = &self.partitioned {
+            return exec.edge_map_reduce(
+                &self.store,
+                &self.pool,
+                &self.config,
+                &self.counters,
+                &self.kernel_counts,
+                &self.merge_scratch,
+                frontier,
+                op,
+            );
+        }
+        self.edge_map(frontier, op, spec)
     }
 
     fn vertex_map_all<F: Fn(VertexId) + Sync>(&self, f: F) {

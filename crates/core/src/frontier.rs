@@ -93,6 +93,14 @@ pub enum PartitionOutputData {
     /// before the frontier merge; [`Frontier::from_partition_outputs`]
     /// refuses unreduced partials.
     Partial(HubPartial),
+    /// A mega-hub sub-chunk's **pre-reduced accumulator** for an
+    /// [`EdgeMapReduce`](crate::edge_map::EdgeMapReduce) operator: folded
+    /// per-quantum values plus raw fragments for quanta the sub-chunk only
+    /// partially covers. The executor merges these by quantum index and
+    /// applies them in ascending order
+    /// ([`reduce_hub_quanta`](crate::partitioned::reduce_hub_quanta));
+    /// [`Frontier::from_partition_outputs`] refuses unreduced partials.
+    ReducePartial(HubReducePartial),
 }
 
 /// The partial accumulator a mega-hub sub-chunk emits: the frontier-active
@@ -111,6 +119,26 @@ pub struct HubPartial {
     pub actives: Vec<(VertexId, f32)>,
 }
 
+/// The pre-reduced accumulator a mega-hub sub-chunk emits for a
+/// reduce-capable operator. The destination's in-edge scan is folded in
+/// fixed runs of [`REDUCE_QUANTUM`](crate::edge_map::REDUCE_QUANTUM)
+/// consecutive slots with boundaries at absolute multiples of the quantum:
+/// quanta fully inside the sub-chunk arrive as **folded** `(quantum, acc)`
+/// values, while quanta straddling a sub-chunk boundary arrive as raw
+/// `(quantum, source, weight)` **fragments** so the reducer can re-fold
+/// the whole quantum edge-wise — keeping the f64 grouping identical to an
+/// unsplit scan of the destination. Quanta with no frontier-active edges
+/// are omitted entirely.
+#[derive(Clone, Debug)]
+pub struct HubReducePartial {
+    /// Folded `(quantum index, accumulator)` values for fully-covered,
+    /// non-empty quanta, in ascending quantum order.
+    pub folded: Vec<(u64, f64)>,
+    /// Raw `(quantum index, source, weight)` contributions of straddled
+    /// quanta, in CSC scan order.
+    pub fragments: Vec<(u64, VertexId, f32)>,
+}
+
 impl PartitionOutput {
     /// Number of activated destinations in this buffer. A partial
     /// accumulator has not activated anything yet.
@@ -118,7 +146,7 @@ impl PartitionOutput {
         match &self.data {
             PartitionOutputData::Sparse(list) => list.len(),
             PartitionOutputData::Dense(seg) => seg.count_ones(),
-            PartitionOutputData::Partial(_) => 0,
+            PartitionOutputData::Partial(_) | PartitionOutputData::ReducePartial(_) => 0,
         }
     }
 
@@ -127,9 +155,13 @@ impl PartitionOutput {
         matches!(self.data, PartitionOutputData::Sparse(_))
     }
 
-    /// True when the buffer is an unreduced mega-hub partial accumulator.
+    /// True when the buffer is an unreduced mega-hub partial accumulator
+    /// (either flavour: replay or pre-reduced).
     pub fn is_partial(&self) -> bool {
-        matches!(self.data, PartitionOutputData::Partial(_))
+        matches!(
+            self.data,
+            PartitionOutputData::Partial(_) | PartitionOutputData::ReducePartial(_)
+        )
     }
 }
 
@@ -391,7 +423,9 @@ impl Frontier {
                         t.extend(lo..hi);
                     }
                 }
-                PartitionOutputData::Partial(_) => unreachable!("asserted above"),
+                PartitionOutputData::Partial(_) | PartitionOutputData::ReducePartial(_) => {
+                    unreachable!("asserted above")
+                }
             }
             if let Some(t) = &touched {
                 if t.len() > track_limit {

@@ -42,11 +42,17 @@
 //!  typed per-chunk outputs: Vec<VertexId> | BitmapSegment (sub-range)
 //!                          | HubPartial (collected active in-edges of
 //!                            one slice of a hub's scan, not yet applied)
+//!                          | HubReducePartial (per-quantum pre-reduced
+//!                            accumulators of one slice, EdgeMapReduce)
 //!                        ▼
 //!  reduce_hub_partials — sequential replay of each split hub's collected
 //!    contributions in ascending (partition, chunk, sub-chunk) = CSC scan
 //!    order through the exclusive update path: one writer per
 //!    destination, bit-identical to the unsplit scan
+//!  reduce_hub_quanta — EdgeMapReduce operators instead merge the
+//!    pre-reduced per-quantum accumulators by quantum index and apply one
+//!    folded value per non-empty quantum, ascending: O(degree / QUANTUM)
+//!    dispatcher work instead of O(degree) replay
 //!                        ▼
 //!  Frontier::from_partition_outputs — (partition, chunk)-order concat
 //!    all sparse → sorted list, O(Σ outputs), no |V|-proportional work
@@ -119,6 +125,27 @@
 //!   pre-check and early exit. The applied update sequence is therefore
 //!   bit-identical to never having split the hub, for every cap, thread
 //!   count and steal schedule.
+//! * **Associative pre-reduction** — for operators implementing
+//!   [`EdgeMapReduce`] (PR, SpMV, BF, BP), `edge_map_reduce` replaces the
+//!   replay with a fold: *every* destination's scan — split or not — is
+//!   folded in fixed [`REDUCE_QUANTUM`]-edge runs with boundaries at
+//!   absolute multiples of the quantum within the scan
+//!   ([`pull_vertex_reduce`]), and one accumulator per non-empty quantum
+//!   is applied in ascending quantum order. A hub sub-chunk pre-reduces
+//!   the quanta it fully covers locally and ships raw fragments only for
+//!   the (at most two) quanta it straddles
+//!   ([`collect_hub_reduce_partial`]); [`reduce_hub_quanta`] then merges
+//!   by quantum index — so the dispatcher-side cost per sub-chunk is one
+//!   apply per quantum instead of one update per edge, and the f64
+//!   grouping (hence the result, bit for bit) is a property of the
+//!   destination alone, identical across caps, thread counts, partition
+//!   counts and steal schedules.
+//! * **Hub-split cost model** — whether an over-cap hub splits at all is
+//!   the planner's [`HubSplit`](crate::plan::HubSplit) policy: `Fixed`
+//!   caps split unconditionally, the `Auto` cap splits only hubs whose
+//!   excess over the cap exceeds
+//!   [`HUB_SPLIT_OVERHEAD_EDGES`](crate::plan::HUB_SPLIT_OVERHEAD_EDGES),
+//!   so balanced graphs keep coarse, overhead-free schedules.
 //! * **Deterministic merge** — each chunk task returns its typed
 //!   [`PartitionOutput`]; [`Frontier::from_partition_outputs`] concatenates
 //!   them in `(partition, chunk)` order, which over disjoint ascending
@@ -143,17 +170,18 @@ use std::sync::Arc;
 use gg_graph::bitmap::{AtomicBitmap, Bitmap, BitmapSegment};
 use gg_graph::csc::Csc;
 use gg_graph::csr::PrunedCsr;
-use gg_graph::types::VertexId;
+use gg_graph::types::{EdgeId, VertexId};
 use gg_runtime::buffer::BufferPool;
 use gg_runtime::counters::{LocalTally, WorkCounters};
 use gg_runtime::pool::Pool;
 use gg_runtime::schedule::PartitionSchedule;
 
 use crate::config::Config;
-use crate::edge_map::EdgeOp;
+use crate::edge_map::{EdgeMapReduce, EdgeOp, REDUCE_QUANTUM};
 use crate::engine::KernelCounts;
 use crate::frontier::{
-    Frontier, FrontierData, FrontierView, HubPartial, PartitionOutput, PartitionOutputData,
+    Frontier, FrontierData, FrontierView, HubPartial, HubReducePartial, PartitionOutput,
+    PartitionOutputData,
 };
 use crate::plan::{self, OutputRepr};
 use crate::store::GraphStore;
@@ -203,6 +231,26 @@ pub(crate) struct PartitionedExec {
     /// Domain count of the schedule, passed to the work-stealing scheduler
     /// for worker→domain assignment and victim ordering.
     domains: usize,
+    /// Lazily memoised dense chunk decompositions, one slot per partition.
+    /// A dense kernel's chunking depends only on the CSC offsets, the
+    /// partition's destination range, the resolved cap and the hub-split
+    /// policy — all fixed for an engine's lifetime — so the `O(|V_p|)`
+    /// offset scan in `chunk_by_weight` runs once per partition instead of
+    /// once per round (on a 10-iteration PageRank that scan was the whole
+    /// wall-clock gap between finite caps and partition-granular plans).
+    /// Each slot records the `(cap, policy)` it was computed under and is
+    /// bypassed, not invalidated, if a caller ever plans with different
+    /// settings.
+    dense_plans: Vec<std::sync::OnceLock<DensePlan>>,
+}
+
+/// One partition's cached dense chunk decomposition plus the settings it
+/// was planned under (see [`PartitionedExec::dense_plans`]).
+#[derive(Debug)]
+struct DensePlan {
+    cap: usize,
+    hub_split: plan::HubSplit,
+    chunks: Arc<Vec<plan::Chunk>>,
 }
 
 impl PartitionedExec {
@@ -230,11 +278,45 @@ impl PartitionedExec {
             .collect();
         let edge_order = schedule.order_filtered(|p| views[p].num_edges > 0);
         let vertex_order = schedule.order_filtered(|p| !views[p].dst_range.is_empty());
+        let dense_plans = (0..views.len())
+            .map(|_| std::sync::OnceLock::new())
+            .collect();
         PartitionedExec {
             views,
             edge_order,
             vertex_order,
             domains: schedule.domains(),
+            dense_plans,
+        }
+    }
+
+    /// The partition's dense chunk decomposition under `(cap, hub_split)`,
+    /// memoised on first use: dense chunking is frontier-independent, so
+    /// every subsequent round reuses the cached plan. A call with settings
+    /// other than the cached ones (a config change mid-engine) plans fresh
+    /// without touching the cache.
+    fn dense_chunks(
+        &self,
+        offsets: &[EdgeId],
+        partition: usize,
+        cap: usize,
+        hub_split: plan::HubSplit,
+    ) -> Arc<Vec<plan::Chunk>> {
+        let range = self.views[partition].dst_range.clone();
+        let cached = self.dense_plans[partition].get_or_init(|| DensePlan {
+            cap,
+            hub_split,
+            chunks: Arc::new(plan::chunk_dense_range(
+                offsets,
+                range.clone(),
+                cap,
+                hub_split,
+            )),
+        });
+        if cached.cap == cap && cached.hub_split == hub_split {
+            Arc::clone(&cached.chunks)
+        } else {
+            Arc::new(plan::chunk_dense_range(offsets, range, cap, hub_split))
         }
     }
 
@@ -266,91 +348,16 @@ impl PartitionedExec {
             // No partition has edges: nothing to traverse, pool untouched.
             return Frontier::empty(n);
         }
-
-        // The plan: (kernel, output-repr) per partition — cheap,
-        // deterministic, pool-free.
-        let traversal = plan::plan_partitions(
-            frontier,
-            &self.views,
-            &self.edge_order,
-            store.out_degrees(),
-            &config.thresholds,
-            config.output_mode,
-        );
-        let (ks, kd) = traversal.kernel_tally();
-        let (os, od) = traversal.output_tally();
-        kernel_counts.record_partitioned(ks, kd);
-        kernel_counts.record_outputs(os, od);
-
-        // Input side: kernels probe the frontier through a borrowed view.
-        // A sparse list is densified once per edge map only when it is
-        // large enough that the O(|V| / 64) bitmap costs less than the
-        // binary-search probes it replaces.
-        let densified: Option<Bitmap> = match frontier.data() {
-            FrontierData::Sparse(list) if n >= 64 && list.len() >= n / 64 => {
-                Some(frontier.to_bitmap())
-            }
-            _ => None,
-        };
-        let current = match &densified {
+        let prep = self.prepare(store, pool, config, counters, kernel_counts, frontier);
+        let current = match &prep.densified {
             Some(bitmap) => FrontierView::Dense(bitmap),
             None => frontier.view(),
         };
-
-        let pcsr = store
-            .partitioned_csr()
-            .expect("partitioned executor requires the partitioned CSR layout");
         let csc = store.csc();
+        let steps = &prep.traversal.steps;
+        let (step_work, tasks) = (&prep.step_work, &prep.tasks);
 
-        // Chunking: split each planned step into edge-balanced chunks —
-        // CSC-offset-balanced destination sub-ranges for dense kernels,
-        // candidate-list slices for sparse kernels, and per-scan
-        // sub-chunks for mega-hub destinations whose in-degree alone
-        // exceeds the cap. The cap itself is resolved per partition
-        // (`ChunkCap::Auto` derives it from `|E_partition|` and the thread
-        // count). Candidate discovery is a deterministic function of the
-        // frontier and the pruned CSR, so fanning it out per step (keyed
-        // by index) keeps the plan deterministic.
-        let steps = &traversal.steps;
-        let step_work: Vec<StepChunks> = pool.map_indices(steps.len(), |k| {
-            let step = steps[k];
-            let view = &self.views[step.partition];
-            let cap = plan::resolve_cap(config.chunk_edges, view.num_edges, pool.threads());
-            match step.kernel {
-                PartKernel::Dense => StepChunks::Dense(plan::chunk_dense_range(
-                    csc.offsets(),
-                    view.dst_range.clone(),
-                    cap,
-                )),
-                PartKernel::Sparse => {
-                    let candidates = discover_candidates(pcsr.part(step.partition), current);
-                    let chunks = plan::chunk_candidates(&candidates, csc.offsets(), cap);
-                    StepChunks::Sparse { candidates, chunks }
-                }
-            }
-        });
-
-        // Flatten to the deterministic task list: steps in submission
-        // order, chunks in range order within each step. The task index is
-        // the merge key, so scheduling can never reorder results.
-        let mut tasks: Vec<(usize, usize)> = Vec::new();
-        let mut task_domains: Vec<usize> = Vec::new();
-        let (mut edge_sum, mut edge_max) = (0u64, 0u64);
-        let mut hub_subchunks = 0u64;
-        for (k, work) in step_work.iter().enumerate() {
-            let domain = self.views[steps[k].partition].domain;
-            for (ci, chunk) in work.chunks().iter().enumerate() {
-                tasks.push((k, ci));
-                task_domains.push(domain);
-                edge_sum += chunk.edges;
-                edge_max = edge_max.max(chunk.edges);
-                hub_subchunks += chunk.sub.is_some() as u64;
-            }
-        }
-        counters.add_chunks(tasks.len() as u64, edge_sum, edge_max);
-        counters.add_hub_subchunks(hub_subchunks);
-
-        let (outputs, tally) = pool.run_stealing(self.domains, &task_domains, |t| {
+        let (outputs, tally) = pool.run_stealing(self.domains, &prep.task_domains, |t| {
             let (k, ci) = tasks[t];
             let step = steps[k];
             let mut tally = LocalTally::new(counters);
@@ -395,6 +402,200 @@ impl PartitionedExec {
         Frontier::from_partition_outputs(outputs, n, store.out_degrees(), counters, Some(scratch))
     }
 
+    /// One partition-parallel edge map for an associative
+    /// [`EdgeMapReduce`] operator. Identical planning, chunking and
+    /// scheduling to [`edge_map`](Self::edge_map), but every destination's
+    /// in-edge scan is folded per fixed [`REDUCE_QUANTUM`]-edge run
+    /// ([`pull_vertex_reduce`]): hub sub-chunks pre-reduce the quanta they
+    /// fully cover into one accumulator each ([`collect_hub_reduce_partial`])
+    /// so the dispatcher-side reduction ([`reduce_hub_quanta`]) costs one
+    /// apply per quantum instead of replaying every edge — while the f64
+    /// grouping, and therefore the result, stays bit-identical across
+    /// caps, thread counts, partition counts and steal schedules.
+    #[allow(clippy::too_many_arguments)]
+    pub fn edge_map_reduce<O: EdgeMapReduce>(
+        &self,
+        store: &GraphStore,
+        pool: &Pool,
+        config: &Config,
+        counters: &WorkCounters,
+        kernel_counts: &KernelCounts,
+        scratch: &Arc<BufferPool>,
+        frontier: &Frontier,
+        op: &O,
+    ) -> Frontier {
+        let n = store.num_vertices();
+        if self.edge_order.is_empty() {
+            return Frontier::empty(n);
+        }
+        let prep = self.prepare(store, pool, config, counters, kernel_counts, frontier);
+        let current = match &prep.densified {
+            Some(bitmap) => FrontierView::Dense(bitmap),
+            None => frontier.view(),
+        };
+        let csc = store.csc();
+        let steps = &prep.traversal.steps;
+        let (step_work, tasks) = (&prep.step_work, &prep.tasks);
+
+        let (outputs, tally) = pool.run_stealing(self.domains, &prep.task_domains, |t| {
+            let (k, ci) = tasks[t];
+            let step = steps[k];
+            let mut tally = LocalTally::new(counters);
+            match &step_work[k] {
+                StepChunks::Dense(chunks) => {
+                    let chunk = &chunks[ci];
+                    if let Some(sub) = &chunk.sub {
+                        let v = chunk.span.start as VertexId;
+                        return collect_hub_reduce_partial(csc, current, op, v, sub, &mut tally);
+                    }
+                    let span = &chunk.span;
+                    let range = span.start as VertexId..span.end as VertexId;
+                    let mut sink = PartSink::new(step.output, range.clone());
+                    for v in range {
+                        pull_vertex_reduce(csc, current, op, v, &mut sink, &mut tally);
+                    }
+                    sink.into_output()
+                }
+                StepChunks::Sparse { candidates, chunks } => {
+                    let chunk = &chunks[ci];
+                    if let Some(sub) = &chunk.sub {
+                        let v = candidates[chunk.span.start];
+                        return collect_hub_reduce_partial(csc, current, op, v, sub, &mut tally);
+                    }
+                    let slice = &candidates[chunk.span.clone()];
+                    let range = slice[0]..slice[slice.len() - 1] + 1;
+                    let mut sink = PartSink::new(step.output, range);
+                    for &v in slice {
+                        pull_vertex_reduce(csc, current, op, v, &mut sink, &mut tally);
+                    }
+                    sink.into_output()
+                }
+            }
+        });
+        counters.add_steals(tally.steals, tally.cross_domain_steals);
+
+        // Merge pre-reduced per-quantum accumulators by quantum index and
+        // apply one value per non-empty quantum, ascending — the reduce
+        // path's cheap replacement for the sequential edge replay.
+        let outputs = reduce_hub_quanta(outputs, op);
+
+        Frontier::from_partition_outputs(outputs, n, store.out_degrees(), counters, Some(scratch))
+    }
+
+    /// The planning + chunking skeleton shared by
+    /// [`edge_map`](Self::edge_map) and
+    /// [`edge_map_reduce`](Self::edge_map_reduce): plan `(kernel, output)`
+    /// per partition, densify the frontier view when probing would cost
+    /// more than one bitmap, split every planned step into edge-balanced
+    /// chunks under the resolved cap and the
+    /// [`HubSplit`](crate::plan::HubSplit) policy, and flatten the chunks
+    /// into the deterministic task list whose index is the merge key.
+    fn prepare(
+        &self,
+        store: &GraphStore,
+        pool: &Pool,
+        config: &Config,
+        counters: &WorkCounters,
+        kernel_counts: &KernelCounts,
+        frontier: &Frontier,
+    ) -> PreparedEdgeMap {
+        let n = store.num_vertices();
+
+        // The plan: (kernel, output-repr) per partition — cheap,
+        // deterministic, pool-free.
+        let traversal = plan::plan_partitions(
+            frontier,
+            &self.views,
+            &self.edge_order,
+            store.out_degrees(),
+            &config.thresholds,
+            config.output_mode,
+        );
+        let (ks, kd) = traversal.kernel_tally();
+        let (os, od) = traversal.output_tally();
+        kernel_counts.record_partitioned(ks, kd);
+        kernel_counts.record_outputs(os, od);
+
+        // Input side: kernels probe the frontier through a borrowed view.
+        // A sparse list is densified once per edge map only when it is
+        // large enough that the O(|V| / 64) bitmap costs less than the
+        // binary-search probes it replaces.
+        let densified: Option<Bitmap> = match frontier.data() {
+            FrontierData::Sparse(list) if n >= 64 && list.len() >= n / 64 => {
+                Some(frontier.to_bitmap())
+            }
+            _ => None,
+        };
+        let current = match &densified {
+            Some(bitmap) => FrontierView::Dense(bitmap),
+            None => frontier.view(),
+        };
+
+        let pcsr = store
+            .partitioned_csr()
+            .expect("partitioned executor requires the partitioned CSR layout");
+        let csc = store.csc();
+
+        // Chunking: split each planned step into edge-balanced chunks —
+        // CSC-offset-balanced destination sub-ranges for dense kernels,
+        // candidate-list slices for sparse kernels, and per-scan
+        // sub-chunks for mega-hub destinations when the hub-split policy
+        // says splitting pays (`Fixed` caps always split; `Auto` applies
+        // the cost model). The cap itself is resolved per partition
+        // (`ChunkCap::Auto` derives it from `|E_partition|` and the thread
+        // count). Candidate discovery is a deterministic function of the
+        // frontier and the pruned CSR, so fanning it out per step (keyed
+        // by index) keeps the plan deterministic.
+        let hub_split = plan::HubSplit::for_cap(config.chunk_edges);
+        let steps = &traversal.steps;
+        let step_work: Vec<StepChunks> = pool.map_indices(steps.len(), |k| {
+            let step = steps[k];
+            let view = &self.views[step.partition];
+            let cap = plan::resolve_cap(config.chunk_edges, view.num_edges, pool.threads());
+            match step.kernel {
+                PartKernel::Dense => StepChunks::Dense(self.dense_chunks(
+                    csc.offsets(),
+                    step.partition,
+                    cap,
+                    hub_split,
+                )),
+                PartKernel::Sparse => {
+                    let candidates = discover_candidates(pcsr.part(step.partition), current);
+                    let chunks = plan::chunk_candidates(&candidates, csc.offsets(), cap, hub_split);
+                    StepChunks::Sparse { candidates, chunks }
+                }
+            }
+        });
+
+        // Flatten to the deterministic task list: steps in submission
+        // order, chunks in range order within each step. The task index is
+        // the merge key, so scheduling can never reorder results.
+        let mut tasks: Vec<(usize, usize)> = Vec::new();
+        let mut task_domains: Vec<usize> = Vec::new();
+        let (mut edge_sum, mut edge_max) = (0u64, 0u64);
+        let mut hub_subchunks = 0u64;
+        for (k, work) in step_work.iter().enumerate() {
+            let domain = self.views[steps[k].partition].domain;
+            for (ci, chunk) in work.chunks().iter().enumerate() {
+                tasks.push((k, ci));
+                task_domains.push(domain);
+                edge_sum += chunk.edges;
+                edge_max = edge_max.max(chunk.edges);
+                hub_subchunks += chunk.sub.is_some() as u64;
+            }
+        }
+        counters.add_chunks(tasks.len() as u64, edge_sum, edge_max);
+        counters.add_hub_subchunks(hub_subchunks);
+
+        PreparedEdgeMap {
+            traversal,
+            densified,
+            step_work,
+            tasks,
+            task_domains,
+        }
+    }
+
     /// Partition-parallel `vertex_map_all`: every vertex range fans out as
     /// one pool task, in NUMA-domain-major order.
     pub fn vertex_map_all<F: Fn(VertexId) + Sync>(&self, pool: &Pool, f: F) {
@@ -434,12 +635,29 @@ impl PartitionedExec {
     }
 }
 
+/// The shared output of [`PartitionedExec::prepare`]: the plan, the
+/// (possibly densified) frontier view's backing bitmap, the per-step chunk
+/// decompositions, and the flattened deterministic task list.
+struct PreparedEdgeMap {
+    traversal: plan::TraversalPlan,
+    /// Keeps the densified frontier bitmap alive for the task phase; the
+    /// caller rebuilds the borrowed [`FrontierView`] from it.
+    densified: Option<Bitmap>,
+    step_work: Vec<StepChunks>,
+    /// `(step, chunk)` pairs in submission order — the task index is the
+    /// merge key.
+    tasks: Vec<(usize, usize)>,
+    task_domains: Vec<usize>,
+}
+
 /// One planned step's chunk decomposition: the dense kernel's sub-ranges,
 /// or the sparse kernel's discovered candidate list plus its slices.
 #[derive(Debug)]
 enum StepChunks {
-    /// Dense kernel: CSC-offset-balanced destination sub-ranges.
-    Dense(Vec<plan::Chunk>),
+    /// Dense kernel: CSC-offset-balanced destination sub-ranges, shared
+    /// with the executor's per-partition memo (see
+    /// [`PartitionedExec::dense_chunks`]).
+    Dense(Arc<Vec<plan::Chunk>>),
     /// Sparse kernel: the partition's sorted candidate list and the
     /// edge-balanced index slices over it.
     Sparse {
@@ -592,6 +810,232 @@ pub fn pull_range<O: EdgeOp, S: FrontierSink>(
     for v in range {
         pull_vertex(csc, current, op, v, sink, tally);
     }
+}
+
+/// The reduce-path analogue of [`pull_vertex`]: fold destination `v`'s
+/// frontier-active in-edge contributions in fixed [`REDUCE_QUANTUM`]-edge
+/// runs (boundaries at absolute multiples of the quantum within the scan)
+/// and apply one accumulator per non-empty quantum, in ascending quantum
+/// order, through the exclusive [`EdgeMapReduce::apply`] path.
+///
+/// The per-quantum grouping — not a single whole-scan fold — is the
+/// bit-identity contract with the split path: a hub sub-chunk folds
+/// exactly the same quanta ([`collect_hub_reduce_partial`]), so the f64
+/// operation sequence per destination is the same whether the scan ran
+/// whole, split at any cap, or on any thread. `cond` is checked once per
+/// destination (reduce-capable operators are frontier-driven; none uses a
+/// mid-scan early exit).
+#[inline]
+fn pull_vertex_reduce<O: EdgeMapReduce, S: FrontierSink>(
+    csc: &Csc,
+    current: FrontierView<'_>,
+    op: &O,
+    v: VertexId,
+    sink: &mut S,
+    tally: &mut LocalTally,
+) {
+    tally.vertex();
+    if !op.cond(v) {
+        return;
+    }
+    let base = csc.offsets()[v as usize];
+    let deg = csc.offsets()[v as usize + 1] - base;
+    let mut activated = false;
+    let mut lo = 0usize;
+    while lo < deg {
+        let hi = (lo + REDUCE_QUANTUM).min(deg);
+        let mut acc = op.identity();
+        let mut any = false;
+        for r in lo..hi {
+            tally.edge();
+            let e = base + r;
+            let u = csc.sources()[e];
+            if current.contains(u) {
+                acc = op.accumulate(acc, u, csc.weight_at(e));
+                any = true;
+            }
+        }
+        // Empty quanta are never applied — activation means at least one
+        // active in-edge, exactly as on the exclusive-update path.
+        if any && op.apply(v, acc) {
+            activated = true;
+        }
+        lo = hi;
+    }
+    if activated {
+        sink.activate(v);
+    }
+}
+
+/// Executes one mega-hub sub-chunk of the reduce path: fold the quanta of
+/// destination `v`'s scan that the slice `sub` fully covers into one
+/// accumulator each, and collect raw `(quantum, source, weight)` fragments
+/// for the (at most two) quanta the slice only straddles — the reducer
+/// re-folds those whole quanta edge-wise so the f64 grouping matches an
+/// unsplit scan ([`pull_vertex_reduce`]) exactly. Applying is deferred to
+/// [`reduce_hub_quanta`], so the destination keeps a single writer.
+fn collect_hub_reduce_partial<O: EdgeMapReduce>(
+    csc: &Csc,
+    current: FrontierView<'_>,
+    op: &O,
+    v: VertexId,
+    sub: &plan::SubSpan,
+    tally: &mut LocalTally,
+) -> PartitionOutput {
+    // Count the destination visit once, on its first slice.
+    if sub.lo == 0 {
+        tally.vertex();
+    }
+    // Pre-size for the slice: one folded entry per covered quantum, and
+    // at most two straddled quanta's worth of raw fragments — growing
+    // these from empty re-allocates several times per sub-chunk, which
+    // is pure overhead on the hub-heavy dense rounds.
+    let span = (sub.hi - sub.lo) as usize;
+    let mut folded: Vec<(u64, f64)> = Vec::with_capacity(span / REDUCE_QUANTUM + 1);
+    let mut fragments: Vec<(u64, VertexId, f32)> = Vec::with_capacity(2 * (REDUCE_QUANTUM - 1));
+    if op.cond(v) {
+        let base = csc.offsets()[v as usize];
+        let deg = csc.offsets()[v as usize + 1] - base;
+        let (lo, hi) = (sub.lo as usize, sub.hi as usize);
+        let mut r = lo;
+        while r < hi {
+            let q = r / REDUCE_QUANTUM;
+            let q_lo = q * REDUCE_QUANTUM;
+            // The quantum's absolute end: the scan's final quantum is
+            // truncated at the in-degree.
+            let q_hi = (q_lo + REDUCE_QUANTUM).min(deg);
+            let seg_hi = q_hi.min(hi);
+            if r == q_lo && q_hi <= hi {
+                // Fully covered quantum: fold it locally.
+                let mut acc = op.identity();
+                let mut any = false;
+                for s in r..seg_hi {
+                    tally.edge();
+                    let e = base + s;
+                    let u = csc.sources()[e];
+                    if current.contains(u) {
+                        acc = op.accumulate(acc, u, csc.weight_at(e));
+                        any = true;
+                    }
+                }
+                if any {
+                    folded.push((q as u64, acc));
+                }
+            } else {
+                // Straddled quantum: ship the active edges raw.
+                for s in r..seg_hi {
+                    tally.edge();
+                    let e = base + s;
+                    let u = csc.sources()[e];
+                    if current.contains(u) {
+                        fragments.push((q as u64, u, csc.weight_at(e)));
+                    }
+                }
+            }
+            r = seg_hi;
+        }
+    }
+    PartitionOutput {
+        range: v..v + 1,
+        data: PartitionOutputData::ReducePartial(HubReducePartial { folded, fragments }),
+    }
+}
+
+/// Reduces pre-reduced mega-hub accumulators into resolved outputs: for
+/// each split destination, merge its sub-chunks' per-quantum entries by
+/// quantum index (ascending — sub-chunks arrive in ascending slice order,
+/// so the concatenated entries already are), re-fold fragment runs of
+/// straddled quanta edge-wise from the identity, and apply one value per
+/// non-empty quantum through the exclusive [`EdgeMapReduce::apply`] path.
+/// Per quantum either exactly one sub-chunk folded it or ≥1 sub-chunks
+/// shipped fragments — never both, since sub-chunks tile the scan
+/// disjointly. Dispatcher work is `O(degree / REDUCE_QUANTUM)` applies
+/// plus the straddled fragments, not the `O(degree)` replay of
+/// [`reduce_hub_partials`]. Non-partial outputs pass through untouched.
+pub fn reduce_hub_quanta<O: EdgeMapReduce>(
+    outputs: Vec<PartitionOutput>,
+    op: &O,
+) -> Vec<PartitionOutput> {
+    if !outputs.iter().any(|o| o.is_partial()) {
+        return outputs;
+    }
+    let mut reduced = Vec::with_capacity(outputs.len());
+    let mut it = outputs.into_iter().peekable();
+    while let Some(o) = it.next() {
+        let v = o.range.start;
+        match o.data {
+            PartitionOutputData::ReducePartial(first) => {
+                let mut parts = vec![first];
+                while let Some(next) = it.peek() {
+                    if next.range.start == v && next.is_partial() {
+                        if let PartitionOutputData::ReducePartial(p) = it.next().unwrap().data {
+                            parts.push(p);
+                        }
+                    } else {
+                        break;
+                    }
+                }
+                let mut activated = false;
+                if op.cond(v) {
+                    // Walk the merged per-quantum entries in ascending
+                    // quantum order. Folded values apply directly; a
+                    // fragment run re-folds its whole quantum edge-wise.
+                    let mut frag_acc: Option<(u64, f64)> = None;
+                    let flush = |pending: &mut Option<(u64, f64)>, activated: &mut bool| {
+                        if let Some((_, acc)) = pending.take() {
+                            if op.apply(v, acc) {
+                                *activated = true;
+                            }
+                        }
+                    };
+                    for p in &parts {
+                        let (mut fi, mut gi) = (0usize, 0usize);
+                        while fi < p.folded.len() || gi < p.fragments.len() {
+                            let next_is_fold = match (p.folded.get(fi), p.fragments.get(gi)) {
+                                (Some(&(fq, _)), Some(&(gq, _, _))) => fq < gq,
+                                (Some(_), None) => true,
+                                _ => false,
+                            };
+                            if next_is_fold {
+                                let (q, acc) = p.folded[fi];
+                                fi += 1;
+                                debug_assert!(
+                                    frag_acc.is_none_or(|(fq, _)| fq < q),
+                                    "a folded quantum cannot also have fragments"
+                                );
+                                flush(&mut frag_acc, &mut activated);
+                                if op.apply(v, acc) {
+                                    activated = true;
+                                }
+                            } else {
+                                let (q, u, w) = p.fragments[gi];
+                                gi += 1;
+                                match &mut frag_acc {
+                                    Some((fq, acc)) if *fq == q => {
+                                        *acc = op.accumulate(*acc, u, w);
+                                    }
+                                    pending => {
+                                        flush(pending, &mut activated);
+                                        *pending = Some((q, op.accumulate(op.identity(), u, w)));
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    flush(&mut frag_acc, &mut activated);
+                }
+                reduced.push(PartitionOutput {
+                    range: v..v + 1,
+                    data: PartitionOutputData::Sparse(if activated { vec![v] } else { Vec::new() }),
+                });
+            }
+            data => reduced.push(PartitionOutput {
+                range: o.range,
+                data,
+            }),
+        }
+    }
+    reduced
 }
 
 /// Executes one mega-hub sub-chunk: scan the slice `sub` of destination
@@ -909,7 +1353,7 @@ mod tests {
         drop(tally);
 
         // Split into sub-chunks of 16 edges, collect, then reduce.
-        let chunks = plan::chunk_dense_range(csc.offsets(), 0..1, 16);
+        let chunks = plan::chunk_dense_range(csc.offsets(), 0..1, 16, plan::HubSplit::Always);
         assert!(chunks.len() > 1 && chunks.iter().all(|c| c.sub.is_some()));
         let op_split = TouchCount::new(n);
         let outputs: Vec<PartitionOutput> = chunks
@@ -973,7 +1417,7 @@ mod tests {
         let actives: Vec<u32> = (1..101).collect();
         let view = FrontierView::Sparse(&actives);
 
-        let chunks = plan::chunk_dense_range(csc.offsets(), 0..1, 10);
+        let chunks = plan::chunk_dense_range(csc.offsets(), 0..1, 10, plan::HubSplit::Always);
         let op = ClaimOnce {
             claimed: AtomicU32::new(0),
             applied: AtomicU32::new(0),
@@ -1043,12 +1487,122 @@ mod tests {
                 let got: Vec<u32> = match &out.data {
                     PartitionOutputData::Sparse(list) => list.clone(),
                     PartitionOutputData::Dense(seg) => seg.to_indices(),
-                    PartitionOutputData::Partial(_) => {
+                    PartitionOutputData::Partial(_) | PartitionOutputData::ReducePartial(_) => {
                         panic!("sinks never produce partials")
                     }
                 };
                 assert_eq!(got, want, "partition {p} {repr:?}");
                 assert_eq!(out.count(), want.len(), "partition {p} {repr:?}");
+            }
+        }
+    }
+
+    /// A sum operator on the reduce path: accumulates `src + 1` so the
+    /// f64 grouping of the fold is observable.
+    struct SumInto {
+        acc: Vec<gg_runtime::atomics::AtomicF64>,
+    }
+
+    impl SumInto {
+        fn new(n: usize) -> Self {
+            SumInto {
+                acc: gg_runtime::atomics::atomic_f64_vec(n, 0.0),
+            }
+        }
+        fn at(&self, v: usize) -> f64 {
+            self.acc[v].load()
+        }
+    }
+
+    impl EdgeOp for SumInto {
+        fn update(&self, s: u32, d: u32, _w: f32) -> bool {
+            self.acc[d as usize].add_exclusive((s + 1) as f64);
+            true
+        }
+        fn update_atomic(&self, s: u32, d: u32, w: f32) -> bool {
+            self.update(s, d, w)
+        }
+    }
+
+    impl EdgeMapReduce for SumInto {
+        fn identity(&self) -> f64 {
+            0.0
+        }
+        fn accumulate(&self, acc: f64, src: u32, _w: f32) -> f64 {
+            acc + (src + 1) as f64
+        }
+        fn combine(&self, a: f64, b: f64) -> f64 {
+            a + b
+        }
+        fn apply(&self, dst: u32, acc: f64) -> bool {
+            self.acc[dst as usize].add_exclusive(acc);
+            true
+        }
+    }
+
+    /// Pre-reducing a split hub through `collect_hub_reduce_partial` +
+    /// `reduce_hub_quanta` is bit-identical to the unsplit
+    /// `pull_vertex_reduce` scan, for sub-chunk caps both smaller and
+    /// larger than the quantum and for caps not aligned to it.
+    #[test]
+    fn hub_reduce_partials_match_unsplit_quantum_fold() {
+        let n = 301usize;
+        let mut el = EdgeList::new(n);
+        for s in 1..301u32 {
+            el.push(s, 0);
+        }
+        let (store, _exec) = build(&el, 1);
+        let csc = store.csc();
+        let counters = WorkCounters::new();
+        let actives: Vec<u32> = (1..301).step_by(2).collect();
+        let view = FrontierView::Sparse(&actives);
+
+        // Unsplit reference: one quantum-folded scan.
+        let op_ref = SumInto::new(n);
+        let next_ref = AtomicBitmap::new(n);
+        let mut tally = LocalTally::new(&counters);
+        pull_vertex_reduce(
+            csc,
+            view,
+            &op_ref,
+            0,
+            &mut AtomicSink(&next_ref),
+            &mut tally,
+        );
+        drop(tally);
+        assert!(next_ref.into_bitmap().get(0));
+
+        // Caps below, above and misaligned with REDUCE_QUANTUM.
+        for cap in [7usize, 16, 64, 100, 250] {
+            let chunks = plan::chunk_dense_range(csc.offsets(), 0..1, cap, plan::HubSplit::Always);
+            assert!(chunks.iter().all(|c| c.sub.is_some()), "cap {cap}");
+            let op = SumInto::new(n);
+            let outputs: Vec<PartitionOutput> = chunks
+                .iter()
+                .map(|c| {
+                    let mut tally = LocalTally::new(&counters);
+                    collect_hub_reduce_partial(
+                        csc,
+                        view,
+                        &op,
+                        0,
+                        c.sub.as_ref().unwrap(),
+                        &mut tally,
+                    )
+                })
+                .collect();
+            assert!(outputs.iter().all(|o| o.is_partial()), "cap {cap}");
+            assert_eq!(op.at(0).to_bits(), 0f64.to_bits(), "collect must defer");
+            let reduced = reduce_hub_quanta(outputs, &op);
+            assert_eq!(reduced.len(), 1, "cap {cap}");
+            assert_eq!(
+                op.at(0).to_bits(),
+                op_ref.at(0).to_bits(),
+                "cap {cap}: split fold must be bit-identical to unsplit"
+            );
+            match &reduced[0].data {
+                PartitionOutputData::Sparse(list) => assert_eq!(list, &vec![0u32], "cap {cap}"),
+                other => panic!("expected resolved sparse output, got {other:?}"),
             }
         }
     }

@@ -28,22 +28,29 @@
 //!   [`ChunkCap`](crate::config::ChunkCap) policy into a concrete
 //!   per-partition edge cap: `Fixed(n)` passes through, `Auto` derives
 //!   `max(MIN_CHUNK_EDGES, |E_partition| / (CHUNK_OVERSUBSCRIPTION ·
-//!   threads))`, so every heavy partition splits into roughly
-//!   `CHUNK_OVERSUBSCRIPTION × threads` steal-able chunks regardless of
-//!   graph scale.
+//!   threads))` clamped to the partition's own edge count, so every heavy
+//!   partition splits into roughly `CHUNK_OVERSUBSCRIPTION × threads`
+//!   steal-able chunks regardless of graph scale while near-empty
+//!   partitions plan a single chunk.
 //! * [`chunk_dense_range`] / [`chunk_candidates`] split one planned
 //!   partition's work into **edge-balanced chunks** capped by the resolved
 //!   cap: a dense kernel's destination range splits at CSC-offset
 //!   boundaries, a sparse kernel's candidate list splits into slices, both
 //!   greedily closing a chunk as soon as it reaches the cap. A
-//!   **mega-hub** destination whose in-degree alone exceeds the cap is
+//!   **mega-hub** destination whose in-degree alone exceeds the cap may be
 //!   split further: its in-edge scan becomes several *sub-chunks*
 //!   ([`Chunk::sub`]), each scanning a slice of the hub's CSC adjacency
 //!   and emitting a partial accumulator that the executor reduces in
 //!   ascending `(partition, chunk, sub-chunk)` order (see
-//!   [`partitioned`](crate::partitioned)) — so every chunk carries fewer
-//!   than `cap + min(max_degree, cap)` edges and a single hub can no
-//!   longer bound a chunk, let alone a round.
+//!   [`partitioned`](crate::partitioned)). Whether a hub splits is the
+//!   [`HubSplit`] policy's call: `Fixed` caps split every over-cap hub
+//!   unconditionally (every chunk then carries fewer than
+//!   `cap + min(max_degree, cap)` edges), while the `Auto` cap uses a
+//!   **cost model** — split only when the predicted imbalance (in-degree
+//!   minus cap) exceeds the per-chunk scheduling overhead
+//!   [`HUB_SPLIT_OVERHEAD_EDGES`], so balanced graphs are not shredded
+//!   into overhead-dominated sub-chunks for a balance win that cannot pay
+//!   for itself.
 //!
 //! The planner is deterministic and pool-free: decisions (and chunk
 //! boundaries) depend only on the frontier statistics and the static
@@ -205,22 +212,78 @@ pub const MIN_CHUNK_EDGES: usize = 64;
 
 /// How many chunks per thread the adaptive cap aims for within one planned
 /// partition: enough slack that stealing can rebalance a skewed plan, few
-/// enough that per-chunk overhead stays noise.
-pub const CHUNK_OVERSUBSCRIPTION: usize = 8;
+/// enough that per-chunk overhead stays noise. Two per thread rather than
+/// the classic 4–8× oversubscription because mega-hub splitting — not
+/// fine chunking — is what rebalances skew here: on the `repro
+/// load_balance` powerlaw scenario the 8× schedule's extra chunks cost
+/// wall-clock without improving balance beyond what the hub split (and
+/// its cost model) already bought.
+pub const CHUNK_OVERSUBSCRIPTION: usize = 2;
+
+/// Per-chunk scheduling overhead expressed in edge-scan-equivalents: the
+/// cost of enqueueing, stealing and merging one extra chunk is roughly
+/// what scanning this many CSC edges costs. Calibrated with the
+/// `repro chunk_overhead` micro-bench (see `gg-bench`): on the reference
+/// host one chunk dispatch amortises against ~4k scanned edges.
+///
+/// The [`HubSplit::CostModel`] policy splits a hub only when the
+/// *imbalance* it causes — its in-degree above the cap, i.e. how far the
+/// top chunk would sit above the per-chunk mean — exceeds this constant.
+/// Splitting a hub that is barely over the cap buys balance worth less
+/// than the sub-chunk scheduling it costs.
+pub const HUB_SPLIT_OVERHEAD_EDGES: u64 = 4096;
+
+/// When to split a mega-hub destination (in-degree > cap) into sub-chunks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HubSplit {
+    /// Split every over-cap hub unconditionally — the policy for
+    /// [`ChunkCap::Fixed`], where the cap is an explicit bound the caller
+    /// asked the schedule to respect.
+    Always,
+    /// Split only when the predicted imbalance (hub in-degree minus the
+    /// cap) exceeds [`HUB_SPLIT_OVERHEAD_EDGES`] — the policy for
+    /// [`ChunkCap::Auto`], where the cap is a balance heuristic and
+    /// over-splitting costs wall-clock. An unsplit hub still gets a chunk
+    /// of its own.
+    CostModel,
+}
+
+impl HubSplit {
+    /// The policy a [`ChunkCap`] implies.
+    pub fn for_cap(cap: ChunkCap) -> Self {
+        match cap {
+            ChunkCap::Fixed(_) => HubSplit::Always,
+            ChunkCap::Auto => HubSplit::CostModel,
+        }
+    }
+
+    /// Whether a destination of weight `w` should split under cap `cap`.
+    #[inline]
+    fn splits(self, w: u64, cap: u64) -> bool {
+        w > cap
+            && match self {
+                HubSplit::Always => true,
+                HubSplit::CostModel => w - cap > HUB_SPLIT_OVERHEAD_EDGES,
+            }
+    }
+}
 
 /// Resolves the configured [`ChunkCap`] policy into a concrete edge cap
 /// for one planned partition: `Fixed(n)` passes through, `Auto` derives
 /// `max(MIN_CHUNK_EDGES, partition_edges / (CHUNK_OVERSUBSCRIPTION ·
-/// threads))`. The result depends only on static partition metadata and
-/// the configured thread count, so the plan stays deterministic.
+/// threads))`, clamped to the partition's own edge count so a near-empty
+/// partition plans a single chunk instead of inheriting the global floor.
+/// The result depends only on static partition metadata and the
+/// configured thread count, so the plan stays deterministic.
 pub fn resolve_cap(cap: ChunkCap, partition_edges: u64, threads: usize) -> usize {
     match cap {
         ChunkCap::Fixed(n) => n.max(1),
         ChunkCap::Auto => {
             let denom = (CHUNK_OVERSUBSCRIPTION * threads.max(1)) as u64;
-            usize::try_from(partition_edges / denom)
-                .unwrap_or(usize::MAX)
-                .max(MIN_CHUNK_EDGES)
+            let derived = (partition_edges / denom)
+                .max(MIN_CHUNK_EDGES as u64)
+                .min(partition_edges.max(1));
+            usize::try_from(derived).unwrap_or(usize::MAX)
         }
     }
 }
@@ -261,12 +324,21 @@ pub struct Chunk {
 /// accumulating `weight(item)`, and close a chunk as soon as the
 /// accumulated weight reaches `cap`. An item whose weight *alone* exceeds
 /// the cap (a mega-hub destination) is split into sub-chunks of at most
-/// `cap` edges each ([`Chunk::sub`]), emitted in ascending slice order.
-/// Every chunk therefore carries fewer than `cap + min(max_degree, cap)`
-/// edges, and the chunks (with their sub-slices) tile `items` exactly, so
-/// chunking can never change which destinations run or which edges are
-/// scanned — only how the scans are scheduled.
-fn chunk_by_weight(len: usize, cap: usize, weight: impl Fn(usize) -> u64) -> Vec<Chunk> {
+/// `cap` edges each ([`Chunk::sub`]), emitted in ascending slice order —
+/// when the `hub_split` policy says splitting pays; otherwise the hub
+/// becomes a single over-cap chunk of its own. Under [`HubSplit::Always`]
+/// every chunk carries fewer than `cap + min(max_degree, cap)` edges; under
+/// [`HubSplit::CostModel`] an unsplit hub may carry up to
+/// `cap + HUB_SPLIT_OVERHEAD_EDGES`. Either way the chunks (with their
+/// sub-slices) tile `items` exactly, so chunking can never change which
+/// destinations run or which edges are scanned — only how the scans are
+/// scheduled.
+fn chunk_by_weight(
+    len: usize,
+    cap: usize,
+    hub_split: HubSplit,
+    weight: impl Fn(usize) -> u64,
+) -> Vec<Chunk> {
     let cap = cap.max(1) as u64;
     let mut chunks = Vec::new();
     let mut start = 0usize;
@@ -274,7 +346,9 @@ fn chunk_by_weight(len: usize, cap: usize, weight: impl Fn(usize) -> u64) -> Vec
     for i in 0..len {
         let w = weight(i);
         if w > cap {
-            // Mega-hub: close the open chunk, then slice this item's scan.
+            // Mega-hub: close the open chunk, then slice this item's scan
+            // (or, when the cost model says splitting doesn't pay, give the
+            // hub one over-cap chunk of its own).
             if start < i {
                 chunks.push(Chunk {
                     span: start..i,
@@ -282,15 +356,23 @@ fn chunk_by_weight(len: usize, cap: usize, weight: impl Fn(usize) -> u64) -> Vec
                     sub: None,
                 });
             }
-            let mut lo = 0u64;
-            while lo < w {
-                let hi = (lo + cap).min(w);
+            if hub_split.splits(w, cap) {
+                let mut lo = 0u64;
+                while lo < w {
+                    let hi = (lo + cap).min(w);
+                    chunks.push(Chunk {
+                        span: i..i + 1,
+                        edges: hi - lo,
+                        sub: Some(SubSpan { lo, hi }),
+                    });
+                    lo = hi;
+                }
+            } else {
                 chunks.push(Chunk {
                     span: i..i + 1,
-                    edges: hi - lo,
-                    sub: Some(SubSpan { lo, hi }),
+                    edges: w,
+                    sub: None,
                 });
-                lo = hi;
             }
             start = i + 1;
             acc = 0;
@@ -320,13 +402,15 @@ fn chunk_by_weight(len: usize, cap: usize, weight: impl Fn(usize) -> u64) -> Vec
 /// Splits a dense kernel's destination range into CSC-offset-balanced
 /// sub-ranges of fewer than `cap + min(max_degree, cap)` edges each
 /// (mega-hub destinations split into per-scan sub-chunks, see
-/// [`Chunk::sub`]). `offsets` is the whole-graph CSC offset array; the
-/// returned spans are **global vertex ranges** tiling `range` exactly.
-/// With `cap == usize::MAX` the whole range is one chunk.
+/// [`Chunk::sub`], subject to the `hub_split` policy). `offsets` is the
+/// whole-graph CSC offset array; the returned spans are **global vertex
+/// ranges** tiling `range` exactly. With `cap == usize::MAX` the whole
+/// range is one chunk.
 pub fn chunk_dense_range(
     offsets: &[EdgeId],
     range: std::ops::Range<VertexId>,
     cap: usize,
+    hub_split: HubSplit,
 ) -> Vec<Chunk> {
     let (start, end) = (range.start as usize, range.end as usize);
     if start >= end {
@@ -339,7 +423,7 @@ pub fn chunk_dense_range(
             sub: None,
         }];
     }
-    let mut chunks = chunk_by_weight(end - start, cap, |i| {
+    let mut chunks = chunk_by_weight(end - start, cap, hub_split, |i| {
         (offsets[start + i + 1] - offsets[start + i]) as u64
     });
     for c in &mut chunks {
@@ -350,11 +434,17 @@ pub fn chunk_dense_range(
 
 /// Splits a sparse kernel's sorted candidate list into edge-balanced
 /// slices of fewer than `cap + min(max_degree, cap)` edges each (mega-hub
-/// candidates split into per-scan sub-chunks, see [`Chunk::sub`]),
-/// weighting every candidate by its whole-graph CSC in-degree (the pull
-/// kernel scans the full in-adjacency of each candidate). The returned
-/// spans are **index ranges into `candidates`** tiling the list exactly.
-pub fn chunk_candidates(candidates: &[VertexId], offsets: &[EdgeId], cap: usize) -> Vec<Chunk> {
+/// candidates split into per-scan sub-chunks, see [`Chunk::sub`], subject
+/// to the `hub_split` policy), weighting every candidate by its
+/// whole-graph CSC in-degree (the pull kernel scans the full in-adjacency
+/// of each candidate). The returned spans are **index ranges into
+/// `candidates`** tiling the list exactly.
+pub fn chunk_candidates(
+    candidates: &[VertexId],
+    offsets: &[EdgeId],
+    cap: usize,
+    hub_split: HubSplit,
+) -> Vec<Chunk> {
     if candidates.is_empty() {
         return Vec::new();
     }
@@ -369,7 +459,7 @@ pub fn chunk_candidates(candidates: &[VertexId], offsets: &[EdgeId], cap: usize)
             sub: None,
         }];
     }
-    chunk_by_weight(candidates.len(), cap, |i| {
+    chunk_by_weight(candidates.len(), cap, hub_split, |i| {
         let v = candidates[i] as usize;
         (offsets[v + 1] - offsets[v]) as u64
     })
@@ -456,7 +546,7 @@ mod tests {
             offsets.push(offsets[i] + i % 5);
         }
         let total = (offsets[35] - offsets[3]) as u64;
-        let chunks = chunk_dense_range(&offsets, 3..35, 6);
+        let chunks = chunk_dense_range(&offsets, 3..35, 6, HubSplit::Always);
         assert!(chunks.len() > 1, "the cap must split this range");
         // Tile exactly.
         assert_eq!(chunks[0].span.start, 3);
@@ -475,14 +565,14 @@ mod tests {
             assert!(c.edges <= 6 + 4, "chunk {c:?} exceeds cap + max degree");
         }
         // Unbounded: one chunk, whole range.
-        let whole = chunk_dense_range(&offsets, 3..35, usize::MAX);
+        let whole = chunk_dense_range(&offsets, 3..35, usize::MAX, HubSplit::Always);
         assert_eq!(whole.len(), 1);
         assert_eq!(whole[0].span, 3..35);
         assert_eq!(whole[0].edges, total);
         // Empty range: no chunks.
-        assert!(chunk_dense_range(&offsets, 7..7, 6).is_empty());
+        assert!(chunk_dense_range(&offsets, 7..7, 6, HubSplit::Always).is_empty());
         // Cap 1: degrees > 1 become mega-hub sub-chunks of exactly 1 edge.
-        for c in chunk_dense_range(&offsets, 3..35, 1) {
+        for c in chunk_dense_range(&offsets, 3..35, 1, HubSplit::Always) {
             assert!(c.edges <= 1);
             if c.sub.is_some() {
                 assert_eq!(c.span.len(), 1);
@@ -491,23 +581,92 @@ mod tests {
     }
 
     /// The adaptive cap: fixed passes through, auto derives
-    /// `|E_p| / (k · threads)` floored at `MIN_CHUNK_EDGES`.
+    /// `|E_p| / (k · threads)` floored at `MIN_CHUNK_EDGES` and clamped to
+    /// the partition's own edge count.
     #[test]
     fn resolve_cap_derives_from_partition_edges_and_threads() {
         assert_eq!(resolve_cap(ChunkCap::Fixed(7), 1_000_000, 4), 7);
         assert_eq!(resolve_cap(ChunkCap::Fixed(usize::MAX), 10, 4), usize::MAX);
-        // 1M edges / (8 · 4 threads) = 31250.
-        assert_eq!(resolve_cap(ChunkCap::Auto, 1_000_000, 4), 31_250);
-        // Small partitions floor at the minimum cap.
+        // 1M edges / (2 · 4 threads) = 125000.
+        assert_eq!(resolve_cap(ChunkCap::Auto, 1_000_000, 4), 125_000);
+        // Small partitions floor at the minimum cap — up to their own
+        // edge count, so one chunk covers the whole partition.
         assert_eq!(
             resolve_cap(ChunkCap::Auto, 100, 4),
             MIN_CHUNK_EDGES,
             "tiny partitions must not produce overhead-dominated chunks"
         );
-        assert_eq!(resolve_cap(ChunkCap::Auto, 0, 1), MIN_CHUNK_EDGES);
-        // Degenerate thread counts are clamped to 1: 640 / (8 · 1) = 80.
-        assert_eq!(resolve_cap(ChunkCap::Auto, 640, 0), 80);
+        // The floor is clamped to the partition's edge count: a partition
+        // below MIN_CHUNK_EDGES plans exactly one chunk, never several.
+        assert_eq!(
+            resolve_cap(ChunkCap::Auto, 63, 1),
+            63,
+            "the floor must not exceed the partition's own edges"
+        );
+        assert_eq!(resolve_cap(ChunkCap::Auto, 64, 1), 64);
+        assert_eq!(resolve_cap(ChunkCap::Auto, 1, 4), 1);
+        // Empty partitions still get a non-zero cap.
+        assert_eq!(resolve_cap(ChunkCap::Auto, 0, 1), 1);
+        // Degenerate thread counts are clamped to 1: 640 / (2 · 1) = 320.
+        assert_eq!(resolve_cap(ChunkCap::Auto, 640, 0), 320);
         assert_eq!(resolve_cap(ChunkCap::Fixed(0), 640, 1), 1);
+    }
+
+    /// The hub-split cost model: `Fixed` caps split every over-cap hub;
+    /// the `Auto` policy splits only hubs whose imbalance over the cap
+    /// exceeds the per-chunk overhead constant — a hub barely above the
+    /// cap stays whole, in a chunk of its own.
+    #[test]
+    fn cost_model_leaves_marginal_hubs_unsplit() {
+        assert_eq!(HubSplit::for_cap(ChunkCap::Fixed(64)), HubSplit::Always);
+        assert_eq!(HubSplit::for_cap(ChunkCap::Auto), HubSplit::CostModel);
+
+        // Degree-100 hub at vertex 2, cap 64: over the cap by 36, far
+        // below HUB_SPLIT_OVERHEAD_EDGES.
+        let mut offsets = vec![0usize];
+        for i in 0..6usize {
+            let d = if i == 2 { 100 } else { 8 };
+            offsets.push(offsets[i] + d);
+        }
+        let split = chunk_dense_range(&offsets, 0..6, 64, HubSplit::Always);
+        assert!(
+            split.iter().any(|c| c.sub.is_some()),
+            "fixed caps must keep unconditional splitting"
+        );
+        let unsplit = chunk_dense_range(&offsets, 0..6, 64, HubSplit::CostModel);
+        assert!(
+            unsplit.iter().all(|c| c.sub.is_none()),
+            "a marginal hub must not split under the cost model"
+        );
+        // The unsplit hub is isolated in its own chunk, so it can still be
+        // stolen independently of its neighbours.
+        let hub = unsplit.iter().find(|c| c.span.contains(&2)).unwrap();
+        assert_eq!(hub.span, 2..3);
+        assert_eq!(hub.edges, 100);
+        // Coverage is unchanged either way.
+        let total = offsets[6] as u64;
+        assert_eq!(split.iter().map(|c| c.edges).sum::<u64>(), total);
+        assert_eq!(unsplit.iter().map(|c| c.edges).sum::<u64>(), total);
+
+        // A hub whose excess clears the overhead constant splits even
+        // under the cost model.
+        let mut big = vec![0usize];
+        let hub_deg = 64 + HUB_SPLIT_OVERHEAD_EDGES as usize + 1;
+        for i in 0..3usize {
+            let d = if i == 1 { hub_deg } else { 8 };
+            big.push(big[i] + d);
+        }
+        assert!(
+            chunk_dense_range(&big, 0..3, 64, HubSplit::CostModel)
+                .iter()
+                .any(|c| c.sub.is_some()),
+            "an imbalance above the overhead constant must split"
+        );
+        // Candidate-list chunking obeys the same policy.
+        let cands: Vec<VertexId> = vec![0, 2, 4];
+        assert!(chunk_candidates(&cands, &offsets, 64, HubSplit::CostModel)
+            .iter()
+            .all(|c| c.sub.is_none()));
     }
 
     /// A mega-hub destination (in-degree ≫ cap) splits into sub-chunks of
@@ -523,7 +682,7 @@ mod tests {
             offsets.push(offsets[i] + d);
         }
         let cap = 8usize;
-        let chunks = chunk_dense_range(&offsets, 0..20, cap);
+        let chunks = chunk_dense_range(&offsets, 0..20, cap, HubSplit::Always);
         let total = offsets[20] as u64;
         assert_eq!(chunks.iter().map(|c| c.edges).sum::<u64>(), total);
         // Every chunk respects the hub-split bound (< 2 · cap).
@@ -566,7 +725,7 @@ mod tests {
             offsets.push(offsets[i] + d);
         }
         let candidates: Vec<VertexId> = vec![1, 5, 9];
-        let chunks = chunk_candidates(&candidates, &offsets, 10);
+        let chunks = chunk_candidates(&candidates, &offsets, 10, HubSplit::Always);
         assert_eq!(chunks.iter().map(|c| c.edges).sum::<u64>(), 3 + 40 + 3);
         let subs: Vec<&Chunk> = chunks.iter().filter(|c| c.sub.is_some()).collect();
         assert_eq!(subs.len(), 4, "40-edge hub at cap 10 → 4 sub-chunks");
@@ -574,9 +733,11 @@ mod tests {
             assert_eq!(s.span, 1..2, "the hub is candidate index 1");
         }
         // Unbounded cap never splits.
-        assert!(chunk_candidates(&candidates, &offsets, usize::MAX)
-            .iter()
-            .all(|c| c.sub.is_none()));
+        assert!(
+            chunk_candidates(&candidates, &offsets, usize::MAX, HubSplit::Always)
+                .iter()
+                .all(|c| c.sub.is_none())
+        );
     }
 
     #[test]
@@ -588,7 +749,7 @@ mod tests {
         let candidates: Vec<VertexId> = (0..50).step_by(3).collect();
         let deg = |v: VertexId| (offsets[v as usize + 1] - offsets[v as usize]) as u64;
         let total: u64 = candidates.iter().map(|&v| deg(v)).sum();
-        let chunks = chunk_candidates(&candidates, &offsets, 8);
+        let chunks = chunk_candidates(&candidates, &offsets, 8, HubSplit::Always);
         assert!(chunks.len() > 1);
         assert_eq!(chunks[0].span.start, 0);
         assert_eq!(chunks.last().unwrap().span.end, candidates.len());
@@ -602,11 +763,11 @@ mod tests {
             assert!(c.edges <= 8 + 6, "chunk {c:?} exceeds cap + max degree");
         }
         // Unbounded and empty cases.
-        let whole = chunk_candidates(&candidates, &offsets, usize::MAX);
+        let whole = chunk_candidates(&candidates, &offsets, usize::MAX, HubSplit::Always);
         assert_eq!(whole.len(), 1);
         assert_eq!(whole[0].span, 0..candidates.len());
         assert_eq!(whole[0].edges, total);
-        assert!(chunk_candidates(&[], &offsets, 8).is_empty());
+        assert!(chunk_candidates(&[], &offsets, 8, HubSplit::Always).is_empty());
     }
 
     /// A dense block plus a sparse tail: with the block active, the plan

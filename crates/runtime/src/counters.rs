@@ -27,12 +27,15 @@ pub struct WorkCounters {
     /// Sum of planned CSC edge counts over all spawned chunks (pairs with
     /// [`chunks`](Self::chunks) for the mean chunk size).
     chunk_edges_sum: AtomicU64,
-    /// Largest planned CSC edge count of any spawned chunk. The chunking
-    /// guarantee is `max_chunk_edges < cap + min(max_degree, cap)`: a
-    /// chunk closes as soon as it reaches the cap, and a destination
-    /// whose in-degree alone exceeds the cap is split into per-scan
-    /// sub-chunks of at most `cap` edges (see
-    /// [`hub_subchunks`](Self::hub_subchunks)).
+    /// Largest planned CSC edge count of any spawned chunk. Under a fixed
+    /// cap the chunking guarantee is
+    /// `max_chunk_edges < cap + min(max_degree, cap)`: a chunk closes as
+    /// soon as it reaches the cap, and a destination whose in-degree alone
+    /// exceeds the cap is split into per-scan sub-chunks of at most `cap`
+    /// edges (see [`hub_subchunks`](Self::hub_subchunks)). Under the
+    /// adaptive cap a cost model keeps marginal hubs whole, loosening the
+    /// bound to `cap + HUB_SPLIT_OVERHEAD_EDGES` for a hub sitting alone
+    /// in its chunk.
     max_chunk_edges: AtomicU64,
     /// Mega-hub sub-chunks spawned: chunks covering one slice of a single
     /// destination's in-edge scan. Non-zero exactly when some destination's
@@ -44,8 +47,10 @@ pub struct WorkCounters {
     /// dependent diagnostics (unlike every other counter here) — results
     /// never depend on them.
     steals: AtomicU64,
-    /// Steals whose chunk was homed to a different NUMA domain than the
-    /// thief — work that left its domain because the domain ran dry.
+    /// Steals whose thief and victim workers sit in different *physical*
+    /// host NUMA domains — work that actually crossed a socket because a
+    /// domain ran dry. Zero by construction on a single-domain host,
+    /// whatever topology the executor simulates.
     cross_domain_steals: AtomicU64,
 }
 
@@ -116,7 +121,7 @@ impl WorkCounters {
     }
 
     /// Records one edge map's steal tally (`steals` total, of which
-    /// `cross_domain` left their owning domain).
+    /// `cross_domain` crossed physical host domains).
     pub fn add_steals(&self, steals: u64, cross_domain: u64) {
         self.steals.fetch_add(steals, Ordering::Relaxed);
         self.cross_domain_steals

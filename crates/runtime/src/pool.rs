@@ -59,6 +59,18 @@ use std::sync::{Arc, Condvar, Mutex, OnceLock};
 /// `(task index, result)` pairs it produced plus its local tally.
 type WorkerResults<R> = Mutex<(Vec<(usize, R)>, StealTally)>;
 
+/// Most tasks one claim from the worker's *own* deque transfers into its
+/// private run buffer. Claimed tasks are no longer stealable, so the batch
+/// size bounds how much work a slow worker can hold back from rebalancing
+/// (`CLAIM_BATCH × cap` edges). Steals are *not* capped by this: a thief
+/// takes half the victim's remaining deque in one lock, because on a crew
+/// timesharing fewer cores than workers the victim is usually descheduled
+/// and the thief would otherwise come straight back, paying a lock trip
+/// per `CLAIM_BATCH` tasks and fragmenting the victim's contiguous run.
+/// Batching matters most on such crews, where every contended deque
+/// handoff costs a scheduler trip.
+const CLAIM_BATCH: usize = 4;
+
 /// What one [`Pool::run_stealing`] call observed: how many tasks executed
 /// and how work migrated between workers. Steal counts are *diagnostics* —
 /// they depend on timing — while the returned results never do. The
@@ -70,7 +82,12 @@ pub struct StealTally {
     pub executed: u64,
     /// Tasks a worker claimed from another worker's deque.
     pub steals: u64,
-    /// Steals in which the task's owning domain differed from the thief's.
+    /// Steals in which the thief and victim workers sit in different
+    /// *physical host* NUMA domains (probed from
+    /// `/sys/devices/system/node`). The simulated topology steers seeding
+    /// and victim order, but locality diagnostics describe the machine the
+    /// epoch actually ran on — on a single-domain host no steal crosses a
+    /// domain, however many domains are simulated.
     pub cross_domain_steals: u64,
 }
 
@@ -90,12 +107,18 @@ struct CrewShared {
 }
 
 struct EpochState {
-    /// Monotonic epoch counter; a worker runs each epoch exactly once.
+    /// Monotonic epoch counter; a worker runs each epoch at most once.
     epoch: u64,
     /// The published job of the current epoch (`None` between epochs).
     job: Option<ErasedJob>,
-    /// Completion latch: workers yet to finish the current epoch.
+    /// Completion latch: slots yet to finish the current epoch.
     remaining: usize,
+    /// Width hint: how many workers this epoch needs. A narrow epoch
+    /// (`width < threads`) wakes only `width` parked workers; a crew
+    /// worker that finds all slots claimed re-parks without running.
+    width: usize,
+    /// Slots claimed so far this epoch; the claimant's job argument.
+    claims: usize,
     /// The first panic payload a worker's job raised this epoch;
     /// re-raised verbatim by the dispatcher (as joining a scoped thread
     /// would), so assertion messages and locations survive the crew.
@@ -110,10 +133,10 @@ struct Crew {
     handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
 }
 
-fn worker_loop(w: usize, shared: &CrewShared) {
+fn worker_loop(shared: &CrewShared) {
     let mut seen = 0u64;
     loop {
-        let job = {
+        let claimed = {
             let mut st = shared.state.lock().unwrap();
             loop {
                 if st.shutdown {
@@ -121,12 +144,20 @@ fn worker_loop(w: usize, shared: &CrewShared) {
                 }
                 if st.epoch > seen {
                     seen = st.epoch;
-                    break st.job.expect("epoch published without a job");
+                    if st.claims < st.width {
+                        let slot = st.claims;
+                        st.claims += 1;
+                        break Some((slot, st.job.expect("epoch published without a job")));
+                    }
+                    // Narrow epoch, all slots taken: re-park without
+                    // running (a spurious or surplus wake-up).
+                    break None;
                 }
                 st = shared.work_cv.wait(st).unwrap();
             }
         };
-        let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| job(w)));
+        let Some((slot, job)) = claimed else { continue };
+        let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| job(slot)));
         let mut st = shared.state.lock().unwrap();
         if let Err(payload) = outcome {
             st.panic_payload.get_or_insert(payload);
@@ -141,6 +172,10 @@ fn worker_loop(w: usize, shared: &CrewShared) {
 /// A fixed-width work-stealing pool with persistent workers.
 pub struct Pool {
     threads: usize,
+    /// Physical NUMA domains of the host this pool runs on (probed from
+    /// `/sys/devices/system/node`, 1 when unreadable). Used only to
+    /// attribute cross-domain steals to the real machine topology.
+    host_domains: usize,
     /// Closure invocations executed through the structured loops below;
     /// lets tests assert that work was (or was not) submitted to the pool.
     jobs: AtomicU64,
@@ -153,6 +188,32 @@ pub struct Pool {
     spawns: AtomicU64,
     /// Parallel operations dispatched to the crew so far.
     epochs: AtomicU64,
+    /// Worker wake-ups requested across all epochs: `width` per narrow
+    /// epoch, `threads` per full-width epoch.
+    wakes: AtomicU64,
+}
+
+/// Counts `/sys/devices/system/node/node<N>` entries; 1 when the sysfs
+/// tree is absent (non-Linux, containers with masked sysfs).
+fn probe_host_domains() -> usize {
+    static PROBED: OnceLock<usize> = OnceLock::new();
+    *PROBED.get_or_init(|| {
+        std::fs::read_dir("/sys/devices/system/node")
+            .map(|entries| {
+                entries
+                    .filter_map(|e| e.ok())
+                    .filter(|e| {
+                        e.file_name().to_str().is_some_and(|n| {
+                            n.strip_prefix("node").is_some_and(|s| {
+                                !s.is_empty() && s.bytes().all(|b| b.is_ascii_digit())
+                            })
+                        })
+                    })
+                    .count()
+            })
+            .unwrap_or(0)
+            .max(1)
+    })
 }
 
 impl std::fmt::Debug for Pool {
@@ -187,14 +248,26 @@ impl Pool {
     /// # Panics
     /// Panics if `threads == 0`.
     pub fn new(threads: usize) -> Self {
+        Self::with_host_domains(threads, probe_host_domains())
+    }
+
+    /// Like [`new`](Self::new) but with an explicit physical-domain count
+    /// instead of the sysfs probe. Lets tests and benchmarks pin the
+    /// steal-attribution topology regardless of the machine they run on.
+    ///
+    /// # Panics
+    /// Panics if `threads == 0`.
+    pub fn with_host_domains(threads: usize, host_domains: usize) -> Self {
         assert!(threads > 0, "pool needs at least one thread");
         Pool {
             threads,
+            host_domains: host_domains.max(1),
             jobs: AtomicU64::new(0),
             crew: OnceLock::new(),
             dispatch_lock: Mutex::new(()),
             spawns: AtomicU64::new(0),
             epochs: AtomicU64::new(0),
+            wakes: AtomicU64::new(0),
         }
     }
 
@@ -229,6 +302,15 @@ impl Pool {
         self.epochs.load(Ordering::Relaxed)
     }
 
+    /// Worker wake-ups requested across all epochs. A full-width epoch
+    /// wakes the whole crew (`threads`); an epoch whose width hint is
+    /// smaller wakes only that many workers — the observable proof that
+    /// narrow task lists no longer stampede the whole crew.
+    #[inline]
+    pub fn wakes(&self) -> u64 {
+        self.wakes.load(Ordering::Relaxed)
+    }
+
     /// Total closure invocations executed through the structured loops
     /// (`for_each_index`, `for_each_in_order`, `map_indices`,
     /// `for_each_chunk`) and [`run_stealing`](Self::run_stealing) tasks.
@@ -252,6 +334,8 @@ impl Pool {
                     epoch: 0,
                     job: None,
                     remaining: 0,
+                    width: 0,
+                    claims: 0,
                     panic_payload: None,
                     shutdown: false,
                 }),
@@ -263,7 +347,7 @@ impl Pool {
                     let shared = Arc::clone(&shared);
                     std::thread::Builder::new()
                         .name(format!("gg-worker-{w}"))
-                        .spawn(move || worker_loop(w, &shared))
+                        .spawn(move || worker_loop(&shared))
                         .expect("failed to spawn pool worker")
                 })
                 .collect();
@@ -276,10 +360,17 @@ impl Pool {
         })
     }
 
-    /// Runs one epoch: publishes `job`, wakes the parked workers, and
-    /// blocks until all of them have run it and arrived at the completion
-    /// latch. Every worker index `0..threads` is invoked exactly once.
-    fn dispatch(&self, job: &(dyn Fn(usize) + Sync)) {
+    /// Runs one epoch: publishes `job`, wakes `width` parked workers, and
+    /// blocks until `width` slots have run it and arrived at the
+    /// completion latch. Each slot index `0..width` is claimed by exactly
+    /// one worker and invoked exactly once; a narrow epoch
+    /// (`width < threads`) leaves the surplus workers parked. Lost
+    /// wake-ups cannot wedge the latch: a worker that is between epochs
+    /// (not yet parked) re-checks the epoch counter under the lock before
+    /// waiting, so it claims a slot on its own even if its notification
+    /// raced past it.
+    fn dispatch(&self, width: usize, job: &(dyn Fn(usize) + Sync)) {
+        debug_assert!(width >= 1 && width <= self.threads);
         // Poison-tolerant: a panicked previous epoch (re-raised below while
         // this lock was held) must not wedge every later dispatch.
         let _serial = self
@@ -290,17 +381,27 @@ impl Pool {
         self.epochs.fetch_add(1, Ordering::Relaxed);
         // SAFETY: the borrow is erased to 'static only while this frame is
         // alive — we do not return until `remaining` drains to zero, i.e.
-        // until every worker has finished calling `job`, and the job slot
-        // is cleared before the latch opens the next epoch.
+        // until every claimed slot has finished calling `job`, and the job
+        // slot is cleared before the latch opens the next epoch.
         let erased: ErasedJob = unsafe {
             std::mem::transmute::<&(dyn Fn(usize) + Sync), &'static (dyn Fn(usize) + Sync)>(job)
         };
         let mut st = crew.shared.state.lock().unwrap();
         debug_assert_eq!(st.remaining, 0, "previous epoch still in flight");
         st.job = Some(erased);
-        st.remaining = self.threads;
+        st.remaining = width;
+        st.width = width;
+        st.claims = 0;
         st.epoch += 1;
-        crew.shared.work_cv.notify_all();
+        if width < self.threads {
+            self.wakes.fetch_add(width as u64, Ordering::Relaxed);
+            for _ in 0..width {
+                crew.shared.work_cv.notify_one();
+            }
+        } else {
+            self.wakes.fetch_add(self.threads as u64, Ordering::Relaxed);
+            crew.shared.work_cv.notify_all();
+        }
         while st.remaining > 0 {
             st = crew.shared.done_cv.wait(st).unwrap();
         }
@@ -332,7 +433,7 @@ impl Pool {
             }
             return;
         }
-        self.dispatch(&|w| {
+        self.dispatch(self.threads, &|w| {
             for i in self.block(count, w) {
                 self.count_job();
                 f(i);
@@ -369,7 +470,7 @@ impl Pool {
         // Workers own contiguous ascending blocks, so concatenating the
         // per-worker buffers in worker order *is* index order.
         let slots: Vec<Mutex<Vec<R>>> = (0..self.threads).map(|_| Mutex::new(Vec::new())).collect();
-        self.dispatch(&|w| {
+        self.dispatch(self.threads, &|w| {
             let block = self.block(count, w);
             let mut out = Vec::with_capacity(block.len());
             for i in block {
@@ -409,7 +510,7 @@ impl Pool {
             return (0..count).map(&f).sum();
         }
         let total = AtomicU64::new(0);
-        self.dispatch(&|w| {
+        self.dispatch(self.threads, &|w| {
             let partial: u64 = self.block(count, w).map(&f).sum();
             total.fetch_add(partial, Ordering::Relaxed);
         });
@@ -423,12 +524,14 @@ impl Pool {
     /// `task_domain[t]` names the (simulated) domain that owns task `t`
     /// under a topology of `domains` domains. Workers are block-assigned to
     /// domains the same way partitions are; each task is seeded onto a
-    /// deque of a worker of its owning domain (round-robin within the
-    /// domain). A worker drains its own deque front-to-back (seeded order),
-    /// and when dry steals from the back of a victim's deque — visiting
-    /// same-domain victims first, then the remaining domains in ascending
-    /// wrap-around order — so work leaves its domain only when the whole
-    /// domain has run dry.
+    /// deque of a worker of its owning domain (contiguous blocks within
+    /// the domain). A worker drains its own deque front-to-back (seeded
+    /// order), and when dry steals from the front of a victim's deque —
+    /// taking the victim's next seeded tasks, which keeps the global
+    /// execution order close to ascending task index and therefore keeps
+    /// memory walks sequential — visiting same-domain victims first, then
+    /// the remaining domains in ascending wrap-around order, so work
+    /// leaves its domain only when the whole domain has run dry.
     ///
     /// One call is one **epoch** of the persistent crew: the deques are
     /// seeded, the parked workers wake, and the call returns when the
@@ -485,21 +588,32 @@ impl Pool {
             domain_workers[d].push(w);
         }
 
-        // Seed the deques: task t goes to a worker of its domain,
-        // round-robin; domains with no worker of their own (more domains
-        // than workers) fall back to the block-inverse worker.
-        let mut seeded: Vec<VecDeque<usize>> = vec![VecDeque::new(); workers];
-        let mut rr = vec![0usize; domains];
+        // Seed the deques: task t goes to a worker of its domain, in
+        // contiguous ascending blocks — the domain's k-th worker owns the
+        // k-th run of its task list, so a worker draining its own deque
+        // front-to-back executes consecutive task indices. Consecutive
+        // chunks scan adjacent destination ranges, so block seeding keeps
+        // every worker's walk sequential through the CSC and the operator
+        // state (a round-robin deal would hand each worker every n-th
+        // chunk: equally balanced, but stride-n through memory). Domains
+        // with no worker of their own (more domains than workers) fall
+        // back to the block-inverse worker.
+        let mut domain_tasks: Vec<Vec<usize>> = vec![Vec::new(); domains];
         for (t, &d) in task_domain.iter().enumerate() {
-            let d = d.min(domains - 1);
+            domain_tasks[d.min(domains - 1)].push(t);
+        }
+        let mut seeded: Vec<VecDeque<usize>> = vec![VecDeque::new(); workers];
+        for (d, ts) in domain_tasks.into_iter().enumerate() {
             let owners = &domain_workers[d];
-            let w = if owners.is_empty() {
-                (d * workers / domains).min(workers - 1)
-            } else {
-                owners[rr[d] % owners.len()]
-            };
-            rr[d] += 1;
-            seeded[w].push_back(t);
+            if owners.is_empty() {
+                let w = (d * workers / domains).min(workers - 1);
+                seeded[w].extend(ts);
+                continue;
+            }
+            let n = ts.len();
+            for (i, t) in ts.into_iter().enumerate() {
+                seeded[owners[i * owners.len() / n.max(1)]].push_back(t);
+            }
         }
         let deques: Vec<Mutex<VecDeque<usize>>> = seeded.into_iter().map(Mutex::new).collect();
 
@@ -517,6 +631,20 @@ impl Pool {
             })
             .collect();
 
+        // Physical host domain of an active worker slot, block-assigned
+        // like the simulated domains. Steal-locality diagnostics reflect
+        // the machine the epoch actually ran on: attributing by the
+        // *simulated* task domain would count every steal on a
+        // single-domain host as cross-domain.
+        let hd = self.host_domains;
+        let phys_domain = |w: usize| -> usize {
+            if workers <= hd {
+                w
+            } else {
+                (w * hd) / workers
+            }
+        };
+
         // Unclaimed-task count: a worker exits once every task is claimed
         // (the claimant finishes it before the epoch's latch drains).
         let remaining = AtomicUsize::new(tasks);
@@ -524,44 +652,81 @@ impl Pool {
             .map(|_| Mutex::new((Vec::new(), StealTally::default())))
             .collect();
 
-        self.dispatch(&|w| {
-            // Crew workers beyond the active set have no deque this epoch;
-            // they arrive at the latch immediately.
-            if w >= workers {
-                return;
-            }
+        // Width hint: an epoch with fewer tasks than crew workers wakes
+        // only the workers that have a deque.
+        self.dispatch(workers, &|w| {
+            debug_assert!(w < workers, "slot index exceeds the epoch width");
             let victim_order = &victim_order[w];
-            let my_domain = worker_domain(w).min(domains - 1);
-            let mut results: Vec<(usize, R)> = Vec::new();
+            // Sized for an even share plus stolen overflow: growing this
+            // mid-epoch memmoves every produced buffer.
+            let mut results: Vec<(usize, R)> = Vec::with_capacity(2 * tasks.div_ceil(workers));
             let mut tally = StealTally::default();
             let mut dry_scans = 0u32;
+            // Claimed-but-not-yet-run tasks, executed back-to-front so the
+            // seeded (front-first) order is preserved. Claiming in batches
+            // bounds the deque lock traffic by the batch count, not the
+            // chunk count — on a crew timesharing fewer cores than workers
+            // every contended unlock is a scheduler trip, and per-chunk
+            // locking was the measurable difference between fine-chunked
+            // and partition-granular plans.
+            let mut claimed: Vec<usize> = Vec::with_capacity(CLAIM_BATCH);
             loop {
+                if let Some(t) = claimed.pop() {
+                    dry_scans = 0;
+                    tally.executed += 1;
+                    results.push((t, f(t)));
+                    continue;
+                }
                 if remaining.load(Ordering::Acquire) == 0 {
                     break;
                 }
-                // Own deque first, seeded order.
-                let own = deques[w].lock().unwrap().pop_front();
-                let claimed = match own {
-                    Some(t) => Some((t, false)),
-                    None => victim_order
-                        .iter()
-                        .find_map(|&v| deques[v].lock().unwrap().pop_back().map(|t| (t, true))),
-                };
-                match claimed {
-                    Some((t, stolen)) => {
-                        dry_scans = 0;
-                        remaining.fetch_sub(1, Ordering::AcqRel);
-                        if stolen {
-                            tally.steals += 1;
-                            if task_domain[t].min(domains - 1) != my_domain {
-                                tally.cross_domain_steals += 1;
-                            }
+                // Refill: own deque first, seeded order.
+                {
+                    let mut dq = deques[w].lock().unwrap();
+                    while claimed.len() < CLAIM_BATCH {
+                        match dq.pop_front() {
+                            Some(t) => claimed.push(t),
+                            None => break,
                         }
-                        self.count_job();
-                        tally.executed += 1;
-                        results.push((t, f(t)));
                     }
-                    None => {
+                }
+                if claimed.is_empty() {
+                    // Every seeded task of ours is claimed: steal a run —
+                    // the victim's next seeded tasks, half of what remains,
+                    // so the victim keeps work. Stealing from the FRONT
+                    // (not the classic back-steal) keeps the global
+                    // execution order close to seeded order: chunks of one
+                    // partition scan contiguous CSC/state ranges, and on
+                    // hosts where workers share cache a thief that runs the
+                    // victim's *next* chunk extends a warm sequential scan
+                    // instead of cold-starting the partition's tail.
+                    // Mutex-guarded deques have no lock-free owner/thief
+                    // asymmetry, so nothing is lost by taking the same end
+                    // the owner pops. The half-run is deliberately NOT
+                    // capped at CLAIM_BATCH: on a timesharing crew the
+                    // victim is usually descheduled, and a capped thief
+                    // would come straight back — one lock trip per batch —
+                    // while chopping the victim's block into stride-sized
+                    // fragments.
+                    for &v in victim_order {
+                        let mut dq = deques[v].lock().unwrap();
+                        let Some(first) = dq.pop_front() else {
+                            continue;
+                        };
+                        claimed.push(first);
+                        let take = dq.len() / 2;
+                        claimed.extend((0..take).filter_map(|_| dq.pop_front()));
+                        drop(dq);
+                        let stolen = claimed.len() as u64;
+                        tally.steals += stolen;
+                        if phys_domain(v) != phys_domain(w) {
+                            tally.cross_domain_steals += stolen;
+                        }
+                        break;
+                    }
+                }
+                match claimed.len() {
+                    0 => {
                         // Every deque was dry but tasks are still in
                         // flight: back off instead of hammering the busy
                         // workers' deque mutexes until the last chunk
@@ -573,8 +738,18 @@ impl Pool {
                             std::thread::sleep(std::time::Duration::from_micros(20));
                         }
                     }
+                    k => {
+                        remaining.fetch_sub(k, Ordering::AcqRel);
+                        // Back-to-front execution order: reverse so the
+                        // batch runs oldest-first.
+                        claimed.reverse();
+                    }
                 }
             }
+            debug_assert!(claimed.is_empty(), "claimed tasks must all have run");
+            // One jobs-counter update per worker per epoch, not one RMW on
+            // the shared counter per chunk.
+            self.jobs.fetch_add(tally.executed, Ordering::Relaxed);
             *worker_out[w].lock().unwrap() = (results, tally);
         });
 
@@ -756,11 +931,12 @@ mod tests {
 
     /// All tasks homed to domain 0 of a 2-domain, 2-worker pool seed onto
     /// worker 0's deque alone; worker 1 (domain 1) can make progress only
-    /// by stealing, and every such steal crosses domains. The per-task spin
-    /// keeps worker 0 busy long enough that worker 1 reliably gets some.
+    /// by stealing, and on a 2-domain *host* every such steal crosses
+    /// physical domains. The per-task spin keeps worker 0 busy long enough
+    /// that worker 1 reliably gets some.
     #[test]
     fn idle_domain_steals_across_domains() {
-        let pool = Pool::new(2);
+        let pool = Pool::with_host_domains(2, 2);
         let domains = vec![0usize; 4000];
         let spin = AtomicU64::new(0);
         let (results, tally) = pool.run_stealing(2, &domains, |t| {
@@ -779,6 +955,31 @@ mod tests {
         );
     }
 
+    /// Same seeding skew, but the *host* has a single NUMA domain: the
+    /// idle worker still steals, yet no steal is cross-domain, because
+    /// both workers share the one physical domain regardless of the
+    /// simulated topology. (This pins the attribution bug where every
+    /// steal on a 1-domain host was counted as cross-domain.)
+    #[test]
+    fn single_domain_host_counts_no_cross_domain_steals() {
+        let pool = Pool::with_host_domains(2, 1);
+        let domains = vec![0usize; 4000];
+        let spin = AtomicU64::new(0);
+        let (results, tally) = pool.run_stealing(2, &domains, |t| {
+            for i in 0..500u64 {
+                spin.fetch_add(i, Ordering::Relaxed);
+            }
+            t
+        });
+        assert_eq!(results.len(), 4000);
+        assert_eq!(tally.executed, 4000);
+        assert!(tally.steals > 0, "the idle worker must have stolen");
+        assert_eq!(
+            tally.cross_domain_steals, 0,
+            "a single-domain host has no cross-domain steals"
+        );
+    }
+
     /// More domains than workers: every domain still gets a home worker
     /// via the block inverse, and all tasks run exactly once.
     #[test]
@@ -790,14 +991,34 @@ mod tests {
         assert_eq!(tally.executed, 40);
     }
 
-    /// More crew workers than tasks: the excess workers arrive at the
-    /// latch without touching a deque, and the epoch still joins.
+    /// More crew workers than tasks: the epoch's width hint shrinks to the
+    /// task count, so only that many workers are woken and the surplus
+    /// stays parked.
     #[test]
     fn stealing_with_fewer_tasks_than_threads() {
         let pool = Pool::new(4);
         let (results, tally) = pool.run_stealing(2, &[0, 1], |t| t * 7);
         assert_eq!(results, vec![0, 7]);
         assert_eq!(tally.executed, 2);
+        assert_eq!(pool.wakes(), 2, "a 2-task epoch must wake only 2 workers");
+    }
+
+    /// Wake accounting across epoch widths: structured loops use the full
+    /// crew, narrow stealing epochs wake `min(tasks, threads)` workers,
+    /// and single-task calls run inline without an epoch at all.
+    #[test]
+    fn narrow_epochs_wake_only_the_needed_workers() {
+        let pool = Pool::new(4);
+        pool.for_each_index(64, |_| {});
+        assert_eq!(pool.wakes(), 4, "full-width epoch wakes the whole crew");
+        let (r, _) = pool.run_stealing(2, &[0, 1, 0], |t| t);
+        assert_eq!(r, vec![0, 1, 2]);
+        assert_eq!(pool.wakes(), 7, "3-task epoch adds 3 wakes");
+        let epochs = pool.epochs();
+        let (r, _) = pool.run_stealing(2, &[0], |t| t + 9);
+        assert_eq!(r, vec![9]);
+        assert_eq!(pool.epochs(), epochs, "single-task calls run inline");
+        assert_eq!(pool.wakes(), 7, "inline calls wake nobody");
     }
 
     #[test]

@@ -225,6 +225,29 @@ fn skewed_scenario_steals_and_splits_hubs_without_oversized_chunks() {
     assert!(c.cross_domain_steals() <= c.steals());
 }
 
+/// The hub-split cost model under the adaptive cap: the balanced grid
+/// scenario (every in-degree a handful of edges) must run without a single
+/// hub sub-chunk. Unconditional splitting would shred any destination
+/// whose in-degree marginally exceeds the derived cap into sub-chunks
+/// whose dispatch cost outweighs the imbalance they remove; the cost model
+/// only splits when the excess exceeds `HUB_SPLIT_OVERHEAD_EDGES`.
+#[test]
+fn adaptive_cap_leaves_balanced_grid_unsplit() {
+    let side = (250_000.0f64 * 0.05).sqrt() as usize;
+    let el = generators::grid_road(side, side, 0.05, 13);
+    let seq = algorithms::pagerank(&sequential(&el), 10);
+    let engine = GraphGrind2::new(&el, config(4, 4, ChunkCap::Auto));
+    let got = algorithms::pagerank(&engine, 10);
+    assert_eq!(got, seq, "adaptive run must match the sequential engine");
+    let c = engine.work_counters();
+    assert!(c.chunks() > 0, "the traversal must have planned chunks");
+    assert_eq!(
+        c.hub_subchunks(),
+        0,
+        "the balanced grid must not hub-split under the cost model"
+    );
+}
+
 /// The persistent pool under the same skewed run: hundreds of epochs, one
 /// crew. `spawns()` stays at the thread count while `epochs()` grows with
 /// the rounds executed.

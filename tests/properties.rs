@@ -305,6 +305,71 @@ proptest! {
         }
     }
 
+    /// The associative pre-reduction path (`EdgeMapReduce`): PR, SpMV and
+    /// Bellman-Ford on an injected star-hub graph are bit-identical across
+    /// caps {1, 64, unbounded, Auto} and 1–4 threads — the per-quantum
+    /// fold has absolute boundaries, so neither hub sub-chunk tiling nor
+    /// the steal schedule can change a single f64 grouping.
+    #[test]
+    fn edge_map_reduce_bit_identical_across_caps_and_threads(
+        el in arb_graph(),
+        p in 1usize..6,
+        threads in 1usize..=4,
+        hub_seed in 0u32..1000,
+    ) {
+        use graphgrind::core::config::{ChunkCap, ExecutorKind};
+        use graphgrind::graph::weights::attach_integer;
+
+        // Inject a star: every vertex points at one hub destination, so
+        // sub-chunk pre-reduction engages under the small fixed caps.
+        let n = el.num_vertices();
+        let hub = hub_seed % n as u32;
+        let mut edges: Vec<(u32, u32)> = el.iter().collect();
+        for s in 0..n as u32 {
+            edges.push((s, hub));
+        }
+        let mut el = EdgeList::from_edges(n, &edges);
+        attach_integer(&mut el, 12, 0x5EED ^ hub_seed as u64);
+        let x: Vec<f64> = (0..n).map(|i| 1.0 / (i + 1) as f64).collect();
+
+        let cfg = |cap: ChunkCap, threads: usize| Config {
+            executor: ExecutorKind::Partitioned,
+            num_partitions: p,
+            numa: NumaTopology::new(1),
+            chunk_edges: cap,
+            threads,
+            ..small_config()
+        };
+        // The unsplit reference scan: one chunk per partition, one thread.
+        let reference = GraphGrind2::new(&el, cfg(ChunkCap::Fixed(usize::MAX), 1));
+        let pr_ref = algorithms::pagerank(&reference, 5);
+        let bf_ref = algorithms::bellman_ford(&reference, 0).dist;
+        let spmv_ref = algorithms::spmv(&reference, &x);
+        for cap in [
+            ChunkCap::Fixed(1),
+            ChunkCap::Fixed(64),
+            ChunkCap::Fixed(usize::MAX),
+            ChunkCap::Auto,
+        ] {
+            let engine = GraphGrind2::new(&el, cfg(cap, threads));
+            prop_assert_eq!(
+                algorithms::pagerank(&engine, 5),
+                pr_ref.clone(),
+                "PR {:?} x{}", cap, threads
+            );
+            prop_assert_eq!(
+                algorithms::bellman_ford(&engine, 0).dist,
+                bf_ref.clone(),
+                "BF {:?} x{}", cap, threads
+            );
+            prop_assert_eq!(
+                algorithms::spmv(&engine, &x),
+                spmv_ref.clone(),
+                "SpMV {:?} x{}", cap, threads
+            );
+        }
+    }
+
     /// GG-v2 CC matches union-find on symmetrized random graphs.
     #[test]
     fn cc_matches_reference(el in arb_graph()) {
