@@ -22,29 +22,39 @@ pub struct BfResult {
     pub rounds: usize,
 }
 
-struct RelaxOp {
-    dist: Vec<AtomicF32>,
+/// One relaxation round. Source distances are read from `prev`, a
+/// snapshot frozen at round start. The earlier implementation read
+/// `dist` live — despite documenting the sources as "frozen for the
+/// round" — so a relaxation could ride an in-round update and cascade
+/// several hops wherever the schedule ran the producing edge first; the
+/// record/replay harness flagged the round trajectory as
+/// thread-count-dependent. With frozen sources the round is a
+/// commutative `min` over candidates, bit-identical under every
+/// schedule.
+struct RelaxRound<'a> {
+    prev: &'a [f32],
+    dist: &'a [AtomicF32],
 }
 
-impl EdgeOp for RelaxOp {
+impl EdgeOp for RelaxRound<'_> {
     #[inline]
     fn update(&self, src: VertexId, dst: VertexId, w: f32) -> bool {
-        let cand = self.dist[src as usize].load() + w;
+        let cand = self.prev[src as usize] + w;
         self.dist[dst as usize].min_exclusive(cand)
     }
 
     #[inline]
     fn update_atomic(&self, src: VertexId, dst: VertexId, w: f32) -> bool {
-        let cand = self.dist[src as usize].load() + w;
+        let cand = self.prev[src as usize] + w;
         self.dist[dst as usize].fetch_min(cand)
     }
 }
 
 /// Relaxation is an associative `min` over candidate distances (source
-/// distances are frozen for the round on the pull path), so hub
-/// sub-chunks can pre-reduce locally. The f32 candidate widens to f64
-/// exactly, so folding loses no precision.
-impl EdgeMapReduce for RelaxOp {
+/// distances are frozen for the round), so hub sub-chunks can pre-reduce
+/// locally. The f32 candidate widens to f64 exactly, so folding loses no
+/// precision.
+impl EdgeMapReduce for RelaxRound<'_> {
     #[inline]
     fn identity(&self) -> f64 {
         f64::INFINITY
@@ -52,7 +62,7 @@ impl EdgeMapReduce for RelaxOp {
 
     #[inline]
     fn accumulate(&self, acc: f64, src: VertexId, w: f32) -> f64 {
-        acc.min((self.dist[src as usize].load() + w) as f64)
+        acc.min((self.prev[src as usize] + w) as f64)
     }
 
     #[inline]
@@ -69,20 +79,23 @@ impl EdgeMapReduce for RelaxOp {
 /// Runs Bellman-Ford from `source`.
 pub fn bellman_ford<E: Engine>(engine: &E, source: VertexId) -> BfResult {
     let n = engine.num_vertices();
-    let op = RelaxOp {
-        dist: atomic_f32_vec(n, f32::INFINITY),
-    };
-    op.dist[source as usize].store(0.0);
+    let dist = atomic_f32_vec(n, f32::INFINITY);
+    dist[source as usize].store(0.0);
     let mut frontier = engine.frontier_single(source);
     let mut rounds = 0usize;
     let spec = Algorithm::Bf.spec();
     // Safety cutoff: n rounds suffice for non-negative weights.
     while !frontier.is_empty() && rounds <= n {
+        let prev = snapshot_f32(&dist);
+        let op = RelaxRound {
+            prev: &prev,
+            dist: &dist,
+        };
         frontier = engine.edge_map_reduce(&frontier, &op, spec);
         rounds += 1;
     }
     BfResult {
-        dist: snapshot_f32(&op.dist),
+        dist: snapshot_f32(&dist),
         rounds,
     }
 }

@@ -34,14 +34,24 @@ impl CcResult {
     }
 }
 
-struct CcOp {
-    label: Vec<AtomicU32>,
+/// One round of label propagation. Source labels are read from `prev`,
+/// a snapshot frozen at round start: reading `label` live would let a
+/// label cascade through several hops *within* one round wherever the
+/// schedule happens to run the producing edge first, making the round's
+/// output frontier depend on thread count and chunk cap. (The record/
+/// replay harness caught exactly that: 1-thread chunk-max runs cascaded
+/// further per round than 4-thread chunk-1 runs.) With frozen sources the
+/// round computes `min(label[dst], min over frontier srcs of prev[src])`
+/// — a commutative reduction, bit-identical under every schedule.
+struct CcRound<'a> {
+    prev: &'a [u32],
+    label: &'a [AtomicU32],
 }
 
-impl EdgeOp for CcOp {
+impl EdgeOp for CcRound<'_> {
     #[inline]
     fn update(&self, src: VertexId, dst: VertexId, _w: f32) -> bool {
-        let s = self.label[src as usize].load(Ordering::Relaxed);
+        let s = self.prev[src as usize];
         let d = self.label[dst as usize].load(Ordering::Relaxed);
         if s < d {
             self.label[dst as usize].store(s, Ordering::Relaxed);
@@ -53,7 +63,7 @@ impl EdgeOp for CcOp {
 
     #[inline]
     fn update_atomic(&self, src: VertexId, dst: VertexId, _w: f32) -> bool {
-        let s = self.label[src as usize].load(Ordering::Relaxed);
+        let s = self.prev[src as usize];
         gg_runtime::atomics::fetch_min_u32(&self.label[dst as usize], s)
     }
 }
@@ -61,18 +71,21 @@ impl EdgeOp for CcOp {
 /// Runs label-propagation CC to convergence.
 pub fn cc<E: Engine>(engine: &E) -> CcResult {
     let n = engine.num_vertices();
-    let op = CcOp {
-        label: (0..n as u32).map(AtomicU32::new).collect(),
-    };
+    let label: Vec<AtomicU32> = (0..n as u32).map(AtomicU32::new).collect();
     let mut frontier = engine.frontier_all();
     let mut rounds = 0usize;
     let spec = Algorithm::Cc.spec();
     while !frontier.is_empty() {
+        let prev = gg_runtime::atomics::snapshot_u32(&label);
+        let op = CcRound {
+            prev: &prev,
+            label: &label,
+        };
         frontier = engine.edge_map(&frontier, &op, spec);
         rounds += 1;
     }
     CcResult {
-        label: gg_runtime::atomics::snapshot_u32(&op.label),
+        label: gg_runtime::atomics::snapshot_u32(&label),
         rounds,
     }
 }

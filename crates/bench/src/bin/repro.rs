@@ -9,7 +9,7 @@
 //!
 //! experiments: tab1 tab2 fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10
 //!              atomics heuristic reorder smoke sparse_output load_balance
-//!              chunk_overhead all
+//!              chunk_overhead record replay all
 //! ```
 //!
 //! `--scale` multiplies the default graph sizes (DESIGN.md §2); the
@@ -36,6 +36,19 @@
 //! USA-road-style grid — or `--scenario smallworld`) comparing dense-merge
 //! vs sparse-output BFS / Bellman-Ford; it writes
 //! `BENCH_sparse_output.json` with the timing and merge-work trajectory.
+//!
+//! `record` / `replay` are the determinism-debugging pair (not part of
+//! `all`, since `replay` needs `record`'s files): `record` runs BFS, PR,
+//! CC and BF once each with the engine's round recorder armed and writes
+//! `TRACE_<ALGO>.jsonl`; `replay` re-executes the same deterministic
+//! workload — the `GG_THREADS` / `GG_CHUNK` environment overrides and the
+//! `--partitions` flag may differ from the recording — and reports the
+//! **first diverging round** (round index, partition, field, expected vs
+//! got), exiting non-zero on any divergence. `--algo BFS|PR|CC|BF`
+//! restricts the pair to one algorithm; `--fault` swaps in the test-only
+//! thread-dependent fault op to prove the diagnosis localizes a real
+//! divergence. `--scale` and `--scenario` must match between the two runs
+//! (the scenario is recorded in the trace header and checked).
 //!
 //! `load_balance` is the skewed scenario (`--scenario powerlaw`, with
 //! `--alpha` / `--hubs` shaping the skew): one destination partition is
@@ -82,6 +95,10 @@ struct Args {
     alpha: f64,
     /// Star-hub count of the `powerlaw` scenario.
     hubs: usize,
+    /// Restrict `record` / `replay` to one algorithm code (BFS|PR|CC|BF).
+    algo: Option<String>,
+    /// Use the thread-dependent fault op in `record` / `replay`.
+    fault: bool,
 }
 
 impl Args {
@@ -130,6 +147,8 @@ fn parse_args() -> Args {
         adaptive: false,
         alpha: 2.0,
         hubs: 16,
+        algo: None,
+        fault: false,
     };
     let mut tiny = false;
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -200,6 +219,11 @@ fn parse_args() -> Args {
                 });
             }
             "--adaptive" => args.adaptive = true,
+            "--algo" => {
+                i += 1;
+                args.algo = Some(argv[i].to_uppercase());
+            }
+            "--fault" => args.fault = true,
             "--alpha" => {
                 i += 1;
                 args.alpha = argv[i].parse().expect("--alpha needs a float > 1");
@@ -229,10 +253,12 @@ fn parse_args() -> Args {
     if args.experiment.is_empty() {
         eprintln!(
             "usage: repro <tab1|tab2|fig2|fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|atomics|\
-             heuristic|reorder|smoke|sparse_output|load_balance|chunk_overhead|all> [--scale F] [--threads N]\
+             heuristic|reorder|smoke|sparse_output|load_balance|chunk_overhead|record|replay|all>\
+             [--scale F] [--threads N]\
              [--reps N] [--tiny] [--partitions N] [--executor monolithic|partitioned]\
              [--output auto|sparse|dense] [--scenario grid|smallworld|powerlaw]\
-             [--chunk N|max|auto] [--adaptive] [--alpha F] [--hubs N]"
+             [--chunk N|max|auto] [--adaptive] [--alpha F] [--hubs N]\
+             [--algo BFS|PR|CC|BF] [--fault]"
         );
         std::process::exit(2);
     }
@@ -299,6 +325,15 @@ fn main() {
     }
     if run("chunk_overhead") {
         chunk_overhead(&args);
+    }
+    // Deliberately not part of `all`: `record` writes trace files and
+    // `replay` requires them, so running both blindly inside `all` would
+    // either clobber a user's traces or fail on their absence.
+    if args.experiment == "record" {
+        record(&args);
+    }
+    if args.experiment == "replay" {
+        replay(&args);
     }
 }
 
@@ -1319,4 +1354,125 @@ fn atomics(args: &Args) {
     }
     t.print();
     println!();
+}
+
+/// The engine configuration for `record` / `replay`: the CLI flags, with
+/// the `GG_THREADS` / `GG_CHUNK` environment overrides taking precedence
+/// so one recorded binary invocation can be replayed under several
+/// schedules from a shell loop (the CI differential leg's shape).
+fn replay_config(args: &Args) -> gg_core::config::Config {
+    gg_core::config::Config {
+        threads: gg_core::config::threads_from_env().unwrap_or(args.threads),
+        num_partitions: args.partitions_or(16),
+        numa: NumaTopology::paper_machine(),
+        executor: args.executor,
+        output_mode: args.output,
+        chunk_edges: gg_core::config::chunk_edges_from_env()
+            .or(args.chunk)
+            .unwrap_or(gg_core::config::ChunkCap::Auto),
+        ..gg_core::config::Config::default()
+    }
+}
+
+/// The algorithm set for `record` / `replay` after the `--algo` filter.
+fn replay_selection(args: &Args) -> Vec<Algorithm> {
+    let all = gg_bench::replay::replay_algorithms();
+    match &args.algo {
+        None => all.to_vec(),
+        Some(code) => {
+            let picked: Vec<Algorithm> = all.iter().copied().filter(|a| a.code() == code).collect();
+            if picked.is_empty() {
+                eprintln!("--algo must be one of BFS, PR, CC, BF; got {code}");
+                std::process::exit(2);
+            }
+            picked
+        }
+    }
+}
+
+fn trace_path(code: &str) -> String {
+    format!("TRACE_{code}.jsonl")
+}
+
+/// `repro record`: run each selected algorithm once with the round
+/// recorder armed and write `TRACE_<ALGO>.jsonl` (or `TRACE_fault.jsonl`
+/// with `--fault`).
+fn record(args: &Args) {
+    let scenario = args.scenario_or("powerlaw");
+    let config = replay_config(args);
+    println!(
+        "## Record — {scenario} scenario, {} threads, {} partitions, {:?} chunk cap\n",
+        config.threads, config.num_partitions, config.chunk_edges
+    );
+    let el = gg_bench::replay::scenario_graph(&scenario, args.scale);
+    if args.fault {
+        let trace = gg_bench::replay::record_fault(&el, &config, &scenario);
+        let path = trace_path("fault");
+        std::fs::write(&path, trace.to_jsonl()).expect("writing trace file");
+        println!("fault_minlabel: {} rounds -> {path}", trace.rounds.len());
+        return;
+    }
+    for algo in replay_selection(args) {
+        let w = Workload::prepare(&el, algo);
+        let trace = gg_bench::replay::record_algorithm(&w, &config, &scenario);
+        let path = trace_path(algo.code());
+        std::fs::write(&path, trace.to_jsonl()).expect("writing trace file");
+        println!("{}: {} rounds -> {path}", algo.code(), trace.rounds.len());
+    }
+}
+
+/// `repro replay`: re-execute each selected algorithm under the *current*
+/// configuration and diff the trace against the recorded file. Exits
+/// non-zero on the first divergence (after reporting it).
+fn replay(args: &Args) {
+    use gg_core::trace::{first_divergence, RoundTrace};
+    let config = replay_config(args);
+    println!(
+        "## Replay — {} threads, {} partitions, {:?} chunk cap\n",
+        config.threads, config.num_partitions, config.chunk_edges
+    );
+    let load = |code: &str| -> RoundTrace {
+        let path = trace_path(code);
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("reading {path} (run `repro record` first): {e}"));
+        RoundTrace::from_jsonl(&text).unwrap_or_else(|e| panic!("parsing {path}: {e}"))
+    };
+    if args.fault {
+        // The fault op's divergence is schedule-dependent: a multi-thread
+        // replay *could* (rarely) execute every update on one worker and
+        // reproduce the honest trace, so retry a few times and report the
+        // first divergence found.
+        let recorded = load("fault");
+        let el = gg_bench::replay::scenario_graph(&recorded.header.scenario, args.scale);
+        for attempt in 1..=5 {
+            let replayed = gg_bench::replay::record_fault(&el, &config, &recorded.header.scenario);
+            if let Some(d) = first_divergence(&recorded, &replayed) {
+                println!("fault_minlabel: DIVERGED (attempt {attempt}): {d}");
+                std::process::exit(1);
+            }
+        }
+        println!("fault_minlabel: no divergence in 5 attempts");
+        return;
+    }
+    let mut diverged = false;
+    for algo in replay_selection(args) {
+        let recorded = load(algo.code());
+        let el = gg_bench::replay::scenario_graph(&recorded.header.scenario, args.scale);
+        let w = Workload::prepare(&el, algo);
+        let replayed = gg_bench::replay::record_algorithm(&w, &config, &recorded.header.scenario);
+        match first_divergence(&recorded, &replayed) {
+            Some(d) => {
+                println!("{}: DIVERGED: {d}", algo.code());
+                diverged = true;
+            }
+            None => println!(
+                "{}: ok ({} rounds bit-identical)",
+                algo.code(),
+                recorded.rounds.len()
+            ),
+        }
+    }
+    if diverged {
+        std::process::exit(1);
+    }
 }

@@ -15,6 +15,7 @@
 //! multiplies them. Timings are wall-clock medians over `--reps` runs.
 
 pub mod datasets;
+pub mod replay;
 pub mod runner;
 
 use std::time::Instant;

@@ -13,12 +13,12 @@
 //! paper's point is that the frontier-density decision subsumes it.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use gg_graph::edge_list::EdgeList;
 use gg_graph::types::VertexId;
 use gg_runtime::buffer::BufferPool;
-use gg_runtime::counters::WorkCounters;
+use gg_runtime::counters::{CounterSnapshot, WorkCounters};
 use gg_runtime::pool::Pool;
 use gg_runtime::schedule::PartitionSchedule;
 
@@ -27,6 +27,7 @@ use crate::edge_map::{self, EdgeKind, EdgeMapReduce, EdgeOp};
 use crate::frontier::Frontier;
 use crate::partitioned::{PartitionView, PartitionedExec};
 use crate::store::GraphStore;
+use crate::trace::{RoundKernel, RoundRecord, RoundRecorder, StepRecord};
 
 /// Dense-traversal direction preferred by an algorithm (Table II). Only
 /// baseline engines honour it.
@@ -279,6 +280,12 @@ pub struct GraphGrind2 {
     /// Per-partition subgraph views + fan-out order
     /// ([`ExecutorKind::Partitioned`] only).
     partitioned: Option<PartitionedExec>,
+    /// Optional per-round trace recorder (record/replay harness). Behind
+    /// a mutex because edge maps take `&self`; locked twice per round
+    /// while recording, never contended (recording runs are
+    /// single-algorithm), and checked-then-dropped once per round when
+    /// idle.
+    recorder: Mutex<Option<RoundRecorder>>,
 }
 
 impl GraphGrind2 {
@@ -313,6 +320,79 @@ impl GraphGrind2 {
             edge_ranges,
             vertex_ranges,
             partitioned,
+            recorder: Mutex::new(None),
+        }
+    }
+
+    /// Starts per-round trace recording: every subsequent non-empty edge
+    /// map appends one [`RoundRecord`] (plan for its input frontier, digest
+    /// of its output frontier, counter deltas) until
+    /// [`take_recording`](Self::take_recording). Restarting discards any
+    /// rounds recorded since the last take.
+    pub fn start_recording(&self) {
+        *self.recorder.lock().unwrap() = Some(RoundRecorder::new());
+    }
+
+    /// Stops recording and returns the rounds recorded since
+    /// [`start_recording`](Self::start_recording) (empty if recording was
+    /// never started).
+    pub fn take_recording(&self) -> Vec<RoundRecord> {
+        self.recorder
+            .lock()
+            .unwrap()
+            .take()
+            .map(RoundRecorder::into_rounds)
+            .unwrap_or_default()
+    }
+
+    /// The contract half of a round record: the planned kernel choice(s)
+    /// for `frontier` as this round's input. For the partitioned executor
+    /// the plan is *recomputed* via [`PartitionedExec::round_plan`] — the
+    /// planner is deterministic and pool-free, so this is exactly the plan
+    /// the executor derives internally, without threading recording state
+    /// through the execution path.
+    fn round_kernel_for(&self, frontier: &Frontier) -> RoundKernel {
+        if let Some(exec) = &self.partitioned {
+            let plan = exec.round_plan(&self.store, &self.config, frontier);
+            RoundKernel::Partitioned(
+                plan.steps
+                    .iter()
+                    .map(|s| StepRecord {
+                        partition: s.partition as u64,
+                        kernel: s.kernel,
+                        output: s.output,
+                    })
+                    .collect(),
+            )
+        } else if self.config.force.is_some() {
+            RoundKernel::Forced
+        } else {
+            RoundKernel::Monolithic(crate::plan::plan_edge_map(
+                frontier,
+                self.store.num_edges() as u64,
+                &self.config.thresholds,
+            ))
+        }
+    }
+
+    /// If recording, captures the round's plan and the counter baseline
+    /// before execution. The matching [`finish_round`](Self::finish_round)
+    /// call digests the output.
+    fn begin_round(&self, frontier: &Frontier) -> Option<(RoundKernel, CounterSnapshot)> {
+        if self.recorder.lock().unwrap().is_none() {
+            return None;
+        }
+        Some((self.round_kernel_for(frontier), self.counters.snapshot()))
+    }
+
+    /// Completes a round begun by [`begin_round`](Self::begin_round) with
+    /// the merged output frontier.
+    fn finish_round(&self, begun: Option<(RoundKernel, CounterSnapshot)>, output: &Frontier) {
+        if let Some((kernel, pre)) = begun {
+            let sched = self.counters.snapshot().delta_since(&pre);
+            if let Some(rec) = self.recorder.lock().unwrap().as_mut() {
+                rec.record(kernel, output, sched);
+            }
         }
     }
 
@@ -489,8 +569,9 @@ impl Engine for GraphGrind2 {
         if frontier.is_empty() {
             return Frontier::empty(self.num_vertices());
         }
-        if let Some(exec) = &self.partitioned {
-            return exec.edge_map(
+        let begun = self.begin_round(frontier);
+        let next = if let Some(exec) = &self.partitioned {
+            exec.edge_map(
                 &self.store,
                 &self.pool,
                 &self.config,
@@ -499,21 +580,24 @@ impl Engine for GraphGrind2 {
                 &self.merge_scratch,
                 frontier,
                 op,
-            );
-        }
-        match self.config.force {
-            Some(forced) => self.run_forced(forced, frontier, op, spec),
-            None => {
-                // The monolithic planning entry point: one kernel per edge
-                // map from the global frontier metric.
-                let kind = crate::plan::plan_edge_map(
-                    frontier,
-                    self.num_edges() as u64,
-                    &self.config.thresholds,
-                );
-                self.run_kind(kind, frontier, op, spec)
+            )
+        } else {
+            match self.config.force {
+                Some(forced) => self.run_forced(forced, frontier, op, spec),
+                None => {
+                    // The monolithic planning entry point: one kernel per
+                    // edge map from the global frontier metric.
+                    let kind = crate::plan::plan_edge_map(
+                        frontier,
+                        self.num_edges() as u64,
+                        &self.config.thresholds,
+                    );
+                    self.run_kind(kind, frontier, op, spec)
+                }
             }
-        }
+        };
+        self.finish_round(begun, &next);
+        next
     }
 
     /// The partitioned executor routes reduce-capable operators through
@@ -529,7 +613,10 @@ impl Engine for GraphGrind2 {
             return Frontier::empty(self.num_vertices());
         }
         if let Some(exec) = &self.partitioned {
-            return exec.edge_map_reduce(
+            // Recording wraps the partitioned branch only; the monolithic
+            // fallback below delegates to `edge_map`, which records.
+            let begun = self.begin_round(frontier);
+            let next = exec.edge_map_reduce(
                 &self.store,
                 &self.pool,
                 &self.config,
@@ -539,6 +626,8 @@ impl Engine for GraphGrind2 {
                 frontier,
                 op,
             );
+            self.finish_round(begun, &next);
+            return next;
         }
         self.edge_map(frontier, op, spec)
     }

@@ -482,6 +482,29 @@ impl PartitionedExec {
         Frontier::from_partition_outputs(outputs, n, store.out_degrees(), counters, Some(scratch))
     }
 
+    /// Recomputes the per-partition `(kernel, output)` plan that
+    /// [`prepare`](Self::prepare) derives for `frontier` — the same
+    /// `plan_partitions` call on the same inputs, evaluated *before* any
+    /// densification, so the result is exactly what an edge map on this
+    /// frontier executes. Used by the engine's round recorder: the planner
+    /// is deterministic and pool-free, so recording can recompute the plan
+    /// instead of threading it out of the execution path.
+    pub(crate) fn round_plan(
+        &self,
+        store: &GraphStore,
+        config: &Config,
+        frontier: &Frontier,
+    ) -> plan::TraversalPlan {
+        plan::plan_partitions(
+            frontier,
+            &self.views,
+            &self.edge_order,
+            store.out_degrees(),
+            &config.thresholds,
+            config.output_mode,
+        )
+    }
+
     /// The planning + chunking skeleton shared by
     /// [`edge_map`](Self::edge_map) and
     /// [`edge_map_reduce`](Self::edge_map_reduce): plan `(kernel, output)`

@@ -164,6 +164,21 @@ impl WorkCounters {
         self.cross_domain_steals.load(Ordering::Relaxed)
     }
 
+    /// Reads every accumulating counter at once. `max_chunk_edges` is
+    /// deliberately absent: it accumulates with `fetch_max`, so per-round
+    /// deltas (`CounterSnapshot::delta_since`) are not defined for it.
+    pub fn snapshot(&self) -> CounterSnapshot {
+        CounterSnapshot {
+            edges: self.edges(),
+            vertices: self.vertices(),
+            merge_words: self.merge_words(),
+            chunks: self.chunks(),
+            hub_subchunks: self.hub_subchunks(),
+            steals: self.steals(),
+            cross_domain_steals: self.cross_domain_steals(),
+        }
+    }
+
     /// Resets all counters to zero.
     pub fn reset(&self) {
         self.edges.store(0, Ordering::Relaxed);
@@ -175,6 +190,47 @@ impl WorkCounters {
         self.hub_subchunks.store(0, Ordering::Relaxed);
         self.steals.store(0, Ordering::Relaxed);
         self.cross_domain_steals.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A point-in-time reading of every accumulating [`WorkCounters`] field,
+/// taken before and after a round so the record/replay harness can
+/// attribute work to individual rounds (the counters themselves are
+/// cumulative across a whole run).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CounterSnapshot {
+    /// Edges visited.
+    pub edges: u64,
+    /// Vertices visited.
+    pub vertices: u64,
+    /// Dense-merge words touched.
+    pub merge_words: u64,
+    /// Work-stealing chunks spawned.
+    pub chunks: u64,
+    /// Mega-hub sub-chunks spawned.
+    pub hub_subchunks: u64,
+    /// Chunks claimed from another worker's deque (timing-dependent).
+    pub steals: u64,
+    /// Steals that crossed physical host domains (timing-dependent).
+    pub cross_domain_steals: u64,
+}
+
+impl CounterSnapshot {
+    /// Field-wise difference `self - earlier`: the work attributable to
+    /// whatever ran between the two snapshots. Saturating, so a `reset()`
+    /// between snapshots degrades to zeros instead of wrapping.
+    pub fn delta_since(&self, earlier: &CounterSnapshot) -> CounterSnapshot {
+        CounterSnapshot {
+            edges: self.edges.saturating_sub(earlier.edges),
+            vertices: self.vertices.saturating_sub(earlier.vertices),
+            merge_words: self.merge_words.saturating_sub(earlier.merge_words),
+            chunks: self.chunks.saturating_sub(earlier.chunks),
+            hub_subchunks: self.hub_subchunks.saturating_sub(earlier.hub_subchunks),
+            steals: self.steals.saturating_sub(earlier.steals),
+            cross_domain_steals: self
+                .cross_domain_steals
+                .saturating_sub(earlier.cross_domain_steals),
+        }
     }
 }
 
@@ -281,6 +337,30 @@ mod tests {
         // Still zero after a reset.
         c.reset();
         assert_eq!(c.mean_chunk_edges(), 0.0);
+    }
+
+    #[test]
+    fn snapshot_deltas_attribute_work_between_readings() {
+        let c = WorkCounters::new();
+        c.add_edges(100);
+        c.add_chunks(2, 50, 30);
+        let before = c.snapshot();
+        c.add_edges(7);
+        c.add_vertices(3);
+        c.add_chunks(4, 80, 40);
+        c.add_hub_subchunks(1);
+        c.add_steals(2, 1);
+        let delta = c.snapshot().delta_since(&before);
+        assert_eq!(delta.edges, 7);
+        assert_eq!(delta.vertices, 3);
+        assert_eq!(delta.chunks, 4);
+        assert_eq!(delta.hub_subchunks, 1);
+        assert_eq!(delta.steals, 2);
+        assert_eq!(delta.cross_domain_steals, 1);
+        // A reset between snapshots saturates to zero, not wraparound.
+        c.reset();
+        let after_reset = c.snapshot().delta_since(&before);
+        assert_eq!(after_reset, CounterSnapshot::default());
     }
 
     #[test]

@@ -59,6 +59,25 @@ use std::sync::{Arc, Condvar, Mutex, OnceLock};
 /// `(task index, result)` pairs it produced plus its local tally.
 type WorkerResults<R> = Mutex<(Vec<(usize, R)>, StealTally)>;
 
+/// Raw pointer into [`Pool::map_indices`]'s pre-sized result vector,
+/// shared across workers. Sound because the workers' blocks partition the
+/// index space: no slot is ever written by two workers.
+struct RawSlots<R>(*mut std::mem::MaybeUninit<R>);
+
+// SAFETY: workers only `write` disjoint slots (see `Pool::map_indices`),
+// so sharing the base pointer across threads cannot race.
+unsafe impl<R: Send> Sync for RawSlots<R> {}
+
+impl<R> RawSlots<R> {
+    /// Writes slot `i`.
+    ///
+    /// # Safety
+    /// `i` must be in bounds and written by exactly one thread per epoch.
+    unsafe fn write(&self, i: usize, v: R) {
+        (*self.0.add(i)).write(v);
+    }
+}
+
 /// Most tasks one claim from the worker's *own* deque transfers into its
 /// private run buffer. Claimed tasks are no longer stealable, so the batch
 /// size bounds how much work a slow worker can hold back from rebalancing
@@ -321,9 +340,13 @@ impl Pool {
         self.jobs.load(Ordering::Relaxed)
     }
 
+    /// Credits `n` closure invocations to the `jobs_run` counter with one
+    /// `fetch_add` — the structured loops call this once per worker block
+    /// instead of once per index, keeping the counter off the hot path
+    /// (`run_stealing` batches the same way via `StealTally::executed`).
     #[inline]
-    fn count_job(&self) {
-        self.jobs.fetch_add(1, Ordering::Relaxed);
+    fn count_jobs(&self, n: usize) {
+        self.jobs.fetch_add(n as u64, Ordering::Relaxed);
     }
 
     /// The crew, spawning it on first use.
@@ -427,23 +450,33 @@ impl Pool {
             return;
         }
         if self.threads == 1 || count == 1 {
+            self.count_jobs(count);
             for i in 0..count {
-                self.count_job();
                 f(i);
             }
             return;
         }
         self.dispatch(self.threads, &|w| {
-            for i in self.block(count, w) {
-                self.count_job();
+            let block = self.block(count, w);
+            self.count_jobs(block.len());
+            for i in block {
                 f(i);
             }
         });
     }
 
-    /// Parallel loop over `0..count` in `order`: `order[k]` is run with
-    /// priority position `k`. Used to schedule partitions grouped by NUMA
-    /// domain.
+    /// Parallel loop over the entries of `order`: every `order[k]` runs
+    /// exactly once, and position `k` selects **which worker's contiguous
+    /// block** the entry lands in (worker `w` owns positions
+    /// `len·w/threads .. len·(w+1)/threads`) plus its sequential rank
+    /// inside that block. Position is *not* an execution priority: blocks
+    /// run concurrently, so a late position in one block can execute
+    /// before an early position in another. What is guaranteed — and
+    /// pinned by `in_order_runs_each_entry_once_ascending_per_worker` —
+    /// is that each entry runs exactly once and every worker executes the
+    /// positions it claims in ascending order. Used to schedule
+    /// partitions grouped by NUMA domain: a domain's partitions occupy
+    /// adjacent positions, so they land in the same worker's block.
     pub fn for_each_in_order(&self, order: &[usize], f: impl Fn(usize) + Sync) {
         self.for_each_index(order.len(), |k| f(order[k]));
     }
@@ -460,30 +493,41 @@ impl Pool {
             return Vec::new();
         }
         if self.threads == 1 || count == 1 {
-            return (0..count)
-                .map(|i| {
-                    self.count_job();
-                    f(i)
-                })
-                .collect();
+            self.count_jobs(count);
+            return (0..count).map(&f).collect();
         }
-        // Workers own contiguous ascending blocks, so concatenating the
-        // per-worker buffers in worker order *is* index order.
-        let slots: Vec<Mutex<Vec<R>>> = (0..self.threads).map(|_| Mutex::new(Vec::new())).collect();
+        // Workers own contiguous ascending blocks of *disjoint* slots in
+        // one pre-sized output vector: no per-worker buffers, no mutex
+        // handoff, no post-epoch append pass — the filled vector already
+        // is the result in index order.
+        let mut results: Vec<std::mem::MaybeUninit<R>> = Vec::with_capacity(count);
+        // SAFETY: uninitialised is a valid state for `MaybeUninit` slots.
+        unsafe { results.set_len(count) };
+        let slots = RawSlots(results.as_mut_ptr());
         self.dispatch(self.threads, &|w| {
             let block = self.block(count, w);
-            let mut out = Vec::with_capacity(block.len());
+            self.count_jobs(block.len());
             for i in block {
-                self.count_job();
-                out.push(f(i));
+                let v = f(i);
+                // SAFETY: `block` partitions `0..count` disjointly across
+                // workers and each index is written exactly once, so no
+                // two workers touch the same slot; the vector outlives the
+                // dispatch because `dispatch` blocks until every worker
+                // finished its block.
+                unsafe { slots.write(i, v) };
             }
-            *slots[w].lock().unwrap() = out;
         });
-        let mut results = Vec::with_capacity(count);
-        for slot in slots {
-            results.append(&mut slot.into_inner().unwrap());
-        }
-        results
+        // SAFETY: the worker blocks cover `0..count` exactly, so every
+        // slot is initialised once `dispatch` returns. (If `f` panicked,
+        // `dispatch` resumed the unwind above and the written elements
+        // leak without their destructors — safe, merely unclean.)
+        let (ptr, len, cap) = (
+            results.as_mut_ptr() as *mut R,
+            results.len(),
+            results.capacity(),
+        );
+        std::mem::forget(results);
+        unsafe { Vec::from_raw_parts(ptr, len, cap) }
     }
 
     /// Splits `0..len` into roughly `tasks` contiguous chunks and runs `f`
@@ -557,12 +601,8 @@ impl Pool {
         // Inline fast path: one worker (or one task) steals from no one.
         let workers = self.threads.min(tasks);
         if workers == 1 {
-            let results = (0..tasks)
-                .map(|t| {
-                    self.count_job();
-                    f(t)
-                })
-                .collect();
+            self.count_jobs(tasks);
+            let results = (0..tasks).map(&f).collect();
             return (
                 results,
                 StealTally {
@@ -897,6 +937,49 @@ mod tests {
         pool.for_each_chunk(0, 4, |_, _| {});
         pool.for_each_index(0, |_| {});
         assert_eq!(pool.jobs_run(), 15);
+    }
+
+    /// Pins what `for_each_in_order` actually guarantees: every entry runs
+    /// exactly once, and each worker thread executes the positions it
+    /// claims in ascending order. Position is *not* a cross-worker
+    /// execution priority — the blocks run concurrently — so the test
+    /// asserts per-thread monotonicity, never a global order.
+    #[test]
+    fn in_order_runs_each_entry_once_ascending_per_worker() {
+        let pool = Pool::new(4);
+        let len = 64;
+        // A non-trivial permutation (17 is coprime with 64) so entry value
+        // and position differ; `pos_of[v]` inverts it.
+        let order: Vec<usize> = (0..len).map(|k| (k * 17 + 3) % len).collect();
+        let mut pos_of = vec![0usize; len];
+        for (k, &v) in order.iter().enumerate() {
+            pos_of[v] = k;
+        }
+        let log: Mutex<Vec<(std::thread::ThreadId, usize)>> = Mutex::new(Vec::new());
+        pool.for_each_in_order(&order, |v| {
+            log.lock().unwrap().push((std::thread::current().id(), v));
+        });
+        let log = log.into_inner().unwrap();
+        assert_eq!(log.len(), len, "every entry ran");
+        let mut seen: Vec<usize> = log.iter().map(|&(_, v)| v).collect();
+        seen.sort_unstable();
+        assert_eq!(
+            seen,
+            (0..len).collect::<Vec<_>>(),
+            "each entry exactly once"
+        );
+        // Per-thread position sequences are strictly ascending: a worker
+        // walks its claimed blocks front to back, and claims blocks in
+        // ascending order.
+        let mut last: std::collections::HashMap<std::thread::ThreadId, usize> =
+            std::collections::HashMap::new();
+        for &(tid, v) in &log {
+            let k = pos_of[v];
+            if let Some(&prev) = last.get(&tid) {
+                assert!(prev < k, "worker went backwards: position {prev} then {k}");
+            }
+            last.insert(tid, k);
+        }
     }
 
     #[test]
