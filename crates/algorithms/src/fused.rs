@@ -1,0 +1,365 @@
+//! Fused multi-source queries: K concurrent traversals (K ≤ 64) advanced
+//! by **one** edge-map pass per round.
+//!
+//! Each query owns a lane of the
+//! [`FusedFrontier`](gg_core::fused::FusedFrontier); one CSC scan serves
+//! every lane whose source set touches the scanned edge, so K queries that
+//! would each traverse the same hub edges sequentially traverse them once.
+//! All three algorithms here are **lane-wise bit-identical** to running the
+//! same query alone in lane 0: per-lane state never reads another lane, and
+//! the executor replays hub splits and folds reduce quanta in a
+//! configuration-independent order.
+//!
+//! * [`fused_bfs`] — per-lane BFS distance = the round at which the lane
+//!   bit first reaches the vertex;
+//! * [`fused_reachability`] — per-vertex bitmask of the seeds that reach
+//!   it;
+//! * [`fused_ppr`] — K personalized-PageRank queries sharing one residual
+//!   sweep per round ([`MultiSourceReduce`] with quantum-folded f64
+//!   accumulation).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use gg_core::engine::GraphGrind2;
+use gg_core::fused::{lane_mask, MultiSourceOp, MultiSourceReduce};
+use gg_core::Engine;
+use gg_graph::types::VertexId;
+use gg_runtime::atomics::AtomicF64;
+
+/// Result of a fused K-source BFS.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FusedBfsResult {
+    /// `dist[k][v]` = BFS distance from `sources[k]` to `v`
+    /// (`u32::MAX` = unreached).
+    pub dist: Vec<Vec<u32>>,
+    /// Number of fused edge-map rounds executed.
+    pub rounds: usize,
+}
+
+/// Claim-once visitation over all lanes: one `fetch_or` both tests and
+/// sets, so the exclusive (single-writer) path never double-activates.
+struct FusedVisitOp {
+    visited: Vec<AtomicU64>,
+    mask: u64,
+}
+
+impl FusedVisitOp {
+    fn new(n: usize, seeds: &[VertexId]) -> Self {
+        let visited: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+        for (k, &s) in seeds.iter().enumerate() {
+            visited[s as usize].fetch_or(1u64 << k, Ordering::Relaxed);
+        }
+        FusedVisitOp {
+            visited,
+            mask: lane_mask(seeds.len() as u32),
+        }
+    }
+}
+
+impl MultiSourceOp for FusedVisitOp {
+    #[inline]
+    fn update(&self, _src: VertexId, dst: VertexId, _w: f32, src_lanes: u64) -> u64 {
+        let prev = self.visited[dst as usize].fetch_or(src_lanes, Ordering::Relaxed);
+        src_lanes & !prev
+    }
+
+    #[inline]
+    fn cond(&self, dst: VertexId) -> u64 {
+        self.mask & !self.visited[dst as usize].load(Ordering::Relaxed)
+    }
+}
+
+/// Runs K fused BFS traversals, one per entry of `sources` (K ≤ 64).
+///
+/// Lane `k` of the result is bit-identical to `bfs(engine, sources[k])`
+/// levels: the fused rounds advance every lane in lockstep and a lane's
+/// distance is the round at which its bit first reaches the vertex.
+pub fn fused_bfs(engine: &GraphGrind2, sources: &[VertexId]) -> FusedBfsResult {
+    let n = engine.num_vertices();
+    let kk = sources.len();
+    let op = FusedVisitOp::new(n, sources);
+
+    let mut dist = vec![vec![u32::MAX; n]; kk];
+    for (k, &s) in sources.iter().enumerate() {
+        dist[k][s as usize] = 0;
+    }
+
+    let mut frontier = engine.fused_frontier(sources);
+    let mut depth = 0u32;
+    let mut rounds = 0usize;
+    while !frontier.is_empty() {
+        frontier = engine.fused_edge_map(&frontier, &op);
+        depth += 1;
+        rounds += 1;
+        frontier.for_each(|v, m| {
+            let mut lanes = m;
+            while lanes != 0 {
+                let k = lanes.trailing_zeros() as usize;
+                lanes &= lanes - 1;
+                dist[k][v as usize] = depth;
+            }
+        });
+    }
+    FusedBfsResult { dist, rounds }
+}
+
+/// Runs K fused reachability queries; returns one mask per vertex whose
+/// bit `k` is set iff `sources[k]` reaches the vertex (seeds reach
+/// themselves).
+pub fn fused_reachability(engine: &GraphGrind2, sources: &[VertexId]) -> Vec<u64> {
+    let n = engine.num_vertices();
+    let op = FusedVisitOp::new(n, sources);
+    let mut frontier = engine.fused_frontier(sources);
+    while !frontier.is_empty() {
+        frontier = engine.fused_edge_map(&frontier, &op);
+    }
+    op.visited
+        .iter()
+        .map(|w| w.load(Ordering::Relaxed))
+        .collect()
+}
+
+/// Result of a fused K-seed personalized PageRank.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FusedPprResult {
+    /// `p[k][v]` = PPR mass of `v` for seed `sources[k]`.
+    pub p: Vec<Vec<f64>>,
+    /// Fused residual-sweep rounds executed (bounded by `max_rounds`).
+    pub rounds: usize,
+}
+
+/// One fused residual sweep: the active vertices' residuals are frozen
+/// into a sorted sparse table before the edge map, so `accumulate` is a
+/// read-only lookup and the per-quantum f64 folds are bit-identical
+/// across partitions/threads/chunk caps (and across K: lane `k` folds the
+/// same add sequence whether or not other lanes ride along).
+struct FusedPprOp<'a> {
+    /// Active vertices this round, ascending (the frontier's vertex set).
+    push_verts: &'a [VertexId],
+    /// `(1 - alpha) * r / deg_out`, lane-major per active vertex.
+    push_scaled: &'a [f64],
+    /// Residuals, lane-major per vertex (`r[v * kk + k]`); single-writer
+    /// per destination within a round.
+    r: &'a [AtomicF64],
+    kk: usize,
+    eps: f64,
+}
+
+/// Per-quantum accumulator: one f64 per lane plus the touched-lane mask.
+struct PprAcc {
+    vals: [f64; 64],
+    touched: u64,
+}
+
+impl FusedPprOp<'_> {
+    #[inline]
+    fn scaled_of(&self, src: VertexId) -> Option<&[f64]> {
+        let i = self.push_verts.binary_search(&src).ok()?;
+        Some(&self.push_scaled[i * self.kk..(i + 1) * self.kk])
+    }
+
+    /// Adds `add` to lane `k` of `dst`'s residual; reports a threshold
+    /// crossing. Exclusive: the executor guarantees one writer per `dst`.
+    #[inline]
+    fn deposit(&self, dst: VertexId, k: usize, add: f64) -> bool {
+        let slot = &self.r[dst as usize * self.kk + k];
+        let prev = slot.load();
+        slot.store(prev + add);
+        prev <= self.eps && prev + add > self.eps
+    }
+}
+
+impl MultiSourceOp for FusedPprOp<'_> {
+    /// Single-edge equivalent of one accumulate+apply; only exercised if
+    /// a non-reduce path runs this op (the fused engine folds by quanta).
+    fn update(&self, src: VertexId, dst: VertexId, _w: f32, src_lanes: u64) -> u64 {
+        let Some(scaled) = self.scaled_of(src) else {
+            return 0;
+        };
+        let mut new = 0u64;
+        let mut lanes = src_lanes;
+        while lanes != 0 {
+            let k = lanes.trailing_zeros() as usize;
+            lanes &= lanes - 1;
+            if self.deposit(dst, k, scaled[k]) {
+                new |= 1u64 << k;
+            }
+        }
+        new
+    }
+}
+
+impl MultiSourceReduce for FusedPprOp<'_> {
+    type Acc = PprAcc;
+
+    #[inline]
+    fn identity(&self) -> PprAcc {
+        PprAcc {
+            vals: [0.0; 64],
+            touched: 0,
+        }
+    }
+
+    #[inline]
+    fn accumulate(&self, acc: &mut PprAcc, src: VertexId, _w: f32, src_lanes: u64) {
+        let Some(scaled) = self.scaled_of(src) else {
+            return;
+        };
+        let mut lanes = src_lanes;
+        while lanes != 0 {
+            let k = lanes.trailing_zeros() as usize;
+            lanes &= lanes - 1;
+            acc.vals[k] += scaled[k];
+            acc.touched |= 1u64 << k;
+        }
+    }
+
+    #[inline]
+    fn apply(&self, dst: VertexId, acc: &PprAcc) -> u64 {
+        let mut new = 0u64;
+        let mut lanes = acc.touched;
+        while lanes != 0 {
+            let k = lanes.trailing_zeros() as usize;
+            lanes &= lanes - 1;
+            if self.deposit(dst, k, acc.vals[k]) {
+                new |= 1u64 << k;
+            }
+        }
+        new
+    }
+}
+
+/// Runs K fused personalized-PageRank queries sharing one residual sweep
+/// per round (forward-push with teleport `alpha`, residual threshold
+/// `eps`, at most `max_rounds` sweeps).
+///
+/// Each round freezes the active residuals, settles `alpha · r` into `p`,
+/// and pushes `(1 - alpha) · r / deg_out` along out-edges in one fused
+/// [`MultiSourceReduce`] pass; a lane re-activates a vertex when its
+/// residual crosses `eps`. Mass at zero-out-degree vertices settles
+/// entirely into `p` (no dangling redistribution). Lane `k` is bit-identical
+/// to running the same seed alone: residual folds group by fixed quanta in
+/// CSC scan order regardless of which other lanes are live.
+pub fn fused_ppr(
+    engine: &GraphGrind2,
+    sources: &[VertexId],
+    alpha: f64,
+    eps: f64,
+    max_rounds: usize,
+) -> FusedPprResult {
+    let n = engine.num_vertices();
+    let kk = sources.len();
+    assert!(kk <= 64, "at most 64 fused lanes");
+    let degrees = engine.store().out_degrees();
+
+    let mut p = vec![vec![0.0f64; n]; kk];
+    let r: Vec<AtomicF64> = (0..n * kk).map(|_| AtomicF64::new(0.0)).collect();
+    for (k, &s) in sources.iter().enumerate() {
+        r[s as usize * kk + k].store(1.0);
+    }
+
+    let mut frontier = engine.fused_frontier(sources);
+    let mut rounds = 0usize;
+    let mut push_verts: Vec<VertexId> = Vec::new();
+    let mut push_scaled: Vec<f64> = Vec::new();
+    while !frontier.is_empty() && rounds < max_rounds {
+        // Freeze: settle alpha·r into p, scale the remainder for pushing,
+        // and zero the residuals of every active vertex so deposits made
+        // this round start from a clean slate.
+        push_verts.clear();
+        push_scaled.clear();
+        frontier.for_each(|v, m| {
+            push_verts.push(v);
+            let deg = degrees[v as usize] as f64;
+            let base = push_scaled.len();
+            push_scaled.resize(base + kk, 0.0);
+            let mut lanes = m;
+            while lanes != 0 {
+                let k = lanes.trailing_zeros() as usize;
+                lanes &= lanes - 1;
+                let slot = &r[v as usize * kk + k];
+                let res = slot.load();
+                slot.store(0.0);
+                if deg > 0.0 {
+                    p[k][v as usize] += alpha * res;
+                    push_scaled[base + k] = (1.0 - alpha) * res / deg;
+                } else {
+                    p[k][v as usize] += res;
+                }
+            }
+        });
+        let op = FusedPprOp {
+            push_verts: &push_verts,
+            push_scaled: &push_scaled,
+            r: &r,
+            kk,
+            eps,
+        };
+        frontier = engine.fused_edge_map_reduce(&frontier, &op);
+        rounds += 1;
+    }
+    FusedPprResult { p, rounds }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bfs::bfs;
+    use gg_core::config::Config;
+    use gg_graph::generators;
+
+    fn engine_for(el: &gg_graph::edge_list::EdgeList) -> GraphGrind2 {
+        GraphGrind2::new(el, Config::partitioned_for_tests())
+    }
+
+    #[test]
+    fn fused_bfs_lanes_match_single_source_runs() {
+        let el = generators::rmat(9, 4000, generators::RmatParams::skewed(), 8);
+        let engine = engine_for(&el);
+        let sources = [0u32, 7, 99, 311];
+        let fused = fused_bfs(&engine, &sources);
+        for (k, &s) in sources.iter().enumerate() {
+            let solo = bfs(&engine, s);
+            assert_eq!(fused.dist[k], solo.level, "lane {k} (source {s})");
+        }
+    }
+
+    #[test]
+    fn fused_reachability_matches_bfs_reachability() {
+        let el = gg_graph::edge_list::EdgeList::from_edges(7, &[(0, 1), (1, 2), (4, 5), (5, 6)]);
+        let engine = engine_for(&el);
+        let reach = fused_reachability(&engine, &[0, 4]);
+        assert_eq!(reach[2], 0b01); // reached by seed 0 only
+        assert_eq!(reach[6], 0b10); // reached by seed 4 only
+        assert_eq!(reach[3], 0); // isolated
+        assert_eq!(reach[0], 0b01); // seeds reach themselves
+    }
+
+    #[test]
+    fn fused_ppr_lanes_match_single_seed_runs() {
+        let el = generators::rmat(8, 2500, generators::RmatParams::skewed(), 3);
+        let engine = engine_for(&el);
+        let sources = [3u32, 42, 100];
+        let fused = fused_ppr(&engine, &sources, 0.15, 1e-4, 50);
+        for (k, &s) in sources.iter().enumerate() {
+            let solo = fused_ppr(&engine, &[s], 0.15, 1e-4, 50);
+            assert_eq!(fused.p[k], solo.p[0], "lane {k} (seed {s})");
+        }
+    }
+
+    #[test]
+    fn fused_ppr_conserves_mass_on_a_cycle() {
+        // On a cycle every vertex has out-degree 1, so no mass is lost:
+        // settled p plus outstanding residual sums to 1 per lane.
+        let n = 12usize;
+        let edges: Vec<(u32, u32)> = (0..n as u32).map(|v| (v, (v + 1) % n as u32)).collect();
+        let el = gg_graph::edge_list::EdgeList::from_edges(n, &edges);
+        let engine = engine_for(&el);
+        let res = fused_ppr(&engine, &[0, 5], 0.2, 1e-12, 200);
+        for lane in &res.p {
+            let settled: f64 = lane.iter().sum();
+            assert!(settled > 0.999, "settled mass {settled}");
+            assert!(settled <= 1.0 + 1e-9, "settled mass {settled}");
+        }
+    }
+}

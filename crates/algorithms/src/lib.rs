@@ -29,6 +29,7 @@ pub mod bellman_ford;
 pub mod bfs;
 pub mod bp;
 pub mod cc;
+pub mod fused;
 pub mod kcore;
 pub mod pr;
 pub mod prdelta;
@@ -42,6 +43,7 @@ pub use bellman_ford::bellman_ford;
 pub use bfs::bfs;
 pub use bp::{bp, BpParams};
 pub use cc::cc;
+pub use fused::{fused_bfs, fused_ppr, fused_reachability, FusedBfsResult, FusedPprResult};
 pub use kcore::kcore;
 pub use pr::pagerank;
 pub use prdelta::{pagerank_delta, PrDeltaParams};

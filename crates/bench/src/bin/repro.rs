@@ -9,7 +9,7 @@
 //!
 //! experiments: tab1 tab2 fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10
 //!              atomics heuristic reorder smoke sparse_output load_balance
-//!              chunk_overhead record replay all
+//!              chunk_overhead query_fusion record replay all
 //! ```
 //!
 //! `--scale` multiplies the default graph sizes (DESIGN.md §2); the
@@ -49,6 +49,13 @@
 //! thread-dependent fault op to prove the diagnosis localizes a real
 //! divergence. `--scale` and `--scenario` must match between the two runs
 //! (the scenario is recorded in the trace header and checked).
+//!
+//! `query_fusion` is the multi-source fusion bench: for K ∈ {1, 4, 16,
+//! 64} it runs one fused K-lane BFS against K sequential single-source
+//! runs on the powerlaw and smallworld scenarios (or just `--scenario`),
+//! reporting edges traversed and min-of-reps wall-clock for both, checks
+//! every lane's distances against its single-source oracle (exiting
+//! non-zero on any mismatch), and writes `BENCH_query_fusion.json`.
 //!
 //! `load_balance` is the skewed scenario (`--scenario powerlaw`, with
 //! `--alpha` / `--hubs` shaping the skew): one destination partition is
@@ -95,7 +102,8 @@ struct Args {
     alpha: f64,
     /// Star-hub count of the `powerlaw` scenario.
     hubs: usize,
-    /// Restrict `record` / `replay` to one algorithm code (BFS|PR|CC|BF).
+    /// Restrict `record` / `replay` to one algorithm code
+    /// (BFS|PR|CC|BF|FUSED).
     algo: Option<String>,
     /// Use the thread-dependent fault op in `record` / `replay`.
     fault: bool,
@@ -253,7 +261,8 @@ fn parse_args() -> Args {
     if args.experiment.is_empty() {
         eprintln!(
             "usage: repro <tab1|tab2|fig2|fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|atomics|\
-             heuristic|reorder|smoke|sparse_output|load_balance|chunk_overhead|record|replay|all>\
+             heuristic|reorder|smoke|sparse_output|load_balance|chunk_overhead|query_fusion|\
+             record|replay|all>\
              [--scale F] [--threads N]\
              [--reps N] [--tiny] [--partitions N] [--executor monolithic|partitioned]\
              [--output auto|sparse|dense] [--scenario grid|smallworld|powerlaw]\
@@ -325,6 +334,9 @@ fn main() {
     }
     if run("chunk_overhead") {
         chunk_overhead(&args);
+    }
+    if run("query_fusion") {
+        query_fusion(&args);
     }
     // Deliberately not part of `all`: `record` writes trace files and
     // `replay` requires them, so running both blindly inside `all` would
@@ -1192,7 +1204,8 @@ fn load_balance(args: &Args) {
                  \"time_min_s\": {:.6}, \"time_mean_s\": {:.6}, \"samples\": [{}], \
                  \"chunks\": {}, \"hub_subchunks\": {}, \"steals\": {}, \
                  \"cross_domain_steals\": {}, \"max_chunk_edges\": {}, \
-                 \"mean_chunk_edges\": {:.1}, \"pool_spawns\": {}, \"pool_epochs\": {}}}",
+                 \"mean_chunk_edges\": {:.1}, \"fused_lanes\": {}, \
+                 \"lane_union_words\": {}, \"pool_spawns\": {}, \"pool_epochs\": {}}}",
                 algo.code(),
                 label,
                 stats.median,
@@ -1205,6 +1218,8 @@ fn load_balance(args: &Args) {
                 c.cross_domain_steals(),
                 c.max_chunk_edges(),
                 c.mean_chunk_edges(),
+                c.fused_lanes(),
+                c.lane_union_words(),
                 spawns,
                 epochs,
             ));
@@ -1245,6 +1260,169 @@ fn load_balance(args: &Args) {
     match std::fs::write(path, &json) {
         Ok(()) => println!("\nwrote {path}\n"),
         Err(e) => eprintln!("\nfailed to write {path}: {e}\n"),
+    }
+}
+
+/// The query-fusion bench: K point queries (BFS from K spread sources) as
+/// one fused K-lane traversal vs K sequential single-source runs. The
+/// fused traversal scans each edge once per *union*-frontier round instead
+/// of once per query, so edges traversed — and with them wall-clock —
+/// drop by up to K× on overlapping queries. Every fused lane's distance
+/// vector is checked against its single-source oracle (exit non-zero on
+/// any mismatch); each K runs one untimed warmup plus `--reps` interleaved
+/// timed reps per mode, with min-of-reps the headline, plus one counted
+/// run per mode for the edge/lane tallies. Writes
+/// `BENCH_query_fusion.json` covering the powerlaw and smallworld
+/// scenarios (or just `--scenario` when given).
+fn query_fusion(args: &Args) {
+    use gg_core::config::{Config, ExecutorKind};
+    use gg_core::engine::{Engine, GraphGrind2};
+
+    println!("## Query-fusion bench — fused K-lane BFS vs K sequential runs\n");
+    let scenarios: Vec<String> = if args.scenario.is_empty() {
+        vec!["powerlaw".to_string(), "smallworld".to_string()]
+    } else {
+        vec![args.scenario.clone()]
+    };
+    let lane_counts = [1usize, 4, 16, 64];
+    let partitions = args.partitions_or(16);
+    let mut scenario_blocks: Vec<String> = Vec::new();
+    let mut oracle_failures = 0usize;
+    for scenario in &scenarios {
+        let el = gg_bench::replay::scenario_graph(scenario, args.scale);
+        println!(
+            "### {scenario}: {} vertices, {} edges, {} partitions, {} threads",
+            el.num_vertices(),
+            el.num_edges(),
+            partitions,
+            args.threads
+        );
+        let mut t = Table::new(&[
+            "K",
+            "fused min (s)",
+            "seq min (s)",
+            "speedup",
+            "fused edges",
+            "seq edges",
+            "edge ratio",
+            "fused lanes",
+            "lane words",
+            "oracle",
+        ]);
+        let mut json_rows: Vec<String> = Vec::new();
+        for &k in &lane_counts {
+            let sources = gg_bench::replay::fused_sources(&el, k);
+            let cfg = Config {
+                threads: args.threads,
+                num_partitions: partitions,
+                numa: NumaTopology::paper_machine(),
+                executor: ExecutorKind::Partitioned,
+                chunk_edges: args.chunk.unwrap_or(gg_core::config::ChunkCap::Auto),
+                ..Config::default()
+            };
+            let fused_engine = GraphGrind2::new(&el, cfg.clone());
+            let seq_engine = GraphGrind2::new(&el, cfg);
+            let mut runners: Vec<Box<dyn FnMut()>> = vec![
+                Box::new(|| {
+                    let _ = gg_algorithms::fused_bfs(&fused_engine, &sources);
+                }),
+                Box::new(|| {
+                    for &s in &sources {
+                        let _ = gg_algorithms::bfs(&seq_engine, s);
+                    }
+                }),
+            ];
+            let stats = gg_bench::time_stats_interleaved(args.reps, &mut runners);
+            drop(runners);
+            let (fused_stats, seq_stats) = (&stats[0], &stats[1]);
+
+            // One counted run per mode for the edge tallies, doubling as
+            // the per-lane oracle check.
+            fused_engine.work_counters().reset();
+            let fused_res = gg_algorithms::fused_bfs(&fused_engine, &sources);
+            let fc = fused_engine.work_counters();
+            let (fused_edges, fused_lanes, lane_words) =
+                (fc.edges(), fc.fused_lanes(), fc.lane_union_words());
+            seq_engine.work_counters().reset();
+            let mut lanes_ok = true;
+            for (lane, &s) in sources.iter().enumerate() {
+                let solo = gg_algorithms::bfs(&seq_engine, s);
+                if solo.level != fused_res.dist[lane] {
+                    lanes_ok = false;
+                    eprintln!(
+                        "ORACLE MISMATCH: {scenario} K={k} lane {lane} (source {s}) \
+                         disagrees with its single-source BFS"
+                    );
+                }
+            }
+            let seq_edges = seq_engine.work_counters().edges();
+            if !lanes_ok {
+                oracle_failures += 1;
+            }
+            let edge_ratio = seq_edges as f64 / fused_edges.max(1) as f64;
+            let speedup = seq_stats.min / fused_stats.min.max(1e-12);
+            t.row(vec![
+                k.to_string(),
+                fmt_secs(fused_stats.min),
+                fmt_secs(seq_stats.min),
+                format!("{speedup:.3}x"),
+                fused_edges.to_string(),
+                seq_edges.to_string(),
+                format!("{edge_ratio:.2}x"),
+                fused_lanes.to_string(),
+                lane_words.to_string(),
+                if lanes_ok { "ok" } else { "MISMATCH" }.into(),
+            ]);
+            let fused_samples = fused_stats
+                .samples
+                .iter()
+                .map(|s| format!("{s:.6}"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            let seq_samples = seq_stats
+                .samples
+                .iter()
+                .map(|s| format!("{s:.6}"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            json_rows.push(format!(
+                "      {{\"k\": {k}, \"fused_min_s\": {:.6}, \"fused_mean_s\": {:.6}, \
+                 \"fused_samples\": [{fused_samples}], \"seq_min_s\": {:.6}, \
+                 \"seq_mean_s\": {:.6}, \"seq_samples\": [{seq_samples}], \
+                 \"speedup\": {speedup:.4}, \"fused_edges\": {fused_edges}, \
+                 \"seq_edges\": {seq_edges}, \"edge_ratio\": {edge_ratio:.4}, \
+                 \"fused_lanes\": {fused_lanes}, \"lane_union_words\": {lane_words}, \
+                 \"lanes_match_oracle\": {lanes_ok}}}",
+                fused_stats.min, fused_stats.mean, seq_stats.min, seq_stats.mean,
+            ));
+        }
+        t.print();
+        println!();
+        scenario_blocks.push(format!(
+            "    {{\"scenario\": \"{}\", \"vertices\": {}, \"edges\": {}, \"results\": [\n{}\n    ]}}",
+            scenario,
+            el.num_vertices(),
+            el.num_edges(),
+            json_rows.join(",\n")
+        ));
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"query_fusion\",\n  \"partitions\": {},\n  \"threads\": {},\n  \
+         \"reps\": {},\n  \"scale\": {},\n  \"scenarios\": [\n{}\n  ]\n}}\n",
+        partitions,
+        args.threads,
+        args.reps,
+        args.scale,
+        scenario_blocks.join(",\n")
+    );
+    let path = "BENCH_query_fusion.json";
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote {path}\n"),
+        Err(e) => eprintln!("failed to write {path}: {e}\n"),
+    }
+    if oracle_failures > 0 {
+        eprintln!("QUERY_FUSION FAILED: {oracle_failures} K-batch(es) diverged from the oracle");
+        std::process::exit(1);
     }
 }
 
@@ -1382,7 +1560,7 @@ fn replay_selection(args: &Args) -> Vec<Algorithm> {
         Some(code) => {
             let picked: Vec<Algorithm> = all.iter().copied().filter(|a| a.code() == code).collect();
             if picked.is_empty() {
-                eprintln!("--algo must be one of BFS, PR, CC, BF; got {code}");
+                eprintln!("--algo must be one of BFS, PR, CC, BF, FUSED; got {code}");
                 std::process::exit(2);
             }
             picked
@@ -1410,6 +1588,17 @@ fn record(args: &Args) {
         let path = trace_path("fault");
         std::fs::write(&path, trace.to_jsonl()).expect("writing trace file");
         println!("fault_minlabel: {} rounds -> {path}", trace.rounds.len());
+        return;
+    }
+    if args.algo.as_deref() == Some("FUSED") {
+        let trace = gg_bench::replay::record_fused(&el, &config, &scenario);
+        let path = trace_path("FUSED");
+        std::fs::write(&path, trace.to_jsonl()).expect("writing trace file");
+        println!(
+            "fused_bfs ({} lanes): {} rounds -> {path}",
+            gg_bench::replay::FUSED_RECORD_LANES,
+            trace.rounds.len()
+        );
         return;
     }
     for algo in replay_selection(args) {
@@ -1452,6 +1641,22 @@ fn replay(args: &Args) {
             }
         }
         println!("fault_minlabel: no divergence in 5 attempts");
+        return;
+    }
+    if args.algo.as_deref() == Some("FUSED") {
+        let recorded = load("FUSED");
+        let el = gg_bench::replay::scenario_graph(&recorded.header.scenario, args.scale);
+        let replayed = gg_bench::replay::record_fused(&el, &config, &recorded.header.scenario);
+        match first_divergence(&recorded, &replayed) {
+            Some(d) => {
+                println!("fused_bfs: DIVERGED: {d}");
+                std::process::exit(1);
+            }
+            None => println!(
+                "fused_bfs: ok ({} rounds bit-identical, per-lane digests compared)",
+                recorded.rounds.len()
+            ),
+        }
         return;
     }
     let mut diverged = false;

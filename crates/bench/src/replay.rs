@@ -59,6 +59,33 @@ pub fn record_algorithm(w: &Workload, config: &Config, scenario: &str) -> RoundT
     }
 }
 
+/// Deterministic K-source selection for the fused benchmarks and the
+/// fused record/replay leg: sources spread across the vertex space by a
+/// fixed stride, so recordings and replays (and the fused-vs-sequential
+/// comparisons) agree on the batch by construction.
+pub fn fused_sources(el: &EdgeList, k: usize) -> Vec<u32> {
+    let n = el.num_vertices() as u32;
+    let stride = (n / k as u32).max(1);
+    (0..k as u32).map(|i| (i * stride + 1) % n).collect()
+}
+
+/// Number of lanes in the fused record/replay leg.
+pub const FUSED_RECORD_LANES: usize = 8;
+
+/// Runs one fused multi-source BFS with recording armed and returns the
+/// round trace. Fused rounds carry per-lane frontier digests
+/// (`RoundRecord::lanes`), so a replay divergence localizes to the first
+/// differing lane of the first differing round.
+pub fn record_fused(el: &EdgeList, config: &Config, scenario: &str) -> RoundTrace {
+    let engine = GraphGrind2::new(el, config.clone());
+    engine.start_recording();
+    let _ = gg_algorithms::fused_bfs(&engine, &fused_sources(el, FUSED_RECORD_LANES));
+    RoundTrace {
+        header: TraceHeader::new("fused_bfs", scenario, config, false),
+        rounds: engine.take_recording(),
+    }
+}
+
 /// Runs the fault-injection min-label loop once with recording armed.
 ///
 /// [`ThreadVaryingMinLabel`] propagates honest min-labels from whichever

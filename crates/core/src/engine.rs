@@ -25,6 +25,7 @@ use gg_runtime::schedule::PartitionSchedule;
 use crate::config::{Config, ExecutorKind, ForcedKernel};
 use crate::edge_map::{self, EdgeKind, EdgeMapReduce, EdgeOp};
 use crate::frontier::Frontier;
+use crate::fused::{self, FusedFrontier, MultiSourceOp, MultiSourceReduce};
 use crate::partitioned::{PartitionView, PartitionedExec};
 use crate::store::GraphStore;
 use crate::trace::{RoundKernel, RoundRecord, RoundRecorder, StepRecord};
@@ -394,6 +395,113 @@ impl GraphGrind2 {
                 rec.record(kernel, output, sched);
             }
         }
+    }
+
+    /// The fused counterpart of [`finish_round`](Self::finish_round):
+    /// digests the output's union frontier *and* each lane separately, so
+    /// replay localises divergence to a single query of the batch.
+    fn finish_fused_round(
+        &self,
+        begun: Option<(RoundKernel, CounterSnapshot)>,
+        output: &FusedFrontier,
+    ) {
+        if let Some((kernel, pre)) = begun {
+            let sched = self.counters.snapshot().delta_since(&pre);
+            if let Some(rec) = self.recorder.lock().unwrap().as_mut() {
+                rec.record_fused(kernel, output, sched);
+            }
+        }
+    }
+
+    /// The initial fused frontier of a K-query batch: lane `i` holds
+    /// `seeds[i]` (K ≤ 64).
+    pub fn fused_frontier(&self, seeds: &[VertexId]) -> FusedFrontier {
+        FusedFrontier::from_seeds(seeds, self.store.num_vertices())
+    }
+
+    /// One fused edge map: advance all K lanes of `frontier` in a single
+    /// edge pass. Planning (sparse/dense kernel and output representation
+    /// per partition) runs on the **union** frontier through the scalar
+    /// planner; chunking, hub splitting and work stealing are the scalar
+    /// paths unchanged, so fused rounds are bit-identical across partition
+    /// counts, thread counts and chunk caps. Without the partitioned
+    /// executor a deterministic (unplanned) monolithic pull runs instead.
+    pub fn fused_edge_map<O: MultiSourceOp>(
+        &self,
+        frontier: &FusedFrontier,
+        op: &O,
+    ) -> FusedFrontier {
+        if frontier.is_empty() {
+            return FusedFrontier::empty(self.store.num_vertices(), frontier.num_lanes());
+        }
+        let union = frontier.union_frontier(self.store.out_degrees(), &self.pool);
+        let begun = self.begin_round(&union);
+        let next = match &self.partitioned {
+            Some(exec) => exec.fused_edge_map(
+                &self.store,
+                &self.pool,
+                &self.config,
+                &self.counters,
+                &self.kernel_counts,
+                &union,
+                frontier,
+                op,
+            ),
+            None => fused::monolithic_fused_edge_map(
+                self.store.csc(),
+                self.store.csr(),
+                frontier,
+                op,
+                &self.edge_ranges,
+                &self.pool,
+                &self.counters,
+                self.store.num_vertices(),
+                frontier.num_lanes(),
+            ),
+        };
+        self.finish_fused_round(begun, &next);
+        next
+    }
+
+    /// The fused associative edge map ([`MultiSourceReduce`]): identical
+    /// planning and scheduling to [`fused_edge_map`](Self::fused_edge_map),
+    /// with per-destination scans folded in fixed quantum-width runs so
+    /// per-lane f64 results stay bit-identical across configurations.
+    pub fn fused_edge_map_reduce<O: MultiSourceReduce>(
+        &self,
+        frontier: &FusedFrontier,
+        op: &O,
+    ) -> FusedFrontier {
+        if frontier.is_empty() {
+            return FusedFrontier::empty(self.store.num_vertices(), frontier.num_lanes());
+        }
+        let union = frontier.union_frontier(self.store.out_degrees(), &self.pool);
+        let begun = self.begin_round(&union);
+        let next = match &self.partitioned {
+            Some(exec) => exec.fused_edge_map_reduce(
+                &self.store,
+                &self.pool,
+                &self.config,
+                &self.counters,
+                &self.kernel_counts,
+                &union,
+                frontier,
+                op,
+            ),
+            None => fused::monolithic_fused_edge_map_reduce(
+                self.store.csc(),
+                self.store.csr(),
+                frontier,
+                op,
+                &self.edge_ranges,
+                &self.pool,
+                &self.counters,
+                self.store.num_vertices(),
+                frontier.num_lanes(),
+            ),
+        };
+        self.finish_fused_round(begun, &next);
+        next
     }
 
     /// The composite store.

@@ -1,0 +1,1296 @@
+//! Multi-source frontier fusion: K-lane batched traversals.
+//!
+//! A fused traversal co-runs up to 64 point queries ("lanes") over one
+//! graph. Per-vertex frontier state is a single `u64` lane word
+//! ([`LaneBitmap`] / sparse `(vertex, mask)` pairs), and the per-edge
+//! operator ([`MultiSourceOp`]) advances every lane at once:
+//! `new_lanes = src_lanes & !dst_lanes`. One edge scan therefore serves
+//! all K queries — the batching lever that amortises CSR/CSC edge reads
+//! across concurrent requests, exactly as an inference server batches
+//! requests to amortise weight reads.
+//!
+//! ## Executor reuse, not a second executor
+//!
+//! A fused edge map reuses the scalar partitioned machinery end to end:
+//!
+//! * **Planning** runs on the **union frontier** (bit `v` set iff any lane
+//!   has `v` active). A partition is dense exactly when the union frontier
+//!   is dense there — the planner's sparse/dense kernel selection and
+//!   per-partition output-representation choice extend to lane-mask
+//!   frontiers without modification.
+//! * **Chunking, hub splitting and work stealing** are byte-for-byte the
+//!   scalar paths ([`PartitionedExec::prepare`](crate::partitioned)): the
+//!   fused kernels plug into the same `(step, chunk)` task list, so fused
+//!   rounds stay bit-identical across partition counts, thread counts and
+//!   chunk caps for the same reasons the scalar rounds do.
+//! * **Outputs** are the fused analogues of the scalar typed buffers:
+//!   sparse `(vertex, mask)` lists or range-aligned [`LaneSegment`]s,
+//!   merged in `(partition, chunk)` order. A split mega-hub collects its
+//!   slice's active `(source, weight, src_lanes)` contributions and the
+//!   dispatcher replays them sequentially in CSC scan order — one writer
+//!   per destination, bit-identical to the unsplit scan.
+//!
+//! ## Operator variants
+//!
+//! [`MultiSourceOp`] is the exclusive-update path (the fused [`EdgeOp`]):
+//! `update` returns the lanes newly activated by one edge and may mutate
+//! destination-indexed state under the single-writer guarantee.
+//! [`MultiSourceReduce`] is the fused [`EdgeMapReduce`]: destination scans
+//! fold per fixed [`REDUCE_QUANTUM`]-edge run into a per-lane accumulator,
+//! so f64 grouping is a property of the destination alone — identical
+//! across caps, threads, partitions and steal schedules.
+//!
+//! ## Deliverable-lane prefilter
+//!
+//! A naive fused pull keeps every destination's scan open until **all**
+//! lanes reach it, so a vertex whose lanes arrive over a window of W
+//! rounds pays W full in-edge scans — the dominant cost when sources are
+//! spread (their BFS waves hit each vertex at different depths). Each
+//! fused round therefore first derives per-destination **deliverable
+//! masks** ([`PossibleMasks`]): the OR of frontier lane words over each
+//! destination's in-neighbours, computed from the same out-vertex index
+//! that sparse candidate discovery walks (and, like discovery, counted as
+//! frontier preprocessing, not edge traversal). The kernels then skip any
+//! destination none of whose open lanes are deliverable this round, and
+//! stop a scan as soon as every deliverable lane has activated — the
+//! fused analogue of the scalar pull's first-claim early exit. The masks
+//! depend only on the frontier, never on the schedule, so every
+//! configuration makes identical skip decisions and fused rounds stay
+//! bit-identical.
+//!
+//! [`EdgeOp`]: crate::edge_map::EdgeOp
+//! [`EdgeMapReduce`]: crate::edge_map::EdgeMapReduce
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use gg_graph::csc::Csc;
+use gg_graph::csr::{Csr, PartitionedCsr};
+use gg_graph::lanes::{LaneBitmap, LaneSegment};
+use gg_graph::types::VertexId;
+use gg_runtime::counters::{LocalTally, WorkCounters};
+use gg_runtime::pool::Pool;
+
+use crate::edge_map::REDUCE_QUANTUM;
+use crate::frontier::Frontier;
+use crate::plan::{self, OutputRepr};
+
+/// A user-supplied fused edge operator: the K-lane analogue of
+/// [`EdgeOp`](crate::edge_map::EdgeOp).
+///
+/// `update` applies the edge `(src, dst)` for every lane set in
+/// `src_lanes` and returns the lanes in which `dst` was **newly**
+/// activated (for a visited-set traversal, `src_lanes & !dst_lanes`). The
+/// engine guarantees a single writer per `dst` (partitioning by
+/// destination), so implementations may mutate destination-indexed state
+/// with plain relaxed stores.
+///
+/// # Exclusive-update contract
+///
+/// The deliverable-lane prefilter (module docs) is sound only for
+/// operators with exclusive-update semantics, which every
+/// `MultiSourceOp` must honour:
+///
+/// * `update` returns a subset of `src_lanes`;
+/// * once a lane is active at `dst`, further `update` calls carrying that
+///   lane neither re-activate it nor observably change state for it (the
+///   engine may skip such calls entirely);
+/// * `cond(dst)` covers every lane `update` could still activate at
+///   `dst`: lanes outside `cond` are never activated nor mutated.
+///
+/// Operators that accumulate per-edge state (where a skipped edge would
+/// change the result) belong on the [`MultiSourceReduce`] path, whose
+/// scans are never truncated.
+pub trait MultiSourceOp: Sync {
+    /// Applies edge `(src, dst)` with weight `w` for the lanes in
+    /// `src_lanes`; returns the newly-activated lanes of `dst`.
+    /// Single-writer guarantee on `dst`.
+    fn update(&self, src: VertexId, dst: VertexId, w: f32, src_lanes: u64) -> u64;
+
+    /// The lanes in which `dst` still wants updates. A zero mask skips
+    /// (pre-check) or stops (mid-scan early exit) the destination's scan —
+    /// the fused form of [`EdgeOp::cond`](crate::edge_map::EdgeOp::cond):
+    /// fused BFS returns the not-yet-visited lanes, so a destination
+    /// claimed in all lanes costs no further edge reads.
+    #[inline]
+    fn cond(&self, _dst: VertexId) -> u64 {
+        u64::MAX
+    }
+}
+
+/// The associative fused variant: the K-lane analogue of
+/// [`EdgeMapReduce`](crate::edge_map::EdgeMapReduce).
+///
+/// Destination scans fold in fixed [`REDUCE_QUANTUM`]-edge runs with
+/// boundaries at absolute quantum multiples within the scan, exactly like
+/// the scalar reduce path, so the per-lane f64 grouping is fixed by the
+/// destination alone. `apply` runs under the single-writer guarantee and
+/// returns the lanes newly activated by the folded quantum.
+///
+/// Reduce scans accumulate per-edge state, so the engine never truncates
+/// them mid-scan: the deliverable-lane prefilter skips a reduce
+/// destination only when **no** in-neighbour is active in any lane — a
+/// scan that would have folded nothing. The inherited
+/// [`MultiSourceOp::update`] is the operator's single-edge specification,
+/// exempt from the skip clause because the reduce kernels never call it.
+pub trait MultiSourceReduce: MultiSourceOp {
+    /// The per-quantum accumulator (per-lane state; e.g. `[f64; 64]` plus
+    /// a touched-lane mask).
+    type Acc;
+
+    /// The unit accumulator.
+    fn identity(&self) -> Self::Acc;
+
+    /// Folds one in-edge `(src, w)` carrying `src_lanes` into `acc`.
+    fn accumulate(&self, acc: &mut Self::Acc, src: VertexId, w: f32, src_lanes: u64);
+
+    /// Applies a folded quantum to `dst` (single-writer guarantee);
+    /// returns the newly-activated lanes.
+    fn apply(&self, dst: VertexId, acc: &Self::Acc) -> u64;
+}
+
+/// The storage behind a [`FusedFrontier`]: parallel sparse
+/// `(vertex, mask)` lists, or one lane word per vertex.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FusedData {
+    /// Ascending active vertices and their (parallel) non-zero lane masks.
+    Sparse {
+        /// Active vertices, ascending.
+        verts: Vec<VertexId>,
+        /// `masks[i]` is the lane word of `verts[i]` (never zero).
+        masks: Vec<u64>,
+    },
+    /// One lane word per vertex.
+    Dense(LaneBitmap),
+}
+
+/// A borrowed view of a fused frontier, cheap to copy into kernels.
+#[derive(Clone, Copy, Debug)]
+pub enum FusedView<'a> {
+    /// Sorted active vertices plus parallel lane masks.
+    Sparse {
+        /// Active vertices, ascending.
+        verts: &'a [VertexId],
+        /// Parallel lane masks.
+        masks: &'a [u64],
+    },
+    /// One lane word per vertex.
+    Dense(&'a LaneBitmap),
+}
+
+impl FusedView<'_> {
+    /// The lane word of `v` (zero when `v` is inactive in every lane).
+    #[inline]
+    pub fn lanes_of(&self, v: VertexId) -> u64 {
+        match self {
+            FusedView::Sparse { verts, masks } => match verts.binary_search(&v) {
+                Ok(i) => masks[i],
+                Err(_) => 0,
+            },
+            FusedView::Dense(lanes) => lanes.get(v as usize),
+        }
+    }
+}
+
+/// The lane-mask frontier of a fused K-query traversal: per-vertex `u64`
+/// lane words in a sparse or dense representation, chosen by the planner
+/// exactly as for scalar frontiers (on the **union** frontier's density).
+#[derive(Clone, Debug)]
+pub struct FusedFrontier {
+    n: usize,
+    k: u32,
+    data: FusedData,
+    /// Vertices active in at least one lane (the union count).
+    count: usize,
+    /// Total set lane bits (Σ popcount) — the fused work volume.
+    lane_bits: u64,
+}
+
+impl FusedFrontier {
+    /// An empty fused frontier over `n` vertices with `k` lanes.
+    pub fn empty(n: usize, k: u32) -> Self {
+        FusedFrontier {
+            n,
+            k,
+            data: FusedData::Sparse {
+                verts: Vec::new(),
+                masks: Vec::new(),
+            },
+            count: 0,
+            lane_bits: 0,
+        }
+    }
+
+    /// The initial frontier of a K-query batch: lane `i` holds
+    /// `seeds[i]` (duplicate seeds OR into one vertex's mask).
+    ///
+    /// # Panics
+    /// Panics if more than 64 seeds are given or a seed is out of range.
+    pub fn from_seeds(seeds: &[VertexId], n: usize) -> Self {
+        assert!(seeds.len() <= 64, "at most 64 fused lanes");
+        let k = seeds.len() as u32;
+        let mut pairs: Vec<(VertexId, u64)> = Vec::with_capacity(seeds.len());
+        for (i, &s) in seeds.iter().enumerate() {
+            assert!((s as usize) < n, "seed {s} out of range");
+            pairs.push((s, 1u64 << i));
+        }
+        pairs.sort_unstable_by_key(|&(v, _)| v);
+        let mut verts: Vec<VertexId> = Vec::with_capacity(pairs.len());
+        let mut masks: Vec<u64> = Vec::with_capacity(pairs.len());
+        for (v, m) in pairs {
+            if verts.last() == Some(&v) {
+                *masks.last_mut().unwrap() |= m;
+            } else {
+                verts.push(v);
+                masks.push(m);
+            }
+        }
+        let count = verts.len();
+        let lane_bits = masks.iter().map(|m| m.count_ones() as u64).sum();
+        FusedFrontier {
+            n,
+            k,
+            data: FusedData::Sparse { verts, masks },
+            count,
+            lane_bits,
+        }
+    }
+
+    /// Merges per-chunk fused outputs (in task order) into the next fused
+    /// frontier — the K-lane analogue of
+    /// [`Frontier::from_partition_outputs`]. Outputs sort by range start
+    /// (chunk ranges are disjoint), all-sparse rounds concatenate in
+    /// ascending order with no `O(|V|)` work, and any dense output routes
+    /// the merge through a whole-graph [`LaneBitmap`] splice whose word
+    /// cost lands in [`WorkCounters::lane_union_words`]. The newly set
+    /// lane bits of the round land in [`WorkCounters::fused_lanes`].
+    pub fn from_outputs(
+        mut outputs: Vec<FusedOutput>,
+        n: usize,
+        k: u32,
+        counters: &WorkCounters,
+    ) -> Self {
+        debug_assert!(
+            !outputs.iter().any(FusedOutput::is_partial),
+            "hub partials must be reduced before the merge"
+        );
+        outputs.sort_by_key(|o| o.range.start);
+        let any_dense = outputs
+            .iter()
+            .any(|o| matches!(o.data, FusedOutputData::Dense(_)));
+        let next = if !any_dense {
+            let mut verts: Vec<VertexId> = Vec::new();
+            let mut masks: Vec<u64> = Vec::new();
+            for o in outputs {
+                if let FusedOutputData::Sparse { verts: v, masks: m } = o.data {
+                    // Resolved hub chunks that activated nothing are empty.
+                    if v.is_empty() {
+                        continue;
+                    }
+                    debug_assert!(verts.last().is_none_or(|&last| v.first() > Some(&last)));
+                    verts.extend_from_slice(&v);
+                    masks.extend_from_slice(&m);
+                }
+            }
+            let count = verts.len();
+            let lane_bits = masks.iter().map(|m| m.count_ones() as u64).sum();
+            FusedFrontier {
+                n,
+                k,
+                data: FusedData::Sparse { verts, masks },
+                count,
+                lane_bits,
+            }
+        } else {
+            let mut lanes = LaneBitmap::new(n);
+            let mut union_words = 0u64;
+            for o in outputs {
+                match o.data {
+                    FusedOutputData::Sparse { verts, masks } => {
+                        for (v, m) in verts.iter().zip(&masks) {
+                            lanes.or(*v as usize, *m);
+                        }
+                    }
+                    FusedOutputData::Dense(segment) => {
+                        union_words += segment.num_words() as u64;
+                        segment.splice_into(&mut lanes);
+                    }
+                    FusedOutputData::Partial(_) | FusedOutputData::ReducePartial(_) => {
+                        unreachable!("partials reduced before merge")
+                    }
+                }
+            }
+            counters.add_lane_union_words(union_words);
+            let count = lanes.count_nonzero();
+            let lane_bits = lanes.lane_bits();
+            FusedFrontier {
+                n,
+                k,
+                data: FusedData::Dense(lanes),
+                count,
+                lane_bits,
+            }
+        };
+        counters.add_fused_lanes(next.lane_bits);
+        next
+    }
+
+    /// Number of vertices in the frontier's universe.
+    pub fn universe(&self) -> usize {
+        self.n
+    }
+
+    /// Number of lanes (concurrent queries) in the batch.
+    pub fn num_lanes(&self) -> u32 {
+        self.k
+    }
+
+    /// The mask covering every lane of the batch.
+    pub fn lane_mask(&self) -> u64 {
+        lane_mask(self.k)
+    }
+
+    /// Vertices active in at least one lane (the union frontier size).
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// True when no lane has any active vertex.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Total set lane bits (Σ popcount over active vertices).
+    pub fn lane_bits(&self) -> u64 {
+        self.lane_bits
+    }
+
+    /// The underlying representation.
+    pub fn data(&self) -> &FusedData {
+        &self.data
+    }
+
+    /// A borrowed view for kernels.
+    pub fn view(&self) -> FusedView<'_> {
+        match &self.data {
+            FusedData::Sparse { verts, masks } => FusedView::Sparse { verts, masks },
+            FusedData::Dense(lanes) => FusedView::Dense(lanes),
+        }
+    }
+
+    /// The lane word of `v`.
+    pub fn lanes_of(&self, v: VertexId) -> u64 {
+        self.view().lanes_of(v)
+    }
+
+    /// Calls `f(v, mask)` for every active vertex, ascending.
+    pub fn for_each<F: FnMut(VertexId, u64)>(&self, mut f: F) {
+        match &self.data {
+            FusedData::Sparse { verts, masks } => {
+                for (v, m) in verts.iter().zip(masks) {
+                    f(*v, *m);
+                }
+            }
+            FusedData::Dense(lanes) => lanes.for_each_nonzero(|v, m| f(v as VertexId, m)),
+        }
+    }
+
+    /// Densifies the lane state into one word per vertex (used when the
+    /// scalar path densifies the union view, so probe costs stay in
+    /// lockstep).
+    pub fn to_lane_bitmap(&self) -> LaneBitmap {
+        match &self.data {
+            FusedData::Sparse { verts, masks } => {
+                let mut lanes = LaneBitmap::new(self.n);
+                for (v, m) in verts.iter().zip(masks) {
+                    lanes.set(*v as usize, *m);
+                }
+                lanes
+            }
+            FusedData::Dense(lanes) => lanes.clone(),
+        }
+    }
+
+    /// The union frontier (bit `v` set iff any lane has `v` active), in
+    /// the representation matching this fused frontier's — what the
+    /// traversal planner classifies. Fusing changes *state width*, not
+    /// the planner: a partition is dense exactly when the union frontier
+    /// is dense there.
+    pub fn union_frontier(&self, out_degrees: &[u32], pool: &Pool) -> Frontier {
+        match &self.data {
+            FusedData::Sparse { verts, .. } => {
+                Frontier::from_sorted(verts.clone(), self.n, out_degrees)
+            }
+            FusedData::Dense(lanes) => {
+                Frontier::from_dense(lanes.union_bitmap(), out_degrees, pool)
+            }
+        }
+    }
+}
+
+/// The mask covering lanes `0..k`.
+#[inline]
+pub fn lane_mask(k: u32) -> u64 {
+    if k >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << k) - 1
+    }
+}
+
+/// One fused chunk task's typed output buffer, merged in task order.
+#[derive(Debug)]
+pub struct FusedOutput {
+    /// The destination sub-range this output covers.
+    pub range: std::ops::Range<VertexId>,
+    /// The payload.
+    pub data: FusedOutputData,
+}
+
+impl FusedOutput {
+    /// True for unreduced mega-hub partials.
+    pub fn is_partial(&self) -> bool {
+        matches!(
+            self.data,
+            FusedOutputData::Partial(_) | FusedOutputData::ReducePartial(_)
+        )
+    }
+}
+
+/// The payload variants of a fused chunk output.
+#[derive(Debug)]
+pub enum FusedOutputData {
+    /// Ascending activated vertices plus parallel newly-set lane masks.
+    Sparse {
+        /// Activated vertices, ascending.
+        verts: Vec<VertexId>,
+        /// Parallel newly-set lane masks.
+        masks: Vec<u64>,
+    },
+    /// Range-aligned dense lane segment.
+    Dense(LaneSegment),
+    /// One mega-hub sub-chunk's collected (unapplied) contributions.
+    Partial(FusedHubPartial),
+    /// One mega-hub sub-chunk's raw reduce-path fragments.
+    ReducePartial(FusedHubReducePartial),
+}
+
+/// The frontier-active in-edge contributions of one slice of a split
+/// mega-hub destination's scan, collected without applying the operator
+/// (the fused analogue of [`HubPartial`](crate::frontier::HubPartial)).
+#[derive(Debug)]
+pub struct FusedHubPartial {
+    /// The slice's first in-edge position within the destination's scan —
+    /// orders sibling partials for the sequential replay.
+    pub edge_offset: u64,
+    /// Active `(source, weight, src_lanes)` contributions, in scan order.
+    pub actives: Vec<(VertexId, f32, u64)>,
+}
+
+/// The reduce-path analogue of [`FusedHubPartial`]: raw
+/// `(quantum, source, weight, src_lanes)` fragments of one slice, in scan
+/// order. The dispatcher re-folds each quantum edge-wise from the
+/// identity, so the per-lane f64 grouping matches an unsplit scan exactly.
+/// (Unlike the scalar path, fused sub-chunks do not pre-fold covered
+/// quanta locally — the accumulator type is operator-defined and would
+/// have to cross the output enum; shipping fragments keeps the enum
+/// type-erased at the cost of `O(active slice edges)` dispatcher folds,
+/// the same order as the exclusive replay path.)
+#[derive(Debug)]
+pub struct FusedHubReducePartial {
+    /// The slice's first in-edge position (ordering key).
+    pub edge_offset: u64,
+    /// Active `(quantum, source, weight, src_lanes)` fragments, in scan
+    /// order (quantum indices ascending).
+    pub fragments: Vec<(u64, VertexId, f32, u64)>,
+}
+
+/// Where fused kernels record activated destinations and their
+/// newly-set lane masks (at most one call per destination).
+pub trait FusedSink {
+    /// Records that `v` joins the next fused frontier in `lanes`.
+    fn activate(&mut self, v: VertexId, lanes: u64);
+}
+
+/// The typed fused output sink matching the planner's per-partition
+/// output choice — sparse `(vertex, mask)` lists or a range-aligned
+/// [`LaneSegment`]. Owned by exactly one pool task: plain stores.
+#[derive(Debug)]
+pub enum FusedPartSink {
+    /// Sorted parallel lists (destinations are pulled ascending).
+    Sparse {
+        /// The emitting chunk's destination range.
+        range: std::ops::Range<VertexId>,
+        /// Activated destinations, ascending.
+        verts: Vec<VertexId>,
+        /// Parallel newly-set lane masks.
+        masks: Vec<u64>,
+    },
+    /// Range-aligned dense lane segment.
+    Dense {
+        /// The segment, covering exactly the chunk's range.
+        segment: LaneSegment,
+    },
+}
+
+impl FusedPartSink {
+    /// An empty sink of the planned representation over `range`.
+    pub fn new(repr: OutputRepr, range: std::ops::Range<VertexId>) -> Self {
+        match repr {
+            OutputRepr::Sparse => FusedPartSink::Sparse {
+                range,
+                verts: Vec::new(),
+                masks: Vec::new(),
+            },
+            OutputRepr::Dense => FusedPartSink::Dense {
+                segment: LaneSegment::new(range.start as usize..range.end as usize),
+            },
+        }
+    }
+
+    /// Finishes the task, yielding the typed output buffer for the merge.
+    pub fn into_output(self) -> FusedOutput {
+        match self {
+            FusedPartSink::Sparse {
+                range,
+                verts,
+                masks,
+            } => FusedOutput {
+                range,
+                data: FusedOutputData::Sparse { verts, masks },
+            },
+            FusedPartSink::Dense { segment } => {
+                let r = segment.range();
+                FusedOutput {
+                    range: r.start as VertexId..r.end as VertexId,
+                    data: FusedOutputData::Dense(segment),
+                }
+            }
+        }
+    }
+}
+
+impl FusedSink for FusedPartSink {
+    #[inline]
+    fn activate(&mut self, v: VertexId, lanes: u64) {
+        debug_assert!(lanes != 0);
+        match self {
+            FusedPartSink::Sparse {
+                range,
+                verts,
+                masks,
+            } => {
+                debug_assert!(range.contains(&v));
+                debug_assert!(verts.last().is_none_or(|&last| last < v));
+                verts.push(v);
+                masks.push(lanes);
+            }
+            FusedPartSink::Dense { segment } => {
+                segment.or(v as usize, lanes);
+            }
+        }
+    }
+}
+
+/// Per-destination **deliverable-lane masks** for one fused round: entry
+/// `v` is the OR of the frontier lane words over `v`'s in-neighbours —
+/// exactly the lanes one more pull of `v` could activate.
+///
+/// Built from the out-vertex indexes (the full [`Csr`] or the
+/// per-partition pruned CSRs) by ORing each active vertex's lane word
+/// into its out-neighbours, the same index walk as sparse candidate
+/// discovery ([`discover_candidates`]) and, like it, frontier
+/// preprocessing rather than edge traversal — no
+/// [`WorkCounters::add_edges`] tally. The masks are a pure function of
+/// the frontier, so every schedule derives the same filter and the skip
+/// decisions cannot break cross-configuration bit-identity. Entries are
+/// atomics only so partitions (and, within the full-CSR build, frontier
+/// chunks) can OR concurrently; `fetch_or` commutes, so the result is
+/// deterministic.
+///
+/// [`discover_candidates`]: crate::partitioned::discover_candidates
+/// [`WorkCounters::add_edges`]: gg_runtime::counters::WorkCounters
+pub struct PossibleMasks {
+    masks: Vec<AtomicU64>,
+}
+
+impl PossibleMasks {
+    fn zeroed(n: usize) -> Self {
+        PossibleMasks {
+            masks: (0..n).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// Builds the masks from the whole-graph out-index (the monolithic
+    /// fused fallback).
+    pub fn build(csr: &Csr, fused: &FusedFrontier) -> Self {
+        let pm = Self::zeroed(csr.num_vertices());
+        fused.for_each(|u, m| {
+            for &v in csr.neighbors(u) {
+                pm.masks[v as usize].fetch_or(m, Ordering::Relaxed);
+            }
+        });
+        pm
+    }
+
+    /// Builds the masks partition-parallel from the pruned per-partition
+    /// out-indexes: partition `p` contributes exactly the edges whose
+    /// destinations it owns, so tasks write disjoint entries. Mirrors
+    /// [`discover_candidates`]'s dual strategy — probe the stored-source
+    /// index per active vertex when the frontier list is short, scan the
+    /// stored sources against the lane view otherwise.
+    ///
+    /// [`discover_candidates`]: crate::partitioned::discover_candidates
+    pub fn build_partitioned(
+        pcsr: &PartitionedCsr,
+        fused: &FusedFrontier,
+        pool: &Pool,
+        n: usize,
+    ) -> Self {
+        let pm = Self::zeroed(n);
+        let active = match fused.data() {
+            FusedData::Sparse { verts, masks } => Some((verts.as_slice(), masks.as_slice())),
+            FusedData::Dense(_) => None,
+        };
+        let view = fused.view();
+        let parts = pcsr.partition_set().num_partitions();
+        pool.for_each_index(parts, |p| {
+            let part = pcsr.part(p);
+            let stored = part.num_stored_vertices();
+            match active {
+                Some((verts, masks)) if verts.len() < stored => {
+                    for (i, &u) in verts.iter().enumerate() {
+                        if let Ok(j) = part.vertex_ids().binary_search(&u) {
+                            for &v in part.neighbors_at(j) {
+                                pm.masks[v as usize].fetch_or(masks[i], Ordering::Relaxed);
+                            }
+                        }
+                    }
+                }
+                _ => {
+                    for j in 0..stored {
+                        let m = view.lanes_of(part.vertex_ids()[j]);
+                        if m != 0 {
+                            for &v in part.neighbors_at(j) {
+                                pm.masks[v as usize].fetch_or(m, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                }
+            }
+        });
+        pm
+    }
+
+    /// The deliverable mask of destination `v`.
+    #[inline]
+    pub fn get(&self, v: VertexId) -> u64 {
+        self.masks[v as usize].load(Ordering::Relaxed)
+    }
+}
+
+/// Applies the in-edges of destination `v` (CSC adjacency order) for every
+/// source active in any lane — the fused [`pull_vertex`]. `possible` is
+/// `v`'s [`PossibleMasks`] entry: a destination none of whose open lanes
+/// are deliverable is skipped without touching an edge, and the scan stops
+/// as soon as every deliverable open lane has activated (the fused
+/// analogue of the scalar pull's claim early-exit; sound by the
+/// [`MultiSourceOp`] exclusive-update contract). Newly-activated lanes are
+/// masked by the scan-start open set and the destination activates at most
+/// once.
+///
+/// [`pull_vertex`]: crate::partitioned
+#[inline]
+pub fn pull_vertex_fused<O: MultiSourceOp, S: FusedSink>(
+    csc: &Csc,
+    lanes: FusedView<'_>,
+    op: &O,
+    v: VertexId,
+    possible: u64,
+    sink: &mut S,
+    tally: &mut LocalTally,
+) {
+    tally.vertex();
+    let deliverable = possible & op.cond(v);
+    if deliverable == 0 {
+        return;
+    }
+    let mut new = 0u64;
+    for e in csc.edge_range(v) {
+        tally.edge();
+        let u = csc.sources()[e];
+        let src_lanes = lanes.lanes_of(u);
+        if src_lanes != 0 {
+            new |= op.update(u, v, csc.weight_at(e), src_lanes) & deliverable;
+            if deliverable & !new == 0 {
+                break;
+            }
+        }
+    }
+    if new != 0 {
+        sink.activate(v, new);
+    }
+}
+
+/// The fused reduce kernel: fold destination `v`'s frontier-active
+/// in-edge contributions in fixed [`REDUCE_QUANTUM`]-edge runs (absolute
+/// quantum boundaries within the scan) and apply one accumulator per
+/// non-empty quantum, ascending — the K-lane [`pull_vertex_reduce`].
+/// `cond` is checked once per destination. A zero `possible` mask (no
+/// in-neighbour active in any lane) skips the scan outright — it would
+/// have folded nothing; scans are never truncated mid-run, so per-edge
+/// accumulation stays complete.
+///
+/// [`pull_vertex_reduce`]: crate::partitioned
+#[inline]
+pub fn pull_vertex_fused_reduce<O: MultiSourceReduce, S: FusedSink>(
+    csc: &Csc,
+    lanes: FusedView<'_>,
+    op: &O,
+    v: VertexId,
+    possible: u64,
+    sink: &mut S,
+    tally: &mut LocalTally,
+) {
+    tally.vertex();
+    let open = op.cond(v);
+    if open == 0 || possible == 0 {
+        return;
+    }
+    let base = csc.offsets()[v as usize];
+    let deg = csc.offsets()[v as usize + 1] - base;
+    let mut new = 0u64;
+    let mut lo = 0usize;
+    while lo < deg {
+        let hi = (lo + REDUCE_QUANTUM).min(deg);
+        let mut acc = op.identity();
+        let mut any = false;
+        for r in lo..hi {
+            tally.edge();
+            let e = base + r;
+            let u = csc.sources()[e];
+            let src_lanes = lanes.lanes_of(u);
+            if src_lanes != 0 {
+                op.accumulate(&mut acc, u, csc.weight_at(e), src_lanes);
+                any = true;
+            }
+        }
+        if any {
+            new |= op.apply(v, &acc) & open;
+        }
+        lo = hi;
+    }
+    if new != 0 {
+        sink.activate(v, new);
+    }
+}
+
+/// Executes one fused mega-hub sub-chunk: scan the slice `sub` of
+/// destination `v`'s in-edge list and **collect** the lane-active
+/// contributions without applying. [`reduce_fused_hub_partials`] replays
+/// them sequentially in scan order, so a split destination keeps one
+/// writer and the CSC update order.
+pub fn collect_fused_hub_partial<O: MultiSourceOp>(
+    csc: &Csc,
+    lanes: FusedView<'_>,
+    op: &O,
+    v: VertexId,
+    possible: u64,
+    sub: &plan::SubSpan,
+    tally: &mut LocalTally,
+) -> FusedOutput {
+    // Count the destination visit once, on its first slice.
+    if sub.lo == 0 {
+        tally.vertex();
+    }
+    let mut actives: Vec<(VertexId, f32, u64)> = Vec::new();
+    // The deliverable gate is frontier-derived, so every sub-chunk of a
+    // split hub skips in lockstep with the unsplit kernel.
+    if possible & op.cond(v) != 0 {
+        let base = csc.offsets()[v as usize];
+        for e in base + sub.lo as usize..base + sub.hi as usize {
+            tally.edge();
+            let u = csc.sources()[e];
+            let src_lanes = lanes.lanes_of(u);
+            if src_lanes != 0 {
+                actives.push((u, csc.weight_at(e), src_lanes));
+            }
+        }
+    }
+    FusedOutput {
+        range: v..v + 1,
+        data: FusedOutputData::Partial(FusedHubPartial {
+            edge_offset: sub.lo,
+            actives,
+        }),
+    }
+}
+
+/// The reduce-path fused hub sub-chunk: collect raw
+/// `(quantum, source, weight, src_lanes)` fragments of the slice (quantum
+/// indices from absolute scan positions). [`reduce_fused_hub_quanta`]
+/// re-folds them per quantum in scan order, matching the unsplit
+/// [`pull_vertex_fused_reduce`] grouping bit for bit.
+pub fn collect_fused_hub_reduce_partial<O: MultiSourceReduce>(
+    csc: &Csc,
+    lanes: FusedView<'_>,
+    op: &O,
+    v: VertexId,
+    possible: u64,
+    sub: &plan::SubSpan,
+    tally: &mut LocalTally,
+) -> FusedOutput {
+    if sub.lo == 0 {
+        tally.vertex();
+    }
+    let mut fragments: Vec<(u64, VertexId, f32, u64)> = Vec::new();
+    // Reduce scans are all-or-nothing: skip only when no in-neighbour is
+    // active at all (`possible == 0`), matching the unsplit kernel.
+    if possible != 0 && op.cond(v) != 0 {
+        let base = csc.offsets()[v as usize];
+        for r in sub.lo as usize..sub.hi as usize {
+            tally.edge();
+            let e = base + r;
+            let u = csc.sources()[e];
+            let src_lanes = lanes.lanes_of(u);
+            if src_lanes != 0 {
+                fragments.push(((r / REDUCE_QUANTUM) as u64, u, csc.weight_at(e), src_lanes));
+            }
+        }
+    }
+    FusedOutput {
+        range: v..v + 1,
+        data: FusedOutputData::ReducePartial(FusedHubReducePartial {
+            edge_offset: sub.lo,
+            fragments,
+        }),
+    }
+}
+
+/// Reduces fused mega-hub partials into resolved outputs, in ascending
+/// `(partition, chunk, sub-chunk)` order — the fused
+/// [`reduce_hub_partials`](crate::partitioned::reduce_hub_partials):
+/// sequential replay through the exclusive `update` path with the
+/// lane-mask `cond` pre-check and early exit, bit-identical to never
+/// having split the hub. Non-partial outputs pass through untouched.
+pub fn reduce_fused_hub_partials<O: MultiSourceOp>(
+    outputs: Vec<FusedOutput>,
+    op: &O,
+) -> Vec<FusedOutput> {
+    if !outputs.iter().any(FusedOutput::is_partial) {
+        return outputs;
+    }
+    let mut reduced = Vec::with_capacity(outputs.len());
+    let mut it = outputs.into_iter().peekable();
+    while let Some(o) = it.next() {
+        let v = o.range.start;
+        match o.data {
+            FusedOutputData::Partial(first) => {
+                let mut parts = vec![first];
+                while let Some(next) = it.peek() {
+                    if next.range.start == v && next.is_partial() {
+                        if let FusedOutputData::Partial(p) = it.next().unwrap().data {
+                            parts.push(p);
+                        }
+                    } else {
+                        break;
+                    }
+                }
+                debug_assert!(
+                    parts
+                        .windows(2)
+                        .all(|w| w[0].edge_offset < w[1].edge_offset),
+                    "sub-chunk partials must arrive in ascending slice order"
+                );
+                let mut new = 0u64;
+                let open = op.cond(v);
+                if open != 0 {
+                    'replay: for p in &parts {
+                        for &(u, w, src_lanes) in &p.actives {
+                            new |= op.update(u, v, w, src_lanes) & open;
+                            if op.cond(v) == 0 {
+                                break 'replay;
+                            }
+                        }
+                    }
+                }
+                reduced.push(resolved_hub_output(v, new));
+            }
+            data => reduced.push(FusedOutput {
+                range: o.range,
+                data,
+            }),
+        }
+    }
+    reduced
+}
+
+/// Reduces fused reduce-path hub fragments into resolved outputs: merge
+/// each split destination's fragments in ascending slice (= scan) order,
+/// re-fold per quantum from the identity, and apply one accumulator per
+/// non-empty quantum through the exclusive [`MultiSourceReduce::apply`]
+/// path. Non-partial outputs pass through untouched.
+pub fn reduce_fused_hub_quanta<O: MultiSourceReduce>(
+    outputs: Vec<FusedOutput>,
+    op: &O,
+) -> Vec<FusedOutput> {
+    if !outputs.iter().any(FusedOutput::is_partial) {
+        return outputs;
+    }
+    let mut reduced = Vec::with_capacity(outputs.len());
+    let mut it = outputs.into_iter().peekable();
+    while let Some(o) = it.next() {
+        let v = o.range.start;
+        match o.data {
+            FusedOutputData::ReducePartial(first) => {
+                let mut parts = vec![first];
+                while let Some(next) = it.peek() {
+                    if next.range.start == v && next.is_partial() {
+                        if let FusedOutputData::ReducePartial(p) = it.next().unwrap().data {
+                            parts.push(p);
+                        }
+                    } else {
+                        break;
+                    }
+                }
+                debug_assert!(
+                    parts
+                        .windows(2)
+                        .all(|w| w[0].edge_offset < w[1].edge_offset),
+                    "sub-chunk partials must arrive in ascending slice order"
+                );
+                let mut new = 0u64;
+                let open = op.cond(v);
+                if open != 0 {
+                    // Fragments arrive in scan order (ascending quantum);
+                    // a quantum may straddle two sub-chunks, so the fold
+                    // carries across part boundaries.
+                    let mut pending: Option<(u64, O::Acc)> = None;
+                    for p in &parts {
+                        for &(q, u, w, src_lanes) in &p.fragments {
+                            match &mut pending {
+                                Some((fq, acc)) if *fq == q => {
+                                    op.accumulate(acc, u, w, src_lanes);
+                                }
+                                other => {
+                                    if let Some((_, acc)) = other.take() {
+                                        new |= op.apply(v, &acc) & open;
+                                    }
+                                    let mut acc = op.identity();
+                                    op.accumulate(&mut acc, u, w, src_lanes);
+                                    *other = Some((q, acc));
+                                }
+                            }
+                        }
+                    }
+                    if let Some((_, acc)) = pending.take() {
+                        new |= op.apply(v, &acc) & open;
+                    }
+                }
+                reduced.push(resolved_hub_output(v, new));
+            }
+            data => reduced.push(FusedOutput {
+                range: o.range,
+                data,
+            }),
+        }
+    }
+    reduced
+}
+
+/// A resolved (post-replay) hub destination's output.
+fn resolved_hub_output(v: VertexId, new: u64) -> FusedOutput {
+    let (verts, masks) = if new != 0 {
+        (vec![v], vec![new])
+    } else {
+        (Vec::new(), Vec::new())
+    };
+    FusedOutput {
+        range: v..v + 1,
+        data: FusedOutputData::Sparse { verts, masks },
+    }
+}
+
+/// The monolithic fused fallback used when the engine runs without the
+/// partitioned executor: pull every destination range in partition order
+/// through the fused kernel, one pool task per range, sparse outputs
+/// merged in range order. Deterministic (exclusive per range, CSC scan
+/// order per destination) but unplanned — the deliverable prefilter
+/// ([`PossibleMasks`]) is the only thing standing between every round and
+/// a full `|V|` destination scan. The partitioned executor is the
+/// production fused path.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn monolithic_fused_edge_map<O: MultiSourceOp>(
+    csc: &Csc,
+    csr: &Csr,
+    fused: &FusedFrontier,
+    op: &O,
+    ranges: &[std::ops::Range<VertexId>],
+    pool: &Pool,
+    counters: &WorkCounters,
+    n: usize,
+    k: u32,
+) -> FusedFrontier {
+    let lanes = fused.view();
+    let possible = PossibleMasks::build(csr, fused);
+    let outputs = pool.map_indices(ranges.len(), |i| {
+        let mut tally = LocalTally::new(counters);
+        let range = ranges[i].clone();
+        let mut sink = FusedPartSink::new(OutputRepr::Sparse, range.clone());
+        for v in range {
+            pull_vertex_fused(csc, lanes, op, v, possible.get(v), &mut sink, &mut tally);
+        }
+        sink.into_output()
+    });
+    FusedFrontier::from_outputs(outputs, n, k, counters)
+}
+
+/// The reduce-path monolithic fallback (see [`monolithic_fused_edge_map`]).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn monolithic_fused_edge_map_reduce<O: MultiSourceReduce>(
+    csc: &Csc,
+    csr: &Csr,
+    fused: &FusedFrontier,
+    op: &O,
+    ranges: &[std::ops::Range<VertexId>],
+    pool: &Pool,
+    counters: &WorkCounters,
+    n: usize,
+    k: u32,
+) -> FusedFrontier {
+    let lanes = fused.view();
+    let possible = PossibleMasks::build(csr, fused);
+    let outputs = pool.map_indices(ranges.len(), |i| {
+        let mut tally = LocalTally::new(counters);
+        let range = ranges[i].clone();
+        let mut sink = FusedPartSink::new(OutputRepr::Sparse, range.clone());
+        for v in range {
+            pull_vertex_fused_reduce(csc, lanes, op, v, possible.get(v), &mut sink, &mut tally);
+        }
+        sink.into_output()
+    });
+    FusedFrontier::from_outputs(outputs, n, k, counters)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeds_build_a_sorted_deduped_sparse_frontier() {
+        let f = FusedFrontier::from_seeds(&[9, 2, 9, 5], 12);
+        assert_eq!(f.num_lanes(), 4);
+        assert_eq!(f.lane_mask(), 0b1111);
+        assert_eq!(f.len(), 3);
+        assert_eq!(f.lane_bits(), 4);
+        let mut seen = Vec::new();
+        f.for_each(|v, m| seen.push((v, m)));
+        // Lane 0 and 2 share vertex 9.
+        assert_eq!(seen, vec![(2, 0b0010), (5, 0b1000), (9, 0b0101)]);
+        assert_eq!(f.lanes_of(9), 0b0101);
+        assert_eq!(f.lanes_of(0), 0);
+    }
+
+    #[test]
+    fn lane_mask_covers_full_width() {
+        assert_eq!(lane_mask(0), 0);
+        assert_eq!(lane_mask(1), 1);
+        assert_eq!(lane_mask(63), u64::MAX >> 1);
+        assert_eq!(lane_mask(64), u64::MAX);
+    }
+
+    #[test]
+    fn sparse_outputs_concatenate_without_dense_work() {
+        let counters = WorkCounters::new();
+        let outputs = vec![
+            FusedOutput {
+                range: 8..16,
+                data: FusedOutputData::Sparse {
+                    verts: vec![9, 15],
+                    masks: vec![0b10, 0b1],
+                },
+            },
+            FusedOutput {
+                range: 0..8,
+                data: FusedOutputData::Sparse {
+                    verts: vec![3],
+                    masks: vec![0b11],
+                },
+            },
+        ];
+        let f = FusedFrontier::from_outputs(outputs, 16, 2, &counters);
+        assert!(matches!(f.data(), FusedData::Sparse { .. }));
+        let mut seen = Vec::new();
+        f.for_each(|v, m| seen.push((v, m)));
+        assert_eq!(seen, vec![(3, 0b11), (9, 0b10), (15, 0b1)]);
+        assert_eq!(counters.fused_lanes(), 4);
+        assert_eq!(counters.lane_union_words(), 0);
+    }
+
+    #[test]
+    fn dense_outputs_splice_and_count_union_words() {
+        let counters = WorkCounters::new();
+        let mut seg = LaneSegment::new(4..10);
+        seg.or(5, 0b100);
+        let outputs = vec![
+            FusedOutput {
+                range: 4..10,
+                data: FusedOutputData::Dense(seg),
+            },
+            FusedOutput {
+                range: 0..4,
+                data: FusedOutputData::Sparse {
+                    verts: vec![1],
+                    masks: vec![0b1],
+                },
+            },
+        ];
+        let f = FusedFrontier::from_outputs(outputs, 10, 3, &counters);
+        assert!(matches!(f.data(), FusedData::Dense(_)));
+        assert_eq!(f.len(), 2);
+        assert_eq!(f.lanes_of(5), 0b100);
+        assert_eq!(f.lanes_of(1), 0b1);
+        assert_eq!(counters.lane_union_words(), 6);
+        assert_eq!(counters.fused_lanes(), 2);
+    }
+
+    #[test]
+    fn hub_replay_matches_inline_updates_and_respects_early_exit() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        // A claim-once op: each lane claims dst at most once.
+        struct Claim {
+            visited: Vec<AtomicU64>,
+        }
+        impl MultiSourceOp for Claim {
+            fn update(&self, _s: VertexId, d: VertexId, _w: f32, src_lanes: u64) -> u64 {
+                let prev = self.visited[d as usize].fetch_or(src_lanes, Ordering::Relaxed);
+                src_lanes & !prev
+            }
+            fn cond(&self, d: VertexId) -> u64 {
+                lane_mask(2) & !self.visited[d as usize].load(Ordering::Relaxed)
+            }
+        }
+        let op = Claim {
+            visited: (0..4).map(|_| AtomicU64::new(0)).collect(),
+        };
+        let outputs = vec![
+            FusedOutput {
+                range: 2..3,
+                data: FusedOutputData::Partial(FusedHubPartial {
+                    edge_offset: 0,
+                    actives: vec![(0, 1.0, 0b01), (1, 1.0, 0b11)],
+                }),
+            },
+            FusedOutput {
+                range: 2..3,
+                data: FusedOutputData::Partial(FusedHubPartial {
+                    edge_offset: 2,
+                    actives: vec![(3, 1.0, 0b11)],
+                }),
+            },
+        ];
+        let reduced = reduce_fused_hub_partials(outputs, &op);
+        assert_eq!(reduced.len(), 1);
+        match &reduced[0].data {
+            FusedOutputData::Sparse { verts, masks } => {
+                assert_eq!(verts, &vec![2]);
+                // Lane 0 claimed by src 0, lane 1 by src 1; src 3 adds
+                // nothing (early exit already fired: both lanes closed).
+                assert_eq!(masks, &vec![0b11]);
+            }
+            other => panic!("expected sparse, got {other:?}"),
+        }
+        assert_eq!(op.visited[2].load(Ordering::Relaxed), 0b11);
+    }
+
+    /// A claim-once visit op over `k` lanes, the BFS update shape.
+    struct Visit {
+        visited: Vec<std::sync::atomic::AtomicU64>,
+        k: u32,
+    }
+    impl Visit {
+        fn new(n: usize, k: u32) -> Self {
+            Visit {
+                visited: (0..n).map(|_| AtomicU64::new(0)).collect(),
+                k,
+            }
+        }
+    }
+    impl MultiSourceOp for Visit {
+        fn update(&self, _s: VertexId, d: VertexId, _w: f32, src_lanes: u64) -> u64 {
+            let prev = self.visited[d as usize].fetch_or(src_lanes, Ordering::Relaxed);
+            src_lanes & !prev
+        }
+        fn cond(&self, d: VertexId) -> u64 {
+            lane_mask(self.k) & !self.visited[d as usize].load(Ordering::Relaxed)
+        }
+    }
+
+    struct VecSink(Vec<(VertexId, u64)>);
+    impl FusedSink for VecSink {
+        fn activate(&mut self, v: VertexId, lanes: u64) {
+            self.0.push((v, lanes));
+        }
+    }
+
+    #[test]
+    fn zero_deliverable_mask_skips_the_scan_without_touching_an_edge() {
+        use gg_graph::edge_list::EdgeList;
+        let el = EdgeList::from_edges(6, &[(0, 5), (1, 5), (2, 5), (3, 5), (4, 5)]);
+        let csc = gg_graph::csc::Csc::from_edge_list(&el);
+        let fused = FusedFrontier::from_seeds(&[1], 6);
+        let op = Visit::new(6, 1);
+        let counters = WorkCounters::new();
+        let mut sink = VecSink(Vec::new());
+        {
+            let mut tally = LocalTally::new(&counters);
+            // `possible == 0`: no in-neighbour can deliver a lane.
+            pull_vertex_fused(&csc, fused.view(), &op, 5, 0, &mut sink, &mut tally);
+        }
+        assert_eq!(counters.edges(), 0, "skipped destination must not scan");
+        assert!(sink.0.is_empty());
+    }
+
+    #[test]
+    fn scan_breaks_once_every_deliverable_lane_is_claimed() {
+        use gg_graph::edge_list::EdgeList;
+        // Destination 5's in-list is [0, 1, 2, 3, 4] in CSC order; only
+        // source 1 is active (lane 0), so the scan must stop right after
+        // edge (1, 5) claims the lone deliverable lane.
+        let el = EdgeList::from_edges(6, &[(0, 5), (1, 5), (2, 5), (3, 5), (4, 5)]);
+        let csc = gg_graph::csc::Csc::from_edge_list(&el);
+        let fused = FusedFrontier::from_seeds(&[1], 6);
+        let op = Visit::new(6, 1);
+        let csr = gg_graph::csr::Csr::from_edge_list(&el);
+        let possible = PossibleMasks::build(&csr, &fused);
+        let counters = WorkCounters::new();
+        let mut sink = VecSink(Vec::new());
+        {
+            let mut tally = LocalTally::new(&counters);
+            pull_vertex_fused(
+                &csc,
+                fused.view(),
+                &op,
+                5,
+                possible.get(5),
+                &mut sink,
+                &mut tally,
+            );
+        }
+        assert_eq!(counters.edges(), 2, "scan stops at the claiming edge");
+        assert_eq!(sink.0, vec![(5, 0b1)]);
+    }
+
+    #[test]
+    fn possible_masks_union_frontier_lanes_over_out_neighbors() {
+        use gg_graph::edge_list::EdgeList;
+        let el = EdgeList::from_edges(5, &[(0, 2), (1, 2), (1, 3), (4, 3)]);
+        let csr = gg_graph::csr::Csr::from_edge_list(&el);
+        // Lane 0 seeds at 0, lane 1 at 1; vertex 4 inactive.
+        let fused = FusedFrontier::from_seeds(&[0, 1], 5);
+        let pm = PossibleMasks::build(&csr, &fused);
+        assert_eq!(pm.get(2), 0b11);
+        assert_eq!(pm.get(3), 0b10);
+        assert_eq!(pm.get(4), 0);
+        assert_eq!(pm.get(0), 0);
+    }
+}

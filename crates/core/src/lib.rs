@@ -63,6 +63,10 @@
 //! * [`partitioned`] — the partition-parallel executor: per-partition
 //!   views, planned typed output buffers, NUMA-ordered fan-out and the
 //!   deterministic partition-order merge;
+//! * [`fused`] — multi-source frontier fusion: K-lane batched traversals
+//!   ([`fused::FusedFrontier`], [`fused::MultiSourceOp`]) that advance up
+//!   to 64 concurrent queries per edge scan on the same partitioned
+//!   executor;
 //! * [`vertex_map`] — vertex-parallel operators;
 //! * [`trace`] — instrumented (sequential) traversals that feed
 //!   `gg-memsim` for the Figure 2 / Figure 8 locality measurements.
@@ -89,6 +93,7 @@ pub mod config;
 pub mod edge_map;
 pub mod engine;
 pub mod frontier;
+pub mod fused;
 pub mod heuristic;
 pub mod partitioned;
 pub mod plan;
@@ -102,6 +107,7 @@ pub mod prelude {
     pub use crate::edge_map::{EdgeKind, EdgeOp};
     pub use crate::engine::{Direction, EdgeMapSpec, Engine, GraphGrind2, Orientation};
     pub use crate::frontier::{Frontier, FrontierIter, FrontierView, PartitionOutput};
+    pub use crate::fused::{FusedFrontier, FusedView, MultiSourceOp, MultiSourceReduce};
     pub use crate::heuristic::{suggest_partitions, HeuristicInputs};
     pub use crate::partitioned::{PartKernel, PartitionView};
     pub use crate::plan::{OutputRepr, PartStep, TraversalPlan};

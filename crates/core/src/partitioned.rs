@@ -170,6 +170,7 @@ use std::sync::Arc;
 use gg_graph::bitmap::{AtomicBitmap, Bitmap, BitmapSegment};
 use gg_graph::csc::Csc;
 use gg_graph::csr::PrunedCsr;
+use gg_graph::lanes::LaneBitmap;
 use gg_graph::types::{EdgeId, VertexId};
 use gg_runtime::buffer::BufferPool;
 use gg_runtime::counters::{LocalTally, WorkCounters};
@@ -182,6 +183,11 @@ use crate::engine::KernelCounts;
 use crate::frontier::{
     Frontier, FrontierData, FrontierView, HubPartial, HubReducePartial, PartitionOutput,
     PartitionOutputData,
+};
+use crate::fused::{
+    collect_fused_hub_partial, collect_fused_hub_reduce_partial, pull_vertex_fused,
+    pull_vertex_fused_reduce, reduce_fused_hub_partials, reduce_fused_hub_quanta, FusedData,
+    FusedFrontier, FusedPartSink, FusedView, MultiSourceOp, MultiSourceReduce, PossibleMasks,
 };
 use crate::plan::{self, OutputRepr};
 use crate::store::GraphStore;
@@ -480,6 +486,246 @@ impl PartitionedExec {
         let outputs = reduce_hub_quanta(outputs, op);
 
         Frontier::from_partition_outputs(outputs, n, store.out_degrees(), counters, Some(scratch))
+    }
+
+    /// One partition-parallel **fused** edge map: advance all K lanes of
+    /// `fused` in a single pass. Planning, densification, chunking, hub
+    /// splitting and work stealing run on the **union frontier** through
+    /// exactly the scalar [`prepare`](Self::prepare) path (a partition is
+    /// dense when the union frontier is dense there); only the kernels and
+    /// the typed output buffers are lane-aware. `union_frontier` must be
+    /// `fused`'s union (the caller owns it to record plans against it).
+    #[allow(clippy::too_many_arguments)]
+    pub fn fused_edge_map<O: MultiSourceOp>(
+        &self,
+        store: &GraphStore,
+        pool: &Pool,
+        config: &Config,
+        counters: &WorkCounters,
+        kernel_counts: &KernelCounts,
+        union_frontier: &Frontier,
+        fused: &FusedFrontier,
+        op: &O,
+    ) -> FusedFrontier {
+        let n = store.num_vertices();
+        let k = fused.num_lanes();
+        if self.edge_order.is_empty() {
+            return FusedFrontier::empty(n, k);
+        }
+        let prep = self.prepare(store, pool, config, counters, kernel_counts, union_frontier);
+        // Densify the lane state in lockstep with the union view: when
+        // the scalar path swaps binary-search probes for a bitmap, the
+        // lane lookups swap to indexed words for the same reason.
+        let dense_lanes: Option<LaneBitmap> = match (prep.densified.as_ref(), fused.data()) {
+            (Some(_), FusedData::Sparse { .. }) => Some(fused.to_lane_bitmap()),
+            _ => None,
+        };
+        let lanes = match &dense_lanes {
+            Some(lb) => FusedView::Dense(lb),
+            None => fused.view(),
+        };
+        // Deliverable-lane prefilter: which lanes one more pull of each
+        // destination could activate this round. Frontier-derived, so the
+        // skip decisions are identical under every schedule.
+        let possible = PossibleMasks::build_partitioned(
+            store.partitioned_csr().expect("partitioned store"),
+            fused,
+            pool,
+            n,
+        );
+        let possible = &possible;
+        let csc = store.csc();
+        let steps = &prep.traversal.steps;
+        let (step_work, tasks) = (&prep.step_work, &prep.tasks);
+
+        let (outputs, tally) = pool.run_stealing(self.domains, &prep.task_domains, |t| {
+            let (s, ci) = tasks[t];
+            let step = steps[s];
+            let mut tally = LocalTally::new(counters);
+            match &step_work[s] {
+                StepChunks::Dense(chunks) => {
+                    let chunk = &chunks[ci];
+                    if let Some(sub) = &chunk.sub {
+                        let v = chunk.span.start as VertexId;
+                        return collect_fused_hub_partial(
+                            csc,
+                            lanes,
+                            op,
+                            v,
+                            possible.get(v),
+                            sub,
+                            &mut tally,
+                        );
+                    }
+                    let range = chunk.span.start as VertexId..chunk.span.end as VertexId;
+                    let mut sink = FusedPartSink::new(step.output, range.clone());
+                    for v in range {
+                        pull_vertex_fused(
+                            csc,
+                            lanes,
+                            op,
+                            v,
+                            possible.get(v),
+                            &mut sink,
+                            &mut tally,
+                        );
+                    }
+                    sink.into_output()
+                }
+                StepChunks::Sparse { candidates, chunks } => {
+                    let chunk = &chunks[ci];
+                    if let Some(sub) = &chunk.sub {
+                        let v = candidates[chunk.span.start];
+                        return collect_fused_hub_partial(
+                            csc,
+                            lanes,
+                            op,
+                            v,
+                            possible.get(v),
+                            sub,
+                            &mut tally,
+                        );
+                    }
+                    let slice = &candidates[chunk.span.clone()];
+                    let range = slice[0]..slice[slice.len() - 1] + 1;
+                    let mut sink = FusedPartSink::new(step.output, range);
+                    for &v in slice {
+                        pull_vertex_fused(
+                            csc,
+                            lanes,
+                            op,
+                            v,
+                            possible.get(v),
+                            &mut sink,
+                            &mut tally,
+                        );
+                    }
+                    sink.into_output()
+                }
+            }
+        });
+        counters.add_steals(tally.steals, tally.cross_domain_steals);
+
+        let outputs = reduce_fused_hub_partials(outputs, op);
+        FusedFrontier::from_outputs(outputs, n, k, counters)
+    }
+
+    /// The fused associative edge map ([`MultiSourceReduce`]): identical
+    /// planning and scheduling to [`fused_edge_map`](Self::fused_edge_map),
+    /// with destination scans folded per fixed [`REDUCE_QUANTUM`]-edge run
+    /// ([`pull_vertex_fused_reduce`]) so the per-lane f64 grouping is
+    /// fixed by the destination alone — bit-identical across caps, thread
+    /// counts, partition counts and steal schedules.
+    #[allow(clippy::too_many_arguments)]
+    pub fn fused_edge_map_reduce<O: MultiSourceReduce>(
+        &self,
+        store: &GraphStore,
+        pool: &Pool,
+        config: &Config,
+        counters: &WorkCounters,
+        kernel_counts: &KernelCounts,
+        union_frontier: &Frontier,
+        fused: &FusedFrontier,
+        op: &O,
+    ) -> FusedFrontier {
+        let n = store.num_vertices();
+        let k = fused.num_lanes();
+        if self.edge_order.is_empty() {
+            return FusedFrontier::empty(n, k);
+        }
+        let prep = self.prepare(store, pool, config, counters, kernel_counts, union_frontier);
+        let dense_lanes: Option<LaneBitmap> = match (prep.densified.as_ref(), fused.data()) {
+            (Some(_), FusedData::Sparse { .. }) => Some(fused.to_lane_bitmap()),
+            _ => None,
+        };
+        let lanes = match &dense_lanes {
+            Some(lb) => FusedView::Dense(lb),
+            None => fused.view(),
+        };
+        // Reduce destinations skip only on a zero deliverable mask (no
+        // active in-neighbour at all) — scans are never truncated, so the
+        // per-lane f64 grouping is untouched by the prefilter.
+        let possible = PossibleMasks::build_partitioned(
+            store.partitioned_csr().expect("partitioned store"),
+            fused,
+            pool,
+            n,
+        );
+        let possible = &possible;
+        let csc = store.csc();
+        let steps = &prep.traversal.steps;
+        let (step_work, tasks) = (&prep.step_work, &prep.tasks);
+
+        let (outputs, tally) = pool.run_stealing(self.domains, &prep.task_domains, |t| {
+            let (s, ci) = tasks[t];
+            let step = steps[s];
+            let mut tally = LocalTally::new(counters);
+            match &step_work[s] {
+                StepChunks::Dense(chunks) => {
+                    let chunk = &chunks[ci];
+                    if let Some(sub) = &chunk.sub {
+                        let v = chunk.span.start as VertexId;
+                        return collect_fused_hub_reduce_partial(
+                            csc,
+                            lanes,
+                            op,
+                            v,
+                            possible.get(v),
+                            sub,
+                            &mut tally,
+                        );
+                    }
+                    let range = chunk.span.start as VertexId..chunk.span.end as VertexId;
+                    let mut sink = FusedPartSink::new(step.output, range.clone());
+                    for v in range {
+                        pull_vertex_fused_reduce(
+                            csc,
+                            lanes,
+                            op,
+                            v,
+                            possible.get(v),
+                            &mut sink,
+                            &mut tally,
+                        );
+                    }
+                    sink.into_output()
+                }
+                StepChunks::Sparse { candidates, chunks } => {
+                    let chunk = &chunks[ci];
+                    if let Some(sub) = &chunk.sub {
+                        let v = candidates[chunk.span.start];
+                        return collect_fused_hub_reduce_partial(
+                            csc,
+                            lanes,
+                            op,
+                            v,
+                            possible.get(v),
+                            sub,
+                            &mut tally,
+                        );
+                    }
+                    let slice = &candidates[chunk.span.clone()];
+                    let range = slice[0]..slice[slice.len() - 1] + 1;
+                    let mut sink = FusedPartSink::new(step.output, range);
+                    for &v in slice {
+                        pull_vertex_fused_reduce(
+                            csc,
+                            lanes,
+                            op,
+                            v,
+                            possible.get(v),
+                            &mut sink,
+                            &mut tally,
+                        );
+                    }
+                    sink.into_output()
+                }
+            }
+        });
+        counters.add_steals(tally.steals, tally.cross_domain_steals);
+
+        let outputs = reduce_fused_hub_quanta(outputs, op);
+        FusedFrontier::from_outputs(outputs, n, k, counters)
     }
 
     /// Recomputes the per-partition `(kernel, output)` plan that

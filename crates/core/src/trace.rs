@@ -533,12 +533,18 @@ use gg_runtime::counters::CounterSnapshot;
 use crate::config::{ChunkCap, Config, ExecutorKind, ForcedKernel, OutputMode};
 use crate::edge_map::EdgeOp;
 use crate::frontier::Frontier;
+use crate::fused::FusedFrontier;
 use crate::partitioned::PartKernel;
 use crate::plan::{kernel_from_label, kernel_label, OutputRepr};
 
 /// Version stamp of the JSON-lines trace format. Bumped on any change to
 /// the line schema; [`RoundTrace::from_jsonl`] refuses other versions.
-pub const TRACE_FORMAT_VERSION: u64 = 1;
+/// Version 2 added the fused-traversal fields: optional per-lane digests
+/// (`lanes`) and the `fused_lanes` / `lane_union_words` sched counters.
+pub const TRACE_FORMAT_VERSION: u64 = 2;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
 
 /// Order-sensitive digest of a frontier: FNV-1a over the active vertices
 /// in ascending order. [`Frontier::iter`] yields ascending vertex ids for
@@ -548,14 +554,48 @@ pub const TRACE_FORMAT_VERSION: u64 = 1;
 /// the same vertex set. Pair it with [`Frontier::len`] (recorded
 /// separately) for a cheap first-level check.
 pub fn frontier_digest(frontier: &Frontier) -> u64 {
-    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
     let mut h = FNV_OFFSET;
     for v in frontier.iter() {
         for b in v.to_le_bytes() {
             h = (h ^ b as u64).wrapping_mul(FNV_PRIME);
         }
     }
+    h
+}
+
+/// Per-lane digests of a fused frontier: entry `k` is the FNV-1a digest
+/// (same scheme as [`frontier_digest`]) of the vertices active in lane
+/// `k`, in ascending order. Lane `k` of a fused round and the matching
+/// round of a single-source recording therefore hash identically iff they
+/// activated the same vertex set — which lets `repro replay` localize a
+/// fused divergence to one query of the batch.
+pub fn lane_digests(fused: &FusedFrontier) -> Vec<u64> {
+    let mut hs = vec![FNV_OFFSET; fused.num_lanes() as usize];
+    let mask = fused.lane_mask();
+    fused.for_each(|v, lanes| {
+        let mut m = lanes & mask;
+        while m != 0 {
+            let lane = m.trailing_zeros() as usize;
+            m &= m - 1;
+            let mut h = hs[lane];
+            for b in v.to_le_bytes() {
+                h = (h ^ b as u64).wrapping_mul(FNV_PRIME);
+            }
+            hs[lane] = h;
+        }
+    });
+    hs
+}
+
+/// [`frontier_digest`] of a fused frontier's **union** (any-lane) vertex
+/// set — identical to digesting the materialised union [`Frontier`].
+pub fn fused_union_digest(fused: &FusedFrontier) -> u64 {
+    let mut h = FNV_OFFSET;
+    fused.for_each(|v, _| {
+        for b in v.to_le_bytes() {
+            h = (h ^ b as u64).wrapping_mul(FNV_PRIME);
+        }
+    });
     h
 }
 
@@ -675,6 +715,11 @@ pub struct RoundRecord {
     pub frontier_hash: u64,
     /// Planned kernel choice(s) for the round's input frontier.
     pub kernel: RoundKernel,
+    /// Per-lane digests of the round's output ([`lane_digests`]) when the
+    /// round was a fused multi-source edge map; `None` for scalar rounds.
+    /// A contract field: lane `k` must be bit-identical across
+    /// partition/thread/chunk configurations.
+    pub lanes: Option<Vec<u64>>,
     /// Work attributable to this round (counter deltas). Informational:
     /// `steals` / `cross_domain_steals` are timing-dependent by design,
     /// and `chunks` / `hub_subchunks` legitimately change with
@@ -705,6 +750,27 @@ impl RoundRecorder {
             frontier_len: output.len() as u64,
             frontier_hash: frontier_digest(output),
             kernel,
+            lanes: None,
+            sched,
+        });
+    }
+
+    /// The fused counterpart of [`record`](Self::record): digests the
+    /// union frontier into `frontier_hash` and each lane separately into
+    /// `lanes`, so replay comparisons localize a fused divergence to one
+    /// query of the batch.
+    pub fn record_fused(
+        &mut self,
+        kernel: RoundKernel,
+        output: &FusedFrontier,
+        sched: CounterSnapshot,
+    ) {
+        self.rounds.push(RoundRecord {
+            round: self.rounds.len() as u64,
+            frontier_len: output.len() as u64,
+            frontier_hash: fused_union_digest(output),
+            kernel,
+            lanes: Some(lane_digests(output)),
             sched,
         });
     }
@@ -814,18 +880,31 @@ impl RoundTrace {
                     out.push_str("]}");
                 }
             }
+            if let Some(lanes) = &r.lanes {
+                out.push_str(",\"lanes\":[");
+                for (i, h) in lanes.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&format!("\"{h:#018x}\""));
+                }
+                out.push(']');
+            }
             let s = &r.sched;
             out.push_str(&format!(
                 ",\"sched\":{{\"edges\":{},\"vertices\":{},\"merge_words\":{},\
                  \"chunks\":{},\"hub_subchunks\":{},\"steals\":{},\
-                 \"cross_domain_steals\":{}}}}}\n",
+                 \"cross_domain_steals\":{},\"fused_lanes\":{},\
+                 \"lane_union_words\":{}}}}}\n",
                 s.edges,
                 s.vertices,
                 s.merge_words,
                 s.chunks,
                 s.hub_subchunks,
                 s.steals,
-                s.cross_domain_steals
+                s.cross_domain_steals,
+                s.fused_lanes,
+                s.lane_union_words
             ));
         }
         out
@@ -927,6 +1006,24 @@ impl RoundTrace {
                         return Err(format!("line {}: unknown kernel kind {other:?}", ln + 1));
                     }
                 };
+            let lanes = match v.get("lanes") {
+                None => None,
+                Some(arr) => {
+                    let arr = arr
+                        .as_arr()
+                        .ok_or_else(|| format!("line {}: `lanes` must be an array", ln + 1))?;
+                    let mut hs = Vec::with_capacity(arr.len());
+                    for h in arr {
+                        let s = h
+                            .as_str()
+                            .and_then(|s| s.strip_prefix("0x"))
+                            .and_then(|s| u64::from_str_radix(s, 16).ok())
+                            .ok_or_else(|| format!("line {}: bad lane digest", ln + 1))?;
+                        hs.push(s);
+                    }
+                    Some(hs)
+                }
+            };
             let sobj = v
                 .get("sched")
                 .ok_or_else(|| format!("line {}: missing field `sched`", ln + 1))?;
@@ -940,6 +1037,7 @@ impl RoundTrace {
                 frontier_len: field_u64(&v, "frontier_len", ln)?,
                 frontier_hash,
                 kernel,
+                lanes,
                 sched: CounterSnapshot {
                     edges: sched_field("edges")?,
                     vertices: sched_field("vertices")?,
@@ -948,6 +1046,8 @@ impl RoundTrace {
                     hub_subchunks: sched_field("hub_subchunks")?,
                     steals: sched_field("steals")?,
                     cross_domain_steals: sched_field("cross_domain_steals")?,
+                    fused_lanes: sched_field("fused_lanes")?,
+                    lane_union_words: sched_field("lane_union_words")?,
                 },
             });
         }
@@ -1290,6 +1390,52 @@ pub fn first_divergence(recorded: &RoundTrace, replayed: &RoundTrace) -> Option<
                 // contract violation otherwise.
                 _ => {}
             }
+        }
+        // Per-lane digests localize a fused divergence to one query of
+        // the batch, so they are checked before the (coarser) union
+        // digest.
+        match (&a.lanes, &b.lanes) {
+            (Some(xs), Some(ys)) => {
+                if xs.len() != ys.len() {
+                    return Some(Divergence {
+                        round,
+                        partition: None,
+                        field: "lanes".to_string(),
+                        expected: format!("{} lanes", xs.len()),
+                        got: format!("{} lanes", ys.len()),
+                    });
+                }
+                for (k, (x, y)) in xs.iter().zip(ys).enumerate() {
+                    if x != y {
+                        return Some(Divergence {
+                            round,
+                            partition: None,
+                            field: format!("lane_hash[{k}]"),
+                            expected: format!("{x:#018x}"),
+                            got: format!("{y:#018x}"),
+                        });
+                    }
+                }
+            }
+            (Some(xs), None) => {
+                return Some(Divergence {
+                    round,
+                    partition: None,
+                    field: "lanes".to_string(),
+                    expected: format!("fused ({} lanes)", xs.len()),
+                    got: "scalar".to_string(),
+                });
+            }
+            (None, Some(ys)) => {
+                return Some(Divergence {
+                    round,
+                    partition: None,
+                    field: "lanes".to_string(),
+                    expected: "scalar".to_string(),
+                    got: format!("fused ({} lanes)", ys.len()),
+                });
+            }
+            (None, None) => {}
         }
         if a.frontier_len != b.frontier_len {
             return Some(Divergence {
@@ -1736,6 +1882,7 @@ mod replay_tests {
                             output: OutputRepr::Sparse,
                         },
                     ]),
+                    lanes: Some(vec![0x0123_4567_89ab_cdef, 0xfedc_ba98_7654_3210]),
                     sched: CounterSnapshot {
                         edges: 100,
                         vertices: 10,
@@ -1744,6 +1891,8 @@ mod replay_tests {
                         hub_subchunks: 1,
                         steals: 2,
                         cross_domain_steals: 1,
+                        fused_lanes: 9,
+                        lane_union_words: 3,
                     },
                 },
                 RoundRecord {
@@ -1751,6 +1900,7 @@ mod replay_tests {
                     frontier_len: 0,
                     frontier_hash: 0xcbf2_9ce4_8422_2325,
                     kernel: RoundKernel::Monolithic(EdgeKind::Medium),
+                    lanes: None,
                     sched: CounterSnapshot::default(),
                 },
                 RoundRecord {
@@ -1758,6 +1908,7 @@ mod replay_tests {
                     frontier_len: 7,
                     frontier_hash: 1,
                     kernel: RoundKernel::Forced,
+                    lanes: None,
                     sched: CounterSnapshot::default(),
                 },
             ],
@@ -1775,7 +1926,11 @@ mod replay_tests {
     #[test]
     fn jsonl_rejects_other_versions_and_garbage() {
         let text = sample_trace().to_jsonl();
-        let bumped = text.replacen("\"version\":1", "\"version\":999", 1);
+        assert!(
+            text.contains("\"version\":2"),
+            "fixture must carry the current format version"
+        );
+        let bumped = text.replacen("\"version\":2", "\"version\":999", 1);
         let err = RoundTrace::from_jsonl(&bumped).unwrap_err();
         assert!(err.contains("version 999"), "{err}");
         assert!(RoundTrace::from_jsonl("").is_err());
@@ -1799,6 +1954,29 @@ mod replay_tests {
         assert_eq!(d.round, 1);
         assert_eq!(d.field, "frontier_hash");
         assert_eq!(d.partition, None);
+    }
+
+    #[test]
+    fn lane_divergence_reports_the_lane_index() {
+        let a = sample_trace();
+        let mut b = a.clone();
+        if let Some(lanes) = &mut b.rounds[0].lanes {
+            lanes[1] ^= 1;
+        }
+        // The union hash still matches, so only the per-lane digests can
+        // localize the damage.
+        let d = first_divergence(&a, &b).expect("must diverge");
+        assert_eq!(d.round, 0);
+        assert_eq!(d.field, "lane_hash[1]");
+        assert_eq!(d.partition, None);
+
+        // A fused-vs-scalar shape mismatch is reported as such.
+        let mut c = a.clone();
+        c.rounds[0].lanes = None;
+        let d = first_divergence(&a, &c).expect("must diverge");
+        assert_eq!(d.field, "lanes");
+        assert!(d.expected.contains("fused"), "{}", d.expected);
+        assert_eq!(d.got, "scalar");
     }
 
     #[test]

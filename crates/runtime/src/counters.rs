@@ -52,6 +52,19 @@ pub struct WorkCounters {
     /// domain ran dry. Zero by construction on a single-domain host,
     /// whatever topology the executor simulates.
     cross_domain_steals: AtomicU64,
+    /// Lane bits activated by fused multi-source edge maps: Σ popcount of
+    /// the newly set lane masks each fused round emits. With K queries
+    /// fused, one round that activates `v` vertices across `b` lane bits
+    /// did the frontier work of `b` single-source activations while
+    /// scanning each edge once — `fused_lanes / edges` is the fusion
+    /// amortisation ratio.
+    fused_lanes: AtomicU64,
+    /// Lane words touched by *dense* fused-frontier merges (whole
+    /// `LaneBitmap` allocations plus spliced segment words — one word per
+    /// covered vertex). The fused analogue of
+    /// [`merge_words`](Self::merge_words): sparse fused rounds add nothing
+    /// here.
+    lane_union_words: AtomicU64,
 }
 
 impl WorkCounters {
@@ -164,6 +177,30 @@ impl WorkCounters {
         self.cross_domain_steals.load(Ordering::Relaxed)
     }
 
+    /// Adds a batch of fused lane-bit activations.
+    #[inline]
+    pub fn add_fused_lanes(&self, n: u64) {
+        self.fused_lanes.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds a batch of dense fused-merge lane-word touches.
+    #[inline]
+    pub fn add_lane_union_words(&self, n: u64) {
+        self.lane_union_words.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Lane bits activated by fused edge maps so far.
+    #[inline]
+    pub fn fused_lanes(&self) -> u64 {
+        self.fused_lanes.load(Ordering::Relaxed)
+    }
+
+    /// Dense fused-merge lane words touched so far.
+    #[inline]
+    pub fn lane_union_words(&self) -> u64 {
+        self.lane_union_words.load(Ordering::Relaxed)
+    }
+
     /// Reads every accumulating counter at once. `max_chunk_edges` is
     /// deliberately absent: it accumulates with `fetch_max`, so per-round
     /// deltas (`CounterSnapshot::delta_since`) are not defined for it.
@@ -176,6 +213,8 @@ impl WorkCounters {
             hub_subchunks: self.hub_subchunks(),
             steals: self.steals(),
             cross_domain_steals: self.cross_domain_steals(),
+            fused_lanes: self.fused_lanes(),
+            lane_union_words: self.lane_union_words(),
         }
     }
 
@@ -190,6 +229,8 @@ impl WorkCounters {
         self.hub_subchunks.store(0, Ordering::Relaxed);
         self.steals.store(0, Ordering::Relaxed);
         self.cross_domain_steals.store(0, Ordering::Relaxed);
+        self.fused_lanes.store(0, Ordering::Relaxed);
+        self.lane_union_words.store(0, Ordering::Relaxed);
     }
 }
 
@@ -213,6 +254,10 @@ pub struct CounterSnapshot {
     pub steals: u64,
     /// Steals that crossed physical host domains (timing-dependent).
     pub cross_domain_steals: u64,
+    /// Lane bits activated by fused multi-source edge maps.
+    pub fused_lanes: u64,
+    /// Dense fused-merge lane words touched.
+    pub lane_union_words: u64,
 }
 
 impl CounterSnapshot {
@@ -230,6 +275,10 @@ impl CounterSnapshot {
             cross_domain_steals: self
                 .cross_domain_steals
                 .saturating_sub(earlier.cross_domain_steals),
+            fused_lanes: self.fused_lanes.saturating_sub(earlier.fused_lanes),
+            lane_union_words: self
+                .lane_union_words
+                .saturating_sub(earlier.lane_union_words),
         }
     }
 }
@@ -322,6 +371,22 @@ mod tests {
         assert_eq!(c.cross_domain_steals(), 0);
     }
 
+    #[test]
+    fn fused_counters_accumulate_and_reset() {
+        let c = WorkCounters::new();
+        c.add_fused_lanes(5);
+        c.add_fused_lanes(7);
+        c.add_lane_union_words(100);
+        assert_eq!(c.fused_lanes(), 12);
+        assert_eq!(c.lane_union_words(), 100);
+        let snap = c.snapshot();
+        assert_eq!(snap.fused_lanes, 12);
+        assert_eq!(snap.lane_union_words, 100);
+        c.reset();
+        assert_eq!(c.fused_lanes(), 0);
+        assert_eq!(c.lane_union_words(), 0);
+    }
+
     /// The all-empty round: a plan with zero chunks must keep the mean
     /// well-defined (0, not NaN from a 0/0 division) — reporting code
     /// (`repro load_balance`, the differential suites) reads the mean
@@ -350,6 +415,8 @@ mod tests {
         c.add_chunks(4, 80, 40);
         c.add_hub_subchunks(1);
         c.add_steals(2, 1);
+        c.add_fused_lanes(9);
+        c.add_lane_union_words(11);
         let delta = c.snapshot().delta_since(&before);
         assert_eq!(delta.edges, 7);
         assert_eq!(delta.vertices, 3);
@@ -357,6 +424,8 @@ mod tests {
         assert_eq!(delta.hub_subchunks, 1);
         assert_eq!(delta.steals, 2);
         assert_eq!(delta.cross_domain_steals, 1);
+        assert_eq!(delta.fused_lanes, 9);
+        assert_eq!(delta.lane_union_words, 11);
         // A reset between snapshots saturates to zero, not wraparound.
         c.reset();
         let after_reset = c.snapshot().delta_since(&before);

@@ -35,8 +35,12 @@
 //!
 //! Two execution styles share the crew:
 //!
-//! * the structured loops (`for_each_index`, `map_indices`, …) fan fixed
-//!   index ranges out block-wise — right for homogeneous work;
+//! * the structured loops (`for_each_index`, `map_indices`, …) hand
+//!   workers contiguous index blocks claimed from a shared atomic cursor
+//!   (one `fetch_add` per block) — right for homogeneous work, and robust
+//!   to a worker being descheduled mid-epoch, which under a fixed
+//!   per-worker split would strand that worker's whole range behind the
+//!   completion latch;
 //! * [`run_stealing`](Pool::run_stealing) schedules a *heterogeneous* task
 //!   list (the partitioned executor's edge-balanced chunks) over per-worker
 //!   deques with NUMA-domain-affine stealing: tasks are seeded onto a
@@ -60,8 +64,8 @@ use std::sync::{Arc, Condvar, Mutex, OnceLock};
 type WorkerResults<R> = Mutex<(Vec<(usize, R)>, StealTally)>;
 
 /// Raw pointer into [`Pool::map_indices`]'s pre-sized result vector,
-/// shared across workers. Sound because the workers' blocks partition the
-/// index space: no slot is ever written by two workers.
+/// shared across workers. Sound because the cursor-claimed blocks
+/// partition the index space: no slot is ever written by two workers.
 struct RawSlots<R>(*mut std::mem::MaybeUninit<R>);
 
 // SAFETY: workers only `write` disjoint slots (see `Pool::map_indices`),
@@ -89,6 +93,13 @@ impl<R> RawSlots<R> {
 /// Batching matters most on such crews, where every contended deque
 /// handoff costs a scheduler trip.
 const CLAIM_BATCH: usize = 4;
+
+/// Average atomic-cursor claims per worker in the structured loops
+/// ([`Pool::for_each_index`] / [`Pool::map_indices`]): the claim grain is
+/// `count / (threads × CLAIM_OVERSUBSCRIPTION)`, so a straggler strands at
+/// most `1 / (threads × 4)` of the loop instead of its whole fixed share,
+/// at a cost of ~4 `fetch_add`s per worker per epoch.
+const CLAIM_OVERSUBSCRIPTION: usize = 4;
 
 /// What one [`Pool::run_stealing`] call observed: how many tasks executed
 /// and how work migrated between workers. Steal counts are *diagnostics* —
@@ -442,9 +453,27 @@ impl Pool {
         len * w / self.threads..len * (w + 1) / self.threads
     }
 
+    /// The block size workers claim per `fetch_add` in a cursor-claimed
+    /// loop: `CLAIM_OVERSUBSCRIPTION` claims per worker on average, so a
+    /// straggler strands at most one block instead of a whole fixed
+    /// per-worker split, while short loops still claim in one or two
+    /// `fetch_add`s per worker.
+    #[inline]
+    fn claim_grain(&self, count: usize) -> usize {
+        (count / (self.threads * CLAIM_OVERSUBSCRIPTION)).max(1)
+    }
+
     /// Parallel loop over `0..count` with one call per index. Used for
     /// per-partition execution: the closure for partition `p` runs on
     /// exactly one worker, giving the exclusive-update guarantee.
+    ///
+    /// Indices are claimed from a shared atomic cursor in blocks of
+    /// [`claim_grain`](Self::claim_grain) indices (one `fetch_add` per
+    /// block), not pre-split per worker: a worker descheduled by the host
+    /// OS strands at most one unclaimed block, so stragglers on a
+    /// timesharing crew no longer serialise the epoch tail. Each worker's
+    /// claimed indices are strictly ascending (the cursor is monotonic and
+    /// blocks run front-to-back).
     pub fn for_each_index(&self, count: usize, f: impl Fn(usize) + Sync) {
         if count == 0 {
             return;
@@ -456,27 +485,32 @@ impl Pool {
             }
             return;
         }
-        self.dispatch(self.threads, &|w| {
-            let block = self.block(count, w);
-            self.count_jobs(block.len());
-            for i in block {
+        let grain = self.claim_grain(count);
+        let cursor = AtomicUsize::new(0);
+        self.dispatch(self.threads, &|_w| loop {
+            let lo = cursor.fetch_add(grain, Ordering::Relaxed);
+            if lo >= count {
+                break;
+            }
+            let hi = (lo + grain).min(count);
+            self.count_jobs(hi - lo);
+            for i in lo..hi {
                 f(i);
             }
         });
     }
 
     /// Parallel loop over the entries of `order`: every `order[k]` runs
-    /// exactly once, and position `k` selects **which worker's contiguous
-    /// block** the entry lands in (worker `w` owns positions
-    /// `len·w/threads .. len·(w+1)/threads`) plus its sequential rank
-    /// inside that block. Position is *not* an execution priority: blocks
-    /// run concurrently, so a late position in one block can execute
-    /// before an early position in another. What is guaranteed — and
-    /// pinned by `in_order_runs_each_entry_once_ascending_per_worker` —
-    /// is that each entry runs exactly once and every worker executes the
+    /// exactly once, and adjacent positions land in the same
+    /// cursor-claimed contiguous block (hence usually on the same worker).
+    /// Position is *not* an execution priority: blocks run concurrently,
+    /// so a late position in one block can execute before an early
+    /// position in another. What is guaranteed — and pinned by
+    /// `in_order_runs_each_entry_once_ascending_per_worker` — is that
+    /// each entry runs exactly once and every worker executes the
     /// positions it claims in ascending order. Used to schedule
     /// partitions grouped by NUMA domain: a domain's partitions occupy
-    /// adjacent positions, so they land in the same worker's block.
+    /// adjacent positions, so they tend to land in one worker's block.
     pub fn for_each_in_order(&self, order: &[usize], f: impl Fn(usize) + Sync) {
         self.for_each_index(order.len(), |k| f(order[k]));
     }
@@ -496,7 +530,7 @@ impl Pool {
             self.count_jobs(count);
             return (0..count).map(&f).collect();
         }
-        // Workers own contiguous ascending blocks of *disjoint* slots in
+        // Workers claim contiguous ascending blocks of *disjoint* slots in
         // one pre-sized output vector: no per-worker buffers, no mutex
         // handoff, no post-epoch append pass — the filled vector already
         // is the result in index order.
@@ -504,20 +538,26 @@ impl Pool {
         // SAFETY: uninitialised is a valid state for `MaybeUninit` slots.
         unsafe { results.set_len(count) };
         let slots = RawSlots(results.as_mut_ptr());
-        self.dispatch(self.threads, &|w| {
-            let block = self.block(count, w);
-            self.count_jobs(block.len());
-            for i in block {
+        let grain = self.claim_grain(count);
+        let cursor = AtomicUsize::new(0);
+        self.dispatch(self.threads, &|_w| loop {
+            let lo = cursor.fetch_add(grain, Ordering::Relaxed);
+            if lo >= count {
+                break;
+            }
+            let hi = (lo + grain).min(count);
+            self.count_jobs(hi - lo);
+            for i in lo..hi {
                 let v = f(i);
-                // SAFETY: `block` partitions `0..count` disjointly across
-                // workers and each index is written exactly once, so no
-                // two workers touch the same slot; the vector outlives the
-                // dispatch because `dispatch` blocks until every worker
-                // finished its block.
+                // SAFETY: the atomic cursor hands out disjoint blocks of
+                // `0..count`, so each index is written by exactly one
+                // worker exactly once; the vector outlives the dispatch
+                // because `dispatch` blocks until every worker finished
+                // claiming and running its blocks.
                 unsafe { slots.write(i, v) };
             }
         });
-        // SAFETY: the worker blocks cover `0..count` exactly, so every
+        // SAFETY: the claimed blocks tile `0..count` exactly, so every
         // slot is initialised once `dispatch` returns. (If `f` panicked,
         // `dispatch` resumed the unwind above and the written elements
         // leak without their destructors — safe, merely unclean.)

@@ -1,0 +1,210 @@
+//! Differential harness for the fused multi-source traversal layer.
+//!
+//! The promise under test: **every lane of a fused K-query batch is
+//! bit-identical to running that query alone**, under every executor
+//! configuration. Fused edge maps plan on the union frontier but reuse the
+//! scalar partitioning, chunking, hub splitting and work stealing, so the
+//! sweep mirrors `chunked_differential.rs`: chunk caps {1, Auto, max} ×
+//! 1–4 threads × 1/2/7 partitions, all compared against single-source
+//! oracles computed on the sequential engine (1 partition, 1 thread,
+//! unbounded chunks).
+//!
+//! 1. **Fused BFS**: lane `k`'s distance vector equals the scalar
+//!    `bfs(sources[k])` levels in every configuration; round counts equal
+//!    the maximum over lanes of the scalar round counts.
+//! 2. **Fused reachability**: bit `k` of each vertex mask equals
+//!    "`bfs(sources[k])` reached the vertex".
+//! 3. **Fused PPR**: per-lane f64 mass vectors are *bitwise* equal to the
+//!    single-seed run — residual folds group by fixed quanta in CSC scan
+//!    order, so lane `k` performs the identical f64 operation sequence no
+//!    matter which other lanes ride along.
+//! 4. **Property sweep (proptest)**: random graphs × random source
+//!    multisets × K ∈ {1, 63, 64} (duplicate seeds legal — lanes stay
+//!    independent) agree with the scalar oracle lane-for-lane.
+//!
+//! The thread list honours `GG_THREADS` (the CI `query-fusion` leg diffs a
+//! 1-thread run against a 4-thread run of this suite).
+
+#![recursion_limit = "256"]
+
+use proptest::prelude::*;
+
+use graphgrind::algorithms::{self, fused_bfs, fused_ppr, fused_reachability};
+use graphgrind::core::config::{threads_from_env, ChunkCap, Config, ExecutorKind};
+use graphgrind::core::engine::{Engine, GraphGrind2};
+use graphgrind::graph::edge_list::EdgeList;
+use graphgrind::graph::generators::{self, RmatParams};
+use graphgrind::runtime::numa::NumaTopology;
+
+const CAPS: [ChunkCap; 3] = [
+    ChunkCap::Fixed(1),
+    ChunkCap::Auto,
+    ChunkCap::Fixed(usize::MAX),
+];
+const PARTITIONS: [usize; 3] = [1, 2, 7];
+
+/// The thread sweep: `GG_THREADS` (the CI thread-differential leg) pins a
+/// single count, otherwise 1, 2 and 4.
+fn thread_counts() -> Vec<usize> {
+    match threads_from_env() {
+        Some(t) => vec![t],
+        None => vec![1, 2, 4],
+    }
+}
+
+fn config(partitions: usize, threads: usize, chunk_edges: impl Into<ChunkCap>) -> Config {
+    Config {
+        threads,
+        num_partitions: partitions,
+        numa: NumaTopology::new(1),
+        executor: ExecutorKind::Partitioned,
+        chunk_edges: chunk_edges.into(),
+        ..Config::default()
+    }
+}
+
+/// The sequential engine the single-source oracles run on.
+fn sequential(el: &EdgeList) -> GraphGrind2 {
+    GraphGrind2::new(el, config(1, 1, usize::MAX))
+}
+
+fn graphs() -> Vec<(&'static str, EdgeList)> {
+    vec![
+        (
+            "rmat-skewed",
+            generators::rmat(8, 3000, RmatParams::skewed(), 7),
+        ),
+        ("grid-road", generators::grid_road(12, 12, 0.1, 9)),
+    ]
+}
+
+const SOURCES: [u32; 5] = [0, 3, 17, 64, 99];
+
+#[test]
+fn fused_bfs_lanes_bit_identical_across_configs() {
+    for (name, el) in graphs() {
+        let seq = sequential(&el);
+        let oracles: Vec<_> = SOURCES.iter().map(|&s| algorithms::bfs(&seq, s)).collect();
+        let max_rounds = oracles.iter().map(|o| o.rounds).max().unwrap();
+        for cap in CAPS {
+            for p in PARTITIONS {
+                for t in thread_counts() {
+                    let engine = GraphGrind2::new(&el, config(p, t, cap));
+                    let fused = fused_bfs(&engine, &SOURCES);
+                    for (k, oracle) in oracles.iter().enumerate() {
+                        assert_eq!(
+                            fused.dist[k], oracle.level,
+                            "{name} lane {k} cap={cap:?} P={p} T={t}"
+                        );
+                    }
+                    assert_eq!(fused.rounds, max_rounds, "{name} cap={cap:?} P={p} T={t}");
+                    // The fusion tallies must be live in every config.
+                    let c = engine.work_counters();
+                    assert!(c.fused_lanes() > 0, "{name} cap={cap:?} P={p} T={t}");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn fused_reachability_lanes_bit_identical_across_configs() {
+    for (name, el) in graphs() {
+        let seq = sequential(&el);
+        let oracles: Vec<_> = SOURCES.iter().map(|&s| algorithms::bfs(&seq, s)).collect();
+        for cap in CAPS {
+            for p in PARTITIONS {
+                for t in thread_counts() {
+                    let engine = GraphGrind2::new(&el, config(p, t, cap));
+                    let reach = fused_reachability(&engine, &SOURCES);
+                    for (v, &mask) in reach.iter().enumerate() {
+                        for (k, oracle) in oracles.iter().enumerate() {
+                            let want = oracle.level[v] != u32::MAX;
+                            let got = mask & (1 << k) != 0;
+                            assert_eq!(got, want, "{name} v={v} lane {k} cap={cap:?} P={p} T={t}");
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn fused_ppr_lanes_bitwise_equal_to_single_seed_runs() {
+    for (name, el) in graphs() {
+        let seq = sequential(&el);
+        let seeds = [0u32, 17, 99];
+        let solo: Vec<_> = seeds
+            .iter()
+            .map(|&s| fused_ppr(&seq, &[s], 0.15, 1e-4, 40))
+            .collect();
+        for cap in CAPS {
+            for p in PARTITIONS {
+                for t in thread_counts() {
+                    let engine = GraphGrind2::new(&el, config(p, t, cap));
+                    let fused = fused_ppr(&engine, &seeds, 0.15, 1e-4, 40);
+                    for (k, s) in solo.iter().enumerate() {
+                        assert_eq!(
+                            fused.p[k], s.p[0],
+                            "{name} lane {k} cap={cap:?} P={p} T={t}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Strategy: a random directed graph with 2..=60 vertices and 0..200 edges.
+fn arb_graph() -> impl Strategy<Value = EdgeList> {
+    (2usize..=60).prop_flat_map(|n| {
+        proptest::collection::vec((0..n as u32, 0..n as u32), 0..200)
+            .prop_map(move |edges| EdgeList::from_edges(n, &edges))
+    })
+}
+
+/// Random source multiset of size K over the graph, with K pinned at the
+/// lane-width boundaries: 1, 63 and 64 (duplicates allowed).
+fn arb_graph_and_sources() -> impl Strategy<Value = (EdgeList, Vec<u32>)> {
+    arb_graph().prop_flat_map(|el| {
+        let n = el.num_vertices() as u32;
+        (0usize..3)
+            .prop_map(|i| [1usize, 63, 64][i])
+            .prop_flat_map(move |k| {
+                let el = el.clone();
+                proptest::collection::vec(0..n, k..k + 1).prop_map(move |srcs| (el.clone(), srcs))
+            })
+    })
+}
+
+/// Property body (plain function: keeps the `proptest!` macro expansion
+/// small). Panics — rather than `prop_assert!`s — are fine here: any
+/// failure is a determinism bug worth the full backtrace.
+fn check_random_sources(el: &EdgeList, sources: &[u32]) {
+    let seq = sequential(el);
+    let engine = GraphGrind2::new(el, config(3, 2, ChunkCap::Auto));
+    let fused = fused_bfs(&engine, sources);
+    let reach = fused_reachability(&engine, sources);
+    for (k, &s) in sources.iter().enumerate() {
+        let oracle = algorithms::bfs(&seq, s);
+        assert_eq!(fused.dist[k], oracle.level, "lane {k} source {s}");
+        for (v, &mask) in reach.iter().enumerate() {
+            let want = oracle.level[v] != u32::MAX;
+            let got = mask & (1 << k) != 0;
+            assert_eq!(got, want, "reach lane {k} vertex {v}");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every lane of a random K-source fused BFS/reachability batch agrees
+    /// with the scalar single-source oracle, on the partitioned executor.
+    #[test]
+    fn random_source_sets_agree_with_scalar_oracles(case in arb_graph_and_sources()) {
+        let (el, sources) = case;
+        check_random_sources(&el, &sources);
+    }
+}
