@@ -97,9 +97,9 @@ fn fig7_sort_order(c: &mut Criterion) {
         let cfg = Config {
             threads: 4,
             num_partitions: 64,
-            edge_order: order,
             ..Config::default()
         }
+        .with_edge_order(order)
         .with_forced(ForcedKernel::CooNoAtomic);
         let engine = GraphGrind2::new(&w.el, cfg);
         g.bench_function(order.label(), |b| {

@@ -9,7 +9,7 @@
 //!
 //! experiments: tab1 tab2 fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10
 //!              atomics heuristic reorder smoke sparse_output load_balance
-//!              chunk_overhead query_fusion record replay all
+//!              chunk_overhead query_fusion layout_advisor record replay all
 //! ```
 //!
 //! `--scale` multiplies the default graph sizes (DESIGN.md §2); the
@@ -67,12 +67,26 @@
 //! observed `max_chunk_edges` (hub splitting pushes the latter below the
 //! former), and the persistent pool's spawn/epoch counters, then writing
 //! `BENCH_load_balance.json`.
+//!
+//! `layout_advisor` is the memsim-guided layout bench: for each scenario
+//! it runs the sampled layout advisor (predicted per-partition MPKI per
+//! candidate edge order), then measures wall-clock PR under each *forced*
+//! uniform layout plus the advised per-partition mix, checks the advisor's
+//! pick is never the measured-worst layout (tolerance `GG_BENCH_GUARD`, a
+//! fraction; `off`/`0` disables; exits non-zero on violation), reports the
+//! Spearman rank agreement between predicted MPKI and measured time, and
+//! writes `BENCH_layout_advisor.json`.
+//!
+//! `--order source|dest|hilbert` forces one uniform COO edge layout on
+//! every experiment that builds engines from the global flags
+//! (equivalently `Config::with_edge_order`); without it engines keep the
+//! default policy (Hilbert).
 
 use gg_algorithms::Algorithm;
 use gg_bench::datasets::Dataset;
 use gg_bench::runner::{measure, EngineKind, RunConfig, Workload};
 use gg_bench::{fmt_secs, Table};
-use gg_core::config::ForcedKernel;
+use gg_core::config::{ForcedKernel, LayoutPolicy};
 use gg_core::heuristic::{suggest_partitions, HeuristicInputs};
 use gg_core::trace::{fig2_reuse_profile, run_traced_parallel, TracedAlgorithm};
 use gg_graph::reorder::EdgeOrder;
@@ -107,6 +121,9 @@ struct Args {
     algo: Option<String>,
     /// Use the thread-dependent fault op in `record` / `replay`.
     fault: bool,
+    /// Force one uniform COO edge layout (`--order source|dest|hilbert`);
+    /// `None` keeps the engine default.
+    order: Option<EdgeOrder>,
 }
 
 impl Args {
@@ -127,14 +144,25 @@ impl Args {
     }
 
     /// A [`RunConfig`] carrying the global `--threads` / `--executor` /
-    /// `--output` / `--chunk` flags and the given partition count.
+    /// `--output` / `--chunk` / `--order` flags and the given partition
+    /// count.
     fn run_config(&self, partitions: usize) -> RunConfig {
         RunConfig {
             partitions,
             executor: self.executor,
             output: self.output,
             chunk_edges: self.chunk.unwrap_or(gg_core::config::ChunkCap::Auto),
+            layout: self.layout_policy(),
             ..RunConfig::new(self.threads)
+        }
+    }
+
+    /// The layout policy from `--order`: a forced uniform layout when the
+    /// flag was given, otherwise the engine default.
+    fn layout_policy(&self) -> LayoutPolicy {
+        match self.order {
+            Some(order) => LayoutPolicy::Fixed(order),
+            None => LayoutPolicy::default(),
         }
     }
 }
@@ -157,6 +185,7 @@ fn parse_args() -> Args {
         hubs: 16,
         algo: None,
         fault: false,
+        order: None,
     };
     let mut tiny = false;
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -227,6 +256,16 @@ fn parse_args() -> Args {
                 });
             }
             "--adaptive" => args.adaptive = true,
+            "--order" => {
+                i += 1;
+                args.order = match EdgeOrder::from_label(argv[i].as_str()) {
+                    Some(order) => Some(order),
+                    None => {
+                        eprintln!("--order must be source, dest or hilbert, got {}", argv[i]);
+                        std::process::exit(2);
+                    }
+                };
+            }
             "--algo" => {
                 i += 1;
                 args.algo = Some(argv[i].to_uppercase());
@@ -262,12 +301,12 @@ fn parse_args() -> Args {
         eprintln!(
             "usage: repro <tab1|tab2|fig2|fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|atomics|\
              heuristic|reorder|smoke|sparse_output|load_balance|chunk_overhead|query_fusion|\
-             record|replay|all>\
+             layout_advisor|record|replay|all>\
              [--scale F] [--threads N]\
              [--reps N] [--tiny] [--partitions N] [--executor monolithic|partitioned]\
              [--output auto|sparse|dense] [--scenario grid|smallworld|powerlaw]\
              [--chunk N|max|auto] [--adaptive] [--alpha F] [--hubs N]\
-             [--algo BFS|PR|CC|BF] [--fault]"
+             [--order source|dest|hilbert] [--algo BFS|PR|CC|BF] [--fault]"
         );
         std::process::exit(2);
     }
@@ -337,6 +376,9 @@ fn main() {
     }
     if run("query_fusion") {
         query_fusion(&args);
+    }
+    if run("layout_advisor") {
+        layout_advisor(&args);
     }
     // Deliberately not part of `all`: `record` writes trace files and
     // `replay` requires them, so running both blindly inside `all` would
@@ -619,7 +661,7 @@ fn fig7(args: &Args) {
                 EdgeOrder::Destination,
             ] {
                 let rc = RunConfig {
-                    edge_order: order,
+                    layout: LayoutPolicy::Fixed(order),
                     force: Some(ForcedKernel::CooNoAtomic),
                     ..RunConfig::new(args.threads)
                 };
@@ -880,6 +922,7 @@ fn smoke(args: &Args) {
         partitions,
         executor: ExecutorKind::Partitioned,
         output,
+        layout: args.layout_policy(),
         ..RunConfig::new(args.threads)
     };
     let mut t = Table::new(&[
@@ -895,6 +938,7 @@ fn smoke(args: &Args) {
             &w,
             &RunConfig {
                 partitions,
+                layout: args.layout_policy(),
                 ..RunConfig::new(args.threads)
             },
         );
@@ -1126,6 +1170,7 @@ fn load_balance(args: &Args) {
         "spawns/epochs",
     ]);
     let mut json_rows: Vec<String> = Vec::new();
+    let mut layout_meta: Option<(String, f64)> = None;
     for algo in [Algorithm::Pr, Algorithm::Bfs] {
         let w = Workload::prepare(&el, algo);
         let mut per_mode: Vec<(String, f64)> = Vec::new();
@@ -1144,11 +1189,20 @@ fn load_balance(args: &Args) {
                     numa: NumaTopology::paper_machine(),
                     executor: ExecutorKind::Partitioned,
                     chunk_edges: cap,
+                    layout: args.layout_policy(),
                     ..Config::default()
                 };
                 GraphGrind2::new(&w.el, cfg)
             })
             .collect();
+        // The effective layout + partition metadata for the JSON envelope,
+        // read off the first store built (identical across modes/algos).
+        if layout_meta.is_none() {
+            let store = engines[0].store();
+            let orders = part_layout_json(store.part_layouts());
+            let rf = gg_graph::replication::replication_factor(&w.el, store.edge_parts());
+            layout_meta = Some((orders, rf));
+        }
         let mut runners: Vec<_> = engines
             .iter()
             .map(|engine| {
@@ -1239,11 +1293,14 @@ fn load_balance(args: &Args) {
         }
     }
     t.print();
+    let (part_layouts, replication) = layout_meta.unwrap_or_default();
     let json = format!(
         "{{\n  \"bench\": \"load_balance\",\n  \"scenario\": \"{}\",\n  \"alpha\": {},\n  \
          \"hubs\": {},\n  \"vertices\": {},\n  \"edges\": {},\n  \"partitions\": {},\n  \
          \"threads\": {},\n  \"reps\": {},\n  \"fixed_chunk_edges\": {},\n  \
-         \"top_hub_in_degree\": {},\n  \"results\": [\n{}\n  ]\n}}\n",
+         \"top_hub_in_degree\": {},\n  \"layout_policy\": \"{}\",\n  \
+         \"part_layouts\": [{}],\n  \"replication_factor\": {:.4},\n  \
+         \"results\": [\n{}\n  ]\n}}\n",
         scenario,
         args.alpha,
         args.hubs,
@@ -1254,6 +1311,9 @@ fn load_balance(args: &Args) {
         args.reps,
         fixed_cap,
         top_hub_in_degree,
+        args.layout_policy().label(),
+        part_layouts,
+        replication,
         json_rows.join(",\n")
     );
     let path = "BENCH_load_balance.json";
@@ -1310,6 +1370,7 @@ fn query_fusion(args: &Args) {
             "oracle",
         ]);
         let mut json_rows: Vec<String> = Vec::new();
+        let mut layout_meta: Option<(String, f64)> = None;
         for &k in &lane_counts {
             let sources = gg_bench::replay::fused_sources(&el, k);
             let cfg = Config {
@@ -1318,10 +1379,19 @@ fn query_fusion(args: &Args) {
                 numa: NumaTopology::paper_machine(),
                 executor: ExecutorKind::Partitioned,
                 chunk_edges: args.chunk.unwrap_or(gg_core::config::ChunkCap::Auto),
+                layout: args.layout_policy(),
                 ..Config::default()
             };
             let fused_engine = GraphGrind2::new(&el, cfg.clone());
             let seq_engine = GraphGrind2::new(&el, cfg);
+            // Effective layout + partition metadata for this scenario's
+            // JSON block (identical across K).
+            if layout_meta.is_none() {
+                let store = fused_engine.store();
+                let orders = part_layout_json(store.part_layouts());
+                let rf = gg_graph::replication::replication_factor(&el, store.edge_parts());
+                layout_meta = Some((orders, rf));
+            }
             let mut runners: Vec<Box<dyn FnMut()>> = vec![
                 Box::new(|| {
                     let _ = gg_algorithms::fused_bfs(&fused_engine, &sources);
@@ -1398,11 +1468,17 @@ fn query_fusion(args: &Args) {
         }
         t.print();
         println!();
+        let (part_layouts, replication) = layout_meta.unwrap_or_default();
         scenario_blocks.push(format!(
-            "    {{\"scenario\": \"{}\", \"vertices\": {}, \"edges\": {}, \"results\": [\n{}\n    ]}}",
+            "    {{\"scenario\": \"{}\", \"vertices\": {}, \"edges\": {}, \
+             \"layout_policy\": \"{}\", \"part_layouts\": [{}], \
+             \"replication_factor\": {:.4}, \"results\": [\n{}\n    ]}}",
             scenario,
             el.num_vertices(),
             el.num_edges(),
+            args.layout_policy().label(),
+            part_layouts,
+            replication,
             json_rows.join(",\n")
         ));
     }
@@ -1422,6 +1498,339 @@ fn query_fusion(args: &Args) {
     }
     if oracle_failures > 0 {
         eprintln!("QUERY_FUSION FAILED: {oracle_failures} K-batch(es) diverged from the oracle");
+        std::process::exit(1);
+    }
+}
+
+/// The guard tolerance of `layout_advisor`'s never-worst check, from
+/// `GG_BENCH_GUARD`: a fractional slack on the measured times (default
+/// 0.10 = 10%); `off` / `0` disables the check entirely (the CI smoke
+/// setting — `--tiny` timings are pure noise).
+fn bench_guard_tolerance() -> Option<f64> {
+    match std::env::var("GG_BENCH_GUARD") {
+        Err(_) => Some(0.10),
+        Ok(v) => match v.trim() {
+            "off" | "0" => None,
+            t => Some(t.parse::<f64>().unwrap_or(0.10)),
+        },
+    }
+}
+
+/// Rank positions of `values` ascending: `ranks[i]` is the rank of
+/// `values[i]` (0 = smallest). Ties resolve by index, which is fine for
+/// the measured-float inputs this serves.
+fn rank_positions(values: &[f64]) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..values.len()).collect();
+    idx.sort_by(|&a, &b| values[a].total_cmp(&values[b]));
+    let mut ranks = vec![0usize; values.len()];
+    for (rank, &i) in idx.iter().enumerate() {
+        ranks[i] = rank;
+    }
+    ranks
+}
+
+/// The layout-advisor bench — the tentpole deliverable closing the
+/// memsim loop. Per scenario (powerlaw / grid / smallworld, or just
+/// `--scenario`):
+///
+/// * the **predicted** side runs the sampled advisor
+///   (`LayoutPolicy::Advised`) and reports per-partition MPKI for every
+///   candidate [`EdgeOrder`] plus the edge-weighted aggregate;
+/// * the **measured** side times monolithic PR forced onto the COO+na
+///   kernel (the kernel whose scan order the layout controls, Figure 7's
+///   setup) under each forced uniform layout *and* the advised
+///   per-partition mix, interleaved min-of-reps;
+/// * the guard asserts the advisor's aggregate pick is never the
+///   measured-worst layout and the advised mix never loses to the worst
+///   uniform layout, both within the `GG_BENCH_GUARD` tolerance
+///   (exit non-zero on violation);
+/// * the Spearman rank correlation between predicted aggregate MPKI and
+///   measured time over the candidates lands in the JSON.
+///
+/// Writes `BENCH_layout_advisor.json`.
+fn layout_advisor(args: &Args) {
+    use gg_core::config::Config;
+    use gg_core::engine::GraphGrind2;
+
+    /// The advisor's trace sampling rate: cheap (≈ a quarter of the
+    /// edges simulated once per candidate) yet far above the
+    /// `MIN_SAMPLED_EDGES` floor at bench scales.
+    const SAMPLE_RATE: f64 = 0.25;
+    const PR_ITERS: usize = 10;
+
+    let tolerance = bench_guard_tolerance();
+    println!("## Layout advisor — predicted per-partition MPKI vs measured wall-clock\n");
+    match tolerance {
+        Some(t) => println!(
+            "never-worst guard armed: {:.0}% tolerance (override via GG_BENCH_GUARD, off/0 disables)\n",
+            t * 100.0
+        ),
+        None => println!("never-worst guard disabled via GG_BENCH_GUARD\n"),
+    }
+    let scenarios: Vec<String> = if args.scenario.is_empty() {
+        vec!["powerlaw".into(), "grid".into(), "smallworld".into()]
+    } else {
+        vec![args.scenario.clone()]
+    };
+    let partitions = args.partitions_or(8);
+    let candidates = EdgeOrder::all();
+    let mut scenario_blocks: Vec<String> = Vec::new();
+    let mut violations = 0usize;
+    for scenario in &scenarios {
+        let el = gg_bench::replay::scenario_graph(scenario, args.scale);
+        println!(
+            "### {scenario}: {} vertices, {} edges, {} partitions, {} threads",
+            el.num_vertices(),
+            el.num_edges(),
+            partitions,
+            args.threads
+        );
+        let w = Workload::prepare(&el, Algorithm::Pr);
+        let base = Config {
+            threads: args.threads,
+            num_partitions: partitions,
+            numa: NumaTopology::paper_machine(),
+            ..Config::default()
+        }
+        .with_forced(ForcedKernel::CooNoAtomic);
+
+        // One engine per forced uniform layout plus the advised build;
+        // the advised engine's store keeps the advisor's full verdict.
+        let mut engines: Vec<(String, GraphGrind2)> = candidates
+            .iter()
+            .map(|&order| {
+                let cfg = base.clone().with_layout(LayoutPolicy::Fixed(order));
+                (order.label().to_string(), GraphGrind2::new(&w.el, cfg))
+            })
+            .collect();
+        let advised_cfg = base.clone().with_layout(LayoutPolicy::Advised {
+            sample_rate: SAMPLE_RATE,
+        });
+        engines.push(("advised".to_string(), GraphGrind2::new(&w.el, advised_cfg)));
+        let advice = engines
+            .last()
+            .unwrap()
+            .1
+            .store()
+            .layout_advice()
+            .expect("advised build keeps its verdict")
+            .clone();
+
+        // Predicted side: per-partition candidate MPKIs and the
+        // edge-weighted aggregate per candidate.
+        let mut pt = Table::new(&[
+            "partition",
+            "edges",
+            "sampled",
+            "cache lines",
+            "Source MPKI",
+            "Hilbert MPKI",
+            "Destination MPKI",
+            "chosen",
+        ]);
+        let mut advice_rows: Vec<String> = Vec::new();
+        let mut agg = vec![0.0f64; candidates.len()];
+        let mut agg_edges = 0u64;
+        for adv in &advice.partitions {
+            let mut cells = vec![
+                adv.partition.to_string(),
+                adv.total_edges.to_string(),
+                adv.sampled_edges.to_string(),
+                adv.cache_lines.to_string(),
+            ];
+            if adv.candidates.is_empty() {
+                cells.extend(["-".into(), "-".into(), "-".into(), "-".into()]);
+            } else {
+                for c in &adv.candidates {
+                    cells.push(format!("{:.3}", c.mpki));
+                }
+                cells.push(adv.chosen.label().into());
+                for (slot, c) in adv.candidates.iter().enumerate() {
+                    agg[slot] += c.mpki * adv.total_edges as f64;
+                }
+                agg_edges += adv.total_edges as u64;
+            }
+            pt.row(cells);
+            let cand_json = adv
+                .candidates
+                .iter()
+                .map(|c| {
+                    format!(
+                        "{{\"order\": \"{}\", \"mpki\": {:.4}, \"hit_ratio\": {:.4}}}",
+                        c.order.label(),
+                        c.mpki,
+                        c.hit_ratio
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join(", ");
+            advice_rows.push(format!(
+                "        {{\"partition\": {}, \"total_edges\": {}, \"sampled_edges\": {}, \
+                 \"cache_lines\": {}, \"chosen\": \"{}\", \"candidates\": [{}]}}",
+                adv.partition,
+                adv.total_edges,
+                adv.sampled_edges,
+                adv.cache_lines,
+                adv.chosen.label(),
+                cand_json
+            ));
+        }
+        pt.print();
+        for slot_mpki in agg.iter_mut() {
+            *slot_mpki /= (agg_edges as f64).max(1.0);
+        }
+        let pick_idx = (0..candidates.len())
+            .min_by(|&a, &b| agg[a].total_cmp(&agg[b]))
+            .unwrap();
+        let pick = candidates[pick_idx];
+        println!(
+            "edge-weighted predicted MPKI: {} → advisor pick {}",
+            candidates
+                .iter()
+                .zip(&agg)
+                .map(|(o, m)| format!("{} {:.3}", o.label(), m))
+                .collect::<Vec<_>>()
+                .join(", "),
+            pick.label()
+        );
+
+        // Measured side: interleaved min-of-reps PR per engine.
+        let mut runners: Vec<Box<dyn FnMut()>> = engines
+            .iter()
+            .map(|(_, engine)| {
+                Box::new(move || {
+                    let _ = gg_algorithms::pagerank(engine, PR_ITERS);
+                }) as Box<dyn FnMut()>
+            })
+            .collect();
+        let stats = gg_bench::time_stats_interleaved(args.reps, &mut runners);
+        drop(runners);
+        let mut mt = Table::new(&["layout", "min (s)", "mean (s)"]);
+        let mut measured_rows: Vec<String> = Vec::new();
+        for ((label, _), s) in engines.iter().zip(&stats) {
+            mt.row(vec![label.clone(), fmt_secs(s.min), fmt_secs(s.mean)]);
+            let samples = s
+                .samples
+                .iter()
+                .map(|x| format!("{x:.6}"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            measured_rows.push(format!(
+                "        {{\"layout\": \"{label}\", \"min_s\": {:.6}, \"mean_s\": {:.6}, \
+                 \"samples\": [{samples}]}}",
+                s.min, s.mean
+            ));
+        }
+        mt.print();
+
+        let forced_times: Vec<f64> = stats[..candidates.len()].iter().map(|s| s.min).collect();
+        let advised_time = stats[candidates.len()].min;
+        let worst_idx = (0..candidates.len())
+            .max_by(|&a, &b| forced_times[a].total_cmp(&forced_times[b]))
+            .unwrap();
+        // The pick is *robustly* the measured-worst only if it loses to
+        // every other forced layout by more than the tolerance.
+        let other_max = forced_times
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| i != pick_idx)
+            .map(|(_, &t)| t)
+            .fold(0.0f64, f64::max);
+        let tol = tolerance.unwrap_or(f64::INFINITY);
+        let pick_is_worst = tolerance.is_some() && forced_times[pick_idx] > (1.0 + tol) * other_max;
+        let advised_over_worst =
+            tolerance.is_some() && advised_time > (1.0 + tol) * forced_times[worst_idx];
+        if pick_is_worst {
+            violations += 1;
+            eprintln!(
+                "LAYOUT_ADVISOR GUARD: {scenario}: pick {} is the measured-worst layout \
+                 ({} vs next-worst {})",
+                pick.label(),
+                fmt_secs(forced_times[pick_idx]),
+                fmt_secs(other_max)
+            );
+        }
+        if advised_over_worst {
+            violations += 1;
+            eprintln!(
+                "LAYOUT_ADVISOR GUARD: {scenario}: advised mix {} lost to the worst uniform \
+                 layout {} ({})",
+                fmt_secs(advised_time),
+                candidates[worst_idx].label(),
+                fmt_secs(forced_times[worst_idx])
+            );
+        }
+
+        // Rank agreement: Spearman over the candidate set between
+        // predicted aggregate MPKI and measured time.
+        let pr = rank_positions(&agg);
+        let mr = rank_positions(&forced_times);
+        let n = candidates.len() as f64;
+        let d2: f64 = pr
+            .iter()
+            .zip(&mr)
+            .map(|(&a, &b)| {
+                let d = a as f64 - b as f64;
+                d * d
+            })
+            .sum();
+        let rho = 1.0 - 6.0 * d2 / (n * (n * n - 1.0));
+        println!(
+            "advisor pick {} | measured worst {} | advised {} | Spearman rho {:.2}\n",
+            pick.label(),
+            candidates[worst_idx].label(),
+            fmt_secs(advised_time),
+            rho
+        );
+
+        let agg_json = candidates
+            .iter()
+            .zip(&agg)
+            .map(|(o, m)| format!("{{\"order\": \"{}\", \"mpki\": {m:.4}}}", o.label()))
+            .collect::<Vec<_>>()
+            .join(", ");
+        scenario_blocks.push(format!(
+            "    {{\"scenario\": \"{}\", \"vertices\": {}, \"edges\": {}, \"partitions\": {}, \
+             \"sample_rate\": {}, \"advice\": [\n{}\n      ], \
+             \"aggregate_predicted_mpki\": [{}], \"advisor_pick\": \"{}\", \
+             \"measured\": [\n{}\n      ], \"measured_worst\": \"{}\", \
+             \"pick_is_measured_worst\": {}, \"advised_beats_worst\": {}, \
+             \"spearman_rho\": {:.4}}}",
+            scenario,
+            el.num_vertices(),
+            el.num_edges(),
+            advice.partitions.len(),
+            advice.sample_rate,
+            advice_rows.join(",\n"),
+            agg_json,
+            pick.label(),
+            measured_rows.join(",\n"),
+            candidates[worst_idx].label(),
+            pick_is_worst,
+            !advised_over_worst,
+            rho
+        ));
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"layout_advisor\",\n  \"scale\": {},\n  \"threads\": {},\n  \
+         \"reps\": {},\n  \"partitions\": {},\n  \"pr_iters\": {},\n  \"guard\": \"{}\",\n  \
+         \"violations\": {},\n  \"scenarios\": [\n{}\n  ]\n}}\n",
+        args.scale,
+        args.threads,
+        args.reps,
+        partitions,
+        PR_ITERS,
+        tolerance.map_or("off".to_string(), |t| format!("{t}")),
+        violations,
+        scenario_blocks.join(",\n")
+    );
+    let path = "BENCH_layout_advisor.json";
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote {path}\n"),
+        Err(e) => eprintln!("failed to write {path}: {e}\n"),
+    }
+    if violations > 0 {
+        eprintln!("LAYOUT_ADVISOR FAILED: {violations} never-worst guard violation(s)");
         std::process::exit(1);
     }
 }
@@ -1548,8 +1957,18 @@ fn replay_config(args: &Args) -> gg_core::config::Config {
         chunk_edges: gg_core::config::chunk_edges_from_env()
             .or(args.chunk)
             .unwrap_or(gg_core::config::ChunkCap::Auto),
+        layout: args.layout_policy(),
         ..gg_core::config::Config::default()
     }
+}
+
+/// Renders per-partition effective layouts as a JSON string array body.
+fn part_layout_json(orders: &[EdgeOrder]) -> String {
+    orders
+        .iter()
+        .map(|o| format!("\"{}\"", o.label()))
+        .collect::<Vec<_>>()
+        .join(", ")
 }
 
 /// The algorithm set for `record` / `replay` after the `--algo` filter.

@@ -2,12 +2,11 @@
 
 use gg_algorithms::{Algorithm, BpParams, PrDeltaParams};
 use gg_baselines::{GraphGrind1, Ligra, Polymer};
-use gg_core::config::{ChunkCap, Config, ExecutorKind, ForcedKernel, OutputMode};
+use gg_core::config::{ChunkCap, Config, ExecutorKind, ForcedKernel, LayoutPolicy, OutputMode};
 use gg_core::engine::{Engine, GraphGrind2};
 use gg_graph::edge_list::EdgeList;
 use gg_graph::ops::{symmetrize, transpose};
 use gg_graph::properties::GraphStats;
-use gg_graph::reorder::EdgeOrder;
 use gg_runtime::numa::NumaTopology;
 
 /// The four systems of Figure 9/10.
@@ -52,8 +51,9 @@ pub struct RunConfig {
     pub threads: usize,
     /// GG-v2 partition count (the paper's default sweet spot is 384).
     pub partitions: usize,
-    /// GG-v2 COO edge order.
-    pub edge_order: EdgeOrder,
+    /// GG-v2 COO layout policy: a fixed edge order (`repro --order
+    /// source|dest|hilbert`) or the memsim layout advisor.
+    pub layout: LayoutPolicy,
     /// GG-v2 forced kernel (Figure 5/6 ablations; monolithic path only).
     pub force: Option<ForcedKernel>,
     /// GG-v2 "+a" dense path.
@@ -76,7 +76,7 @@ impl RunConfig {
         RunConfig {
             threads,
             partitions: 384,
-            edge_order: EdgeOrder::Hilbert,
+            layout: LayoutPolicy::default(),
             force: None,
             use_atomics: false,
             executor: ExecutorKind::Monolithic,
@@ -90,7 +90,7 @@ impl RunConfig {
             threads: self.threads,
             num_partitions: self.partitions,
             numa: NumaTopology::paper_machine(),
-            edge_order: self.edge_order,
+            layout: self.layout,
             use_atomics_dense: self.use_atomics,
             executor: self.executor,
             output_mode: self.output,

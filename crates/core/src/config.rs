@@ -152,6 +152,44 @@ pub fn threads_from_env() -> Option<usize> {
     }
 }
 
+/// How each COO partition's edge layout (and the partitioned executor's
+/// per-partition destination visit order) is chosen at graph-build time.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum LayoutPolicy {
+    /// One [`EdgeOrder`] for every partition (§IV.C's global knob — the
+    /// pre-advisor behaviour, default `Fixed(Hilbert)`).
+    Fixed(EdgeOrder),
+    /// Per-partition argmin of predicted MPKI from a sampled memsim pass
+    /// (see [`crate::advisor`]): each partition replays a representative
+    /// dense-round address trace for every candidate order through
+    /// `gg_memsim` and keeps the cheapest. `sample_rate` is the fraction
+    /// of the partition's edges traced (clamped to `(0, 1]`; small
+    /// partitions are traced whole).
+    Advised {
+        /// Fraction of each partition's edges fed to the memsim pass.
+        sample_rate: f64,
+    },
+}
+
+impl Default for LayoutPolicy {
+    fn default() -> Self {
+        LayoutPolicy::Fixed(EdgeOrder::Hilbert)
+    }
+}
+
+impl LayoutPolicy {
+    /// Stable label for trace headers and benchmark JSON:
+    /// `"fixed:Hilbert"` / `"advised:0.25"`. Two headers with equal labels
+    /// made their per-partition layout decisions under the same policy, so
+    /// `first_divergence` may compare the per-step layouts directly.
+    pub fn label(&self) -> String {
+        match self {
+            LayoutPolicy::Fixed(o) => format!("fixed:{}", o.label()),
+            LayoutPolicy::Advised { sample_rate } => format!("advised:{sample_rate}"),
+        }
+    }
+}
+
 /// Which execution path [`GraphGrind2`](crate::engine::GraphGrind2) routes
 /// edge maps through.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
@@ -179,8 +217,10 @@ pub struct Config {
     pub num_partitions: usize,
     /// Simulated NUMA topology.
     pub numa: NumaTopology,
-    /// Edge order within COO partitions (§IV.C; default Hilbert).
-    pub edge_order: EdgeOrder,
+    /// Layout policy for COO partitions (§IV.C; default
+    /// `Fixed(Hilbert)`). `Advised` runs the sampled memsim layout
+    /// advisor per partition at graph-build time.
+    pub layout: LayoutPolicy,
     /// Use atomic updates on the dense COO path even though partitions are
     /// exclusive (the "+a" ablation). Default `false` ("+na").
     pub use_atomics_dense: bool,
@@ -230,7 +270,7 @@ impl Default for Config {
             threads,
             num_partitions: 384,
             numa: NumaTopology::paper_machine(),
-            edge_order: EdgeOrder::Hilbert,
+            layout: LayoutPolicy::default(),
             use_atomics_dense: false,
             thresholds: Thresholds::default(),
             force: None,
@@ -300,9 +340,16 @@ impl Config {
         self
     }
 
-    /// Sets the COO edge order (builder style).
+    /// Fixes one COO edge order for every partition (builder style).
     pub fn with_edge_order(mut self, o: EdgeOrder) -> Self {
-        self.edge_order = o;
+        self.layout = LayoutPolicy::Fixed(o);
+        self
+    }
+
+    /// Sets the full layout policy (builder style); `Advised` turns on the
+    /// per-partition memsim layout advisor.
+    pub fn with_layout(mut self, l: LayoutPolicy) -> Self {
+        self.layout = l;
         self
     }
 
@@ -358,6 +405,18 @@ mod tests {
         if std::env::var("GG_THREADS").is_err() {
             assert_eq!(threads_from_env(), None);
         }
+    }
+
+    #[test]
+    fn layout_policy_defaults_and_builds() {
+        let c = Config::default();
+        assert_eq!(c.layout, LayoutPolicy::Fixed(EdgeOrder::Hilbert));
+        let c = Config::for_tests().with_edge_order(EdgeOrder::Source);
+        assert_eq!(c.layout, LayoutPolicy::Fixed(EdgeOrder::Source));
+        let c = Config::for_tests().with_layout(LayoutPolicy::Advised { sample_rate: 0.25 });
+        assert_eq!(c.layout, LayoutPolicy::Advised { sample_rate: 0.25 });
+        assert_eq!(c.layout.label(), "advised:0.25");
+        assert_eq!(LayoutPolicy::default().label(), "fixed:Hilbert");
     }
 
     #[test]

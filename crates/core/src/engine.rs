@@ -362,6 +362,7 @@ impl GraphGrind2 {
                         partition: s.partition as u64,
                         kernel: s.kernel,
                         output: s.output,
+                        layout: s.layout,
                     })
                     .collect(),
             )

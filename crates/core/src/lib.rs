@@ -89,6 +89,7 @@
 //! assert!(next.len() > 0);
 //! ```
 
+pub mod advisor;
 pub mod config;
 pub mod edge_map;
 pub mod engine;
@@ -103,7 +104,10 @@ pub mod vertex_map;
 
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
-    pub use crate::config::{Config, ExecutorKind, ForcedKernel, OutputMode, Thresholds};
+    pub use crate::advisor::LayoutAdvice;
+    pub use crate::config::{
+        Config, ExecutorKind, ForcedKernel, LayoutPolicy, OutputMode, Thresholds,
+    };
     pub use crate::edge_map::{EdgeKind, EdgeOp};
     pub use crate::engine::{Direction, EdgeMapSpec, Engine, GraphGrind2, Orientation};
     pub use crate::frontier::{Frontier, FrontierIter, FrontierView, PartitionOutput};

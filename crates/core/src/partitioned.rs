@@ -171,6 +171,7 @@ use gg_graph::bitmap::{AtomicBitmap, Bitmap, BitmapSegment};
 use gg_graph::csc::Csc;
 use gg_graph::csr::PrunedCsr;
 use gg_graph::lanes::LaneBitmap;
+use gg_graph::reorder::EdgeOrder;
 use gg_graph::types::{EdgeId, VertexId};
 use gg_runtime::buffer::BufferPool;
 use gg_runtime::counters::{LocalTally, WorkCounters};
@@ -222,6 +223,11 @@ pub struct PartitionView {
     /// partitions whose output is provably small (see
     /// [`plan::output_for`]).
     pub distinct_dsts: u64,
+    /// The partition's effective COO edge layout — fixed globally by
+    /// [`LayoutPolicy::Fixed`](crate::config::LayoutPolicy) or chosen per
+    /// partition by the memsim layout advisor. The dense kernel visits its
+    /// destinations in this order (see [`PartitionedExec::visit_orders`]).
+    pub layout: EdgeOrder,
 }
 
 /// The partition-parallel executor: per-partition views plus the pool
@@ -248,7 +254,22 @@ pub(crate) struct PartitionedExec {
     /// bypassed, not invalidated, if a caller ever plans with different
     /// settings.
     dense_plans: Vec<std::sync::OnceLock<DensePlan>>,
+    /// Per-partition destination **visit order** for the dense kernel,
+    /// derived from the partition's COO layout: the first-appearance order
+    /// of destinations in the layout-sorted edge array (zero-in-degree
+    /// destinations appended ascending). `None` means ascending — the
+    /// natural CSC range scan — which is always the case for
+    /// [`EdgeOrder::Destination`]. Permuting the visit order is
+    /// bit-identity-safe: each destination's in-edge scan stays
+    /// CSC-ordered and self-contained, and the executor already runs
+    /// destinations in arbitrary temporal order across chunks under work
+    /// stealing (see the determinism contract above).
+    visit_orders: Vec<Option<Arc<Vec<VertexId>>>>,
 }
+
+/// A partition's dense chunk list plus optional per-chunk destination
+/// visit lists (see [`DensePlan::visit`]).
+type DenseChunks = (Arc<Vec<plan::Chunk>>, Option<Arc<Vec<Vec<VertexId>>>>);
 
 /// One partition's cached dense chunk decomposition plus the settings it
 /// was planned under (see [`PartitionedExec::dense_plans`]).
@@ -257,6 +278,11 @@ struct DensePlan {
     cap: usize,
     hub_split: plan::HubSplit,
     chunks: Arc<Vec<plan::Chunk>>,
+    /// Per-chunk destination visit lists (parallel to `chunks`), present
+    /// only when the partition's layout permutes the visit order: the
+    /// partition visit order bucketed by non-sub chunk span. Sub-chunk
+    /// (split-hub) slots are empty — a hub's scan is span-defined.
+    visit: Option<Arc<Vec<Vec<VertexId>>>>,
 }
 
 impl PartitionedExec {
@@ -279,6 +305,7 @@ impl PartitionedExec {
                     num_edges: per_part[p],
                     domain: schedule.domain_of(p),
                     distinct_dsts,
+                    layout: store.coo().part_order(p),
                 }
             })
             .collect();
@@ -287,12 +314,17 @@ impl PartitionedExec {
         let dense_plans = (0..views.len())
             .map(|_| std::sync::OnceLock::new())
             .collect();
+        let visit_orders = views
+            .iter()
+            .map(|view| visit_order_for(store, view))
+            .collect();
         PartitionedExec {
             views,
             edge_order,
             vertex_order,
             domains: schedule.domains(),
             dense_plans,
+            visit_orders,
         }
     }
 
@@ -307,22 +339,28 @@ impl PartitionedExec {
         partition: usize,
         cap: usize,
         hub_split: plan::HubSplit,
-    ) -> Arc<Vec<plan::Chunk>> {
+    ) -> DenseChunks {
         let range = self.views[partition].dst_range.clone();
-        let cached = self.dense_plans[partition].get_or_init(|| DensePlan {
-            cap,
-            hub_split,
-            chunks: Arc::new(plan::chunk_dense_range(
-                offsets,
-                range.clone(),
+        let cached = self.dense_plans[partition].get_or_init(|| {
+            let chunks = plan::chunk_dense_range(offsets, range.clone(), cap, hub_split);
+            let visit = self.visit_orders[partition]
+                .as_ref()
+                .map(|order| Arc::new(bucket_visit_order(&chunks, order)));
+            DensePlan {
                 cap,
                 hub_split,
-            )),
+                chunks: Arc::new(chunks),
+                visit,
+            }
         });
         if cached.cap == cap && cached.hub_split == hub_split {
-            Arc::clone(&cached.chunks)
+            (Arc::clone(&cached.chunks), cached.visit.clone())
         } else {
-            Arc::new(plan::chunk_dense_range(offsets, range, cap, hub_split))
+            let chunks = plan::chunk_dense_range(offsets, range, cap, hub_split);
+            let visit = self.visit_orders[partition]
+                .as_ref()
+                .map(|order| Arc::new(bucket_visit_order(&chunks, order)));
+            (Arc::new(chunks), visit)
         }
     }
 
@@ -368,7 +406,7 @@ impl PartitionedExec {
             let step = steps[k];
             let mut tally = LocalTally::new(counters);
             match &step_work[k] {
-                StepChunks::Dense(chunks) => {
+                StepChunks::Dense { chunks, visit } => {
                     let chunk = &chunks[ci];
                     if let Some(sub) = &chunk.sub {
                         let v = chunk.span.start as VertexId;
@@ -377,7 +415,17 @@ impl PartitionedExec {
                     let span = &chunk.span;
                     let range = span.start as VertexId..span.end as VertexId;
                     let mut sink = PartSink::new(step.output, range.clone());
-                    pull_range(csc, current, op, range, &mut sink, &mut tally);
+                    match visit {
+                        // Layout-derived visit order: same destinations,
+                        // same per-destination CSC scans, permuted for
+                        // locality (see [`visit_order_for`]).
+                        Some(visit) => {
+                            for &v in &visit[ci] {
+                                pull_vertex(csc, current, op, v, &mut sink, &mut tally);
+                            }
+                        }
+                        None => pull_range(csc, current, op, range, &mut sink, &mut tally),
+                    }
                     sink.into_output()
                 }
                 StepChunks::Sparse { candidates, chunks } => {
@@ -448,7 +496,7 @@ impl PartitionedExec {
             let step = steps[k];
             let mut tally = LocalTally::new(counters);
             match &step_work[k] {
-                StepChunks::Dense(chunks) => {
+                StepChunks::Dense { chunks, visit } => {
                     let chunk = &chunks[ci];
                     if let Some(sub) = &chunk.sub {
                         let v = chunk.span.start as VertexId;
@@ -457,8 +505,20 @@ impl PartitionedExec {
                     let span = &chunk.span;
                     let range = span.start as VertexId..span.end as VertexId;
                     let mut sink = PartSink::new(step.output, range.clone());
-                    for v in range {
-                        pull_vertex_reduce(csc, current, op, v, &mut sink, &mut tally);
+                    match visit {
+                        // Visit-order permutation is transparent to the
+                        // reduce contract: quantum grouping is fixed by
+                        // the destination alone.
+                        Some(visit) => {
+                            for &v in &visit[ci] {
+                                pull_vertex_reduce(csc, current, op, v, &mut sink, &mut tally);
+                            }
+                        }
+                        None => {
+                            for v in range {
+                                pull_vertex_reduce(csc, current, op, v, &mut sink, &mut tally);
+                            }
+                        }
                     }
                     sink.into_output()
                 }
@@ -543,7 +603,10 @@ impl PartitionedExec {
             let step = steps[s];
             let mut tally = LocalTally::new(counters);
             match &step_work[s] {
-                StepChunks::Dense(chunks) => {
+                // Fused kernels keep the ascending range scan: the K-lane
+                // sinks stream range-ordered lane words, and the fused
+                // paths are not covered by the layout advisor's model.
+                StepChunks::Dense { chunks, .. } => {
                     let chunk = &chunks[ci];
                     if let Some(sub) = &chunk.sub {
                         let v = chunk.span.start as VertexId;
@@ -661,7 +724,9 @@ impl PartitionedExec {
             let step = steps[s];
             let mut tally = LocalTally::new(counters);
             match &step_work[s] {
-                StepChunks::Dense(chunks) => {
+                // Ascending scan, as in `fused_edge_map` (see the note
+                // there on why fused paths skip the visit permutation).
+                StepChunks::Dense { chunks, .. } => {
                     let chunk = &chunks[ci];
                     if let Some(sub) = &chunk.sub {
                         let v = chunk.span.start as VertexId;
@@ -822,12 +887,11 @@ impl PartitionedExec {
             let view = &self.views[step.partition];
             let cap = plan::resolve_cap(config.chunk_edges, view.num_edges, pool.threads());
             match step.kernel {
-                PartKernel::Dense => StepChunks::Dense(self.dense_chunks(
-                    csc.offsets(),
-                    step.partition,
-                    cap,
-                    hub_split,
-                )),
+                PartKernel::Dense => {
+                    let (chunks, visit) =
+                        self.dense_chunks(csc.offsets(), step.partition, cap, hub_split);
+                    StepChunks::Dense { chunks, visit }
+                }
                 PartKernel::Sparse => {
                     let candidates = discover_candidates(pcsr.part(step.partition), current);
                     let chunks = plan::chunk_candidates(&candidates, csc.offsets(), cap, hub_split);
@@ -904,6 +968,76 @@ impl PartitionedExec {
     }
 }
 
+/// Derives one partition's dense-kernel destination **visit order** from
+/// its COO layout: destinations in first-appearance order of the
+/// layout-sorted edge array (so a Hilbert partition's pull scan follows
+/// the same space-filling curve its COO scan does), with zero-in-degree
+/// destinations appended ascending so every range destination is visited
+/// exactly once. Returns `None` when the derived order is plain ascending
+/// — always the case for [`EdgeOrder::Destination`] — so the common path
+/// keeps the allocation-free range scan.
+fn visit_order_for(store: &GraphStore, view: &PartitionView) -> Option<Arc<Vec<VertexId>>> {
+    let range = &view.dst_range;
+    if view.layout == EdgeOrder::Destination || range.is_empty() || view.num_edges == 0 {
+        return None;
+    }
+    let len = range.len();
+    let mut seen = vec![false; len];
+    let mut order: Vec<VertexId> = Vec::with_capacity(len);
+    for &v in store.coo().part_dsts(view.index) {
+        let i = (v - range.start) as usize;
+        if !seen[i] {
+            seen[i] = true;
+            order.push(v);
+        }
+    }
+    for (i, taken) in seen.iter().enumerate() {
+        if !taken {
+            order.push(range.start + i as VertexId);
+        }
+    }
+    debug_assert_eq!(order.len(), len);
+    if order.windows(2).all(|w| w[0] < w[1]) {
+        None
+    } else {
+        Some(Arc::new(order))
+    }
+}
+
+/// Buckets one partition's visit order by the non-sub chunks of its dense
+/// decomposition: each chunk's slot receives exactly the destinations of
+/// its span, in partition visit order. Split-hub destinations are skipped
+/// (a hub's scan is defined by its sub-chunk spans, not a visit list), so
+/// sub-chunk slots stay empty.
+fn bucket_visit_order(chunks: &[plan::Chunk], order: &[VertexId]) -> Vec<Vec<VertexId>> {
+    let spans: Vec<(VertexId, VertexId, usize)> = chunks
+        .iter()
+        .enumerate()
+        .filter(|(_, c)| c.sub.is_none())
+        .map(|(i, c)| (c.span.start as VertexId, c.span.end as VertexId, i))
+        .collect();
+    let mut visit: Vec<Vec<VertexId>> = vec![Vec::new(); chunks.len()];
+    for &v in order {
+        let slot = spans.binary_search_by(|&(s, e, _)| {
+            if v < s {
+                std::cmp::Ordering::Greater
+            } else if v >= e {
+                std::cmp::Ordering::Less
+            } else {
+                std::cmp::Ordering::Equal
+            }
+        });
+        if let Ok(k) = slot {
+            visit[spans[k].2].push(v);
+        }
+    }
+    debug_assert!(chunks
+        .iter()
+        .zip(&visit)
+        .all(|(c, l)| c.sub.is_some() || l.len() == c.span.len()));
+    visit
+}
+
 /// The shared output of [`PartitionedExec::prepare`]: the plan, the
 /// (possibly densified) frontier view's backing bitmap, the per-step chunk
 /// decompositions, and the flattened deterministic task list.
@@ -925,8 +1059,12 @@ struct PreparedEdgeMap {
 enum StepChunks {
     /// Dense kernel: CSC-offset-balanced destination sub-ranges, shared
     /// with the executor's per-partition memo (see
-    /// [`PartitionedExec::dense_chunks`]).
-    Dense(Arc<Vec<plan::Chunk>>),
+    /// [`PartitionedExec::dense_chunks`]), plus the layout-derived
+    /// per-chunk visit lists when the partition's order is not ascending.
+    Dense {
+        chunks: Arc<Vec<plan::Chunk>>,
+        visit: Option<Arc<Vec<Vec<VertexId>>>>,
+    },
     /// Sparse kernel: the partition's sorted candidate list and the
     /// edge-balanced index slices over it.
     Sparse {
@@ -938,7 +1076,7 @@ enum StepChunks {
 impl StepChunks {
     fn chunks(&self) -> &[plan::Chunk] {
         match self {
-            StepChunks::Dense(c) => c,
+            StepChunks::Dense { chunks, .. } => chunks,
             StepChunks::Sparse { chunks, .. } => chunks,
         }
     }
@@ -957,11 +1095,14 @@ pub trait FrontierSink {
 /// one pool task — plain stores, no atomics.
 #[derive(Debug)]
 pub enum PartSink {
-    /// Sorted list (destinations are pulled in ascending order).
+    /// Sorted list. Kernels may push in any visit order (the dense kernel
+    /// follows its partition's layout-derived permutation);
+    /// [`into_output`](Self::into_output) sorts, which is `O(k)` for the
+    /// already-ascending sparse-kernel and range-scan pushes.
     Sparse {
         /// The emitting partition's destination range.
         range: std::ops::Range<VertexId>,
-        /// Activated destinations, ascending.
+        /// Activated destinations, in visit order until finished.
         list: Vec<VertexId>,
     },
     /// Range-aligned dense segment.
@@ -988,10 +1129,17 @@ impl PartSink {
     /// Finishes the task, yielding the typed output buffer for the merge.
     pub fn into_output(self) -> PartitionOutput {
         match self {
-            PartSink::Sparse { range, list } => PartitionOutput {
-                range,
-                data: PartitionOutputData::Sparse(list),
-            },
+            PartSink::Sparse { range, mut list } => {
+                // The merge contract wants ascending lists; restore it
+                // here so a permuted dense visit order stays invisible
+                // downstream (pattern-defeating quicksort makes this a
+                // single detection pass when the pushes were ascending).
+                list.sort_unstable();
+                PartitionOutput {
+                    range,
+                    data: PartitionOutputData::Sparse(list),
+                }
+            }
             PartSink::Dense { segment } => {
                 let r = segment.range();
                 PartitionOutput {
@@ -1009,7 +1157,6 @@ impl FrontierSink for PartSink {
         match self {
             PartSink::Sparse { list, range } => {
                 debug_assert!(range.contains(&v));
-                debug_assert!(list.last().is_none_or(|&last| last < v));
                 list.push(v);
             }
             PartSink::Dense { segment } => segment.set(v as usize),

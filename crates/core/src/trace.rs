@@ -541,7 +541,10 @@ use crate::plan::{kernel_from_label, kernel_label, OutputRepr};
 /// the line schema; [`RoundTrace::from_jsonl`] refuses other versions.
 /// Version 2 added the fused-traversal fields: optional per-lane digests
 /// (`lanes`) and the `fused_lanes` / `lane_union_words` sched counters.
-pub const TRACE_FORMAT_VERSION: u64 = 2;
+/// Version 3 added the layout fields: the header's `layout` policy label
+/// and each partitioned step's effective edge-layout label (`l`), so
+/// replay pins the layout advisor's per-partition decisions.
+pub const TRACE_FORMAT_VERSION: u64 = 3;
 
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
@@ -624,6 +627,11 @@ pub struct TraceHeader {
     pub chunk: String,
     /// Forced-kernel label: `none`, `csr_a`, `csc_na`, `coo_a`, `coo_na`.
     pub force: String,
+    /// Layout-policy label ([`LayoutPolicy::label`]
+    /// (crate::config::LayoutPolicy::label)): `fixed:<order>` or
+    /// `advised:<rate>`. Step layouts are compared only between traces
+    /// recorded under the same policy label (see [`first_divergence`]).
+    pub layout: String,
     /// True when the run used the fault-injection operator
     /// ([`ThreadVaryingMinLabel`]).
     pub fault: bool,
@@ -663,6 +671,7 @@ impl TraceHeader {
                 Some(ForcedKernel::CooNoAtomic) => "coo_na",
             }
             .to_string(),
+            layout: config.layout.label(),
             fault,
         }
     }
@@ -678,6 +687,8 @@ pub struct StepRecord {
     pub kernel: PartKernel,
     /// Locally selected output representation.
     pub output: OutputRepr,
+    /// The partition's effective edge layout (fixed or advisor-chosen).
+    pub layout: EdgeOrder,
 }
 
 /// The planned kernel choice(s) of one recorded round — a contract field:
@@ -849,6 +860,8 @@ impl RoundTrace {
         push_json_str(&mut out, &h.chunk);
         out.push_str(",\"force\":");
         push_json_str(&mut out, &h.force);
+        out.push_str(",\"layout\":");
+        push_json_str(&mut out, &h.layout);
         out.push_str(&format!(",\"fault\":{}}}\n", h.fault));
         for r in &self.rounds {
             out.push_str(&format!(
@@ -871,10 +884,11 @@ impl RoundTrace {
                             out.push(',');
                         }
                         out.push_str(&format!(
-                            "{{\"p\":{},\"k\":\"{}\",\"o\":\"{}\"}}",
+                            "{{\"p\":{},\"k\":\"{}\",\"o\":\"{}\",\"l\":\"{}\"}}",
                             s.partition,
                             kernel_label(s.kernel),
-                            s.output.label()
+                            s.output.label(),
+                            s.layout.label()
                         ));
                     }
                     out.push_str("]}");
@@ -939,6 +953,7 @@ impl RoundTrace {
             output_mode: field_str(&head, "output_mode", ln)?,
             chunk: field_str(&head, "chunk", ln)?,
             force: field_str(&head, "force", ln)?,
+            layout: field_str(&head, "layout", ln)?,
             fault: head
                 .get("fault")
                 .and_then(Json::as_bool)
@@ -958,54 +973,60 @@ impl RoundTrace {
             let kobj = v
                 .get("kernel")
                 .ok_or_else(|| format!("line {}: missing field `kernel`", ln + 1))?;
-            let kernel =
-                match kobj.get("kind").and_then(Json::as_str) {
-                    Some("monolithic") => {
-                        let label = kobj
-                            .get("edge_kind")
-                            .and_then(Json::as_str)
-                            .ok_or_else(|| format!("line {}: missing `edge_kind`", ln + 1))?;
-                        RoundKernel::Monolithic(edge_kind_from_label(label).ok_or_else(|| {
+            let kernel = match kobj.get("kind").and_then(Json::as_str) {
+                Some("monolithic") => {
+                    let label = kobj
+                        .get("edge_kind")
+                        .and_then(Json::as_str)
+                        .ok_or_else(|| format!("line {}: missing `edge_kind`", ln + 1))?;
+                    RoundKernel::Monolithic(
+                        edge_kind_from_label(label).ok_or_else(|| {
                             format!("line {}: unknown edge_kind `{label}`", ln + 1)
-                        })?)
-                    }
-                    Some("forced") => RoundKernel::Forced,
-                    Some("partitioned") => {
-                        let steps = kobj
-                            .get("steps")
-                            .and_then(Json::as_arr)
-                            .ok_or_else(|| format!("line {}: missing `steps`", ln + 1))?;
-                        let mut recs = Vec::with_capacity(steps.len());
-                        for s in steps {
-                            let partition = s
-                                .get("p")
-                                .and_then(Json::as_u64)
-                                .ok_or_else(|| format!("line {}: bad step partition", ln + 1))?;
-                            let k = s
-                                .get("k")
-                                .and_then(Json::as_str)
-                                .and_then(kernel_from_label);
-                            let o = s
-                                .get("o")
-                                .and_then(Json::as_str)
-                                .and_then(OutputRepr::from_label);
-                            match (k, o) {
-                                (Some(kernel), Some(output)) => recs.push(StepRecord {
-                                    partition,
-                                    kernel,
-                                    output,
-                                }),
-                                _ => {
-                                    return Err(format!("line {}: bad step labels", ln + 1));
-                                }
+                        })?,
+                    )
+                }
+                Some("forced") => RoundKernel::Forced,
+                Some("partitioned") => {
+                    let steps = kobj
+                        .get("steps")
+                        .and_then(Json::as_arr)
+                        .ok_or_else(|| format!("line {}: missing `steps`", ln + 1))?;
+                    let mut recs = Vec::with_capacity(steps.len());
+                    for s in steps {
+                        let partition = s
+                            .get("p")
+                            .and_then(Json::as_u64)
+                            .ok_or_else(|| format!("line {}: bad step partition", ln + 1))?;
+                        let k = s
+                            .get("k")
+                            .and_then(Json::as_str)
+                            .and_then(kernel_from_label);
+                        let o = s
+                            .get("o")
+                            .and_then(Json::as_str)
+                            .and_then(OutputRepr::from_label);
+                        let l = s
+                            .get("l")
+                            .and_then(Json::as_str)
+                            .and_then(EdgeOrder::from_label);
+                        match (k, o, l) {
+                            (Some(kernel), Some(output), Some(layout)) => recs.push(StepRecord {
+                                partition,
+                                kernel,
+                                output,
+                                layout,
+                            }),
+                            _ => {
+                                return Err(format!("line {}: bad step labels", ln + 1));
                             }
                         }
-                        RoundKernel::Partitioned(recs)
                     }
-                    other => {
-                        return Err(format!("line {}: unknown kernel kind {other:?}", ln + 1));
-                    }
-                };
+                    RoundKernel::Partitioned(recs)
+                }
+                other => {
+                    return Err(format!("line {}: unknown kernel kind {other:?}", ln + 1));
+                }
+            };
             let lanes = match v.get("lanes") {
                 None => None,
                 Some(arr) => {
@@ -1328,6 +1349,13 @@ pub fn plan_comparable(a: &TraceHeader, b: &TraceHeader) -> bool {
 /// rounds than the recording diverges at the first missing round.
 pub fn first_divergence(recorded: &RoundTrace, replayed: &RoundTrace) -> Option<Divergence> {
     let plans = plan_comparable(&recorded.header, &replayed.header);
+    // Step layouts are a deterministic function of the layout policy (a
+    // fixed policy pins them outright; the advisor is deterministic for a
+    // given graph and sample rate), so they are contract fields exactly
+    // when both runs declared the same policy. Traces recorded under
+    // *different* policies stay comparable on everything else — that is
+    // the layout-differential suite's whole point.
+    let layouts = plans && recorded.header.layout == replayed.header.layout;
     let common = recorded.rounds.len().min(replayed.rounds.len());
     for i in 0..common {
         let a = &recorded.rounds[i];
@@ -1371,6 +1399,15 @@ pub fn first_divergence(recorded: &RoundTrace, replayed: &RoundTrace) -> Option<
                                 field: "output".to_string(),
                                 expected: sa.output.label().to_string(),
                                 got: sb.output.label().to_string(),
+                            });
+                        }
+                        if layouts && sa.layout != sb.layout {
+                            return Some(Divergence {
+                                round,
+                                partition: Some(sa.partition),
+                                field: "layout".to_string(),
+                                expected: sa.layout.label().to_string(),
+                                got: sb.layout.label().to_string(),
                             });
                         }
                     }
@@ -1875,11 +1912,13 @@ mod replay_tests {
                             partition: 0,
                             kernel: PartKernel::Dense,
                             output: OutputRepr::Dense,
+                            layout: EdgeOrder::Hilbert,
                         },
                         StepRecord {
                             partition: 3,
                             kernel: PartKernel::Sparse,
                             output: OutputRepr::Sparse,
+                            layout: EdgeOrder::Source,
                         },
                     ]),
                     lanes: Some(vec![0x0123_4567_89ab_cdef, 0xfedc_ba98_7654_3210]),
@@ -1927,10 +1966,10 @@ mod replay_tests {
     fn jsonl_rejects_other_versions_and_garbage() {
         let text = sample_trace().to_jsonl();
         assert!(
-            text.contains("\"version\":2"),
+            text.contains("\"version\":3"),
             "fixture must carry the current format version"
         );
-        let bumped = text.replacen("\"version\":2", "\"version\":999", 1);
+        let bumped = text.replacen("\"version\":3", "\"version\":999", 1);
         let err = RoundTrace::from_jsonl(&bumped).unwrap_err();
         assert!(err.contains("version 999"), "{err}");
         assert!(RoundTrace::from_jsonl("").is_err());

@@ -96,14 +96,26 @@ pub struct PartitionedCoo {
     coo: Coo,
     part_offsets: Vec<EdgeId>,
     set: PartitionSet,
-    order: EdgeOrder,
+    orders: Vec<EdgeOrder>,
 }
 
 impl PartitionedCoo {
     /// Buckets `el`'s edges by home partition under `set`, sorting each
     /// partition's edges by `order`.
     pub fn new(el: &EdgeList, set: &PartitionSet, order: EdgeOrder) -> Self {
+        let orders = vec![order; set.num_partitions()];
+        Self::with_orders(el, set, &orders)
+    }
+
+    /// Buckets `el`'s edges by home partition under `set`, sorting each
+    /// partition's edges by **its own** order — the layout-advisor entry
+    /// point, where `orders[p]` is the advisor's per-partition pick.
+    ///
+    /// # Panics
+    /// Panics when `orders.len() != set.num_partitions()`.
+    pub fn with_orders(el: &EdgeList, set: &PartitionSet, orders: &[EdgeOrder]) -> Self {
         let p = set.num_partitions();
+        assert_eq!(orders.len(), p, "one edge order per partition");
         let n = el.num_vertices();
         let srcs = el.srcs();
         let dsts = el.dsts();
@@ -128,7 +140,7 @@ impl PartitionedCoo {
         // Sort within each partition.
         for part in 0..p {
             let range = part_offsets[part]..part_offsets[part + 1];
-            reorder::sort_indices(&mut idx[range], srcs, dsts, n, order);
+            reorder::sort_indices(&mut idx[range], srcs, dsts, n, orders[part]);
         }
 
         let coo = Coo {
@@ -141,7 +153,7 @@ impl PartitionedCoo {
             coo,
             part_offsets,
             set: set.clone(),
-            order,
+            orders: orders.to_vec(),
         }
     }
 
@@ -205,10 +217,17 @@ impl PartitionedCoo {
         &self.set
     }
 
-    /// The within-partition edge order.
+    /// The edge order of partition `p` (uniform under [`Self::new`],
+    /// per-partition under [`Self::with_orders`]).
     #[inline]
-    pub fn order(&self) -> EdgeOrder {
-        self.order
+    pub fn part_order(&self, p: usize) -> EdgeOrder {
+        self.orders[p]
+    }
+
+    /// All per-partition edge orders.
+    #[inline]
+    pub fn part_orders(&self) -> &[EdgeOrder] {
+        &self.orders
     }
 
     /// Heap bytes consumed (measured). The per-partition offset table adds
@@ -338,6 +357,40 @@ mod tests {
                 // Weight equals destination id by construction.
                 assert_eq!(w[i], dsts[i] as f32);
             }
+        }
+    }
+
+    #[test]
+    fn per_partition_orders_respected() {
+        let el = figure1_graph();
+        let set = PartitionSet::edge_balanced(&el.in_degrees(), 2, PartitionBy::Destination);
+        let mixed =
+            PartitionedCoo::with_orders(&el, &set, &[EdgeOrder::Source, EdgeOrder::Destination]);
+        mixed.validate().unwrap();
+        assert_eq!(mixed.part_order(0), EdgeOrder::Source);
+        assert_eq!(mixed.part_order(1), EdgeOrder::Destination);
+        let s = mixed.part_srcs(0);
+        assert!(s.windows(2).all(|w| w[0] <= w[1]), "{s:?}");
+        let d = mixed.part_dsts(1);
+        assert!(d.windows(2).all(|w| w[0] <= w[1]), "{d:?}");
+        // Same edge multiset per partition as a uniform build.
+        let uniform = PartitionedCoo::new(&el, &set, EdgeOrder::Hilbert);
+        for p in 0..2 {
+            let mut a: Vec<(u32, u32)> = mixed
+                .part_srcs(p)
+                .iter()
+                .zip(mixed.part_dsts(p))
+                .map(|(&u, &v)| (u, v))
+                .collect();
+            let mut b: Vec<(u32, u32)> = uniform
+                .part_srcs(p)
+                .iter()
+                .zip(uniform.part_dsts(p))
+                .map(|(&u, &v)| (u, v))
+                .collect();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "partition {p}");
         }
     }
 

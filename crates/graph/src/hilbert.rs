@@ -165,3 +165,87 @@ mod tests {
         }
     }
 }
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use proptest::strategy::Just;
+
+    /// Curve-visit index of the top-level quadrant holding `(x, y)`: the
+    /// first term the encoder adds is `(side/2)² · ((3·rx) ^ ry)`, so the
+    /// quadrant index in visit order is `(3·rx) ^ ry`.
+    fn top_quadrant(order: u32, x: u64, y: u64) -> u64 {
+        let half = 1u64 << (order - 1);
+        let rx = u64::from(x & half > 0);
+        let ry = u64::from(y & half > 0);
+        (3 * rx) ^ ry
+    }
+
+    /// Strategy: a random curve order and a point on its grid.
+    fn arb_point(min_order: u32) -> impl Strategy<Value = (u32, u64, u64)> {
+        (min_order..=12u32).prop_flat_map(|o| {
+            let side = 1u64 << o;
+            (Just(o), 0..side, 0..side)
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        #[test]
+        fn roundtrip_random_orders(p in arb_point(1)) {
+            let (order, x, y) = p;
+            let d = xy_to_d(order, x, y);
+            prop_assert!(d < (1u64 << order) * (1u64 << order));
+            prop_assert_eq!(d_to_xy(order, d), (x, y));
+        }
+
+        #[test]
+        fn roundtrip_max_order(x in 0u64..=u32::MAX as u64, y in 0u64..=u32::MAX as u64) {
+            let d = xy_to_d(MAX_ORDER, x, y);
+            prop_assert_eq!(d_to_xy(MAX_ORDER, d), (x, y));
+        }
+
+        #[test]
+        fn distance_roundtrip(
+            od in (1u32..=12).prop_flat_map(|o| (Just(o), 0..(1u64 << o) * (1u64 << o))),
+        ) {
+            let (order, d) = od;
+            let (x, y) = d_to_xy(order, d);
+            prop_assert_eq!(xy_to_d(order, x, y), d);
+        }
+
+        /// Every point of top-level quadrant q (in curve-visit order) keys
+        /// into the contiguous quarter [q·side²/4, (q+1)·side²/4):
+        /// edge_key is monotone in quadrant visit order, which is what
+        /// makes a Hilbert-sorted edge slice recursively clustered.
+        #[test]
+        fn quadrants_are_contiguous_key_ranges(p in arb_point(2)) {
+            let (order, x, y) = p;
+            let quarter = (1u64 << order) * (1u64 << order) / 4;
+            let q = top_quadrant(order, x, y);
+            let key = edge_key(order, x as u32, y as u32);
+            prop_assert!(q * quarter <= key && key < (q + 1) * quarter);
+        }
+
+        /// Any point of an earlier-visited quadrant precedes every point of
+        /// a later-visited one.
+        #[test]
+        fn keys_ordered_across_quadrants(
+            pq in (2u32..=12).prop_flat_map(|o| {
+                let side = 1u64 << o;
+                ((Just(o), 0..side, 0..side), (0..side, 0..side))
+            }),
+        ) {
+            let ((order, x0, y0), (x1, y1)) = pq;
+            let qa = top_quadrant(order, x0, y0);
+            let qb = top_quadrant(order, x1, y1);
+            if qa < qb {
+                prop_assert!(
+                    edge_key(order, x0 as u32, y0 as u32) < edge_key(order, x1 as u32, y1 as u32)
+                );
+            }
+        }
+    }
+}

@@ -41,6 +41,20 @@ impl EdgeOrder {
             EdgeOrder::Destination,
         ]
     }
+
+    /// Parses a label back into an order. Accepts the exact [`label`]
+    /// strings (trace round-trip) plus the lowercase CLI spellings
+    /// `source` / `dest` / `destination` / `hilbert`.
+    ///
+    /// [`label`]: EdgeOrder::label
+    pub fn from_label(s: &str) -> Option<EdgeOrder> {
+        match s {
+            "Source" | "source" => Some(EdgeOrder::Source),
+            "Destination" | "destination" | "dest" => Some(EdgeOrder::Destination),
+            "Hilbert" | "hilbert" => Some(EdgeOrder::Hilbert),
+            _ => None,
+        }
+    }
 }
 
 /// Sorts edge *indices* `idx` (pointing into parallel `srcs`/`dsts` arrays)
@@ -110,5 +124,16 @@ mod tests {
             EdgeOrder::all().map(|o| o.label()),
             ["Source", "Hilbert", "Destination"]
         );
+    }
+
+    #[test]
+    fn labels_round_trip() {
+        for o in EdgeOrder::all() {
+            assert_eq!(EdgeOrder::from_label(o.label()), Some(o));
+        }
+        assert_eq!(EdgeOrder::from_label("dest"), Some(EdgeOrder::Destination));
+        assert_eq!(EdgeOrder::from_label("hilbert"), Some(EdgeOrder::Hilbert));
+        assert_eq!(EdgeOrder::from_label("source"), Some(EdgeOrder::Source));
+        assert_eq!(EdgeOrder::from_label("zorder"), None);
     }
 }

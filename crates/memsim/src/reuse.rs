@@ -249,6 +249,62 @@ mod tests {
         assert!((curve.last().unwrap().1 - expect_cold).abs() < 1e-12);
     }
 
+    mod proptests {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// Independent restatement of the log2 bucket upper bound: distance
+        /// 0 sits alone in bucket 0; a distance in `[2^(k-1), 2^k - 1]`
+        /// reports upper bound `2^k - 1`.
+        fn bucket_upper(d: u64) -> u64 {
+            if d == 0 {
+                0
+            } else {
+                (1u64 << (64 - d.leading_zeros())) - 1
+            }
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(128))]
+
+            /// `hit_ratio` (histogram fast path) must equal the oracle
+            /// computed from `naive_reuse_distances` (LRU stack walk):
+            /// exactly the non-cold references whose bucket upper bound
+            /// fits below the capacity, never a reference whose *true*
+            /// distance does not fit.
+            #[test]
+            fn hit_ratio_matches_naive_oracle(
+                tc in (1u64..40).prop_flat_map(|u| {
+                    (proptest::collection::vec(0..u, 0..300), 0u64..80)
+                }),
+            ) {
+                let (lines, capacity) = tc;
+                let t = trace_of(&lines);
+                let naive = naive_reuse_distances(&t);
+                let p = ReuseProfile::from_trace(&t);
+
+                let finite: Vec<u64> = naive.iter().copied().flatten().collect();
+                let oracle_hits = finite.iter().filter(|&&d| bucket_upper(d) < capacity).count();
+                let expect = if lines.is_empty() {
+                    0.0
+                } else {
+                    oracle_hits as f64 / lines.len() as f64
+                };
+                let got = p.hit_ratio(capacity);
+                prop_assert!((got - expect).abs() < 1e-12, "got {got}, expected {expect}");
+
+                // The bucketed ratio is conservative: it never counts a
+                // reference an LRU cache of this capacity would miss.
+                let true_hits = finite.iter().filter(|&&d| d < capacity).count();
+                prop_assert!(oracle_hits <= true_hits);
+                prop_assert_eq!(
+                    p.cold_references,
+                    naive.iter().filter(|d| d.is_none()).count() as u64
+                );
+            }
+        }
+    }
+
     #[test]
     fn fenwick_range_queries() {
         let mut f = Fenwick::new(10);

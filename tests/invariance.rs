@@ -47,10 +47,7 @@ fn edge_order_invariance() {
         EdgeOrder::Destination,
         EdgeOrder::Hilbert,
     ] {
-        let cfg = Config {
-            edge_order: order,
-            ..base_config()
-        };
+        let cfg = base_config().with_edge_order(order);
         let got = algorithms::pagerank(&GraphGrind2::new(&el, cfg), 10);
         // Within a partition, addition order changes -> tiny fp wiggle.
         validate::assert_close_f64(&got, &reference, 1e-9, 1e-14);

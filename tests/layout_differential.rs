@@ -1,0 +1,199 @@
+//! Differential harness for the per-partition COO edge layout.
+//!
+//! The layout policy — a forced uniform [`EdgeOrder`] or the memsim-guided
+//! advisor's per-partition mix — only permutes each partition's edge
+//! storage order and, through it, the dense kernels' destination *visit*
+//! order. Every destination's in-edge fold still walks its CSC slice in
+//! CSC order, and the partitioned executor already runs destinations in
+//! arbitrary temporal order under work stealing, so the promise is that
+//! **the layout policy is invisible in results**: BFS, PR, CC and
+//! Bellman-Ford outputs are bit-identical (PR exactly, not approximately)
+//! across every policy × partition count × thread count, and the recorded
+//! round traces — frontier digests included — agree round for round.
+//!
+//! The thread list honours `GG_THREADS` (the CI layout-advisor leg runs a
+//! 1-thread and a 4-thread pass of this suite).
+
+use graphgrind::algorithms;
+use graphgrind::bench::replay::{record_algorithm, replay_algorithms};
+use graphgrind::bench::runner::Workload;
+use graphgrind::core::config::{threads_from_env, Config, ExecutorKind, LayoutPolicy};
+use graphgrind::core::engine::GraphGrind2;
+use graphgrind::core::trace::first_divergence;
+use graphgrind::graph::edge_list::EdgeList;
+use graphgrind::graph::generators::{self, RmatParams};
+use graphgrind::graph::ops::symmetrize;
+use graphgrind::graph::reorder::EdgeOrder;
+use graphgrind::runtime::numa::NumaTopology;
+
+const PARTITIONS: [usize; 3] = [1, 2, 7];
+
+/// Every layout policy the engine accepts: the three forced uniform
+/// orders plus the advisor at a sample rate low enough to actually skip
+/// edges on these graphs.
+fn policies() -> [LayoutPolicy; 4] {
+    [
+        LayoutPolicy::Fixed(EdgeOrder::Source),
+        LayoutPolicy::Fixed(EdgeOrder::Hilbert),
+        LayoutPolicy::Fixed(EdgeOrder::Destination),
+        LayoutPolicy::Advised { sample_rate: 0.5 },
+    ]
+}
+
+/// The thread sweep: `GG_THREADS` (the CI thread-differential leg) pins a
+/// single count, otherwise 1, 2 and 4.
+fn thread_counts() -> Vec<usize> {
+    match threads_from_env() {
+        Some(t) => vec![t],
+        None => vec![1, 2, 4],
+    }
+}
+
+/// Partitioned-executor configuration with exact partition counts (UMA
+/// topology: no rounding) under an explicit layout policy.
+fn config(partitions: usize, threads: usize, layout: LayoutPolicy) -> Config {
+    Config {
+        threads,
+        num_partitions: partitions,
+        numa: NumaTopology::new(1),
+        executor: ExecutorKind::Partitioned,
+        layout,
+        ..Config::default()
+    }
+}
+
+/// The sequential engine every configuration must match: one partition on
+/// one thread under the default layout.
+fn sequential(el: &EdgeList) -> GraphGrind2 {
+    GraphGrind2::new(el, config(1, 1, LayoutPolicy::default()))
+}
+
+/// Deterministic graphs covering the regimes the layout must not disturb:
+/// skewed (dense rounds, hub splitting) and a high-diameter grid (sparse
+/// candidate slices).
+fn graphs() -> Vec<(&'static str, EdgeList)> {
+    vec![
+        (
+            "rmat-skewed",
+            generators::rmat(8, 3000, RmatParams::skewed(), 7),
+        ),
+        ("grid-road", generators::grid_road(12, 12, 0.1, 9)),
+    ]
+}
+
+#[test]
+fn bfs_bit_identical_across_layouts() {
+    for (name, el) in graphs() {
+        let seq = algorithms::bfs(&sequential(&el), 0);
+        for layout in policies() {
+            for p in PARTITIONS {
+                for t in thread_counts() {
+                    let got = algorithms::bfs(&GraphGrind2::new(&el, config(p, t, layout)), 0);
+                    assert_eq!(got.level, seq.level, "{name} layout={layout:?} P={p} T={t}");
+                    assert_eq!(
+                        got.parent, seq.parent,
+                        "{name} layout={layout:?} P={p} T={t}"
+                    );
+                    assert_eq!(
+                        got.rounds, seq.rounds,
+                        "{name} layout={layout:?} P={p} T={t}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn pagerank_bit_identical_across_layouts() {
+    for (name, el) in graphs() {
+        let seq = algorithms::pagerank(&sequential(&el), 10);
+        for layout in policies() {
+            for p in PARTITIONS {
+                for t in thread_counts() {
+                    let got =
+                        algorithms::pagerank(&GraphGrind2::new(&el, config(p, t, layout)), 10);
+                    // The layout permutes destination *visit* order, but
+                    // each destination's f64 fold still walks its CSC
+                    // slice in CSC order — equality is exact.
+                    assert_eq!(got, seq, "{name} layout={layout:?} P={p} T={t}");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn cc_labels_identical_across_layouts() {
+    for (name, el) in graphs() {
+        let el = symmetrize(&el);
+        let want = algorithms::reference::cc_labels(&el);
+        assert_eq!(algorithms::cc(&sequential(&el)).label, want, "{name}/seq");
+        for layout in policies() {
+            for p in PARTITIONS {
+                for t in thread_counts() {
+                    let got = algorithms::cc(&GraphGrind2::new(&el, config(p, t, layout)));
+                    assert_eq!(got.label, want, "{name} layout={layout:?} P={p} T={t}");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn bellman_ford_identical_across_layouts() {
+    for (name, el) in graphs() {
+        let mut el = el;
+        graphgrind::graph::weights::attach_integer(&mut el, 12, 0xBF);
+        let seq = algorithms::bellman_ford(&sequential(&el), 0);
+        for layout in policies() {
+            for p in PARTITIONS {
+                for t in thread_counts() {
+                    let got =
+                        algorithms::bellman_ford(&GraphGrind2::new(&el, config(p, t, layout)), 0);
+                    assert_eq!(got.dist, seq.dist, "{name} layout={layout:?} P={p} T={t}");
+                }
+            }
+        }
+    }
+}
+
+/// The determinism contract covers layout decisions: traces recorded under
+/// *different* layout policies still agree on every frontier digest, every
+/// kernel choice and every output representation, round for round —
+/// [`first_divergence`] only compares the per-step layout field when both
+/// headers declare the same policy, so a cross-policy diff must come back
+/// clean.
+#[test]
+fn round_traces_agree_across_layouts() {
+    let el = generators::rmat(8, 3000, RmatParams::skewed(), 7);
+    let threads = threads_from_env().unwrap_or(2);
+    for algo in replay_algorithms() {
+        let w = Workload::prepare(&el, algo);
+        let reference = record_algorithm(&w, &config(4, threads, LayoutPolicy::default()), "rmat");
+        for layout in policies() {
+            let trace = record_algorithm(&w, &config(4, threads, layout), "rmat");
+            assert_eq!(trace.header.layout, layout.label());
+            if let Some(d) = first_divergence(&reference, &trace) {
+                panic!(
+                    "{:?} under {layout:?} diverged from the default layout: {d:?}",
+                    algo
+                );
+            }
+        }
+    }
+}
+
+/// Same-policy recordings are fully comparable, per-step layouts included:
+/// the advisor is deterministic, so two advised recordings must agree on
+/// every chosen per-partition layout.
+#[test]
+fn advised_traces_are_reproducible() {
+    let el = generators::rmat(8, 3000, RmatParams::skewed(), 7);
+    let layout = LayoutPolicy::Advised { sample_rate: 0.5 };
+    let w = Workload::prepare(&el, graphgrind::algorithms::Algorithm::Pr);
+    let a = record_algorithm(&w, &config(4, 2, layout), "rmat");
+    let b = record_algorithm(&w, &config(4, 2, layout), "rmat");
+    assert_eq!(a.header.layout, layout.label());
+    assert_eq!(first_divergence(&a, &b), None);
+}
