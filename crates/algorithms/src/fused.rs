@@ -17,11 +17,25 @@
 //! * [`fused_ppr`] — K personalized-PageRank queries sharing one residual
 //!   sweep per round ([`MultiSourceReduce`] with quantum-folded f64
 //!   accumulation).
+//!
+//! ## Stepping runners
+//!
+//! The drain loops above are thin wrappers over [`FusedBfsRun`] /
+//! [`FusedPprRun`]: resumable runners that advance one fused round per
+//! `step()` and track **per-lane early retirement**
+//! ([`LaneRetirement`]) — a lane whose frontier empties quiesces and its
+//! per-query result is final from that round on, while sibling lanes keep
+//! running. The serving layer steps runners directly so it can return a
+//! retired lane's result mid-batch and slice a long batch into
+//! capped-round continuations; because retirement is driven by
+//! [`FusedFrontier::live_lanes`] (a pure function of the frontier) and a
+//! retired lane holds no frontier bits, stepping in slices of any size
+//! yields bit-identical results to draining in one go.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use gg_core::engine::GraphGrind2;
-use gg_core::fused::{lane_mask, MultiSourceOp, MultiSourceReduce};
+use gg_core::fused::{lane_mask, FusedFrontier, LaneRetirement, MultiSourceOp, MultiSourceReduce};
 use gg_core::Engine;
 use gg_graph::types::VertexId;
 use gg_runtime::atomics::AtomicF64;
@@ -69,54 +83,159 @@ impl MultiSourceOp for FusedVisitOp {
     }
 }
 
+/// A resumable fused BFS/reachability batch: one fused edge-map round per
+/// [`step`](Self::step), with per-lane early retirement.
+///
+/// Constructed with or without distance tracking
+/// ([`new`](Self::new) / [`reach_only`](Self::reach_only) — a
+/// reachability batch over K lanes would otherwise pay `K · |V| · 4` bytes
+/// of distances it never reads). Stepping to completion is exactly the
+/// [`fused_bfs`] loop; a retired lane's result never changes after its
+/// retirement round because the lane has no frontier bits left to expand.
+pub struct FusedBfsRun<'a> {
+    engine: &'a GraphGrind2,
+    op: FusedVisitOp,
+    frontier: FusedFrontier,
+    /// `dist[k][v]`; empty when constructed reach-only.
+    dist: Vec<Vec<u32>>,
+    depth: u32,
+    retirement: LaneRetirement,
+}
+
+impl<'a> FusedBfsRun<'a> {
+    /// A distance-tracking batch: lane `k` computes BFS levels from
+    /// `sources[k]` (K ≤ 64; duplicate sources are fine, the lanes just
+    /// share frontier bits).
+    pub fn new(engine: &'a GraphGrind2, sources: &[VertexId]) -> Self {
+        let mut run = Self::reach_only(engine, sources);
+        let n = engine.num_vertices();
+        run.dist = vec![vec![u32::MAX; n]; sources.len()];
+        for (k, &s) in sources.iter().enumerate() {
+            run.dist[k][s as usize] = 0;
+        }
+        run
+    }
+
+    /// A visited-only batch for reachability queries: no per-lane
+    /// distance vectors are allocated.
+    pub fn reach_only(engine: &'a GraphGrind2, sources: &[VertexId]) -> Self {
+        let n = engine.num_vertices();
+        let op = FusedVisitOp::new(n, sources);
+        let frontier = engine.fused_frontier(sources);
+        let retirement = LaneRetirement::new(frontier.live_lanes());
+        FusedBfsRun {
+            engine,
+            op,
+            frontier,
+            dist: Vec::new(),
+            depth: 0,
+            retirement,
+        }
+    }
+
+    /// Advances the batch one fused round; returns the lanes that retired
+    /// this round (empty frontier ⇒ their results are final). No-op on a
+    /// finished batch.
+    pub fn step(&mut self) -> u64 {
+        if self.is_done() {
+            return 0;
+        }
+        let next = self.engine.fused_edge_map(&self.frontier, &self.op);
+        self.depth += 1;
+        if !self.dist.is_empty() {
+            let depth = self.depth;
+            let dist = &mut self.dist;
+            next.for_each(|v, m| {
+                let mut lanes = m;
+                while lanes != 0 {
+                    let k = lanes.trailing_zeros() as usize;
+                    lanes &= lanes - 1;
+                    dist[k][v as usize] = depth;
+                }
+            });
+        }
+        let newly = self.retirement.observe(self.depth, next.live_lanes());
+        // Free the retired lanes' bits. A retired lane has no frontier
+        // bits by definition, so this is structurally a no-op on the
+        // surviving rounds — results cannot change.
+        self.frontier = if newly != 0 {
+            next.retain_lanes(self.retirement.active())
+        } else {
+            next
+        };
+        newly
+    }
+
+    /// True when every lane has quiesced.
+    pub fn is_done(&self) -> bool {
+        self.frontier.is_empty()
+    }
+
+    /// The lanes still expanding.
+    pub fn active_lanes(&self) -> u64 {
+        self.retirement.active()
+    }
+
+    /// Fused rounds executed so far.
+    pub fn rounds(&self) -> usize {
+        self.depth as usize
+    }
+
+    /// The round at which lane `k` retired, if it has.
+    pub fn retired_round(&self, k: u32) -> Option<u32> {
+        self.retirement.retired_round(k)
+    }
+
+    /// Lane `k`'s distance vector (distance-tracking batches only).
+    ///
+    /// # Panics
+    /// Panics on a [`reach_only`](Self::reach_only) batch.
+    pub fn dist(&self, k: u32) -> &[u32] {
+        &self.dist[k as usize]
+    }
+
+    /// Per-vertex reachability masks: bit `k` of entry `v` is set iff
+    /// `sources[k]` has reached `v` so far.
+    pub fn reach_masks(&self) -> Vec<u64> {
+        self.op
+            .visited
+            .iter()
+            .map(|w| w.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Finishes a drained distance batch.
+    pub fn into_result(self) -> FusedBfsResult {
+        debug_assert!(self.is_done());
+        FusedBfsResult {
+            dist: self.dist,
+            rounds: self.depth as usize,
+        }
+    }
+}
+
 /// Runs K fused BFS traversals, one per entry of `sources` (K ≤ 64).
 ///
 /// Lane `k` of the result is bit-identical to `bfs(engine, sources[k])`
 /// levels: the fused rounds advance every lane in lockstep and a lane's
 /// distance is the round at which its bit first reaches the vertex.
 pub fn fused_bfs(engine: &GraphGrind2, sources: &[VertexId]) -> FusedBfsResult {
-    let n = engine.num_vertices();
-    let kk = sources.len();
-    let op = FusedVisitOp::new(n, sources);
-
-    let mut dist = vec![vec![u32::MAX; n]; kk];
-    for (k, &s) in sources.iter().enumerate() {
-        dist[k][s as usize] = 0;
+    let mut run = FusedBfsRun::new(engine, sources);
+    while !run.is_done() {
+        run.step();
     }
-
-    let mut frontier = engine.fused_frontier(sources);
-    let mut depth = 0u32;
-    let mut rounds = 0usize;
-    while !frontier.is_empty() {
-        frontier = engine.fused_edge_map(&frontier, &op);
-        depth += 1;
-        rounds += 1;
-        frontier.for_each(|v, m| {
-            let mut lanes = m;
-            while lanes != 0 {
-                let k = lanes.trailing_zeros() as usize;
-                lanes &= lanes - 1;
-                dist[k][v as usize] = depth;
-            }
-        });
-    }
-    FusedBfsResult { dist, rounds }
+    run.into_result()
 }
 
 /// Runs K fused reachability queries; returns one mask per vertex whose
 /// bit `k` is set iff `sources[k]` reaches the vertex (seeds reach
 /// themselves).
 pub fn fused_reachability(engine: &GraphGrind2, sources: &[VertexId]) -> Vec<u64> {
-    let n = engine.num_vertices();
-    let op = FusedVisitOp::new(n, sources);
-    let mut frontier = engine.fused_frontier(sources);
-    while !frontier.is_empty() {
-        frontier = engine.fused_edge_map(&frontier, &op);
+    let mut run = FusedBfsRun::reach_only(engine, sources);
+    while !run.is_done() {
+        run.step();
     }
-    op.visited
-        .iter()
-        .map(|w| w.load(Ordering::Relaxed))
-        .collect()
+    run.reach_masks()
 }
 
 /// Result of a fused K-seed personalized PageRank.
@@ -247,27 +366,99 @@ pub fn fused_ppr(
     eps: f64,
     max_rounds: usize,
 ) -> FusedPprResult {
-    let n = engine.num_vertices();
-    let kk = sources.len();
-    assert!(kk <= 64, "at most 64 fused lanes");
-    let degrees = engine.store().out_degrees();
+    let mut run = FusedPprRun::new(engine, sources, alpha, eps, max_rounds);
+    while !run.is_done() {
+        run.step();
+    }
+    run.into_result()
+}
 
-    let mut p = vec![vec![0.0f64; n]; kk];
-    let r: Vec<AtomicF64> = (0..n * kk).map(|_| AtomicF64::new(0.0)).collect();
-    for (k, &s) in sources.iter().enumerate() {
-        r[s as usize * kk + k].store(1.0);
+/// A resumable fused PPR batch: one residual sweep per
+/// [`step`](Self::step), with per-lane early retirement — the stepping
+/// analogue of [`fused_ppr`], which is a drain loop over this runner.
+///
+/// A lane retires when its residual frontier empties (converged below
+/// `eps`) or, together with every survivor, when the sweep budget
+/// `max_rounds` runs out — the budget exhaustion force-retires the batch
+/// exactly where the drain loop stops, so settled masses are identical.
+pub struct FusedPprRun<'a> {
+    engine: &'a GraphGrind2,
+    degrees: &'a [u32],
+    p: Vec<Vec<f64>>,
+    r: Vec<AtomicF64>,
+    kk: usize,
+    alpha: f64,
+    eps: f64,
+    max_rounds: usize,
+    frontier: FusedFrontier,
+    rounds: usize,
+    retirement: LaneRetirement,
+    push_verts: Vec<VertexId>,
+    push_scaled: Vec<f64>,
+}
+
+impl<'a> FusedPprRun<'a> {
+    /// A K-seed batch (K ≤ 64): lane `k` computes PPR from `sources[k]`
+    /// with teleport `alpha` and threshold `eps`, within a shared budget
+    /// of `max_rounds` sweeps.
+    pub fn new(
+        engine: &'a GraphGrind2,
+        sources: &[VertexId],
+        alpha: f64,
+        eps: f64,
+        max_rounds: usize,
+    ) -> Self {
+        let n = engine.num_vertices();
+        let kk = sources.len();
+        assert!(kk <= 64, "at most 64 fused lanes");
+        let p = vec![vec![0.0f64; n]; kk];
+        let r: Vec<AtomicF64> = (0..n * kk).map(|_| AtomicF64::new(0.0)).collect();
+        for (k, &s) in sources.iter().enumerate() {
+            r[s as usize * kk + k].store(1.0);
+        }
+        let frontier = engine.fused_frontier(sources);
+        let retirement = LaneRetirement::new(frontier.live_lanes());
+        FusedPprRun {
+            engine,
+            degrees: engine.store().out_degrees(),
+            p,
+            r,
+            kk,
+            alpha,
+            eps,
+            max_rounds,
+            frontier,
+            rounds: 0,
+            retirement,
+            push_verts: Vec::new(),
+            push_scaled: Vec::new(),
+        }
     }
 
-    let mut frontier = engine.fused_frontier(sources);
-    let mut rounds = 0usize;
-    let mut push_verts: Vec<VertexId> = Vec::new();
-    let mut push_scaled: Vec<f64> = Vec::new();
-    while !frontier.is_empty() && rounds < max_rounds {
+    /// Advances the batch one residual sweep; returns the lanes that
+    /// retired this round (converged, or force-retired by the exhausted
+    /// sweep budget). No-op on a finished batch.
+    pub fn step(&mut self) -> u64 {
+        if self.is_done() {
+            return 0;
+        }
         // Freeze: settle alpha·r into p, scale the remainder for pushing,
         // and zero the residuals of every active vertex so deposits made
         // this round start from a clean slate.
-        push_verts.clear();
-        push_scaled.clear();
+        self.push_verts.clear();
+        self.push_scaled.clear();
+        let FusedPprRun {
+            degrees,
+            p,
+            r,
+            kk,
+            alpha,
+            push_verts,
+            push_scaled,
+            frontier,
+            ..
+        } = self;
+        let (kk, alpha) = (*kk, *alpha);
         frontier.for_each(|v, m| {
             push_verts.push(v);
             let deg = degrees[v as usize] as f64;
@@ -289,16 +480,65 @@ pub fn fused_ppr(
             }
         });
         let op = FusedPprOp {
-            push_verts: &push_verts,
-            push_scaled: &push_scaled,
-            r: &r,
+            push_verts: &self.push_verts,
+            push_scaled: &self.push_scaled,
+            r: &self.r,
             kk,
-            eps,
+            eps: self.eps,
         };
-        frontier = engine.fused_edge_map_reduce(&frontier, &op);
-        rounds += 1;
+        let next = self.engine.fused_edge_map_reduce(&self.frontier, &op);
+        self.rounds += 1;
+        let mut newly = self
+            .retirement
+            .observe(self.rounds as u32, next.live_lanes());
+        if self.rounds >= self.max_rounds {
+            // Budget exhausted: the drain loop stops here, so every
+            // survivor's settled mass is final — force-retire them.
+            newly |= self.retirement.finish(self.rounds as u32);
+            self.frontier = FusedFrontier::empty(next.universe(), next.num_lanes());
+        } else {
+            self.frontier = if newly != 0 {
+                next.retain_lanes(self.retirement.active())
+            } else {
+                next
+            };
+        }
+        newly
     }
-    FusedPprResult { p, rounds }
+
+    /// True when every lane has retired (converged or out of budget).
+    pub fn is_done(&self) -> bool {
+        self.frontier.is_empty()
+    }
+
+    /// The lanes still sweeping.
+    pub fn active_lanes(&self) -> u64 {
+        self.retirement.active()
+    }
+
+    /// Residual sweeps executed so far.
+    pub fn rounds(&self) -> usize {
+        self.rounds
+    }
+
+    /// The round at which lane `k` retired, if it has.
+    pub fn retired_round(&self, k: u32) -> Option<u32> {
+        self.retirement.retired_round(k)
+    }
+
+    /// Lane `k`'s settled mass vector so far.
+    pub fn mass(&self, k: u32) -> &[f64] {
+        &self.p[k as usize]
+    }
+
+    /// Finishes a drained batch.
+    pub fn into_result(self) -> FusedPprResult {
+        debug_assert!(self.is_done());
+        FusedPprResult {
+            p: self.p,
+            rounds: self.rounds,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -345,6 +585,104 @@ mod tests {
             let solo = fused_ppr(&engine, &[s], 0.15, 1e-4, 50);
             assert_eq!(fused.p[k], solo.p[0], "lane {k} (seed {s})");
         }
+    }
+
+    /// Early retirement must be invisible in the results: lanes with very
+    /// different depths retire at different rounds, yet every lane matches
+    /// its solo run and the retirement round is the round after the
+    /// lane's last expansion.
+    #[test]
+    fn bfs_runner_retires_lanes_at_their_quiescence_round() {
+        // A path 0→1→…→9 plus an isolated vertex: lane depths differ.
+        let edges: Vec<(u32, u32)> = (0..9).map(|v| (v, v + 1)).collect();
+        let el = gg_graph::edge_list::EdgeList::from_edges(11, &edges);
+        let engine = engine_for(&el);
+        // Lane 0: full path (9 rounds of expansion). Lane 1: tail vertex,
+        // nothing to expand. Lane 2: isolated vertex 10.
+        let sources = [0u32, 9, 10];
+        let mut run = FusedBfsRun::new(&engine, &sources);
+        assert_eq!(run.active_lanes(), 0b111);
+        let mut retired_at = [0u32; 3];
+        while !run.is_done() {
+            let newly = run.step();
+            let mut m = newly;
+            while m != 0 {
+                let k = m.trailing_zeros() as usize;
+                m &= m - 1;
+                retired_at[k] = run.rounds() as u32;
+            }
+        }
+        // Lanes 1 and 2 have empty frontiers after round 1; lane 0 after
+        // round 10 (round 10 activates nothing past vertex 9).
+        assert_eq!(retired_at, [10, 1, 1]);
+        for (k, &s) in sources.iter().enumerate() {
+            assert_eq!(run.retired_round(k as u32), Some(retired_at[k]));
+            let solo = bfs(&engine, s);
+            assert_eq!(run.dist(k as u32), &solo.level[..], "lane {k}");
+        }
+        assert_eq!(run.active_lanes(), 0);
+        assert_eq!(run.rounds(), 10);
+    }
+
+    /// Stepping a runner in arbitrary slices (the serving layer's
+    /// capped-round continuations) must be bit-identical to draining it in
+    /// one go — for BFS and PPR alike.
+    #[test]
+    fn stepped_runners_match_drained_runs_exactly() {
+        let el = generators::rmat(8, 2500, generators::RmatParams::skewed(), 5);
+        let engine = engine_for(&el);
+        let sources = [3u32, 42, 42, 100, 7];
+
+        let drained = fused_bfs(&engine, &sources);
+        let mut run = FusedBfsRun::new(&engine, &sources);
+        // Uneven slice sizes: 1, 2, 3, 1, 2, ...
+        let mut slice = 1usize;
+        while !run.is_done() {
+            for _ in 0..slice {
+                run.step();
+            }
+            slice = slice % 3 + 1;
+        }
+        assert_eq!(run.rounds(), drained.rounds);
+        let stepped = run.into_result();
+        assert_eq!(stepped, drained);
+
+        let pdrained = fused_ppr(&engine, &sources, 0.15, 1e-4, 9);
+        let mut prun = FusedPprRun::new(&engine, &sources, 0.15, 1e-4, 9);
+        let mut slice = 2usize;
+        while !prun.is_done() {
+            for _ in 0..slice {
+                prun.step();
+            }
+            slice = slice % 3 + 1;
+        }
+        assert_eq!(prun.rounds(), pdrained.rounds);
+        let pstepped = prun.into_result();
+        assert_eq!(pstepped.p, pdrained.p);
+    }
+
+    /// The PPR budget force-retires survivors exactly where the drain
+    /// loop used to stop.
+    #[test]
+    fn ppr_runner_budget_exhaustion_retires_survivors() {
+        let n = 12usize;
+        let edges: Vec<(u32, u32)> = (0..n as u32).map(|v| (v, (v + 1) % n as u32)).collect();
+        let el = gg_graph::edge_list::EdgeList::from_edges(n, &edges);
+        let engine = engine_for(&el);
+        // eps tiny, budget small: the cycle never converges on its own.
+        let mut run = FusedPprRun::new(&engine, &[0, 5], 0.2, 1e-12, 4);
+        let mut total_retired = 0u64;
+        while !run.is_done() {
+            total_retired |= run.step();
+        }
+        assert_eq!(run.rounds(), 4);
+        assert_eq!(total_retired, 0b11);
+        assert_eq!(run.retired_round(0), Some(4));
+        assert_eq!(run.retired_round(1), Some(4));
+        let budget_limited = run.into_result();
+        let drained = fused_ppr(&engine, &[0, 5], 0.2, 1e-12, 4);
+        assert_eq!(budget_limited.p, drained.p);
+        assert_eq!(budget_limited.rounds, drained.rounds);
     }
 
     #[test]

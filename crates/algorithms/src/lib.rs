@@ -43,7 +43,10 @@ pub use bellman_ford::bellman_ford;
 pub use bfs::bfs;
 pub use bp::{bp, BpParams};
 pub use cc::cc;
-pub use fused::{fused_bfs, fused_ppr, fused_reachability, FusedBfsResult, FusedPprResult};
+pub use fused::{
+    fused_bfs, fused_ppr, fused_reachability, FusedBfsResult, FusedBfsRun, FusedPprResult,
+    FusedPprRun,
+};
 pub use kcore::kcore;
 pub use pr::pagerank;
 pub use prdelta::{pagerank_delta, PrDeltaParams};

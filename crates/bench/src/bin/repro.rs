@@ -9,7 +9,8 @@
 //!
 //! experiments: tab1 tab2 fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10
 //!              atomics heuristic reorder smoke sparse_output load_balance
-//!              chunk_overhead query_fusion layout_advisor record replay all
+//!              chunk_overhead query_fusion serve layout_advisor record
+//!              replay all
 //! ```
 //!
 //! `--scale` multiplies the default graph sizes (DESIGN.md §2); the
@@ -56,6 +57,20 @@
 //! reporting edges traversed and min-of-reps wall-clock for both, checks
 //! every lane's distances against its single-source oracle (exiting
 //! non-zero on any mismatch), and writes `BENCH_query_fusion.json`.
+//!
+//! `serve` is the query-serving bench over the fused engine: a
+//! deterministic open-loop arrival trace (`--queries N` BFS-distance /
+//! reachability / PPR point queries) runs through per-algorithm admission
+//! queues dispatching ≤ 64-lane fused batches (age-vs-occupancy policy),
+//! compared against a one-traversal-per-query baseline and a
+//! `--round-cap` time-sliced variant. It probes the baseline's saturation
+//! throughput, serves at {0.5, 1, 2, 4}× that capacity, reports qps and
+//! p50/p99 latency per rate and mode plus the batching counters, writes
+//! `BENCH_serve.json`, oracle-checks the fused saturation run against
+//! standalone runs, and applies the `GG_BENCH_GUARD`
+//! fused-beats-baseline throughput guard. `--virtual` switches to a
+//! deterministic virtual clock and prints per-query `VQ` lines for the
+//! CI thread-count differential.
 //!
 //! `load_balance` is the skewed scenario (`--scenario powerlaw`, with
 //! `--alpha` / `--hubs` shaping the skew): one destination partition is
@@ -124,6 +139,14 @@ struct Args {
     /// Force one uniform COO edge layout (`--order source|dest|hilbert`);
     /// `None` keeps the engine default.
     order: Option<EdgeOrder>,
+    /// Trace length for `serve` (`--queries N`); `None` scales with
+    /// `--scale`.
+    queries: Option<usize>,
+    /// Round cap of `serve`'s capped mode (`--round-cap N`).
+    round_cap: Option<usize>,
+    /// Run `serve` on the virtual (deterministic) clock and print
+    /// per-query `VQ` lines — the CI differential mode.
+    virtual_cost: bool,
 }
 
 impl Args {
@@ -167,6 +190,41 @@ impl Args {
     }
 }
 
+/// The value following flag `argv[*i]`, or a usage-style error on a
+/// trailing flag. All value-taking flags go through this so `repro
+/// --scale` prints one line to stderr and exits 2 instead of panicking
+/// with an index-out-of-bounds backtrace.
+fn flag_value<'a>(argv: &'a [String], i: &mut usize, flag: &str) -> &'a str {
+    *i += 1;
+    match argv.get(*i) {
+        Some(v) => v,
+        None => {
+            eprintln!("{flag} needs a value");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Parses a numeric flag value, printing `"{flag} needs {what}"` to
+/// stderr and exiting 2 on garbage — a malformed invocation is a usage
+/// error, not an engine panic with a backtrace.
+fn parse_flag<T: std::str::FromStr>(value: &str, flag: &str, what: &str) -> T {
+    value.parse().unwrap_or_else(|_| {
+        eprintln!("{flag} needs {what}, got '{value}'");
+        std::process::exit(2);
+    })
+}
+
+/// Rejects out-of-range flag values that parse fine but would only blow
+/// up deep inside an experiment (`--reps 0` ran forever on a division,
+/// `--threads 0` asserted in the pool).
+fn require_flag(ok: bool, flag: &str, what: &str, value: &str) {
+    if !ok {
+        eprintln!("{flag} needs {what}, got '{value}'");
+        std::process::exit(2);
+    }
+}
+
 fn parse_args() -> Args {
     let mut args = Args {
         experiment: String::new(),
@@ -186,6 +244,9 @@ fn parse_args() -> Args {
         algo: None,
         fault: false,
         order: None,
+        queries: None,
+        round_cap: None,
+        virtual_cost: false,
     };
     let mut tiny = false;
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -193,24 +254,33 @@ fn parse_args() -> Args {
     while i < argv.len() {
         match argv[i].as_str() {
             "--scale" => {
-                i += 1;
-                args.scale = argv[i].parse().expect("--scale needs a float");
+                let v = flag_value(&argv, &mut i, "--scale");
+                args.scale = parse_flag(v, "--scale", "a positive float");
+                require_flag(
+                    args.scale > 0.0 && args.scale.is_finite(),
+                    "--scale",
+                    "a positive float",
+                    v,
+                );
             }
             "--threads" => {
-                i += 1;
-                args.threads = argv[i].parse().expect("--threads needs an integer");
+                let v = flag_value(&argv, &mut i, "--threads");
+                args.threads = parse_flag(v, "--threads", "a positive integer");
+                require_flag(args.threads > 0, "--threads", "a positive integer", v);
             }
             "--reps" => {
-                i += 1;
-                args.reps = argv[i].parse().expect("--reps needs an integer");
+                let v = flag_value(&argv, &mut i, "--reps");
+                args.reps = parse_flag(v, "--reps", "a positive integer");
+                require_flag(args.reps > 0, "--reps", "a positive integer", v);
             }
             "--partitions" => {
-                i += 1;
-                args.partitions = Some(argv[i].parse().expect("--partitions needs an integer"));
+                let v = flag_value(&argv, &mut i, "--partitions");
+                let n: usize = parse_flag(v, "--partitions", "a positive integer");
+                require_flag(n > 0, "--partitions", "a positive integer", v);
+                args.partitions = Some(n);
             }
             "--executor" => {
-                i += 1;
-                args.executor = match argv[i].as_str() {
+                args.executor = match flag_value(&argv, &mut i, "--executor") {
                     "monolithic" => gg_core::config::ExecutorKind::Monolithic,
                     "partitioned" => gg_core::config::ExecutorKind::Partitioned,
                     other => {
@@ -220,8 +290,7 @@ fn parse_args() -> Args {
                 };
             }
             "--output" => {
-                i += 1;
-                args.output = match argv[i].as_str() {
+                args.output = match flag_value(&argv, &mut i, "--output") {
                     "auto" => gg_core::config::OutputMode::Auto,
                     "sparse" => gg_core::config::OutputMode::ForceSparse,
                     "dense" => gg_core::config::OutputMode::ForceDense,
@@ -231,19 +300,15 @@ fn parse_args() -> Args {
                     }
                 };
             }
-            "--scenario" => {
-                i += 1;
-                match argv[i].as_str() {
-                    s @ ("grid" | "smallworld" | "powerlaw") => args.scenario = s.to_string(),
-                    other => {
-                        eprintln!("--scenario must be grid, smallworld or powerlaw, got {other}");
-                        std::process::exit(2);
-                    }
+            "--scenario" => match flag_value(&argv, &mut i, "--scenario") {
+                s @ ("grid" | "smallworld" | "powerlaw") => args.scenario = s.to_string(),
+                other => {
+                    eprintln!("--scenario must be grid, smallworld or powerlaw, got {other}");
+                    std::process::exit(2);
                 }
-            }
+            },
             "--chunk" => {
-                i += 1;
-                args.chunk = Some(match argv[i].as_str() {
+                args.chunk = Some(match flag_value(&argv, &mut i, "--chunk") {
                     "max" => gg_core::config::ChunkCap::Fixed(usize::MAX),
                     "auto" => gg_core::config::ChunkCap::Auto,
                     v => match v.parse::<usize>() {
@@ -257,28 +322,41 @@ fn parse_args() -> Args {
             }
             "--adaptive" => args.adaptive = true,
             "--order" => {
-                i += 1;
-                args.order = match EdgeOrder::from_label(argv[i].as_str()) {
+                let v = flag_value(&argv, &mut i, "--order");
+                args.order = match EdgeOrder::from_label(v) {
                     Some(order) => Some(order),
                     None => {
-                        eprintln!("--order must be source, dest or hilbert, got {}", argv[i]);
+                        eprintln!("--order must be source, dest or hilbert, got {v}");
                         std::process::exit(2);
                     }
                 };
             }
             "--algo" => {
-                i += 1;
-                args.algo = Some(argv[i].to_uppercase());
+                args.algo = Some(flag_value(&argv, &mut i, "--algo").to_uppercase());
             }
             "--fault" => args.fault = true,
             "--alpha" => {
-                i += 1;
-                args.alpha = argv[i].parse().expect("--alpha needs a float > 1");
+                let v = flag_value(&argv, &mut i, "--alpha");
+                args.alpha = parse_flag(v, "--alpha", "a float > 1");
+                require_flag(args.alpha > 1.0, "--alpha", "a float > 1", v);
             }
             "--hubs" => {
-                i += 1;
-                args.hubs = argv[i].parse().expect("--hubs needs an integer");
+                let v = flag_value(&argv, &mut i, "--hubs");
+                args.hubs = parse_flag(v, "--hubs", "an integer");
             }
+            "--queries" => {
+                let v = flag_value(&argv, &mut i, "--queries");
+                let n: usize = parse_flag(v, "--queries", "a positive integer");
+                require_flag(n > 0, "--queries", "a positive integer", v);
+                args.queries = Some(n);
+            }
+            "--round-cap" => {
+                let v = flag_value(&argv, &mut i, "--round-cap");
+                let n: usize = parse_flag(v, "--round-cap", "a positive integer");
+                require_flag(n > 0, "--round-cap", "a positive integer", v);
+                args.round_cap = Some(n);
+            }
+            "--virtual" => args.virtual_cost = true,
             "--tiny" => tiny = true,
             other if args.experiment.is_empty() && !other.starts_with("--") => {
                 args.experiment = other.to_string();
@@ -301,12 +379,13 @@ fn parse_args() -> Args {
         eprintln!(
             "usage: repro <tab1|tab2|fig2|fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|atomics|\
              heuristic|reorder|smoke|sparse_output|load_balance|chunk_overhead|query_fusion|\
-             layout_advisor|record|replay|all>\
+             serve|layout_advisor|record|replay|all>\
              [--scale F] [--threads N]\
              [--reps N] [--tiny] [--partitions N] [--executor monolithic|partitioned]\
              [--output auto|sparse|dense] [--scenario grid|smallworld|powerlaw]\
              [--chunk N|max|auto] [--adaptive] [--alpha F] [--hubs N]\
-             [--order source|dest|hilbert] [--algo BFS|PR|CC|BF] [--fault]"
+             [--order source|dest|hilbert] [--algo BFS|PR|CC|BF] [--fault]\
+             [--queries N] [--round-cap N] [--virtual]"
         );
         std::process::exit(2);
     }
@@ -376,6 +455,9 @@ fn main() {
     }
     if run("query_fusion") {
         query_fusion(&args);
+    }
+    if run("serve") {
+        serve_bench(&args);
     }
     if run("layout_advisor") {
         layout_advisor(&args);
@@ -1502,10 +1584,331 @@ fn query_fusion(args: &Args) {
     }
 }
 
-/// The guard tolerance of `layout_advisor`'s never-worst check, from
-/// `GG_BENCH_GUARD`: a fractional slack on the measured times (default
-/// 0.10 = 10%); `off` / `0` disables the check entirely (the CI smoke
-/// setting — `--tiny` timings are pure noise).
+/// The query-serving bench: open-loop arrival traces against the
+/// admission-controlled fused engine (`gg_bench::serve`), one-per-query
+/// baseline vs 64-lane fused batching vs fused with a round cap.
+///
+/// Measured mode probes the baseline's saturation throughput on an
+/// all-at-once burst, then serves the same query trace at {0.5, 1, 2, 4}×
+/// that capacity under every mode, reporting queries/sec, p50/p99
+/// latency, and the batching counters, and writing `BENCH_serve.json`.
+/// At the saturation rate the fused run is oracle-checked lane-for-lane
+/// against standalone K = 1 runs, and `GG_BENCH_GUARD` enforces that
+/// fused batching beats the baseline on queries/sec (fractional slack as
+/// in `layout_advisor`). Modes must also agree digest-for-digest at every
+/// rate — both failure kinds exit non-zero.
+///
+/// `--virtual` switches to the deterministic virtual clock and prints one
+/// `VQ` line per (mode, query) — digest, retirement round, batch id,
+/// completion-clock bits — which CI diffs across `GG_THREADS` settings.
+fn serve_bench(args: &Args) {
+    use gg_bench::serve::{
+        arrival_trace, serve, AdmissionPolicy, CostModel, PprParams, QueryKind, ServeConfig,
+        ServeOutcome,
+    };
+    use gg_core::config::{Config, ExecutorKind};
+    use gg_core::engine::{Engine, GraphGrind2};
+
+    println!("## Query serving — admission control over the fused engine\n");
+    let scenario = args.scenario_or("powerlaw");
+    let el = gg_bench::replay::scenario_graph(&scenario, args.scale);
+    let partitions = args.partitions_or(16);
+    let cfg = Config {
+        threads: args.threads,
+        num_partitions: partitions,
+        numa: NumaTopology::paper_machine(),
+        executor: ExecutorKind::Partitioned,
+        chunk_edges: args.chunk.unwrap_or(gg_core::config::ChunkCap::Auto),
+        layout: args.layout_policy(),
+        ..Config::default()
+    };
+    let engine = GraphGrind2::new(&el, cfg);
+    let num_queries = args
+        .queries
+        .unwrap_or_else(|| ((256.0 * args.scale.sqrt()) as usize).clamp(32, 4096));
+    let round_cap = args.round_cap.unwrap_or(6);
+    let ppr = PprParams::default();
+    let seed = 0x5E27E_u64;
+    println!(
+        "### {scenario}: {} vertices, {} edges, {} partitions, {} threads, {} queries",
+        el.num_vertices(),
+        el.num_edges(),
+        partitions,
+        args.threads,
+        num_queries
+    );
+    let policies = |max_batch_age: f64| -> [(&'static str, AdmissionPolicy); 3] {
+        [
+            ("baseline", AdmissionPolicy::baseline()),
+            ("fused", AdmissionPolicy::fused(max_batch_age)),
+            (
+                "fused-capped",
+                AdmissionPolicy {
+                    max_lanes: 64,
+                    max_batch_age,
+                    round_cap: Some(round_cap),
+                },
+            ),
+        ]
+    };
+
+    if args.virtual_cost {
+        // Deterministic smoke: virtual clock, one saturating rate, one
+        // `VQ` line per (mode, query). Every field is a pure function of
+        // the trace and the engine's deterministic round results, so the
+        // full output diffs clean across GG_THREADS / chunk caps.
+        let cost = CostModel::Virtual {
+            round_base: 1e-4,
+            per_edge: 1e-7,
+        };
+        let trace = arrival_trace(
+            num_queries,
+            engine.num_vertices(),
+            2000.0,
+            seed,
+            &QueryKind::ALL,
+        );
+        let mut oracle_failures = 0usize;
+        for (mode, policy) in policies(16.0 / 2000.0) {
+            let out = serve(
+                &engine,
+                &trace,
+                &ServeConfig {
+                    policy,
+                    cost,
+                    ppr,
+                    check_oracle: true,
+                },
+            );
+            oracle_failures += out.oracle_failures;
+            for c in &out.completions {
+                println!(
+                    "VQ {mode} id={} kind={} src={} digest={:016x} round={} batch={} t={:016x}",
+                    c.id,
+                    c.kind.label(),
+                    c.source,
+                    c.digest,
+                    c.retire_round,
+                    c.batch,
+                    c.completed.to_bits()
+                );
+            }
+            println!(
+                "VQ-SUMMARY {mode} qps={:.3} p50={:.6} p99={:.6} batches={} occupancy={:.3} \
+                 retired_early={} rounds={}",
+                out.qps(),
+                out.latency_percentile(50.0),
+                out.latency_percentile(99.0),
+                out.batches,
+                out.mean_lane_occupancy,
+                out.lanes_retired_early,
+                out.batch_rounds
+            );
+        }
+        if oracle_failures > 0 {
+            eprintln!(
+                "SERVE FAILED: {oracle_failures} quer(ies) diverged from the standalone oracle"
+            );
+            std::process::exit(1);
+        }
+        println!();
+        return;
+    }
+
+    // Capacity probe: the baseline's saturation throughput on an
+    // all-at-once burst fixes the rate grid, so "2× capacity" means the
+    // same thing on any machine.
+    let burst = arrival_trace(
+        num_queries,
+        engine.num_vertices(),
+        1e9,
+        seed,
+        &QueryKind::ALL,
+    );
+    let probe = serve(
+        &engine,
+        &burst,
+        &ServeConfig {
+            policy: AdmissionPolicy::baseline(),
+            cost: CostModel::Measured,
+            ppr,
+            check_oracle: false,
+        },
+    );
+    let capacity = probe.qps().max(1e-6);
+    println!("baseline capacity ≈ {capacity:.1} q/s (burst probe)\n");
+
+    let mut t = Table::new(&[
+        "rate (q/s)",
+        "mode",
+        "qps",
+        "p50 (s)",
+        "p99 (s)",
+        "batches",
+        "occupancy",
+        "early",
+        "rounds",
+    ]);
+    let rate_multipliers = [0.5, 1.0, 2.0, 4.0];
+    let mut rate_blocks: Vec<String> = Vec::new();
+    let mut digest_mismatches = 0usize;
+    let mut oracle_failures = 0usize;
+    let mut saturation_qps: Vec<(String, f64)> = Vec::new();
+    for (ri, mult) in rate_multipliers.iter().enumerate() {
+        let rate = capacity * mult;
+        let max_batch_age = 32.0 / rate;
+        let trace = arrival_trace(
+            num_queries,
+            engine.num_vertices(),
+            rate,
+            seed,
+            &QueryKind::ALL,
+        );
+        let saturation = ri == rate_multipliers.len() - 1;
+        let mut mode_rows: Vec<String> = Vec::new();
+        let mut fused_digests: Vec<u64> = Vec::new();
+        for (mode, policy) in policies(max_batch_age) {
+            // Oracle-check the fused run once, at the saturation rate —
+            // the regime with the widest batches and the most early
+            // retirement; cross-mode digest equality covers the rest.
+            let check_oracle = saturation && mode == "fused";
+            let out: ServeOutcome = serve(
+                &engine,
+                &trace,
+                &ServeConfig {
+                    policy,
+                    cost: CostModel::Measured,
+                    ppr,
+                    check_oracle,
+                },
+            );
+            oracle_failures += out.oracle_failures;
+            if mode == "fused" {
+                fused_digests = out.completions.iter().map(|c| c.digest).collect();
+            } else {
+                for (c, &want) in out.completions.iter().zip(&fused_digests) {
+                    if !fused_digests.is_empty() && c.digest != want {
+                        digest_mismatches += 1;
+                        eprintln!(
+                            "DIGEST MISMATCH: rate {rate:.1} mode {mode} query {} \
+                             disagrees with the fused run",
+                            c.id
+                        );
+                    }
+                }
+            }
+            if saturation {
+                saturation_qps.push((mode.to_string(), out.qps()));
+            }
+            t.row(vec![
+                format!("{rate:.1} ({mult}x)"),
+                mode.to_string(),
+                format!("{:.1}", out.qps()),
+                fmt_secs(out.latency_percentile(50.0)),
+                fmt_secs(out.latency_percentile(99.0)),
+                out.batches.to_string(),
+                format!("{:.2}", out.mean_lane_occupancy),
+                out.lanes_retired_early.to_string(),
+                out.batch_rounds.to_string(),
+            ]);
+            mode_rows.push(format!(
+                "        {{\"mode\": \"{mode}\", \"qps\": {:.4}, \"p50_s\": {:.6}, \
+                 \"p99_s\": {:.6}, \"makespan_s\": {:.6}, \"batches\": {}, \
+                 \"mean_lane_occupancy\": {:.4}, \"batch_rounds\": {}, \
+                 \"lanes_retired_early\": {}, \"oracle_checked\": {check_oracle}, \
+                 \"oracle_ok\": {}}}",
+                out.qps(),
+                out.latency_percentile(50.0),
+                out.latency_percentile(99.0),
+                out.makespan,
+                out.batches,
+                out.mean_lane_occupancy,
+                out.batch_rounds,
+                out.lanes_retired_early,
+                out.oracle_failures == 0,
+            ));
+        }
+        rate_blocks.push(format!(
+            "    {{\"rate_qps\": {rate:.4}, \"rate_multiplier\": {mult}, \
+             \"max_batch_age_s\": {max_batch_age:.6}, \"modes\": [\n{}\n    ]}}",
+            mode_rows.join(",\n")
+        ));
+    }
+    t.print();
+    println!();
+
+    let base_sat = saturation_qps
+        .iter()
+        .find(|(m, _)| m == "baseline")
+        .map(|&(_, q)| q)
+        .unwrap_or(0.0);
+    let fused_sat = saturation_qps
+        .iter()
+        .filter(|(m, _)| m != "baseline")
+        .map(|&(_, q)| q)
+        .fold(0.0f64, f64::max);
+    let winner = if fused_sat >= base_sat {
+        "fused"
+    } else {
+        "baseline"
+    };
+    println!(
+        "at saturation (4x): fused {fused_sat:.1} q/s vs baseline {base_sat:.1} q/s \
+         ({:.2}x) — winner: {winner}\n",
+        fused_sat / base_sat.max(1e-12)
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"serve\",\n  \"scenario\": \"{scenario}\",\n  \"vertices\": {},\n  \
+         \"edges\": {},\n  \"partitions\": {partitions},\n  \"threads\": {},\n  \
+         \"scale\": {},\n  \"queries\": {num_queries},\n  \"round_cap\": {round_cap},\n  \
+         \"baseline_capacity_qps\": {capacity:.4},\n  \"rates\": [\n{}\n  ],\n  \
+         \"fused_qps_at_saturation\": {fused_sat:.4},\n  \
+         \"baseline_qps_at_saturation\": {base_sat:.4},\n  \
+         \"winner_at_saturation\": \"{winner}\",\n  \"oracle_ok\": {},\n  \
+         \"digest_mismatches\": {digest_mismatches}\n}}\n",
+        el.num_vertices(),
+        el.num_edges(),
+        args.threads,
+        args.scale,
+        rate_blocks.join(",\n"),
+        oracle_failures == 0,
+    );
+    let path = "BENCH_serve.json";
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote {path}\n"),
+        Err(e) => eprintln!("failed to write {path}: {e}\n"),
+    }
+
+    let mut failed = false;
+    if oracle_failures > 0 {
+        eprintln!("SERVE FAILED: {oracle_failures} quer(ies) diverged from the standalone oracle");
+        failed = true;
+    }
+    if digest_mismatches > 0 {
+        eprintln!("SERVE FAILED: {digest_mismatches} cross-mode digest mismatch(es)");
+        failed = true;
+    }
+    if let Some(tol) = bench_guard_tolerance() {
+        if fused_sat < base_sat * (1.0 - tol) {
+            eprintln!(
+                "SERVE GUARD FAILED: fused {fused_sat:.1} q/s at saturation is more than \
+                 {:.0}% below baseline {base_sat:.1} q/s (set GG_BENCH_GUARD=off to disable)",
+                tol * 100.0
+            );
+            failed = true;
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}
+
+/// The guard tolerance of `layout_advisor`'s never-worst check and
+/// `serve`'s fused-beats-baseline check, from `GG_BENCH_GUARD`: a
+/// fractional slack on the measured times (default 0.10 = 10%); `off` /
+/// `0` disables the check entirely (the CI smoke setting — `--tiny`
+/// timings are pure noise).
 fn bench_guard_tolerance() -> Option<f64> {
     match std::env::var("GG_BENCH_GUARD") {
         Err(_) => Some(0.10),

@@ -17,6 +17,7 @@
 pub mod datasets;
 pub mod replay;
 pub mod runner;
+pub mod serve;
 
 use std::time::Instant;
 

@@ -1,0 +1,858 @@
+//! Query serving: admission control and lane-batched execution over the
+//! fused engine.
+//!
+//! The fused engine (PR 8) answers K ≤ 64 point queries in one K-lane
+//! traversal; this module is the front-end that feeds it. Queries (BFS
+//! distance, reachability, PPR-from-seed) arrive open-loop on a
+//! deterministic synthetic trace ([`arrival_trace`], SplitMix64-driven
+//! exponential interarrivals), wait in **per-algorithm admission queues**
+//! (lanes of one batch must share an operator), and are dispatched as
+//! ≤ 64-lane batches onto the shared immutable graph and persistent crew
+//! under an age-vs-occupancy policy ([`AdmissionPolicy`]): a queue
+//! dispatches when its oldest query has waited `max_batch_age`, or as
+//! soon as a full `max_lanes` batch is waiting.
+//!
+//! Batches run on the stepping runners
+//! ([`FusedBfsRun`] / [`FusedPprRun`]), so a lane whose frontier empties
+//! **retires early** — its result is final and its completion is stamped
+//! at that round's clock, while sibling lanes keep running. The optional
+//! `round_cap` is the long-tail escape: a batch runs at most that many
+//! rounds per dispatch, then re-enters the dispatch loop as a
+//! *continuation* (same runner state, never restarted), letting younger
+//! batches interleave. Both policies are result-invisible: per-query
+//! results stay bit-identical to standalone K = 1 runs, which
+//! [`serve`] can verify in-line (`check_oracle`).
+//!
+//! Service time is pluggable ([`CostModel`]): `Measured` wall-clocks each
+//! fused round (the benchmark mode), `Virtual` charges
+//! `round_base + per_edge · edges(round)` from the deterministic work
+//! counters — a schedule-independent clock, so a virtual-time serve run
+//! is byte-identical across `GG_THREADS` and chunk caps (the CI smoke
+//! leg diffs exactly that).
+
+use std::collections::VecDeque;
+use std::time::Instant;
+
+use gg_algorithms::{FusedBfsRun, FusedPprRun};
+use gg_core::engine::{Engine, GraphGrind2};
+use gg_graph::types::VertexId;
+
+/// SplitMix64: the 64-bit finalizer-based PRNG (public domain, Steele et
+/// al.) — tiny, seedable, and identical everywhere, which is all a
+/// deterministic arrival trace needs.
+#[derive(Clone, Debug)]
+pub struct SplitMix64(u64);
+
+impl SplitMix64 {
+    /// A generator seeded with `seed`.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64(seed)
+    }
+
+    /// The next 64 pseudo-random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform draw in `(0, 1]` — never zero, so `-ln(u)` is finite.
+    pub fn next_unit(&mut self) -> f64 {
+        ((self.next_u64() >> 11) + 1) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// The query algorithms the server batches (per-algorithm queues: lanes
+/// of one fused batch must share an operator).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum QueryKind {
+    /// Full BFS distance vector from the source.
+    BfsDist,
+    /// Reachable-vertex set of the source.
+    Reach,
+    /// Personalized PageRank from the seed.
+    Ppr,
+}
+
+impl QueryKind {
+    /// All kinds, in queue-priority order (ties in the dispatch policy
+    /// resolve this way).
+    pub const ALL: [QueryKind; 3] = [QueryKind::BfsDist, QueryKind::Reach, QueryKind::Ppr];
+
+    /// Short label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            QueryKind::BfsDist => "bfs",
+            QueryKind::Reach => "reach",
+            QueryKind::Ppr => "ppr",
+        }
+    }
+}
+
+/// One point query of the arrival trace.
+#[derive(Clone, Copy, Debug)]
+pub struct Query {
+    /// Trace position (stable identifier).
+    pub id: usize,
+    /// Which algorithm answers it.
+    pub kind: QueryKind,
+    /// Source / seed vertex.
+    pub source: VertexId,
+    /// Open-loop arrival time (seconds from trace start).
+    pub arrival: f64,
+}
+
+/// A deterministic open-loop arrival trace: `num_queries` queries with
+/// exponential interarrivals at `rate_qps`, kinds and sources drawn
+/// uniformly (SplitMix64 from `seed`). Same inputs ⇒ same trace, on any
+/// machine.
+pub fn arrival_trace(
+    num_queries: usize,
+    num_vertices: usize,
+    rate_qps: f64,
+    seed: u64,
+    kinds: &[QueryKind],
+) -> Vec<Query> {
+    assert!(num_vertices > 0, "arrival trace needs a non-empty graph");
+    assert!(!kinds.is_empty(), "arrival trace needs at least one kind");
+    assert!(rate_qps > 0.0, "arrival rate must be positive");
+    let mut rng = SplitMix64::new(seed);
+    let mut t = 0.0f64;
+    (0..num_queries)
+        .map(|id| {
+            t += -rng.next_unit().ln() / rate_qps;
+            let kind = kinds[(rng.next_u64() % kinds.len() as u64) as usize];
+            let source = (rng.next_u64() % num_vertices as u64) as VertexId;
+            Query {
+                id,
+                kind,
+                source,
+                arrival: t,
+            }
+        })
+        .collect()
+}
+
+/// When a per-algorithm queue dispatches, and how long a dispatch may
+/// hold the engine.
+#[derive(Clone, Copy, Debug)]
+pub struct AdmissionPolicy {
+    /// Batch width cap (1..=64). 1 is the one-traversal-per-query
+    /// baseline.
+    pub max_lanes: usize,
+    /// A queue becomes ripe once its oldest query has waited this long
+    /// (seconds) — the latency end of the age-vs-occupancy trade.
+    pub max_batch_age: f64,
+    /// Rounds one dispatch may run before the batch is suspended into a
+    /// continuation (`None` = run to quiescence). The capped-rounds
+    /// escape: one long-tail lane cannot hold later arrivals hostage.
+    pub round_cap: Option<usize>,
+}
+
+impl AdmissionPolicy {
+    /// Fused batching at full width, no round cap.
+    pub fn fused(max_batch_age: f64) -> Self {
+        AdmissionPolicy {
+            max_lanes: 64,
+            max_batch_age,
+            round_cap: None,
+        }
+    }
+
+    /// The one-traversal-per-query baseline: every dispatch is a single
+    /// lane, admission order.
+    pub fn baseline() -> Self {
+        AdmissionPolicy {
+            max_lanes: 1,
+            max_batch_age: 0.0,
+            round_cap: None,
+        }
+    }
+}
+
+/// How a fused round is charged against the simulated clock.
+#[derive(Clone, Copy, Debug)]
+pub enum CostModel {
+    /// Wall-clock each round (the benchmark mode; arrivals are still
+    /// simulated, so latency = queueing + measured service).
+    Measured,
+    /// `round_base + per_edge · edges(round)` from the deterministic
+    /// work counters — a schedule-independent clock for differential CI
+    /// runs (edge visits are a pure function of the frontier; see the
+    /// fused differential suite).
+    Virtual {
+        /// Fixed per-round cost (planning + merge floor), seconds.
+        round_base: f64,
+        /// Per traversed edge, seconds.
+        per_edge: f64,
+    },
+}
+
+/// PPR query parameters (shared by every PPR lane the server runs).
+#[derive(Clone, Copy, Debug)]
+pub struct PprParams {
+    /// Teleport probability.
+    pub alpha: f64,
+    /// Residual push threshold.
+    pub eps: f64,
+    /// Sweep budget per batch.
+    pub max_rounds: usize,
+}
+
+impl Default for PprParams {
+    fn default() -> Self {
+        PprParams {
+            alpha: 0.15,
+            eps: 1e-4,
+            max_rounds: 30,
+        }
+    }
+}
+
+/// Full serving configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct ServeConfig {
+    /// Admission policy.
+    pub policy: AdmissionPolicy,
+    /// Clock model.
+    pub cost: CostModel,
+    /// PPR parameters.
+    pub ppr: PprParams,
+    /// Re-run every distinct `(kind, source)` standalone (K = 1) after
+    /// the trace drains and compare digests — the bit-identity oracle.
+    pub check_oracle: bool,
+}
+
+/// One served query's outcome.
+#[derive(Clone, Copy, Debug)]
+pub struct QueryCompletion {
+    /// Trace position.
+    pub id: usize,
+    /// Algorithm.
+    pub kind: QueryKind,
+    /// Source / seed vertex.
+    pub source: VertexId,
+    /// Arrival time.
+    pub arrival: f64,
+    /// First dispatch time of the query's batch.
+    pub dispatched: f64,
+    /// Completion time: the clock at the end of the round in which the
+    /// query's lane retired.
+    pub completed: f64,
+    /// The batch's round at which the lane retired (absolute across
+    /// continuation slices).
+    pub retire_round: u32,
+    /// Sequence number of the batch that served it.
+    pub batch: usize,
+    /// FNV-1a digest of the query's full result (distance vector /
+    /// reachable set / mass vector) — the bit-identity witness.
+    pub digest: u64,
+}
+
+impl QueryCompletion {
+    /// Queueing plus service latency.
+    pub fn latency(&self) -> f64 {
+        self.completed - self.arrival
+    }
+}
+
+/// What a serve run produced.
+#[derive(Clone, Debug, Default)]
+pub struct ServeOutcome {
+    /// Every query's completion, in trace order.
+    pub completions: Vec<QueryCompletion>,
+    /// Clock at which the last batch finished.
+    pub makespan: f64,
+    /// Batches dispatched (a continuation slice counts as a dispatch).
+    pub batches: u64,
+    /// Mean lanes per dispatch.
+    pub mean_lane_occupancy: f64,
+    /// Fused rounds executed across all dispatches.
+    pub batch_rounds: u64,
+    /// Lanes that retired strictly before their batch's last round.
+    pub lanes_retired_early: u64,
+    /// Queries whose digest diverged from the standalone oracle (only
+    /// populated when `check_oracle` is set).
+    pub oracle_failures: usize,
+}
+
+impl ServeOutcome {
+    /// Served queries per second of makespan.
+    pub fn qps(&self) -> f64 {
+        if self.makespan <= 0.0 {
+            return 0.0;
+        }
+        self.completions.len() as f64 / self.makespan
+    }
+
+    /// Nearest-rank latency percentile (`p` in 0..=100).
+    pub fn latency_percentile(&self, p: f64) -> f64 {
+        if self.completions.is_empty() {
+            return 0.0;
+        }
+        let mut lat: Vec<f64> = self.completions.iter().map(|c| c.latency()).collect();
+        lat.sort_by(f64::total_cmp);
+        let n = lat.len();
+        let rank = ((p / 100.0) * n as f64).ceil() as usize;
+        lat[rank.clamp(1, n) - 1]
+    }
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv_fold(h: &mut u64, word: u64) {
+    for b in word.to_le_bytes() {
+        *h ^= b as u64;
+        *h = h.wrapping_mul(FNV_PRIME);
+    }
+}
+
+/// FNV-1a over a `u32` sequence (BFS distance vectors).
+fn digest_u32s(vals: &[u32]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &v in vals {
+        fnv_fold(&mut h, v as u64);
+    }
+    h
+}
+
+/// FNV-1a over an `f64` sequence, by bit pattern (PPR mass vectors).
+fn digest_f64s(vals: &[f64]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &v in vals {
+        fnv_fold(&mut h, v.to_bits());
+    }
+    h
+}
+
+/// FNV-1a over lane `k`'s reachable-vertex set, ascending.
+fn digest_reach(masks: &[u64], k: u32) -> u64 {
+    let mut h = FNV_OFFSET;
+    let bit = 1u64 << k;
+    for (v, &m) in masks.iter().enumerate() {
+        if m & bit != 0 {
+            fnv_fold(&mut h, v as u64);
+        }
+    }
+    h
+}
+
+/// A dispatched batch: the resumable runner plus its lane → query map.
+enum Runner<'a> {
+    Bfs(FusedBfsRun<'a>),
+    Reach(FusedBfsRun<'a>),
+    Ppr(FusedPprRun<'a>),
+}
+
+impl Runner<'_> {
+    fn step(&mut self) -> u64 {
+        match self {
+            Runner::Bfs(r) | Runner::Reach(r) => r.step(),
+            Runner::Ppr(r) => r.step(),
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        match self {
+            Runner::Bfs(r) | Runner::Reach(r) => r.is_done(),
+            Runner::Ppr(r) => r.is_done(),
+        }
+    }
+
+    fn active_lanes(&self) -> u64 {
+        match self {
+            Runner::Bfs(r) | Runner::Reach(r) => r.active_lanes(),
+            Runner::Ppr(r) => r.active_lanes(),
+        }
+    }
+
+    fn rounds(&self) -> usize {
+        match self {
+            Runner::Bfs(r) | Runner::Reach(r) => r.rounds(),
+            Runner::Ppr(r) => r.rounds(),
+        }
+    }
+
+    /// Lane `k`'s result digest (final once the lane has retired).
+    fn digest(&self, k: u32) -> u64 {
+        match self {
+            Runner::Bfs(r) => digest_u32s(r.dist(k)),
+            Runner::Reach(r) => digest_reach(&r.reach_masks(), k),
+            Runner::Ppr(r) => digest_f64s(r.mass(k)),
+        }
+    }
+}
+
+struct Batch<'a> {
+    runner: Runner<'a>,
+    /// Lane `k` serves `queries[k]`.
+    queries: Vec<Query>,
+    /// Completion clock per lane, stamped at retirement.
+    done_at: Vec<f64>,
+    /// Retirement round per lane.
+    done_round: Vec<u32>,
+    /// First dispatch time.
+    dispatched: f64,
+    batch_id: usize,
+}
+
+impl Batch<'_> {
+    /// The oldest still-running query's arrival — the batch's priority
+    /// key in the dispatch loop.
+    fn head_arrival(&self) -> f64 {
+        let active = self.runner.active_lanes();
+        self.queries
+            .iter()
+            .enumerate()
+            .filter(|(k, _)| active & (1u64 << k) != 0)
+            .map(|(_, q)| q.arrival)
+            .fold(f64::INFINITY, f64::min)
+    }
+}
+
+/// The standalone (K = 1) digest of one query — what a batch lane must
+/// reproduce bit-for-bit.
+pub fn standalone_digest(
+    engine: &GraphGrind2,
+    kind: QueryKind,
+    source: VertexId,
+    ppr: &PprParams,
+) -> u64 {
+    match kind {
+        QueryKind::BfsDist => {
+            let res = gg_algorithms::fused_bfs(engine, &[source]);
+            digest_u32s(&res.dist[0])
+        }
+        QueryKind::Reach => {
+            let masks = gg_algorithms::fused_reachability(engine, &[source]);
+            digest_reach(&masks, 0)
+        }
+        QueryKind::Ppr => {
+            let res =
+                gg_algorithms::fused_ppr(engine, &[source], ppr.alpha, ppr.eps, ppr.max_rounds);
+            digest_f64s(&res.p[0])
+        }
+    }
+}
+
+/// Serves `trace` (must be arrival-sorted) on `engine` under `cfg`.
+///
+/// Single-server discipline: the engine runs one batch dispatch at a
+/// time (parallelism lives *inside* the fused rounds, on the persistent
+/// crew), and the clock interleaves simulated open-loop arrivals with
+/// per-round service costs from the [`CostModel`]. Resets and then
+/// populates the engine's [`WorkCounters`] serving counters (batches,
+/// lane occupancy, rounds, early retirements).
+///
+/// [`WorkCounters`]: gg_runtime::counters::WorkCounters
+pub fn serve(engine: &GraphGrind2, trace: &[Query], cfg: &ServeConfig) -> ServeOutcome {
+    assert!(
+        (1..=64).contains(&cfg.policy.max_lanes),
+        "max_lanes must be 1..=64"
+    );
+    debug_assert!(
+        trace.windows(2).all(|w| w[0].arrival <= w[1].arrival),
+        "trace must be arrival-sorted"
+    );
+    let counters = engine.work_counters();
+    counters.reset();
+
+    let mut queues: Vec<VecDeque<Query>> = QueryKind::ALL.iter().map(|_| VecDeque::new()).collect();
+    let queue_of = |kind: QueryKind| QueryKind::ALL.iter().position(|&k| k == kind).unwrap();
+    let mut continuations: Vec<Batch<'_>> = Vec::new();
+    let mut completions: Vec<QueryCompletion> = Vec::new();
+    let mut clock = 0.0f64;
+    let mut next_arrival = 0usize;
+    let mut next_batch_id = 0usize;
+
+    while completions.len() < trace.len() {
+        // Admit everything that has arrived by now.
+        while next_arrival < trace.len() && trace[next_arrival].arrival <= clock {
+            let q = trace[next_arrival];
+            queues[queue_of(q.kind)].push_back(q);
+            next_arrival += 1;
+        }
+        let draining = next_arrival == trace.len();
+
+        // Pick the ripe candidate with the oldest head. Continuations are
+        // always ripe (their queries already waited a full admission
+        // cycle); a queue is ripe on age, on a full batch, or once the
+        // trace has drained.
+        let cont_pick = continuations
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| a.head_arrival().total_cmp(&b.head_arrival()))
+            .map(|(i, b)| (i, b.head_arrival()));
+        let queue_pick = queues
+            .iter()
+            .enumerate()
+            .filter_map(|(qi, q)| {
+                let head = q.front()?;
+                // NB: same expression as the idle-branch `expiry` below —
+                // `clock - arrival >= age` can round the other way and
+                // livelock the idle jump.
+                let ripe = clock >= head.arrival + cfg.policy.max_batch_age
+                    || q.len() >= cfg.policy.max_lanes
+                    || draining;
+                ripe.then_some((qi, head.arrival))
+            })
+            .min_by(|(_, a), (_, b)| a.total_cmp(b));
+
+        let mut batch = match (cont_pick, queue_pick) {
+            (Some((ci, ca)), Some((_, qa))) if ca <= qa => continuations.swap_remove(ci),
+            (Some((ci, _)), None) => continuations.swap_remove(ci),
+            (_, Some((qi, _))) => {
+                let queue = &mut queues[qi];
+                let take = queue.len().min(cfg.policy.max_lanes);
+                let queries: Vec<Query> = queue.drain(..take).collect();
+                let sources: Vec<VertexId> = queries.iter().map(|q| q.source).collect();
+                let runner = match QueryKind::ALL[qi] {
+                    QueryKind::BfsDist => Runner::Bfs(FusedBfsRun::new(engine, &sources)),
+                    QueryKind::Reach => Runner::Reach(FusedBfsRun::reach_only(engine, &sources)),
+                    QueryKind::Ppr => Runner::Ppr(FusedPprRun::new(
+                        engine,
+                        &sources,
+                        cfg.ppr.alpha,
+                        cfg.ppr.eps,
+                        cfg.ppr.max_rounds,
+                    )),
+                };
+                let lanes = queries.len();
+                let b = Batch {
+                    runner,
+                    queries,
+                    done_at: vec![0.0; lanes],
+                    done_round: vec![0; lanes],
+                    dispatched: clock,
+                    batch_id: next_batch_id,
+                };
+                next_batch_id += 1;
+                b
+            }
+            (None, None) => {
+                // Nothing ripe: jump to the next arrival or the earliest
+                // age expiry, whichever comes first.
+                let next_t = if next_arrival < trace.len() {
+                    trace[next_arrival].arrival
+                } else {
+                    f64::INFINITY
+                };
+                let expiry = queues
+                    .iter()
+                    .filter_map(|q| q.front())
+                    .map(|h| h.arrival + cfg.policy.max_batch_age)
+                    .fold(f64::INFINITY, f64::min);
+                clock = next_t.min(expiry).max(clock);
+                debug_assert!(clock.is_finite(), "idle with nothing pending");
+                continue;
+            }
+        };
+
+        // Run one dispatch slice: up to round_cap rounds, or to
+        // quiescence.
+        let occupancy = batch.runner.active_lanes().count_ones() as u64;
+        let cap = cfg.policy.round_cap.unwrap_or(usize::MAX).max(1);
+        let mut slice_rounds = 0u64;
+        let done = loop {
+            let newly = match cfg.cost {
+                CostModel::Measured => {
+                    let t = Instant::now();
+                    let newly = batch.runner.step();
+                    clock += t.elapsed().as_secs_f64();
+                    newly
+                }
+                CostModel::Virtual {
+                    round_base,
+                    per_edge,
+                } => {
+                    let e0 = counters.edges();
+                    let newly = batch.runner.step();
+                    clock += round_base + per_edge * (counters.edges() - e0) as f64;
+                    newly
+                }
+            };
+            slice_rounds += 1;
+            let round = batch.runner.rounds() as u32;
+            let mut m = newly;
+            while m != 0 {
+                let k = m.trailing_zeros() as usize;
+                m &= m - 1;
+                batch.done_at[k] = clock;
+                batch.done_round[k] = round;
+            }
+            if batch.runner.is_done() {
+                break true;
+            }
+            if slice_rounds as usize >= cap {
+                break false;
+            }
+        };
+        counters.add_batch(occupancy, slice_rounds);
+
+        if done {
+            let final_round = batch.runner.rounds() as u32;
+            let early = batch
+                .done_round
+                .iter()
+                .filter(|&&r| r < final_round)
+                .count() as u64;
+            counters.add_lanes_retired_early(early);
+            for (k, q) in batch.queries.iter().enumerate() {
+                completions.push(QueryCompletion {
+                    id: q.id,
+                    kind: q.kind,
+                    source: q.source,
+                    arrival: q.arrival,
+                    dispatched: batch.dispatched,
+                    completed: batch.done_at[k],
+                    retire_round: batch.done_round[k],
+                    batch: batch.batch_id,
+                    digest: batch.runner.digest(k as u32),
+                });
+            }
+        } else {
+            continuations.push(batch);
+        }
+    }
+
+    completions.sort_by_key(|c| c.id);
+    let mut outcome = ServeOutcome {
+        makespan: clock,
+        batches: counters.batches(),
+        mean_lane_occupancy: counters.mean_lane_occupancy(),
+        batch_rounds: counters.batch_rounds(),
+        lanes_retired_early: counters.lanes_retired_early(),
+        oracle_failures: 0,
+        completions,
+    };
+
+    if cfg.check_oracle {
+        // Every distinct (kind, source) standalone, once — the serving
+        // stats above are already captured, so the extra traversals only
+        // pollute the raw visit counters.
+        let mut expected: std::collections::HashMap<(QueryKind, VertexId), u64> =
+            std::collections::HashMap::new();
+        for c in &outcome.completions {
+            let key = (c.kind, c.source);
+            let want = *expected
+                .entry(key)
+                .or_insert_with(|| standalone_digest(engine, c.kind, c.source, &cfg.ppr));
+            if want != c.digest {
+                outcome.oracle_failures += 1;
+            }
+        }
+    }
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gg_core::config::Config;
+    use gg_graph::generators;
+
+    fn engine() -> GraphGrind2 {
+        let el = generators::rmat(8, 2200, generators::RmatParams::skewed(), 11);
+        GraphGrind2::new(&el, Config::partitioned_for_tests())
+    }
+
+    #[test]
+    fn splitmix_is_deterministic_and_unit_draws_are_in_range() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+            let u = a.next_unit();
+            assert!(u > 0.0 && u <= 1.0, "unit draw {u}");
+            b.next_unit();
+        }
+        assert_ne!(SplitMix64::new(1).next_u64(), SplitMix64::new(2).next_u64());
+    }
+
+    #[test]
+    fn arrival_traces_are_deterministic_sorted_and_rate_scaled() {
+        let t1 = arrival_trace(200, 1000, 50.0, 7, &QueryKind::ALL);
+        let t2 = arrival_trace(200, 1000, 50.0, 7, &QueryKind::ALL);
+        assert_eq!(t1.len(), 200);
+        for (a, b) in t1.iter().zip(&t2) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.kind, b.kind);
+            assert_eq!(a.source, b.source);
+            assert_eq!(a.arrival.to_bits(), b.arrival.to_bits());
+        }
+        assert!(t1.windows(2).all(|w| w[0].arrival <= w[1].arrival));
+        assert!(t1.iter().all(|q| (q.source as usize) < 1000));
+        // Double the rate ⇒ roughly half the span (same exponential draws).
+        let fast = arrival_trace(200, 1000, 100.0, 7, &QueryKind::ALL);
+        let ratio = t1.last().unwrap().arrival / fast.last().unwrap().arrival;
+        assert!((ratio - 2.0).abs() < 1e-9, "rate scaling ratio {ratio}");
+    }
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let mut o = ServeOutcome::default();
+        for (i, lat) in [0.1, 0.2, 0.3, 0.4].iter().enumerate() {
+            o.completions.push(QueryCompletion {
+                id: i,
+                kind: QueryKind::BfsDist,
+                source: 0,
+                arrival: 0.0,
+                dispatched: 0.0,
+                completed: *lat,
+                retire_round: 1,
+                batch: 0,
+                digest: 0,
+            });
+        }
+        assert_eq!(o.latency_percentile(50.0), 0.2);
+        assert_eq!(o.latency_percentile(99.0), 0.4);
+        assert_eq!(o.latency_percentile(0.0), 0.1);
+    }
+
+    /// The acceptance-criterion invariant: fused batches (with early
+    /// retirement), capped-round continuations, and the one-per-query
+    /// baseline all produce bit-identical per-query results — and they
+    /// match the standalone oracle.
+    #[test]
+    fn fused_capped_and_baseline_serving_agree_query_for_query() {
+        let engine = engine();
+        let trace = arrival_trace(40, engine.num_vertices(), 500.0, 3, &QueryKind::ALL);
+        let cost = CostModel::Virtual {
+            round_base: 1e-4,
+            per_edge: 1e-7,
+        };
+        let ppr = PprParams::default();
+        let fused = serve(
+            &engine,
+            &trace,
+            &ServeConfig {
+                policy: AdmissionPolicy {
+                    max_lanes: 64,
+                    max_batch_age: 0.02,
+                    round_cap: None,
+                },
+                cost,
+                ppr,
+                check_oracle: true,
+            },
+        );
+        assert_eq!(fused.oracle_failures, 0);
+        assert_eq!(fused.completions.len(), trace.len());
+        assert!(fused.batches > 0);
+        assert!(fused.mean_lane_occupancy >= 1.0);
+
+        let capped = serve(
+            &engine,
+            &trace,
+            &ServeConfig {
+                policy: AdmissionPolicy {
+                    max_lanes: 64,
+                    max_batch_age: 0.02,
+                    round_cap: Some(2),
+                },
+                cost,
+                ppr,
+                check_oracle: false,
+            },
+        );
+        let baseline = serve(
+            &engine,
+            &trace,
+            &ServeConfig {
+                policy: AdmissionPolicy::baseline(),
+                cost,
+                ppr,
+                check_oracle: false,
+            },
+        );
+        for ((f, c), b) in fused
+            .completions
+            .iter()
+            .zip(&capped.completions)
+            .zip(&baseline.completions)
+        {
+            assert_eq!(f.id, c.id);
+            assert_eq!(f.digest, c.digest, "round cap changed query {}", f.id);
+            assert_eq!(f.digest, b.digest, "batching changed query {}", f.id);
+        }
+        // The capped run sliced at least one batch into continuations.
+        assert!(capped.batches >= fused.batches);
+        // Baseline batches are all single-lane.
+        assert!((baseline.mean_lane_occupancy - 1.0).abs() < 1e-12);
+    }
+
+    /// Batches mixing duplicate sources must serve each duplicate the
+    /// same (and correct) result.
+    #[test]
+    fn duplicate_sources_in_one_batch_serve_identical_results() {
+        let engine = engine();
+        // Hand-build a burst: six queries, three of them the same source,
+        // all arriving at once so they land in one batch per kind.
+        let mk = |id, kind, source| Query {
+            id,
+            kind,
+            source,
+            arrival: 0.0,
+        };
+        let trace = vec![
+            mk(0, QueryKind::BfsDist, 5),
+            mk(1, QueryKind::BfsDist, 5),
+            mk(2, QueryKind::BfsDist, 9),
+            mk(3, QueryKind::Ppr, 7),
+            mk(4, QueryKind::Ppr, 7),
+            mk(5, QueryKind::Reach, 5),
+        ];
+        let out = serve(
+            &engine,
+            &trace,
+            &ServeConfig {
+                policy: AdmissionPolicy::fused(0.0),
+                cost: CostModel::Virtual {
+                    round_base: 1e-4,
+                    per_edge: 1e-7,
+                },
+                ppr: PprParams::default(),
+                check_oracle: true,
+            },
+        );
+        assert_eq!(out.oracle_failures, 0);
+        assert_eq!(out.completions[0].digest, out.completions[1].digest);
+        assert_eq!(out.completions[3].digest, out.completions[4].digest);
+        assert_ne!(out.completions[0].digest, out.completions[2].digest);
+    }
+
+    /// Virtual-time serving is deterministic: two runs produce
+    /// bit-identical clocks and digests (the CI smoke leg additionally
+    /// diffs across thread counts).
+    #[test]
+    fn virtual_time_serving_is_bit_deterministic() {
+        let engine = engine();
+        let trace = arrival_trace(30, engine.num_vertices(), 300.0, 9, &QueryKind::ALL);
+        let cfg = ServeConfig {
+            policy: AdmissionPolicy {
+                max_lanes: 16,
+                max_batch_age: 0.01,
+                round_cap: Some(3),
+            },
+            cost: CostModel::Virtual {
+                round_base: 1e-4,
+                per_edge: 1e-7,
+            },
+            ppr: PprParams::default(),
+            check_oracle: false,
+        };
+        let a = serve(&engine, &trace, &cfg);
+        let b = serve(&engine, &trace, &cfg);
+        assert_eq!(a.completions.len(), b.completions.len());
+        for (x, y) in a.completions.iter().zip(&b.completions) {
+            assert_eq!(x.completed.to_bits(), y.completed.to_bits());
+            assert_eq!(x.digest, y.digest);
+            assert_eq!(x.retire_round, y.retire_round);
+            assert_eq!(x.batch, y.batch);
+        }
+        assert_eq!(a.makespan.to_bits(), b.makespan.to_bits());
+    }
+}

@@ -410,6 +410,65 @@ impl FusedFrontier {
         }
     }
 
+    /// OR of every active vertex's lane word: bit `k` set iff lane `k`
+    /// still has at least one active vertex. A pure function of the
+    /// frontier (never of the schedule), so retirement decisions driven
+    /// by it are identical across partitions, threads and chunk caps.
+    pub fn live_lanes(&self) -> u64 {
+        match &self.data {
+            FusedData::Sparse { masks, .. } => masks.iter().fold(0, |acc, &m| acc | m),
+            FusedData::Dense(lanes) => lanes.live_lanes(),
+        }
+    }
+
+    /// A copy of this frontier with only the lanes in `keep` retained —
+    /// how a batch frees the bits of retired lanes while it keeps
+    /// running. Vertices whose masks become zero drop out of the sparse
+    /// list (order preserved), so for lanes that are already empty this
+    /// is structurally a no-op and results cannot change; for lanes
+    /// dropped while still live it is the capped-rounds escape's
+    /// hand-off point.
+    pub fn retain_lanes(&self, keep: u64) -> FusedFrontier {
+        match &self.data {
+            FusedData::Sparse { verts, masks } => {
+                let mut kept_verts: Vec<VertexId> = Vec::with_capacity(verts.len());
+                let mut kept_masks: Vec<u64> = Vec::with_capacity(masks.len());
+                for (&v, &m) in verts.iter().zip(masks) {
+                    let m = m & keep;
+                    if m != 0 {
+                        kept_verts.push(v);
+                        kept_masks.push(m);
+                    }
+                }
+                let count = kept_verts.len();
+                let lane_bits = kept_masks.iter().map(|m| m.count_ones() as u64).sum();
+                FusedFrontier {
+                    n: self.n,
+                    k: self.k,
+                    data: FusedData::Sparse {
+                        verts: kept_verts,
+                        masks: kept_masks,
+                    },
+                    count,
+                    lane_bits,
+                }
+            }
+            FusedData::Dense(lanes) => {
+                let mut lanes = lanes.clone();
+                lanes.retain_lanes(keep);
+                let count = lanes.count_nonzero();
+                let lane_bits = lanes.lane_bits();
+                FusedFrontier {
+                    n: self.n,
+                    k: self.k,
+                    data: FusedData::Dense(lanes),
+                    count,
+                    lane_bits,
+                }
+            }
+        }
+    }
+
     /// The union frontier (bit `v` set iff any lane has `v` active), in
     /// the representation matching this fused frontier's — what the
     /// traversal planner classifies. Fusing changes *state width*, not
@@ -434,6 +493,65 @@ pub fn lane_mask(k: u32) -> u64 {
         u64::MAX
     } else {
         (1u64 << k) - 1
+    }
+}
+
+/// Per-lane early-retirement bookkeeping for one fused batch: which lanes
+/// are still running and the round at which each retired lane quiesced.
+///
+/// Driven exclusively by [`FusedFrontier::live_lanes`] — a pure function
+/// of the per-round frontier — so the retirement round of every lane is
+/// identical across partition counts, thread counts, chunk caps and steal
+/// schedules whenever the rounds themselves are bit-identical (which the
+/// fused differential suite pins).
+#[derive(Clone, Debug)]
+pub struct LaneRetirement {
+    active: u64,
+    retired_round: [u32; 64],
+}
+
+impl LaneRetirement {
+    /// Starts tracking the lanes in `initial`.
+    pub fn new(initial: u64) -> Self {
+        LaneRetirement {
+            active: initial,
+            retired_round: [u32::MAX; 64],
+        }
+    }
+
+    /// Records the post-round live mask: lanes active before but absent
+    /// from `live` retire at `round`. Returns the newly retired lanes.
+    pub fn observe(&mut self, round: u32, live: u64) -> u64 {
+        let newly = self.active & !live;
+        if newly != 0 {
+            let mut m = newly;
+            while m != 0 {
+                let k = m.trailing_zeros() as usize;
+                self.retired_round[k] = round;
+                m &= m - 1;
+            }
+            self.active &= live;
+        }
+        newly
+    }
+
+    /// Force-retires every still-active lane at `round` (batch end).
+    pub fn finish(&mut self, round: u32) -> u64 {
+        let remaining = self.active;
+        self.observe(round, 0);
+        remaining
+    }
+
+    /// The lanes still running.
+    #[inline]
+    pub fn active(&self) -> u64 {
+        self.active
+    }
+
+    /// The round at which lane `k` retired, if it has.
+    pub fn retired_round(&self, k: u32) -> Option<u32> {
+        let r = self.retired_round[k as usize];
+        (r != u32::MAX).then_some(r)
     }
 }
 
@@ -1278,6 +1396,81 @@ mod tests {
         }
         assert_eq!(counters.edges(), 2, "scan stops at the claiming edge");
         assert_eq!(sink.0, vec![(5, 0b1)]);
+    }
+
+    #[test]
+    fn live_lanes_and_retain_track_sparse_and_dense_alike() {
+        let sparse = FusedFrontier::from_seeds(&[9, 2, 9, 5], 12);
+        assert_eq!(sparse.live_lanes(), 0b1111);
+        // Retire lanes 0 and 3; vertex 5 (lane 3 only) drops out.
+        let kept = sparse.retain_lanes(0b0110);
+        assert_eq!(kept.live_lanes(), 0b0110);
+        assert_eq!(kept.len(), 2);
+        assert_eq!(kept.lane_bits(), 2);
+        let mut seen = Vec::new();
+        kept.for_each(|v, m| seen.push((v, m)));
+        assert_eq!(seen, vec![(2, 0b0010), (9, 0b0100)]);
+        assert_eq!(kept.num_lanes(), sparse.num_lanes());
+
+        // Dense path: same result through a LaneBitmap.
+        let counters = WorkCounters::new();
+        let mut seg = LaneSegment::new(0..12);
+        sparse.for_each(|v, m| {
+            seg.or(v as usize, m);
+        });
+        let dense = FusedFrontier::from_outputs(
+            vec![FusedOutput {
+                range: 0..12,
+                data: FusedOutputData::Dense(seg),
+            }],
+            12,
+            4,
+            &counters,
+        );
+        assert_eq!(dense.live_lanes(), 0b1111);
+        let dkept = dense.retain_lanes(0b0110);
+        assert!(matches!(dkept.data(), FusedData::Dense(_)));
+        let mut dseen = Vec::new();
+        dkept.for_each(|v, m| dseen.push((v, m)));
+        assert_eq!(dseen, seen);
+        assert_eq!(dkept.len(), 2);
+        assert_eq!(dkept.lane_bits(), 2);
+
+        // Retaining every live lane is a structural no-op.
+        let all = sparse.retain_lanes(u64::MAX);
+        let mut aseen = Vec::new();
+        all.for_each(|v, m| aseen.push((v, m)));
+        let mut oseen = Vec::new();
+        sparse.for_each(|v, m| oseen.push((v, m)));
+        assert_eq!(aseen, oseen);
+    }
+
+    #[test]
+    fn lane_retirement_records_rounds_and_force_finishes() {
+        let mut r = LaneRetirement::new(0b1011);
+        assert_eq!(r.active(), 0b1011);
+        assert_eq!(r.retired_round(0), None);
+        // Round 2: lane 0 quiesces.
+        assert_eq!(r.observe(2, 0b1010), 0b0001);
+        assert_eq!(r.active(), 0b1010);
+        assert_eq!(r.retired_round(0), Some(2));
+        // Re-observing a dead lane changes nothing.
+        assert_eq!(r.observe(3, 0b1010), 0);
+        assert_eq!(r.retired_round(0), Some(2));
+        // Round 5: lanes 1 and 3 quiesce together.
+        assert_eq!(r.observe(5, 0), 0b1010);
+        assert_eq!(r.active(), 0);
+        assert_eq!(r.retired_round(1), Some(5));
+        assert_eq!(r.retired_round(3), Some(5));
+        // Lane 2 was never in the batch.
+        assert_eq!(r.retired_round(2), None);
+
+        let mut f = LaneRetirement::new(0b11);
+        f.observe(1, 0b10);
+        assert_eq!(f.finish(7), 0b10);
+        assert_eq!(f.retired_round(0), Some(1));
+        assert_eq!(f.retired_round(1), Some(7));
+        assert_eq!(f.active(), 0);
     }
 
     #[test]

@@ -18,7 +18,7 @@
 //! assert it), so results never depend on pool hits.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 
 /// A returned word buffer plus the knowledge needed to clean it cheaply.
 #[derive(Debug)]
@@ -50,7 +50,15 @@ impl BufferPool {
     /// Serves from the free list when possible (clearing only the words the
     /// previous user touched), allocating fresh otherwise.
     pub fn take(&self, len: usize) -> (Vec<u64>, Vec<u32>) {
-        let entry = self.free.lock().unwrap().pop();
+        // Poison-tolerant (here and below): the free list is plain data
+        // with no invariant a panicking holder could break mid-update, and
+        // the engine drops `Arc<BufferPool>`s on teardown paths that must
+        // not panic again after a caught worker panic.
+        let entry = self
+            .free
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .pop();
         let (words, touched) = match entry {
             Some(WordBuffer { mut words, touched }) => {
                 self.recycled.fetch_add(1, Ordering::Relaxed);
@@ -94,7 +102,7 @@ impl BufferPool {
         }
         self.free
             .lock()
-            .unwrap()
+            .unwrap_or_else(PoisonError::into_inner)
             .push(WordBuffer { words, touched });
     }
 
@@ -110,7 +118,10 @@ impl BufferPool {
 
     /// Buffers currently sitting in the free list.
     pub fn idle_buffers(&self) -> usize {
-        self.free.lock().unwrap().len()
+        self.free
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
     }
 }
 
@@ -175,5 +186,29 @@ mod tests {
         let pool = BufferPool::new();
         pool.put(Vec::new(), None);
         assert_eq!(pool.idle_buffers(), 0);
+    }
+
+    /// Regression: a thread panicking while holding the free-list lock
+    /// poisons the mutex; every later operation (and the pool's own drop)
+    /// used to `unwrap()` and panic again — an abort when reached from a
+    /// drop. The pool must keep recycling through the poison.
+    #[test]
+    fn pool_survives_a_poisoned_free_list() {
+        let pool = std::sync::Arc::new(BufferPool::new());
+        pool.put(vec![7; 4], None);
+        let p = std::sync::Arc::clone(&pool);
+        let _ = std::thread::spawn(move || {
+            let _guard = p.free.lock().unwrap();
+            panic!("poison the free list");
+        })
+        .join();
+        assert!(pool.free.is_poisoned());
+        assert_eq!(pool.idle_buffers(), 1);
+        let (words, _) = pool.take(4);
+        assert_eq!(words, vec![0; 4]);
+        assert_eq!(pool.recycled(), 1);
+        pool.put(words, Some(Vec::new()));
+        assert_eq!(pool.idle_buffers(), 1);
+        drop(pool); // must not panic-in-drop
     }
 }

@@ -57,7 +57,7 @@
 use std::collections::VecDeque;
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
 
 /// One worker's contribution to a [`Pool::run_stealing`] call: the
 /// `(task index, result)` pairs it produced plus its local tally.
@@ -163,11 +163,22 @@ struct Crew {
     handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
 }
 
+/// Locks `m`, tolerating poison. Every mutex in this module guards
+/// plain-old-data whose invariants the epoch protocol re-establishes on
+/// each dispatch, so a panic that poisoned a lock (e.g. the job
+/// `expect` below, or an assertion raised while a guard was held) must
+/// not cascade: an `unwrap()` here would panic again in the next worker,
+/// in `dispatch`, or — fatally — inside `Drop`, turning one caught job
+/// panic into an abort.
+fn lock_pod<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
 fn worker_loop(shared: &CrewShared) {
     let mut seen = 0u64;
     loop {
         let claimed = {
-            let mut st = shared.state.lock().unwrap();
+            let mut st = lock_pod(&shared.state);
             loop {
                 if st.shutdown {
                     return;
@@ -183,12 +194,15 @@ fn worker_loop(shared: &CrewShared) {
                     // running (a spurious or surplus wake-up).
                     break None;
                 }
-                st = shared.work_cv.wait(st).unwrap();
+                st = shared
+                    .work_cv
+                    .wait(st)
+                    .unwrap_or_else(PoisonError::into_inner);
             }
         };
         let Some((slot, job)) = claimed else { continue };
         let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| job(slot)));
-        let mut st = shared.state.lock().unwrap();
+        let mut st = lock_pod(&shared.state);
         if let Err(payload) = outcome {
             st.panic_payload.get_or_insert(payload);
         }
@@ -258,13 +272,15 @@ impl std::fmt::Debug for Pool {
 
 impl Drop for Pool {
     fn drop(&mut self) {
+        // Poison-tolerant: dropping a pool after a caught worker panic
+        // must shut the crew down, not panic-in-drop and abort.
         if let Some(crew) = self.crew.get() {
             {
-                let mut st = crew.shared.state.lock().unwrap();
+                let mut st = lock_pod(&crew.shared.state);
                 st.shutdown = true;
                 crew.shared.work_cv.notify_all();
             }
-            for h in crew.handles.lock().unwrap().drain(..) {
+            for h in lock_pod(&crew.handles).drain(..) {
                 let _ = h.join();
             }
         }
@@ -420,7 +436,7 @@ impl Pool {
         let erased: ErasedJob = unsafe {
             std::mem::transmute::<&(dyn Fn(usize) + Sync), &'static (dyn Fn(usize) + Sync)>(job)
         };
-        let mut st = crew.shared.state.lock().unwrap();
+        let mut st = lock_pod(&crew.shared.state);
         debug_assert_eq!(st.remaining, 0, "previous epoch still in flight");
         st.job = Some(erased);
         st.remaining = width;
@@ -437,7 +453,11 @@ impl Pool {
             crew.shared.work_cv.notify_all();
         }
         while st.remaining > 0 {
-            st = crew.shared.done_cv.wait(st).unwrap();
+            st = crew
+                .shared
+                .done_cv
+                .wait(st)
+                .unwrap_or_else(PoisonError::into_inner);
         }
         st.job = None;
         if let Some(payload) = st.panic_payload.take() {
@@ -1181,5 +1201,51 @@ mod tests {
         });
         assert_eq!(hits.load(Ordering::Relaxed), 16);
         assert_eq!(pool.spawns(), 2);
+    }
+
+    /// Regression: dropping a pool whose crew-state mutex was poisoned
+    /// used to `unwrap()` inside `Drop` — a panic-in-drop, which aborts
+    /// the process. Poison the state lock directly (a panic raised while
+    /// a guard is held, exactly what `job.expect(...)` or a failing
+    /// `debug_assert!` under the lock would do), then check the crew
+    /// keeps dispatching and the pool still tears down cleanly.
+    #[test]
+    fn pool_drops_cleanly_after_state_lock_poison() {
+        let pool = Pool::new(2);
+        // Run something first so the crew exists.
+        pool.for_each_index(4, |_| {});
+        let crew = pool.crew();
+        let shared = Arc::clone(&crew.shared);
+        let _ = std::thread::spawn(move || {
+            let _guard = shared.state.lock().unwrap();
+            panic!("poison the crew state");
+        })
+        .join();
+        assert!(crew.shared.state.is_poisoned());
+        // Workers and the dispatcher tolerate the poison.
+        let hits = AtomicU64::new(0);
+        pool.for_each_index(8, |_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 8);
+        drop(pool); // must join the crew, not abort
+    }
+
+    /// The full teardown-after-panic path from the issue: a worker job
+    /// panics (caught and re-raised by the dispatcher), then the pool is
+    /// dropped. With a poisoned lock anywhere on that path the drop would
+    /// abort the process and the test runner would die with it.
+    #[test]
+    fn pool_drops_cleanly_after_worker_panic() {
+        let pool = Pool::new(2);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.for_each_index(8, |i| {
+                if i == 1 {
+                    panic!("teardown boom");
+                }
+            });
+        }));
+        assert!(result.is_err());
+        drop(pool);
     }
 }

@@ -19,8 +19,14 @@
 //!    order, so lane `k` performs the identical f64 operation sequence no
 //!    matter which other lanes ride along.
 //! 4. **Property sweep (proptest)**: random graphs × random source
-//!    multisets × K ∈ {1, 63, 64} (duplicate seeds legal — lanes stay
-//!    independent) agree with the scalar oracle lane-for-lane.
+//!    multisets × K ∈ {1, 63, 64} (duplicate seeds legal — and at K ≥ 63
+//!    over ≤ 60 vertices, guaranteed by pigeonhole) agree with the
+//!    single-source oracles lane-for-lane, BFS, reachability **and** PPR —
+//!    including lanes the runner retires early.
+//! 5. **Stepped slicing**: driving the resumable runners in uneven
+//!    time-slices (the serving layer's capped-rounds mode) changes
+//!    nothing — results and per-lane retirement rounds are identical to
+//!    drained runs in every configuration.
 //!
 //! The thread list honours `GG_THREADS` (the CI `query-fusion` leg diffs a
 //! 1-thread run against a 4-thread run of this suite).
@@ -29,7 +35,9 @@
 
 use proptest::prelude::*;
 
-use graphgrind::algorithms::{self, fused_bfs, fused_ppr, fused_reachability};
+use graphgrind::algorithms::{
+    self, fused_bfs, fused_ppr, fused_reachability, FusedBfsRun, FusedPprRun,
+};
 use graphgrind::core::config::{threads_from_env, ChunkCap, Config, ExecutorKind};
 use graphgrind::core::engine::{Engine, GraphGrind2};
 use graphgrind::graph::edge_list::EdgeList;
@@ -186,6 +194,7 @@ fn check_random_sources(el: &EdgeList, sources: &[u32]) {
     let engine = GraphGrind2::new(el, config(3, 2, ChunkCap::Auto));
     let fused = fused_bfs(&engine, sources);
     let reach = fused_reachability(&engine, sources);
+    let ppr = fused_ppr(&engine, sources, 0.2, 1e-3, 20);
     for (k, &s) in sources.iter().enumerate() {
         let oracle = algorithms::bfs(&seq, s);
         assert_eq!(fused.dist[k], oracle.level, "lane {k} source {s}");
@@ -194,17 +203,80 @@ fn check_random_sources(el: &EdgeList, sources: &[u32]) {
             let got = mask & (1 << k) != 0;
             assert_eq!(got, want, "reach lane {k} vertex {v}");
         }
+        // PPR lanes are *bitwise* equal to the single-seed run — duplicate
+        // seeds included, and independent of when sibling lanes retire.
+        let solo = fused_ppr(&seq, &[s], 0.2, 1e-3, 20);
+        assert_eq!(ppr.p[k], solo.p[0], "ppr lane {k} seed {s}");
     }
 }
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
-    /// Every lane of a random K-source fused BFS/reachability batch agrees
-    /// with the scalar single-source oracle, on the partitioned executor.
+    /// Every lane of a random K-source fused BFS/reachability/PPR batch
+    /// agrees with the scalar single-source oracle, on the partitioned
+    /// executor.
     #[test]
     fn random_source_sets_agree_with_scalar_oracles(case in arb_graph_and_sources()) {
         let (el, sources) = case;
         check_random_sources(&el, &sources);
+    }
+}
+
+/// The serving layer's capped-rounds mode drives the resumable runners in
+/// arbitrary time-slices. Slicing must be invisible: results and per-lane
+/// retirement rounds equal the drained run's, in every configuration —
+/// and the retirement rounds themselves are config-independent (they are
+/// a pure function of the per-round live-lane word).
+#[test]
+fn stepped_runners_are_slice_and_config_invariant() {
+    // Duplicate seeds on purpose: retiring one copy must not disturb the
+    // other's lane.
+    let sources = [0u32, 17, 17, 99, 3, 64];
+    for (name, el) in graphs() {
+        let seq = sequential(&el);
+        let drained = fused_bfs(&seq, &sources);
+        let drained_ppr = fused_ppr(&seq, &sources, 0.15, 1e-4, 12);
+        let mut retire_rounds: Option<Vec<Option<u32>>> = None;
+        for cap in CAPS {
+            for p in PARTITIONS {
+                for t in thread_counts() {
+                    let engine = GraphGrind2::new(&el, config(p, t, cap));
+                    let mut bfs_run = FusedBfsRun::new(&engine, &sources);
+                    let mut ppr_run = FusedPprRun::new(&engine, &sources, 0.15, 1e-4, 12);
+                    // Uneven slices: 1, 2, 3, 1, 2, 3, ... rounds at a time.
+                    let mut slice = 0usize;
+                    while !bfs_run.is_done() || !ppr_run.is_done() {
+                        slice = slice % 3 + 1;
+                        for _ in 0..slice {
+                            bfs_run.step();
+                            ppr_run.step();
+                        }
+                    }
+                    for k in 0..sources.len() {
+                        assert_eq!(
+                            bfs_run.dist(k as u32),
+                            &drained.dist[k][..],
+                            "{name} bfs lane {k} cap={cap:?} P={p} T={t}"
+                        );
+                        assert_eq!(
+                            ppr_run.mass(k as u32),
+                            &drained_ppr.p[k][..],
+                            "{name} ppr lane {k} cap={cap:?} P={p} T={t}"
+                        );
+                    }
+                    let rounds: Vec<Option<u32>> = (0..sources.len() as u32)
+                        .map(|k| bfs_run.retired_round(k))
+                        .collect();
+                    match &retire_rounds {
+                        None => retire_rounds = Some(rounds),
+                        Some(want) => assert_eq!(
+                            &rounds, want,
+                            "{name} retirement rounds cap={cap:?} P={p} T={t}"
+                        ),
+                    }
+                }
+            }
+        }
     }
 }
